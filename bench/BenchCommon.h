@@ -1,0 +1,87 @@
+//===- BenchCommon.h - Shared helpers for the evaluation benches -*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Shared utilities for the per-table/per-figure benchmark binaries.
+// Environment knobs:
+//   SDS_SCALE    fraction of Table 4's matrix dimensions to instantiate
+//                (default 0.02: laptop-friendly; 1.0 = paper-sized)
+//   SDS_THREADS  wavefront executor thread count (default: hardware)
+//   SDS_HEAVY    set to 0 to skip the minutes-long analyses (IC0, ILU0)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_BENCH_COMMON_H
+#define SDS_BENCH_COMMON_H
+
+#include "sds/driver/Driver.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <omp.h>
+
+namespace bench {
+
+inline double envScale() {
+  const char *S = std::getenv("SDS_SCALE");
+  double V = S ? std::atof(S) : 0.02;
+  return V > 0 ? V : 0.02;
+}
+
+inline int envThreads() {
+  const char *S = std::getenv("SDS_THREADS");
+  int V = S ? std::atoi(S) : omp_get_max_threads();
+  return V > 0 ? V : 1;
+}
+
+inline bool envHeavy() {
+  const char *S = std::getenv("SDS_HEAVY");
+  return !S || std::atoi(S) != 0;
+}
+
+/// Wall-clock seconds of one call.
+template <typename Fn> double timeOf(Fn &&F) {
+  auto T0 = std::chrono::steady_clock::now();
+  F();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+/// Median-of-K timing.
+template <typename Fn> double medianTimeOf(Fn &&F, int K = 5) {
+  std::vector<double> Ts;
+  for (int I = 0; I < K; ++I)
+    Ts.push_back(timeOf(F));
+  std::sort(Ts.begin(), Ts.end());
+  return Ts[static_cast<size_t>(K / 2)];
+}
+
+/// The five Table-4 inputs, instantiated at SDS_SCALE.
+struct BenchMatrix {
+  std::string Name;
+  sds::rt::CSRMatrix Full;  ///< symmetric SPD-like
+  sds::rt::CSRMatrix Lower; ///< lower triangle (CSR)
+  sds::rt::CSCMatrix LowerC;///< lower triangle (CSC)
+};
+
+inline std::vector<BenchMatrix> benchMatrices(double Scale) {
+  std::vector<BenchMatrix> Out;
+  for (const sds::rt::MatrixProfile &P : sds::rt::table4Profiles()) {
+    BenchMatrix M;
+    M.Name = P.Name.substr(0, P.Name.find(' '));
+    M.Full = sds::rt::generateFromProfile(P, Scale);
+    M.Lower = sds::rt::lowerTriangle(M.Full);
+    M.LowerC = sds::rt::toCSC(M.Lower);
+    Out.push_back(std::move(M));
+  }
+  return Out;
+}
+
+} // namespace bench
+
+#endif // SDS_BENCH_COMMON_H

@@ -1,0 +1,94 @@
+//===- ablation_simplify.cpp - Design-choice ablations ---------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// Ablation study for the design choices DESIGN.md calls out: how much
+// concrete inspector *work* (loop iterations on a real matrix) each
+// simplification stage removes — properties-only, +equalities, +subsets —
+// measured with the in-process inspectors on a Table-4-profile matrix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "sds/deps/Pipeline.h"
+
+#include <cstdio>
+
+using namespace sds;
+using namespace sds::deps;
+
+namespace {
+
+uint64_t totalInspectorWork(const PipelineResult &R,
+                            const codegen::UFEnvironment &Env,
+                            uint64_t Cap) {
+  uint64_t Total = 0;
+  for (const AnalyzedDependence &D : R.Deps) {
+    if (D.Status != DepStatus::Runtime || !D.Plan.Valid)
+      continue;
+    Total += codegen::runInspector(D.Plan, Env, [](int64_t, int64_t) {});
+    if (Total > Cap)
+      return Total; // enough signal; avoid hour-long naive scans
+  }
+  return Total;
+}
+
+} // namespace
+
+int main() {
+  double Scale = bench::envScale() * 0.25; // naive inspectors are O(n^2)+
+  rt::CSRMatrix Full = rt::generateFromProfile(rt::table4Profiles()[0],
+                                               std::max(Scale, 0.002));
+  rt::CSRMatrix Lower = rt::lowerTriangle(Full);
+  rt::CSCMatrix LowerC = rt::toCSC(Lower);
+  std::printf("Ablation: inspector work (loop iterations) by pipeline "
+              "stage, af_shell3 profile n=%d nnz=%d\n\n",
+              Lower.N, Lower.nnz());
+
+  struct Stage {
+    const char *Name;
+    bool Eq, Sub;
+  };
+  const Stage Stages[] = {{"properties only", false, false},
+                          {"+ equalities (§4)", true, false},
+                          {"+ subsets (§5)", true, true}};
+
+  struct Case {
+    const char *Name;
+    kernels::Kernel K;
+    codegen::UFEnvironment Env;
+    int N;
+  };
+  std::vector<Case> Cases;
+  Cases.push_back({"FS CSR", kernels::forwardSolveCSR(),
+                   driver::bindCSR(Lower), Lower.N});
+  Cases.push_back({"FS CSC", kernels::forwardSolveCSC(),
+                   driver::bindCSC(LowerC), LowerC.N});
+  Cases.push_back({"GS CSR", kernels::gaussSeidelCSR(),
+                   driver::bindCSR(Full, Full.diagonalPositions()),
+                   Full.N});
+
+  const uint64_t Cap = 500u * 1000u * 1000u;
+  for (Case &C : Cases) {
+    std::printf("%-8s", C.Name);
+    for (const Stage &S : Stages) {
+      PipelineOptions Opts;
+      Opts.UseEqualities = S.Eq;
+      Opts.UseSubsets = S.Sub;
+      PipelineResult R = analyzeKernel(C.K, Opts);
+      uint64_t Work = totalInspectorWork(R, C.Env, Cap);
+      if (Work > Cap)
+        std::printf("  %-18s", ">5e8 (capped)");
+      else
+        std::printf("  %-18llu", static_cast<unsigned long long>(Work));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nColumns: %s | %s | %s\n", Stages[0].Name, Stages[1].Name,
+              Stages[2].Name);
+  std::printf("Reading: each stage must not increase work; equalities give "
+              "the\nasymptotic drops (§4.1's O(n^2)->O(n)), subsets remove "
+              "whole checks.\n");
+  return 0;
+}

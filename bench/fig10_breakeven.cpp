@@ -1,0 +1,73 @@
+//===- fig10_breakeven.cpp - Regenerate Figure 10 --------------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// Figure 10: how many executor runs amortize the inspector —
+// (inspector_t + executor_t) / (serial_t - executor_t). The paper reports
+// 40-60 runs for the iterative solvers and < 1 for the factorizations
+// (inspector cheaper than one serial run). When the executor does not beat
+// serial on this machine (e.g. one core), the break-even is unreachable
+// and printed as "-".
+//
+//===----------------------------------------------------------------------===//
+
+#include "WiredKernels.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace sds;
+using namespace sds::rt;
+
+int main() {
+  double Scale = bench::envScale();
+  int Threads = bench::envThreads();
+  bool Heavy = bench::envHeavy();
+  std::printf("Figure 10: executor runs needed to amortize the inspector "
+              "(scale=%.3f, threads=%d)\n\n",
+              Scale, Threads);
+
+  std::fprintf(stderr, "[fig10] analyzing kernels...\n");
+  std::vector<bench::WiredKernel> Kernels = bench::wiredKernels(Heavy);
+  std::vector<bench::BenchMatrix> Matrices = bench::benchMatrices(Scale);
+
+  std::printf("%-10s", "Kernel");
+  for (const bench::BenchMatrix &M : Matrices)
+    std::printf(" %11s", M.Name.c_str());
+  std::printf("   inspector/serial\n");
+
+  for (bench::WiredKernel &K : Kernels) {
+    std::printf("%-10s", K.Name.c_str());
+    double InspectorOverSerial = 0;
+    int Cells = 0;
+    for (const bench::BenchMatrix &M : Matrices) {
+      bench::WiredKernel::Instance I = K.Wire(M);
+      driver::InspectionResult Insp(1);
+      double InspT = bench::timeOf([&] {
+        Insp = driver::runInspectors(K.Analysis, I.Env, I.N);
+      });
+      LBCConfig C;
+      C.NumThreads = Threads;
+      C.MinWorkPerThread = 256;
+      WavefrontSchedule S = scheduleLBC(Insp.Graph, C, I.NodeCost);
+      double SerialT = bench::medianTimeOf(I.Serial);
+      double ExecT = bench::medianTimeOf([&] { I.Wavefront(S); });
+      InspectorOverSerial += InspT / SerialT;
+      ++Cells;
+      if (SerialT > ExecT)
+        std::printf(" %11.1f", (InspT + ExecT) / (SerialT - ExecT));
+      else
+        std::printf(" %11s", "-");
+      std::fflush(stdout);
+    }
+    std::printf("   %10.1fx\n", InspectorOverSerial / Cells);
+  }
+  std::printf(
+      "\nThe last column (inspector time / one serial run) is the machine-\n"
+      "independent shape: the solvers' inspectors cost tens of serial runs\n"
+      "(the paper's 40-60 break-even band). The factorizations' inspectors\n"
+      "are asymptotically no larger than their kernels (Table 3); the\n"
+      "residual constant factor here is the in-process expression\n"
+      "interpreter, where the paper's emitted-and-compiled C achieves < 1.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+//===- fig7_unsat.cpp - Regenerate Figure 7 --------------------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// Figure 7: number of dependences left after disproving with each index-
+// array property class in isolation (and all combined), bucketed by the
+// complexity class of the inspector each dependence would need. In the
+// paper: 75 relations, 8 affine-unsat, 45 more removed by properties, 22
+// remaining; the combination beats the sum of its parts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "sds/deps/Extraction.h"
+#include "sds/ir/Simplify.h"
+#include "sds/kernels/Kernels.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace sds;
+using ir::PropertyKind;
+
+namespace {
+
+struct Config {
+  const char *Name;
+  bool UseAffine;                        // run affine-consistency first
+  bool UseProperties;
+  std::vector<PropertyKind> Kinds;       // empty = all declared
+};
+
+} // namespace
+
+int main() {
+  bool Heavy = bench::envHeavy();
+  std::vector<Config> Configs = {
+      {"Original", false, false, {}},
+      {"Affine Consistency", true, false, {}},
+      {"Monotonicity",
+       true,
+       true,
+       {PropertyKind::MonotonicIncreasing,
+        PropertyKind::StrictMonotonicIncreasing,
+        PropertyKind::MonotonicDecreasing,
+        PropertyKind::StrictMonotonicDecreasing, PropertyKind::Injective}},
+      {"Periodic Monotonicity", true, true, {PropertyKind::PeriodicMonotonic}},
+      {"Correlated Monotonicity",
+       true,
+       true,
+       {PropertyKind::CoMonotonic, PropertyKind::SegmentPointer}},
+      {"Triangular Matrix",
+       true,
+       true,
+       {PropertyKind::Triangular, PropertyKind::TriangularEntriesLE,
+        PropertyKind::TriangularEntriesGE, PropertyKind::TriangularEntriesLT,
+        PropertyKind::TriangularEntriesGT,
+        PropertyKind::SegmentStartIdentity}},
+      {"Combination", true, true, {}},
+  };
+
+  // Budget configuration: this bench decides 67 relations x 7 property
+  // configurations, so each decision runs with a single instantiation
+  // round, no semantic probes, and a small phase-2 allowance. The full-
+  // budget pipeline (fig8/table3) proves a couple more relations unsat;
+  // the per-class *shape* is unaffected.
+  ir::SimplifyOptions Opts;
+  Opts.SemanticPhase1 = false;
+  Opts.InstantiationRounds = 1;
+  Opts.MaxInstances = 6000;
+  Opts.MaxPhase2Instances = 3;
+  Opts.MaxPieces = 24;
+
+  // Gather all dependences with their complexity class up front.
+  struct DepRec {
+    ir::SparseRelation Rel;
+    ir::PropertySet Props;
+    std::string CostClass;
+  };
+  std::vector<DepRec> Deps;
+  for (const kernels::Kernel &K : kernels::allKernels()) {
+    if (!Heavy && (K.Name.find("Cholesky") != std::string::npos ||
+                   K.Name.find("LU0") != std::string::npos))
+      continue;
+    for (const deps::Dependence &D : deps::extractDependences(K)) {
+      DepRec R;
+      R.Rel = D.Rel;
+      R.Props = K.Properties;
+      codegen::InspectorPlan P = codegen::buildInspectorPlan(D.Rel);
+      R.CostClass = P.Valid ? P.Cost.str() : "(unbounded)";
+      Deps.push_back(std::move(R));
+    }
+  }
+  std::printf("Figure 7: dependences remaining after disproving "
+              "(%zu unique relations total%s)\n\n",
+              Deps.size(), Heavy ? "" : ", heavy kernels skipped");
+
+  for (const Config &C : Configs) {
+    std::map<std::string, unsigned> Histogram;
+    unsigned Remaining = 0;
+    for (const DepRec &D : Deps) {
+      bool Unsat = false;
+      if (C.UseAffine && ir::provenUnsatAffineOnly(D.Rel, Opts))
+        Unsat = true;
+      if (!Unsat && C.UseProperties) {
+        ir::PropertySet PS =
+            C.Kinds.empty() ? D.Props : D.Props.filtered(C.Kinds);
+        Unsat = ir::provenUnsat(D.Rel, PS, Opts);
+      }
+      if (!Unsat) {
+        ++Remaining;
+        ++Histogram[D.CostClass];
+      }
+      std::fflush(stdout);
+    }
+    std::printf("%-24s remaining=%2u :", C.Name, Remaining);
+    for (const auto &[Class, Count] : Histogram)
+      std::printf("  %s:%u", Class.c_str(), Count);
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper reference: Original 75, Affine Consistency 67, all "
+      "properties combined leave 22 runtime checks (Figure 7, §7.1).\n");
+  return 0;
+}

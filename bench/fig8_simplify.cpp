@@ -1,0 +1,53 @@
+//===- fig8_simplify.cpp - Regenerate Figure 8 -----------------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// Figure 8: per kernel, the number of runtime checks and the cheap vs
+// expensive split across the three simplification stages — Satisfiable
+// (after unsat detection), After Equality (§4), After Subset (§5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "sds/deps/Pipeline.h"
+
+#include <cstdio>
+
+using namespace sds;
+using namespace sds::deps;
+
+int main() {
+  bool Heavy = bench::envHeavy();
+  std::printf("Figure 8: impact of dependence simplification on inspector "
+              "checks\n");
+  std::printf("(expensive = inspector complexity exceeds the kernel's)\n\n");
+  std::printf("%-26s | %-17s | %-17s | %-17s\n", "", "Satisfiable",
+              "After Equality", "After Subset");
+  std::printf("%-26s | %-6s %-10s | %-6s %-10s | %-6s %-10s\n", "Kernel",
+              "total", "expensive", "total", "expensive", "total",
+              "expensive");
+
+  for (const kernels::Kernel &K : kernels::allKernels()) {
+    if (!Heavy && (K.Name.find("Cholesky") != std::string::npos ||
+                   K.Name.find("LU0") != std::string::npos))
+      continue;
+    PipelineResult R = analyzeKernel(K);
+    unsigned Sat = R.count(DepStatus::Runtime) + R.count(DepStatus::Subsumed);
+    unsigned ExpBefore = R.countExpensiveRuntime(/*Simplified=*/false);
+    unsigned ExpAfterEq = R.countExpensiveRuntime(/*Simplified=*/true);
+    unsigned AfterSubset = R.count(DepStatus::Runtime);
+    unsigned ExpAfterSubset = 0;
+    for (const AnalyzedDependence &D : R.Deps)
+      if (D.Status == DepStatus::Runtime && R.KernelCost < D.CostAfter)
+        ++ExpAfterSubset;
+    std::printf("%-26s | %-6u %-10u | %-6u %-10u | %-6u %-10u\n",
+                K.Name.c_str(), Sat, ExpBefore, Sat, ExpAfterEq, AfterSubset,
+                ExpAfterSubset);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper reference (Figure 8, §7.2-7.3): equality detection turns 11\n"
+      "expensive checks cheap (5/9 IC0, 2/4 ILU0, 4/4 Left Cholesky);\n"
+      "subsets reduce IC0 9 -> 2 and Left Cholesky 4 -> 1.\n");
+  return 0;
+}

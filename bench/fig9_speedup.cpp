@@ -1,0 +1,94 @@
+//===- fig9_speedup.cpp - Regenerate Figure 9 ------------------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// Figure 9: wavefront executor speedup over the serial kernel, per
+// (kernel, matrix), using the dependence graphs built by the *generated*
+// inspectors and LBC scheduling. The paper reports 2x-8x on 8 physical
+// cores; on fewer cores the attainable speedup shrinks accordingly, and
+// with a single core the parallel executor can only tie or lose — the
+// hardware note in EXPERIMENTS.md quantifies this machine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "WiredKernels.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace sds;
+using namespace sds::rt;
+
+int main() {
+  double Scale = bench::envScale();
+  int Threads = bench::envThreads();
+  bool Heavy = bench::envHeavy();
+  std::printf("Figure 9: wavefront executor speedup over serial "
+              "(scale=%.3f, threads=%d, hw cores=%d)\n\n",
+              Scale, Threads, omp_get_num_procs());
+
+  std::fprintf(stderr, "[fig9] analyzing kernels...\n");
+  std::vector<bench::WiredKernel> Kernels = bench::wiredKernels(Heavy);
+  std::vector<bench::BenchMatrix> Matrices = bench::benchMatrices(Scale);
+
+  std::printf("%-10s", "Kernel");
+  for (const bench::BenchMatrix &M : Matrices)
+    std::printf(" %11s", M.Name.c_str());
+  std::printf("\n");
+
+  // Machine-independent companion: the parallelism the DAG + LBC schedule
+  // actually expose at 8 threads (total work / critical-path work), i.e.
+  // the speedup an ideal 8-core machine could realize — comparable to the
+  // paper's Figure 9 even on this machine.
+  std::vector<std::string> BoundRows;
+
+  for (bench::WiredKernel &K : Kernels) {
+    std::printf("%-10s", K.Name.c_str());
+    std::string Bound(K.Name);
+    Bound.resize(10, ' ');
+    for (const bench::BenchMatrix &M : Matrices) {
+      bench::WiredKernel::Instance I = K.Wire(M);
+      driver::InspectionResult Insp =
+          driver::runInspectors(K.Analysis, I.Env, I.N);
+      LBCConfig C;
+      C.NumThreads = Threads;
+      C.MinWorkPerThread = 256;
+      WavefrontSchedule S = scheduleLBC(Insp.Graph, C, I.NodeCost);
+      double SerialT = bench::medianTimeOf(I.Serial);
+      double ExecT = bench::medianTimeOf([&] { I.Wavefront(S); });
+      std::printf(" %10.2fx", SerialT / ExecT);
+      std::fflush(stdout);
+
+      LBCConfig C8;
+      C8.NumThreads = 8;
+      C8.MinWorkPerThread = 256;
+      WavefrontSchedule S8 = scheduleLBC(Insp.Graph, C8, I.NodeCost);
+      double Total = 0, Critical = 0;
+      for (const auto &Wave : S8.Waves) {
+        double MaxPart = 0;
+        for (const auto &Part : Wave) {
+          double W = 0;
+          for (int Node : Part)
+            W += I.NodeCost.empty() ? 1.0 : I.NodeCost[Node];
+          Total += W;
+          MaxPart = std::max(MaxPart, W);
+        }
+        Critical += MaxPart;
+      }
+      char Buf[16];
+      std::snprintf(Buf, sizeof(Buf), " %10.2fx",
+                    Critical > 0 ? Total / Critical : 1.0);
+      Bound += Buf;
+    }
+    std::printf("\n");
+    BoundRows.push_back(std::move(Bound));
+  }
+  std::printf("\nAvailable parallelism at 8 threads (total work / "
+              "critical-path work,\nthe ideal-machine Figure 9):\n");
+  for (const std::string &Row : BoundRows)
+    std::printf("%s\n", Row.c_str());
+  std::printf("\nPaper reference (Figure 9): 2x-8x on 8 cores; Left "
+              "Cholesky superlinear\n(5x-625x) due to LBC locality "
+              "effects on the large factors.\n");
+  return 0;
+}

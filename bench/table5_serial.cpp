@@ -1,0 +1,86 @@
+//===- table5_serial.cpp - Regenerate Table 5 (google-benchmark) -----------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// Table 5: serial execution time of each (kernel, matrix) pair. Absolute
+// numbers differ from the paper's i7-6900K / full-size SuiteSparse runs;
+// the *ordering* (factorizations orders of magnitude above the solves,
+// denser matrices slower per column) is the reproducible shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "sds/runtime/Kernels.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sds::rt;
+
+namespace {
+
+std::vector<bench::BenchMatrix> &matrices() {
+  static std::vector<bench::BenchMatrix> Ms =
+      bench::benchMatrices(bench::envScale());
+  return Ms;
+}
+
+void fsCSC(benchmark::State &State, const bench::BenchMatrix &M) {
+  std::vector<double> B(static_cast<size_t>(M.LowerC.N), 1.0), X;
+  for (auto _ : State) {
+    forwardSolveCSCSerial(M.LowerC, B, X);
+    benchmark::DoNotOptimize(X.data());
+  }
+}
+
+void fsCSR(benchmark::State &State, const bench::BenchMatrix &M) {
+  std::vector<double> B(static_cast<size_t>(M.Lower.N), 1.0), X;
+  for (auto _ : State) {
+    forwardSolveCSRSerial(M.Lower, B, X);
+    benchmark::DoNotOptimize(X.data());
+  }
+}
+
+void gsCSR(benchmark::State &State, const bench::BenchMatrix &M) {
+  std::vector<double> B(static_cast<size_t>(M.Full.N), 1.0);
+  std::vector<double> X(static_cast<size_t>(M.Full.N), 0.0);
+  for (auto _ : State) {
+    gaussSeidelCSRSerial(M.Full, B, X);
+    benchmark::DoNotOptimize(X.data());
+  }
+}
+
+void ic0(benchmark::State &State, const bench::BenchMatrix &M) {
+  std::vector<double> Original = M.LowerC.Val;
+  CSCMatrix L = M.LowerC;
+  for (auto _ : State) {
+    L.Val = Original; // restore the unfactored values
+    incompleteCholeskyCSCSerial(L);
+    benchmark::DoNotOptimize(L.Val.data());
+  }
+}
+
+void leftChol(benchmark::State &State, const bench::BenchMatrix &M) {
+  std::vector<double> Original = M.LowerC.Val;
+  CSCMatrix L = M.LowerC;
+  for (auto _ : State) {
+    L.Val = Original;
+    leftCholeskyCSCSerial(L);
+    benchmark::DoNotOptimize(L.Val.data());
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const bench::BenchMatrix &M : matrices()) {
+    benchmark::RegisterBenchmark(("FS_CSC/" + M.Name).c_str(), fsCSC, M);
+    benchmark::RegisterBenchmark(("FS_CSR/" + M.Name).c_str(), fsCSR, M);
+    benchmark::RegisterBenchmark(("GS_CSR/" + M.Name).c_str(), gsCSR, M);
+    benchmark::RegisterBenchmark(("InChol/" + M.Name).c_str(), ic0, M);
+    benchmark::RegisterBenchmark(("LChol/" + M.Name).c_str(), leftChol, M);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,55 @@
+//===- race_and_slice.cpp - §10 applications demo --------------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// The paper's §10 sketches uses of sparse dependence simplification beyond
+// wavefronts. Two of them, as library calls:
+//
+//  * race-check suppression: which access pairs would a dynamic race
+//    detector still need to instrument if the outer loop ran parallel?
+//  * iteration-space slicing: which outer iterations must re-run to
+//    recompute a chosen set of results?
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/driver/Applications.h"
+#include "sds/driver/Driver.h"
+
+#include <cstdio>
+
+using namespace sds;
+using namespace sds::rt;
+
+int main() {
+  // -- Race-check suppression across the suite's cheap kernels. -----------
+  std::printf("Race-detector instrumentation after compile-time analysis\n");
+  std::printf("(suppressed checks carry zero runtime/memory overhead):\n\n");
+  for (const kernels::Kernel &K :
+       {kernels::spmvCSR(), kernels::forwardSolveCSR(),
+        kernels::gaussSeidelCSR()}) {
+    auto Verdicts = driver::classifyRaceChecks(K);
+    std::printf("%-26s %4.0f%% suppressed\n", K.Name.c_str(),
+                100.0 * driver::raceCheckSuppressionRatio(Verdicts));
+    for (const auto &V : Verdicts)
+      std::printf("    %-40s %s\n",
+                  (V.SrcAccess + " vs " + V.DstAccess).c_str(),
+                  V.NeedsRuntimeCheck ? "INSTRUMENT" : V.Reason.c_str());
+  }
+
+  // -- Iteration-space slicing on a real dependence graph. ----------------
+  CSRMatrix Lower = lowerTriangle(generateSPDLike({2000, 9, 50, 3}));
+  CSCMatrix L = toCSC(Lower);
+  DependenceGraph G = exactForwardSolveGraph(L);
+
+  std::vector<int> Targets = {L.N - 1};
+  std::vector<int> Slice = driver::backwardSlice(G, Targets);
+  std::printf("\nForward solve on n=%d: recomputing x[%d] needs %zu of %d "
+              "iterations\n(the backward iteration-space slice, Pugh & "
+              "Rosser via §10).\n",
+              L.N, L.N - 1, Slice.size(), L.N);
+
+  std::vector<int> Impact = driver::forwardSlice(G, {0});
+  std::printf("Perturbing x[0] affects %zu iterations downstream.\n",
+              Impact.size());
+  return 0;
+}

@@ -1,0 +1,50 @@
+//===- Approximate.h - Dependence over-approximation (§8.1) -----*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// For kernels like Incomplete LU the simplified inspector is still more
+// expensive than the kernel (Table 3); the paper notes this "can be dealt
+// with using approximation [Venkat et al.]": an inspector may report a
+// *superset* of the true dependences — the wavefront schedule only loses
+// parallelism, never correctness. This module implements that trade:
+// dropping every constraint that mentions selected inner iterators yields
+// a relation that (a) contains the original and (b) has fewer loops.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_CODEGEN_APPROXIMATE_H
+#define SDS_CODEGEN_APPROXIMATE_H
+
+#include "sds/codegen/Inspector.h"
+#include "sds/ir/Relation.h"
+
+namespace sds {
+namespace codegen {
+
+/// Remove the named variables from `R` by *relaxation*: every constraint
+/// mentioning one of them (anywhere, including inside UF call arguments)
+/// is dropped, and the variables leave the tuples. The result is a
+/// superset of `R` — safe for dependence testing, never for disproving.
+ir::SparseRelation relaxAway(const ir::SparseRelation &R,
+                         const std::vector<std::string> &Vars);
+
+/// Result of cost-targeted approximation.
+struct ApproximationResult {
+  ir::SparseRelation Rel;      ///< possibly relaxed relation
+  Complexity Cost;    ///< its inspector cost
+  std::vector<std::string> DroppedVars;
+  bool Changed = false;
+};
+
+/// Greedily relax inner iterators (never the outer source/sink iterators)
+/// until the inspector cost is <= `Target` or nothing helps. Each step
+/// drops the variable whose removal lowers the cost most.
+ApproximationResult approximateToCost(const ir::SparseRelation &R,
+                                      Complexity Target);
+
+} // namespace codegen
+} // namespace sds
+
+#endif // SDS_CODEGEN_APPROXIMATE_H

@@ -1,0 +1,57 @@
+//===- Complexity.h - Symbolic inspector/kernel complexity ------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper reasons about inspector cost in terms of n (matrix dimension)
+// and nnz (nonzeros), with d = nnz/n the average nonzeros per row/column
+// (Figure 7's complexity classes, Figure 8's cheap/expensive split, and
+// Table 3). A complexity here is the monomial n^NExp * d^DExp; comparison
+// is by n-degree first (d <= n in any sane sparse matrix), then d-degree.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_CODEGEN_COMPLEXITY_H
+#define SDS_CODEGEN_COMPLEXITY_H
+
+#include <string>
+
+namespace sds {
+namespace codegen {
+
+/// The monomial n^NExp * d^DExp with d = nnz/n.
+struct Complexity {
+  int NExp = 0;
+  int DExp = 0;
+
+  static Complexity one() { return {0, 0}; }
+  static Complexity n() { return {1, 0}; }
+  static Complexity d() { return {0, 1}; }
+  static Complexity nnz() { return {1, 1}; }
+
+  Complexity times(const Complexity &O) const {
+    return {NExp + O.NExp, DExp + O.DExp};
+  }
+
+  int compare(const Complexity &O) const {
+    if (NExp != O.NExp)
+      return NExp < O.NExp ? -1 : 1;
+    if (DExp != O.DExp)
+      return DExp < O.DExp ? -1 : 1;
+    return 0;
+  }
+  bool operator==(const Complexity &O) const { return compare(O) == 0; }
+  bool operator<(const Complexity &O) const { return compare(O) < 0; }
+  bool operator<=(const Complexity &O) const { return compare(O) <= 0; }
+  bool operator>(const Complexity &O) const { return compare(O) > 0; }
+
+  /// Paper-style rendering: prefers nnz over n*d, e.g. {1,3} prints as
+  /// "nnz*(nnz/n)^2" and {2,0} as "n^2"; {0,0} prints "1".
+  std::string str() const;
+};
+
+} // namespace codegen
+} // namespace sds
+
+#endif // SDS_CODEGEN_COMPLEXITY_H

@@ -1,0 +1,125 @@
+//===- Inspector.h - Inspector synthesis from relations ---------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The Omega+-substitute: turns a (simplified) dependence relation into an
+// executable runtime inspector. Synthesis picks, per variable, either
+//
+//   * solve-by-equality (the §4 payoff: `i' = g(i)` costs O(1)), or
+//   * a loop bounded by max(lower bounds) .. min(exclusive upper bounds),
+//
+// and orders the variables with a subset-DP that provably minimizes the
+// symbolic complexity of the resulting loop nest. Constraints not consumed
+// as solves or bounds become guards at the earliest point they are
+// evaluable. The plan can be rendered as C source (what the paper's
+// pipeline emits) or interpreted in-process against real index arrays to
+// build the dependence graph.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_CODEGEN_INSPECTOR_H
+#define SDS_CODEGEN_INSPECTOR_H
+
+#include "sds/codegen/Complexity.h"
+#include "sds/ir/Relation.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sds {
+namespace codegen {
+
+/// How one variable of the relation is produced at runtime.
+struct PlanVar {
+  enum class Kind { Loop, Solved };
+
+  std::string Name;
+  Kind K = Kind::Loop;
+  ir::Expr Solved;               ///< Kind::Solved: the defining expression.
+  std::vector<ir::Expr> Lowers;  ///< Kind::Loop: v >= each of these.
+  std::vector<ir::Expr> Uppers;  ///< Kind::Loop: v < each of these.
+  std::vector<ir::Constraint> Guards; ///< Checked right after v is set.
+  Complexity Range;              ///< Symbolic trip count (1 for Solved).
+};
+
+/// A complete inspector: ordered variable plan plus edge endpoints.
+struct InspectorPlan {
+  bool Valid = false;
+  std::string WhyInvalid;
+  std::vector<PlanVar> Vars;   ///< Execution order (outermost first).
+  std::string SrcIter, DstIter;///< Variables forming the emitted edge.
+  Complexity Cost;             ///< Product of all ranges.
+
+  /// Render as C source, in the style of Figure 5.
+  std::string emitC(const std::string &FnName) const;
+};
+
+/// Build the inspector plan for a dependence relation. Parameters (n, nnz)
+/// are classified by `ParamClass` when they bound loops; unlisted
+/// parameters count as n-like.
+InspectorPlan
+buildInspectorPlan(const ir::SparseRelation &R,
+                   const std::map<std::string, Complexity> &ParamClass = {
+                       {"n", Complexity::n()}, {"nnz", Complexity::nnz()}});
+
+/// Complexity of a statement's iteration domain (used for kernel-side
+/// complexities in Table 3): product of the classified loop ranges.
+Complexity domainComplexity(
+    const ir::Conjunction &Domain, const std::vector<std::string> &IVs,
+    const std::map<std::string, Complexity> &ParamClass = {
+        {"n", Complexity::n()}, {"nnz", Complexity::nnz()}});
+
+//===----------------------------------------------------------------------===//
+// Runtime execution
+//===----------------------------------------------------------------------===//
+
+/// Runtime bindings: index arrays as arity-1 functions plus integer
+/// parameter values. Bound arrays are range-checked: a guard expression
+/// may probe one position outside the array while some *other* guard of
+/// the same conjunction is false (the conjunction as a whole is false
+/// either way), so out-of-range reads yield a sentinel that fails every
+/// bound/guard instead of touching memory.
+struct UFEnvironment {
+  static constexpr int64_t OutOfRange = INT64_MIN / 4;
+
+  std::map<std::string, std::function<int64_t(int64_t)>> Arrays;
+  std::map<std::string, int64_t> Params;
+
+  /// Bind an index array. The closure owns a copy, so temporaries (e.g.
+  /// `A.diagonalPositions()`) are safe to pass.
+  void bindArray(const std::string &Name, std::vector<int> Data) {
+    auto Owned = std::make_shared<const std::vector<int>>(std::move(Data));
+    Arrays[Name] = [Owned](int64_t I) {
+      if (I < 0 || I >= static_cast<int64_t>(Owned->size()))
+        return OutOfRange;
+      return static_cast<int64_t>((*Owned)[static_cast<size_t>(I)]);
+    };
+  }
+};
+
+/// Run the inspector: every (src, dst) dependence pair found is passed to
+/// `EmitEdge`. Returns the number of iterations visited (a direct measure
+/// of inspector work, used by the Figure 10 bench).
+uint64_t runInspector(const InspectorPlan &Plan, const UFEnvironment &Env,
+                      const std::function<void(int64_t, int64_t)> &EmitEdge);
+
+/// Parallel variant (§6.1: the generated inspectors' outermost loops are
+/// embarrassingly parallel). The outermost loop variable's range is split
+/// across `NumThreads` OpenMP threads; edges are buffered per thread and
+/// `EmitEdge` is invoked serially afterwards, so it needs no
+/// synchronization. Falls back to the serial run when the outermost
+/// variable is solved.
+uint64_t runInspectorParallel(
+    const InspectorPlan &Plan, const UFEnvironment &Env, int NumThreads,
+    const std::function<void(int64_t, int64_t)> &EmitEdge);
+
+} // namespace codegen
+} // namespace sds
+
+#endif // SDS_CODEGEN_INSPECTOR_H

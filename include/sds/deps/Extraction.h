@@ -1,0 +1,56 @@
+//===- Extraction.h - Dependence extraction from kernel IR ------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The CHiLL-substitute: walks a kernel's loop-nest IR and produces the
+// loop-carried dependence relations of its outermost loop (§2.1). For each
+// ordered pair of accesses to the same array with at least one write, the
+// relation
+//
+//   { [src iters] -> [sink iters'] : bounds && bounds' && guards &&
+//                                    subscripts == subscripts' &&
+//                                    outer < outer' }
+//
+// is built, sink iterators renamed with a prime. Relations that are
+// structurally identical after canonicalization are reported once (the
+// paper speaks of "unique dependence relations").
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_DEPS_EXTRACTION_H
+#define SDS_DEPS_EXTRACTION_H
+
+#include "sds/ir/Relation.h"
+#include "sds/kernels/LoopNest.h"
+
+#include <string>
+#include <vector>
+
+namespace sds {
+namespace deps {
+
+/// One extracted dependence relation plus its provenance.
+struct Dependence {
+  ir::SparseRelation Rel;
+  std::string Array;
+  std::string SrcStmt, DstStmt;
+  std::string SrcAccess, DstAccess; ///< printable, e.g. "val[k] (w)"
+  bool SrcIsWrite = false, DstIsWrite = false;
+
+  /// Short label like "val[k]@S3 -> val[m]@S2".
+  std::string label() const {
+    return SrcAccess + "@" + SrcStmt + " -> " + DstAccess + "@" + DstStmt;
+  }
+};
+
+/// Extract every outer-loop-carried dependence relation of the kernel.
+/// `Deduplicate` collapses structurally identical relations.
+std::vector<Dependence> extractDependences(const kernels::Kernel &K,
+                                           bool Deduplicate = true);
+
+} // namespace deps
+} // namespace sds
+
+#endif // SDS_DEPS_EXTRACTION_H

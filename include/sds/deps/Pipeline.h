@@ -1,0 +1,96 @@
+//===- Pipeline.h - The Figure-3 analysis pipeline --------------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end compile-time flow of Figure 3:
+//
+//   extract dependences -> discard affine-unsat -> discard property-unsat
+//   -> discover equalities (simplify) -> discard subset-subsumed
+//   -> synthesize one inspector per surviving dependence.
+//
+// The result records, per dependence, its fate and its inspector
+// complexity before/after simplification — exactly the data behind
+// Figures 7/8 and Table 3.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_DEPS_PIPELINE_H
+#define SDS_DEPS_PIPELINE_H
+
+#include "sds/codegen/Inspector.h"
+#include "sds/deps/Extraction.h"
+#include "sds/ir/Simplify.h"
+#include "sds/kernels/Kernels.h"
+
+namespace sds {
+namespace deps {
+
+/// What happened to one extracted dependence.
+enum class DepStatus {
+  AffineUnsat,   ///< refuted with no domain knowledge (Fig. 7 baseline)
+  PropertyUnsat, ///< refuted using index-array properties (§2.2)
+  Subsumed,      ///< runtime test covered by another (§5)
+  Runtime,       ///< needs a runtime inspector
+};
+
+std::string depStatusName(DepStatus S);
+
+/// Analysis record for one dependence.
+struct AnalyzedDependence {
+  Dependence Dep;
+  DepStatus Status = DepStatus::Runtime;
+  ir::SparseRelation Simplified;     ///< after equality discovery
+  unsigned NewEqualities = 0;        ///< §4 equalities added
+  codegen::Complexity CostBefore;    ///< inspector cost, original relation
+  codegen::Complexity CostAfter;     ///< inspector cost, simplified
+  std::string SubsumedBy;            ///< label of the covering dependence
+  codegen::InspectorPlan Plan;       ///< runtime inspector (Status Runtime)
+  bool Approximated = false;         ///< plan over-approximates (§8.1)
+};
+
+/// Pipeline switches (used by the ablation benches).
+struct PipelineOptions {
+  ir::SimplifyOptions Simp;
+  bool UseProperties = true; ///< §2.2 unsat detection
+  bool UseEqualities = true; ///< §4 equality discovery
+  bool UseSubsets = true;    ///< §5 subsumption
+  /// §8.1 escape hatch: over-approximate any surviving check that is
+  /// still costlier than the kernel down to the kernel's own complexity
+  /// (its inspector then reports a superset of the true dependences).
+  bool ApproximateExpensive = false;
+};
+
+/// Full analysis of one kernel.
+struct PipelineResult {
+  kernels::Kernel Kernel;
+  codegen::Complexity KernelCost; ///< cost of the computation itself
+  std::vector<AnalyzedDependence> Deps;
+
+  unsigned count(DepStatus S) const {
+    unsigned N = 0;
+    for (const AnalyzedDependence &D : Deps)
+      N += D.Status == S ? 1 : 0;
+    return N;
+  }
+  /// Runtime checks whose inspector is costlier than the kernel — the
+  /// "expensive" split in Figure 8.
+  unsigned countExpensiveRuntime(bool Simplified) const;
+
+  std::string summary() const;
+
+  /// Machine-readable report: kernel, per-dependence status, costs,
+  /// discovered equalities, and generated inspector C code. Parseable by
+  /// sds::json (round-trip tested).
+  std::string toJSON() const;
+};
+
+/// Run the Figure-3 pipeline on a kernel with its declared properties.
+PipelineResult analyzeKernel(const kernels::Kernel &K,
+                             const PipelineOptions &Opts = {});
+
+} // namespace deps
+} // namespace sds
+
+#endif // SDS_DEPS_PIPELINE_H

@@ -1,0 +1,68 @@
+//===- Applications.h - §10 applications of the analysis --------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's §10 sketches further uses of sparse dependence
+// simplification beyond wavefront parallelization. Two of them are
+// implemented here as library features:
+//
+//  * Race-check suppression (§10 "Race detection"): a dynamic race
+//    detector instrumenting a parallel outer loop can skip every access
+//    pair whose dependence relations are all proven unsatisfiable at
+//    compile time — the expensive runtime shadow-memory checks remain
+//    only for pairs the analysis could not refute.
+//
+//  * Iteration-space slicing (§10 "Dynamic program slicing", after Pugh &
+//    Rosser): given the runtime dependence graph, compute the backward
+//    slice of a set of outer iterations — exactly the iterations that
+//    must re-execute to recompute the targets.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_DRIVER_APPLICATIONS_H
+#define SDS_DRIVER_APPLICATIONS_H
+
+#include "sds/deps/Pipeline.h"
+#include "sds/runtime/Wavefront.h"
+
+#include <string>
+#include <vector>
+
+namespace sds {
+namespace driver {
+
+/// Verdict for one access pair under a parallel outer loop.
+struct RaceCheckVerdict {
+  std::string Array;
+  std::string SrcAccess, DstAccess;
+  bool NeedsRuntimeCheck; ///< false: proven race-free, skip instrumentation
+  std::string Reason;     ///< "affine-unsat", "property-unsat", ...
+};
+
+/// Classify every conflicting access pair of the kernel: which would a
+/// race detector still have to instrument if the outer loop ran fully
+/// parallel? (A pair is race-free when its loop-carried dependence is
+/// proven unsatisfiable.)
+std::vector<RaceCheckVerdict>
+classifyRaceChecks(const kernels::Kernel &K,
+                   const ir::SimplifyOptions &Opts = {});
+
+/// Fraction of access pairs whose runtime race checks are suppressed.
+double raceCheckSuppressionRatio(const std::vector<RaceCheckVerdict> &Vs);
+
+/// Backward iteration-space slice: every iteration that (transitively)
+/// feeds one of `Targets` through the dependence graph, including the
+/// targets themselves. Result is sorted ascending.
+std::vector<int> backwardSlice(const rt::DependenceGraph &G,
+                               const std::vector<int> &Targets);
+
+/// Forward slice: every iteration (transitively) affected by `Sources`.
+std::vector<int> forwardSlice(const rt::DependenceGraph &G,
+                              const std::vector<int> &Sources);
+
+} // namespace driver
+} // namespace sds
+
+#endif // SDS_DRIVER_APPLICATIONS_H

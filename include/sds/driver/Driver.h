@@ -1,0 +1,52 @@
+//===- Driver.h - End-to-end inspector-executor orchestration ---*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Glue between the compile-time pipeline (deps::analyzeKernel) and the
+// runtime substrate: binds a kernel's index arrays from a concrete matrix,
+// runs every generated inspector to build the dependence graph, and hands
+// it to the wavefront scheduler — the full Figure 3 flow as one call.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_DRIVER_DRIVER_H
+#define SDS_DRIVER_DRIVER_H
+
+#include "sds/codegen/Inspector.h"
+#include "sds/deps/Pipeline.h"
+#include "sds/runtime/Kernels.h"
+#include "sds/runtime/Matrix.h"
+#include "sds/runtime/Wavefront.h"
+
+namespace sds {
+namespace driver {
+
+/// Bind the index arrays of a CSR kernel (rowptr/col/diag, n, nnz).
+codegen::UFEnvironment bindCSR(const rt::CSRMatrix &A,
+                               const std::vector<int> &DiagPos = {});
+
+/// Bind the index arrays of a CSC kernel (colptr/rowidx, n, nnz), plus the
+/// prune-set arrays when given (left Cholesky).
+codegen::UFEnvironment bindCSC(const rt::CSCMatrix &A,
+                               const rt::PruneSets *Prune = nullptr);
+
+/// Result of running the generated inspectors on one matrix.
+struct InspectionResult {
+  rt::DependenceGraph Graph;
+  uint64_t InspectorVisits = 0; ///< total loop iterations across inspectors
+  unsigned NumInspectors = 0;
+
+  explicit InspectionResult(int N) : Graph(N) {}
+};
+
+/// Run every surviving runtime inspector of `Analysis` against the bound
+/// arrays, accumulating edges into one dependence graph over N iterations.
+InspectionResult runInspectors(const deps::PipelineResult &Analysis,
+                               const codegen::UFEnvironment &Env, int N);
+
+} // namespace driver
+} // namespace sds
+
+#endif // SDS_DRIVER_DRIVER_H

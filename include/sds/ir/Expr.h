@@ -1,0 +1,121 @@
+//===- Expr.h - Affine expressions with uninterpreted functions -*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Expressions of the sparse polyhedral framework layer: integer-linear
+// combinations of *atoms*, where an atom is either a named variable or a
+// call to an uninterpreted function (UF) whose arguments are themselves
+// expressions — e.g. `rowptr(i + 1) - 1` or `col(row(m))`. Index arrays of
+// sparse formats appear as arity-1 UFs, exactly as in the paper (§2.1).
+//
+// Expressions are kept canonical (terms sorted and merged, zero terms
+// dropped), so structural equality is semantic equality of the syntax tree,
+// and a canonical string form doubles as a map key. Two syntactically equal
+// UF calls always denote the same value, which the flattener exploits by
+// mapping them to one column (a free partial functional-consistency).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_IR_EXPR_H
+#define SDS_IR_EXPR_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sds {
+namespace ir {
+
+class Expr;
+
+/// A variable reference or an uninterpreted function call.
+struct Atom {
+  enum class Kind { Var, Call };
+
+  Kind K;
+  std::string Name;       ///< Variable or function name.
+  std::vector<Expr> Args; ///< Call arguments (empty for Var).
+
+  static Atom var(std::string Name);
+  static Atom call(std::string Fn, std::vector<Expr> Args);
+
+  bool isVar() const { return K == Kind::Var; }
+  bool isCall() const { return K == Kind::Call; }
+
+  /// Total order used for canonicalization (Vars before Calls, then by
+  /// name, then by arguments).
+  int compare(const Atom &O) const;
+  bool operator==(const Atom &O) const { return compare(O) == 0; }
+  bool operator<(const Atom &O) const { return compare(O) < 0; }
+
+  std::string str() const;
+};
+
+/// A canonical integer-linear combination of atoms plus a constant.
+class Expr {
+public:
+  struct Term {
+    int64_t Coeff;
+    Atom A;
+  };
+
+  Expr() : Const(0) {}
+  /*implicit*/ Expr(int64_t C) : Const(C) {}
+
+  static Expr var(std::string Name) {
+    return Expr(1, Atom::var(std::move(Name)));
+  }
+  static Expr call(std::string Fn, std::vector<Expr> Args) {
+    return Expr(1, Atom::call(std::move(Fn), std::move(Args)));
+  }
+  Expr(int64_t Coeff, Atom A);
+
+  const std::vector<Term> &terms() const { return Terms; }
+  int64_t constant() const { return Const; }
+
+  bool isConstant() const { return Terms.empty(); }
+  /// True when the expression is exactly one atom with coefficient +1 and
+  /// no constant (e.g. a bare variable or bare call).
+  bool isSingleAtom() const {
+    return Const == 0 && Terms.size() == 1 && Terms[0].Coeff == 1;
+  }
+
+  Expr operator+(const Expr &O) const;
+  Expr operator-(const Expr &O) const;
+  Expr operator-() const;
+  Expr operator*(int64_t K) const;
+  Expr &operator+=(const Expr &O) { return *this = *this + O; }
+  Expr &operator-=(const Expr &O) { return *this = *this - O; }
+
+  int compare(const Expr &O) const;
+  bool operator==(const Expr &O) const { return compare(O) == 0; }
+  bool operator<(const Expr &O) const { return compare(O) < 0; }
+
+  /// Substitute variables by expressions, including inside UF-call
+  /// arguments at any depth. Unmapped variables are left untouched.
+  Expr substitute(const std::map<std::string, Expr> &Map) const;
+
+  /// Collect every UF call appearing in this expression (including calls
+  /// nested inside other calls' arguments), outermost first.
+  void collectCalls(std::vector<Atom> &Out) const;
+
+  /// Collect the names of all variables appearing (at any depth).
+  void collectVars(std::vector<std::string> &Out) const;
+
+  /// Canonical printable form, e.g. "rowptr(i + 1) - k - 1".
+  std::string str() const;
+
+private:
+  void normalize();
+
+  std::vector<Term> Terms; // sorted by atom, no zero coefficients
+  int64_t Const;
+};
+
+} // namespace ir
+} // namespace sds
+
+#endif // SDS_IR_EXPR_H

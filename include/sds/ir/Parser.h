@@ -1,0 +1,54 @@
+//===- Parser.h - Textual syntax for sparse relations -----------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Parses the IEGenLib-style textual form used throughout the paper:
+//
+//   { [i] -> [i'] : exists(k') : i < i' && i = col(k')
+//                   && 0 <= i < n && rowptr(i') <= k' < rowptr(i'+1) }
+//
+// Supported: integer-linear expressions with arity-N UF calls (nesting
+// allowed), chained comparisons (`0 <= i < n`), operators < <= > >= = ==,
+// and an optional `exists(...)` prefix. Primed identifiers (i') are
+// ordinary identifier characters. Disequalities (`!=`) are rejected with a
+// hint, matching how the dependence extractor splits them up front.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_IR_PARSER_H
+#define SDS_IR_PARSER_H
+
+#include "sds/ir/Relation.h"
+
+#include <string>
+#include <string_view>
+
+namespace sds {
+namespace ir {
+
+/// Outcome of parsing a relation.
+struct RelationParseResult {
+  bool Ok = false;
+  SparseRelation Rel;
+  std::string Error;
+  size_t ErrorPos = 0;
+};
+
+/// Parse a relation or set (a set is a relation with no output tuple).
+RelationParseResult parseRelation(std::string_view Text);
+
+/// Parse just an expression, e.g. "rowptr(i+1) - 1". Used by property
+/// files for domain/range bounds.
+struct ExprParseResult {
+  bool Ok = false;
+  Expr E;
+  std::string Error;
+};
+ExprParseResult parseExpr(std::string_view Text);
+
+} // namespace ir
+} // namespace sds
+
+#endif // SDS_IR_PARSER_H

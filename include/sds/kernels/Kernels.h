@@ -1,0 +1,50 @@
+//===- Kernels.h - The Table-2 benchmark suite ------------------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Loop-nest encodings of the seven sparse kernels of Table 2, each paired
+// with its index-array property declarations (the JSON the user would hand
+// the pipeline in Figure 3):
+//
+//   Gauss-Seidel CSR        (Intel MKL)     strict+periodic monotonicity
+//   Incomplete LU0 CSR      (Intel MKL)     + diag segment pointers
+//   Incomplete Cholesky CSC (SparseLib++)   + triangularity
+//   Forward Solve CSC       (Sympiler)      + triangularity
+//   Forward Solve CSR       (Vuduc et al.)  + triangularity
+//   Sparse MV Multiply CSR  (common)        (needs nothing)
+//   Static Left Chol. CSC   (Sympiler)      + prune-set triangularity
+//
+// Privatizable scalars (per-iteration accumulators) and per-iteration
+// workspace arrays (the gather buffer in left Cholesky, reset every column)
+// are not modeled; numerical libraries privatize them, and the paper's
+// dependence counts likewise exclude them.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_KERNELS_KERNELS_H
+#define SDS_KERNELS_KERNELS_H
+
+#include "sds/kernels/LoopNest.h"
+
+#include <vector>
+
+namespace sds {
+namespace kernels {
+
+Kernel forwardSolveCSR();
+Kernel forwardSolveCSC();
+Kernel gaussSeidelCSR();
+Kernel spmvCSR();
+Kernel incompleteCholeskyCSC();
+Kernel incompleteLU0CSR();
+Kernel leftCholeskyCSC();
+
+/// All seven, in Table 2 order.
+std::vector<Kernel> allKernels();
+
+} // namespace kernels
+} // namespace sds
+
+#endif // SDS_KERNELS_KERNELS_H

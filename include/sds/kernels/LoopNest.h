@@ -1,0 +1,111 @@
+//===- LoopNest.h - Loop-nest IR for sparse kernels -------------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// A small imperative IR describing the benchmark kernels of Table 2: nested
+// loops whose bounds may contain index-array calls, statements guarded by
+// affine/UF conditions, and array accesses with UF subscripts. This is the
+// input side of the CHiLL-substitute: the dependence extractor walks this
+// IR to produce the relations of §2.1 automatically.
+//
+// Scalars that are privatizable per outer iteration (accumulators like
+// `tmp` in Figure 1) are not modeled; they carry no loop-level dependence.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_KERNELS_LOOPNEST_H
+#define SDS_KERNELS_LOOPNEST_H
+
+#include "sds/ir/Properties.h"
+#include "sds/ir/Relation.h"
+
+#include <string>
+#include <vector>
+
+namespace sds {
+namespace kernels {
+
+/// One loop level: LB <= IV < UB.
+struct Loop {
+  std::string IV;
+  ir::Expr LB, UB;
+};
+
+/// An array access with (possibly UF-laden) subscripts. A *reduction*
+/// access is a commutative read-modify-write (`a[x] -= ...`): two
+/// reduction updates to the same array commute, so they carry no
+/// dependence between each other (the executor performs them atomically
+/// within a wavefront level); a reduction still conflicts with every
+/// ordinary read or write.
+struct Access {
+  std::string Array;
+  std::vector<ir::Expr> Subscripts;
+  bool IsWrite;
+  bool IsReduction = false;
+
+  std::string str() const;
+};
+
+/// A statement: its enclosing loops (outermost first), guard conditions,
+/// and the array accesses it performs.
+struct Statement {
+  std::string Name; ///< e.g. "S1"
+  std::vector<Loop> Loops;
+  ir::Conjunction Guards;
+  std::vector<Access> Accesses;
+
+  /// Bounds of all enclosing loops plus the guards, as one conjunction.
+  ir::Conjunction iterationDomain() const;
+  /// The loop induction variables, outermost first.
+  std::vector<std::string> ivs() const;
+};
+
+/// A whole kernel: the unit the pipeline analyzes and parallelizes.
+struct Kernel {
+  std::string Name;    ///< e.g. "Forward Solve CSR"
+  std::string Format;  ///< "CSR" or "CSC"
+  std::string Source;  ///< provenance note (library the code comes from)
+  std::vector<Statement> Stmts;
+  ir::PropertySet Properties; ///< Table 2's per-kernel property column.
+  std::string PropertyJSON;   ///< the same knowledge as a JSON document
+
+  std::string str() const;
+};
+
+/// Fluent builder so kernel encodings read like the original loop nests.
+class KernelBuilder {
+public:
+  explicit KernelBuilder(std::string Name, std::string Format,
+                         std::string Source);
+
+  /// Open a loop around subsequently added statements.
+  KernelBuilder &loop(std::string IV, ir::Expr LB, ir::Expr UB);
+  /// Close the innermost open loop.
+  KernelBuilder &end();
+  /// Add a guard to the next statement only.
+  KernelBuilder &guard(ir::Constraint C);
+  /// Add a statement with the currently open loops and pending guards.
+  KernelBuilder &stmt(std::string Name, std::vector<Access> Accesses);
+
+  Kernel take();
+
+private:
+  Kernel K;
+  std::vector<Loop> OpenLoops;
+  ir::Conjunction PendingGuards;
+};
+
+/// Shorthand used by the kernel encodings.
+ir::Expr v(const std::string &Name);
+ir::Expr uf(const std::string &Fn, ir::Expr Arg);
+Access read(std::string Array, std::vector<ir::Expr> Subs);
+Access write(std::string Array, std::vector<ir::Expr> Subs);
+/// Commutative read-modify-write (counts as a write for pairing).
+Access update(std::string Array, std::vector<ir::Expr> Subs);
+
+} // namespace kernels
+} // namespace sds
+
+#endif // SDS_KERNELS_LOOPNEST_H

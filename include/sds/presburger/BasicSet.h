@@ -1,0 +1,148 @@
+//===- BasicSet.h - Integer polyhedra over named dimensions -----*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// BasicSet is a conjunction of affine equalities and inequalities over
+// integer variables — our substitute for the slice of ISL the paper's
+// pipeline relies on (§6.1): deciding emptiness, exposing implied
+// equalities, projecting variables out, and testing subset relations.
+//
+// The dependence-analysis layers require specific soundness directions:
+//  * emptiness:  "Empty" is only reported when proven over the integers;
+//    budget exhaustion or arithmetic overflow yields "Unknown", which the
+//    pipeline treats as satisfiable (§4.2 "Correctness").
+//  * projection: Fourier–Motzkin may over-approximate the integer shadow;
+//    each projection reports whether it was exact, and the subset-
+//    subsumption pass (§5) insists on exactness for the superset side.
+//  * subset:     only proven containment returns true.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_PRESBURGER_BASICSET_H
+#define SDS_PRESBURGER_BASICSET_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sds {
+namespace presburger {
+
+/// Three-valued answer for conservative decision procedures.
+enum class Ternary { False, True, Unknown };
+
+struct ProjectResult; // defined after BasicSet
+
+/// A conjunction of affine constraints over `NumVars` integer variables.
+///
+/// Every constraint row has `NumVars + 1` entries; the last entry is the
+/// constant term. An inequality row `r` means `r . (x, 1) >= 0`; an
+/// equality row means `r . (x, 1) == 0`.
+class BasicSet {
+public:
+  explicit BasicSet(unsigned NumVars) : NumVars(NumVars) {}
+
+  unsigned numVars() const { return NumVars; }
+
+  void addEquality(std::vector<int64_t> Row);
+  void addInequality(std::vector<int64_t> Row);
+
+  const std::vector<std::vector<int64_t>> &equalities() const { return Eqs; }
+  const std::vector<std::vector<int64_t>> &inequalities() const {
+    return Ineqs;
+  }
+  unsigned numConstraints() const {
+    return static_cast<unsigned>(Eqs.size() + Ineqs.size());
+  }
+
+  /// GCD-normalize rows, drop trivially-true rows, deduplicate.
+  /// Returns false if a row is trivially unsatisfiable (set proven empty).
+  bool normalize();
+
+  /// Integer emptiness: rational simplex + GCD tightening + bounded
+  /// branch-and-bound. `True` means proven empty; `False` means an integer
+  /// point was found; `Unknown` on budget exhaustion or overflow.
+  Ternary isEmpty(unsigned NodeBudget = 64) const;
+
+  /// Convenience: true only when emptiness was proven.
+  bool isProvenEmpty(unsigned NodeBudget = 64) const {
+    return isEmpty(NodeBudget) == Ternary::True;
+  }
+
+  /// An integer point in the set, if branch-and-bound found one.
+  std::optional<std::vector<int64_t>>
+  sampleIntegerPoint(unsigned NodeBudget = 64) const;
+
+  /// Promote inequalities that are provably tight everywhere (the set lies
+  /// on their hyperplane) into equalities — the "detect equalities" engine
+  /// behind §4. Returns the number of inequalities promoted.
+  unsigned detectImplicitEqualities(unsigned NodeBudget = 64);
+
+  /// Eliminate the variables at `Positions` (existential projection).
+  /// Remaining variables keep their relative order.
+  ProjectResult projectOut(std::vector<unsigned> Positions) const;
+  // NOLINTNEXTLINE: ProjectResult is defined right after this class.
+
+  /// Substitute variable `Var` := `Expr . (x, 1)` into every constraint and
+  /// drop the variable's column. `Expr` has NumVars + 1 entries and must
+  /// have a zero coefficient on `Var` itself. Always exact.
+  BasicSet substitute(unsigned Var, const std::vector<int64_t> &Expr) const;
+
+  /// Proven-subset test: every integer point of *this lies in `Other`.
+  Ternary isSubsetOf(const BasicSet &Other, unsigned NodeBudget = 64) const;
+
+  /// Insert `Count` fresh unconstrained variables at position `Pos`.
+  BasicSet insertVars(unsigned Pos, unsigned Count) const;
+
+  /// Render as `{ [v0, v1, ...] : constraints }`; `Names` may be empty, in
+  /// which case variables print as x0, x1, ...
+  std::string str(const std::vector<std::string> &Names = {}) const;
+
+private:
+  friend class EmptinessChecker;
+
+  unsigned NumVars;
+  std::vector<std::vector<int64_t>> Eqs;
+  std::vector<std::vector<int64_t>> Ineqs;
+};
+
+/// Result of projecting variables out of a BasicSet.
+struct ProjectResult {
+  BasicSet Set;
+  bool Exact; ///< True when the integer projection is represented exactly.
+};
+
+/// A finite union of BasicSets (disjunctive normal form). Used for the
+/// instantiation phase that introduces disjunctions (§6.2) and for subset
+/// tests over simplified relations.
+class SetUnion {
+public:
+  SetUnion() = default;
+  explicit SetUnion(BasicSet BS) { Pieces.push_back(std::move(BS)); }
+
+  bool empty() const { return Pieces.empty(); }
+  const std::vector<BasicSet> &pieces() const { return Pieces; }
+  void add(BasicSet BS) { Pieces.push_back(std::move(BS)); }
+
+  /// Proven-empty iff every piece is proven empty.
+  Ternary isEmpty(unsigned NodeBudget = 64) const;
+
+  /// Conservative subset test: each piece of *this must be proven contained
+  /// in some single piece of `Other` (sufficient, not necessary).
+  Ternary isSubsetOf(const SetUnion &Other, unsigned NodeBudget = 64) const;
+
+private:
+  std::vector<BasicSet> Pieces;
+};
+
+/// Pretty-print a single constraint row, e.g. "i - j + 2 >= 0".
+std::string formatConstraintRow(const std::vector<int64_t> &Row, bool IsEq,
+                                const std::vector<std::string> &Names);
+
+} // namespace presburger
+} // namespace sds
+
+#endif // SDS_PRESBURGER_BASICSET_H

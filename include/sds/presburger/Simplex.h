@@ -1,0 +1,82 @@
+//===- Simplex.h - Exact rational simplex for feasibility -------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// A classic two-phase primal simplex over exact rationals, used by the
+// Presburger layer as the rational-relaxation engine of the integer
+// emptiness test (our substitute for the corresponding ISL machinery).
+//
+// Problems are given as systems of linear equalities/inequalities over free
+// (sign-unrestricted) variables; internally each free variable is split into
+// a difference of two nonnegative variables and slacks/artificials are
+// added. Bland's rule guarantees termination. All arithmetic is exact; on
+// 128-bit overflow the solver reports `Error` and callers degrade to a
+// conservative answer.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_PRESBURGER_SIMPLEX_H
+#define SDS_PRESBURGER_SIMPLEX_H
+
+#include "sds/support/Fraction.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sds {
+namespace presburger {
+
+/// Outcome of an LP solve.
+enum class LPStatus {
+  Infeasible, ///< The rational relaxation is empty.
+  Optimal,    ///< Feasible; an optimum was found.
+  Unbounded,  ///< Feasible but the objective is unbounded.
+  Error,      ///< Exact arithmetic overflowed; result unknown.
+};
+
+/// Exact-rational LP solver over free variables.
+///
+/// Constraints are rows `c[0]*x0 + ... + c[n-1]*x[n-1] + c[n] (>=|==) 0`.
+class Simplex {
+public:
+  explicit Simplex(unsigned NumVars) : NumVars(NumVars) {}
+
+  unsigned numVars() const { return NumVars; }
+
+  /// Add `row . (x, 1) >= 0`. Row has NumVars coefficients + constant.
+  void addInequality(const std::vector<int64_t> &Row);
+  /// Add `row . (x, 1) == 0`.
+  void addEquality(const std::vector<int64_t> &Row);
+
+  /// Decide feasibility of the accumulated system over the rationals.
+  /// On `Optimal` (used here to mean "feasible"), a satisfying rational
+  /// point is available via `samplePoint()`.
+  LPStatus checkFeasible();
+
+  /// Minimize `obj . (x, 1)` subject to the system. `ObjValue` receives the
+  /// optimum when the status is Optimal.
+  LPStatus minimize(const std::vector<int64_t> &Obj, Fraction &ObjValue);
+
+  /// The sample point found by the last successful solve (size NumVars).
+  const std::vector<Fraction> &samplePoint() const { return Sample; }
+
+private:
+  struct RowRec {
+    std::vector<int64_t> Coeffs; // NumVars + 1 entries
+    bool IsEq;
+  };
+
+  LPStatus solve(const std::vector<int64_t> *Obj, Fraction &ObjValue);
+
+  unsigned NumVars;
+  std::vector<RowRec> Rows;
+  std::vector<Fraction> Sample;
+};
+
+} // namespace presburger
+} // namespace sds
+
+#endif // SDS_PRESBURGER_SIMPLEX_H

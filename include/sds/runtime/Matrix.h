@@ -1,0 +1,118 @@
+//===- Matrix.h - CSR/CSC sparse matrices and generators --------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Sparse matrix substrate for the evaluation (§8): CSR/CSC storage,
+// conversions, Matrix Market I/O, and synthetic generators parameterized
+// to reproduce the n / nnz-per-column profile of Table 4's SuiteSparse
+// inputs (SuiteSparse itself is not available offline; DESIGN.md §2
+// documents the substitution).
+//
+// Index arrays use `int` (as the paper's kernels do); values are doubles.
+// Row/column indices within each row/column are kept sorted — the
+// "periodic monotonicity" property the analysis relies on.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_RUNTIME_MATRIX_H
+#define SDS_RUNTIME_MATRIX_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sds {
+namespace rt {
+
+/// Compressed sparse row.
+struct CSRMatrix {
+  int N = 0;                  ///< square dimension
+  std::vector<int> RowPtr;    ///< size N+1, strictly... monotone
+  std::vector<int> Col;       ///< size nnz, sorted within each row
+  std::vector<double> Val;    ///< size nnz
+
+  int nnz() const { return static_cast<int>(Col.size()); }
+  /// Position of the diagonal entry in each row (-1 when absent).
+  std::vector<int> diagonalPositions() const;
+  /// Structural and property sanity: sizes, sortedness, in-range columns.
+  bool isWellFormed() const;
+  /// True when every entry satisfies col <= row.
+  bool isLowerTriangular() const;
+};
+
+/// Compressed sparse column.
+struct CSCMatrix {
+  int N = 0;
+  std::vector<int> ColPtr;    ///< size N+1
+  std::vector<int> RowIdx;    ///< sorted within each column
+  std::vector<double> Val;
+
+  int nnz() const { return static_cast<int>(RowIdx.size()); }
+  bool isWellFormed() const;
+  /// True when every entry satisfies row >= col.
+  bool isLowerTriangular() const;
+};
+
+/// Format conversions (stable, sorted outputs).
+CSCMatrix toCSC(const CSRMatrix &A);
+CSRMatrix toCSR(const CSCMatrix &A);
+
+//===----------------------------------------------------------------------===//
+// Generators
+//===----------------------------------------------------------------------===//
+
+/// Parameters of a synthetic SPD-like sparse matrix: a random sparsity
+/// pattern with `AvgNnzPerRow` off-diagonal candidates per row clustered
+/// within `Bandwidth` of the diagonal, symmetrized, with a dominant
+/// diagonal (so triangular solves and incomplete factorizations are
+/// numerically safe).
+struct GeneratorConfig {
+  int N = 1000;
+  int AvgNnzPerRow = 8;  ///< including the diagonal
+  int Bandwidth = 64;    ///< |i - j| clustering of off-diagonals
+  uint64_t Seed = 42;
+};
+
+/// Symmetric-positive-definite-like matrix in CSR (full pattern).
+CSRMatrix generateSPDLike(const GeneratorConfig &Config);
+
+/// Lower-triangular part (including diagonal) of an SPD-like matrix —
+/// the input shape for forward solve, incomplete Cholesky, and left
+/// Cholesky.
+CSRMatrix lowerTriangle(const CSRMatrix &A);
+
+/// Table 4 profile descriptors: synthetic stand-ins for the five
+/// SuiteSparse matrices, preserving the nnz-per-column ordering that
+/// drives the paper's Figure 9/10 discussion. `Scale` in (0, 1] shrinks n
+/// while keeping nnz/col, so the suite stays runnable on small machines.
+struct MatrixProfile {
+  std::string Name;      ///< e.g. "af_shell3 (synthetic)"
+  int Columns;           ///< Table 4 column count (before scaling)
+  int NnzPerCol;         ///< Table 4 nnz / columns
+};
+
+std::vector<MatrixProfile> table4Profiles();
+
+/// Instantiate one profile at the given scale.
+CSRMatrix generateFromProfile(const MatrixProfile &P, double Scale,
+                              uint64_t Seed = 42);
+
+//===----------------------------------------------------------------------===//
+// Matrix Market I/O
+//===----------------------------------------------------------------------===//
+
+/// Read a (general or symmetric) real MatrixMarket coordinate file into
+/// CSR. Returns false and fills `Error` on malformed input.
+bool readMatrixMarket(const std::string &Path, CSRMatrix &Out,
+                      std::string &Error);
+
+/// Write CSR as a general real coordinate MatrixMarket file.
+bool writeMatrixMarket(const std::string &Path, const CSRMatrix &A,
+                       std::string &Error);
+
+} // namespace rt
+} // namespace sds
+
+#endif // SDS_RUNTIME_MATRIX_H

@@ -1,0 +1,98 @@
+//===- JSON.h - Minimal JSON parser for property files ----------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's toolchain (Figure 3) takes the user's domain-specific
+// knowledge about index arrays as a JSON file. This is a small dependency-
+// free JSON reader sufficient for those property files: objects, arrays,
+// strings, integers/doubles, booleans and null, with UTF-8 passed through
+// verbatim. Errors are reported by position instead of thrown.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_SUPPORT_JSON_H
+#define SDS_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sds {
+namespace json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// A parsed JSON value. Small tagged union; objects keep keys sorted.
+class Value {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Value() : K(Kind::Null) {}
+  explicit Value(bool B) : K(Kind::Bool), BoolVal(B) {}
+  explicit Value(int64_t I) : K(Kind::Int), IntVal(I) {}
+  explicit Value(double D) : K(Kind::Double), DoubleVal(D) {}
+  explicit Value(std::string S)
+      : K(Kind::String), StrVal(std::move(S)) {}
+  explicit Value(Array A);
+  explicit Value(Object O);
+  Value(const Value &O);
+  Value(Value &&O) noexcept = default;
+  Value &operator=(Value O) noexcept;
+  ~Value() = default;
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isNumber() const { return K == Kind::Int || K == Kind::Double; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const;
+  int64_t asInt() const;
+  double asDouble() const;
+  const std::string &asString() const;
+  const Array &asArray() const;
+  const Object &asObject() const;
+
+  /// Object field lookup; returns nullptr when absent or not an object.
+  const Value *get(std::string_view Key) const;
+
+  /// Serialize back to compact JSON text (for diagnostics and tests).
+  std::string str() const;
+
+private:
+  Kind K;
+  bool BoolVal = false;
+  int64_t IntVal = 0;
+  double DoubleVal = 0;
+  std::string StrVal;
+  std::shared_ptr<Array> ArrVal;  // shared to keep Value copyable & compact
+  std::shared_ptr<Object> ObjVal;
+};
+
+/// Result of a parse: either a value or a message with 1-based line/col.
+struct ParseResult {
+  Value Val;
+  bool Ok = false;
+  std::string Error;
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// Parse a complete JSON document. Trailing garbage is an error.
+ParseResult parse(std::string_view Text);
+
+} // namespace json
+} // namespace sds
+
+#endif // SDS_SUPPORT_JSON_H

@@ -1,0 +1,94 @@
+//===- Approximate.cpp - Dependence over-approximation (§8.1) -------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/codegen/Approximate.h"
+
+#include <algorithm>
+
+namespace sds {
+namespace codegen {
+
+ir::SparseRelation relaxAway(const ir::SparseRelation &R,
+                         const std::vector<std::string> &Vars) {
+  ir::SparseRelation Out = R;
+  auto Mentions = [&](const ir::Constraint &C) {
+    std::vector<std::string> Names;
+    C.E.collectVars(Names);
+    for (const std::string &N : Names)
+      if (std::find(Vars.begin(), Vars.end(), N) != Vars.end())
+        return true;
+    return false;
+  };
+  ir::Conjunction Kept;
+  for (const ir::Constraint &C : R.Conj.constraints())
+    if (!Mentions(C))
+      Kept.add(C);
+  Out.Conj = std::move(Kept);
+  auto Scrub = [&](std::vector<std::string> &L) {
+    L.erase(std::remove_if(L.begin(), L.end(),
+                           [&](const std::string &V) {
+                             return std::find(Vars.begin(), Vars.end(),
+                                              V) != Vars.end();
+                           }),
+            L.end());
+  };
+  Scrub(Out.OutVars);
+  Scrub(Out.ExistVars);
+  // Input-tuple variables other than the outer one may also be relaxed.
+  if (!Out.InVars.empty()) {
+    std::string Outer = Out.InVars.front();
+    Scrub(Out.InVars);
+    if (Out.InVars.empty() ||
+        Out.InVars.front() != Outer) // never drop the outer iterator
+      Out.InVars.insert(Out.InVars.begin(), Outer);
+  }
+  return Out;
+}
+
+ApproximationResult approximateToCost(const ir::SparseRelation &R,
+                                      Complexity Target) {
+  ApproximationResult Res;
+  Res.Rel = R;
+  Res.Cost = buildInspectorPlan(R).Cost;
+
+  while (Target < Res.Cost) {
+    // Candidates: everything except the two edge-defining iterators.
+    std::vector<std::string> Candidates;
+    for (size_t I = 1; I < Res.Rel.InVars.size(); ++I)
+      Candidates.push_back(Res.Rel.InVars[I]);
+    for (size_t I = 1; I < Res.Rel.OutVars.size(); ++I)
+      Candidates.push_back(Res.Rel.OutVars[I]);
+    Candidates.insert(Candidates.end(), Res.Rel.ExistVars.begin(),
+                      Res.Rel.ExistVars.end());
+    if (Candidates.empty())
+      break;
+
+    std::string BestVar;
+    ir::SparseRelation BestRel = Res.Rel;
+    Complexity BestCost = Res.Cost;
+    for (const std::string &V : Candidates) {
+      ir::SparseRelation Try = relaxAway(Res.Rel, {V});
+      InspectorPlan P = buildInspectorPlan(Try);
+      if (!P.Valid)
+        continue;
+      if (P.Cost < BestCost) {
+        BestCost = P.Cost;
+        BestRel = std::move(Try);
+        BestVar = V;
+      }
+    }
+    if (BestVar.empty())
+      break; // no single relaxation helps
+    Res.Rel = std::move(BestRel);
+    Res.Cost = BestCost;
+    Res.DroppedVars.push_back(BestVar);
+    Res.Changed = true;
+  }
+  return Res;
+}
+
+} // namespace codegen
+} // namespace sds

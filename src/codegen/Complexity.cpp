@@ -1,0 +1,43 @@
+//===- Complexity.cpp - Symbolic inspector/kernel complexity --------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/codegen/Complexity.h"
+
+namespace sds {
+namespace codegen {
+
+static std::string power(const std::string &Base, int Exp) {
+  if (Exp == 1)
+    return Base;
+  return Base + "^" + std::to_string(Exp);
+}
+
+std::string Complexity::str() const {
+  if (NExp == 0 && DExp == 0)
+    return "1";
+  // Fold n*d pairs into nnz, print the remainder as n or nnz/n powers.
+  int NnzPow = NExp < DExp ? NExp : DExp;
+  int NPow = NExp - NnzPow;
+  int DPow = DExp - NnzPow;
+  std::string Out;
+  auto Append = [&Out](const std::string &Part) {
+    if (!Out.empty())
+      Out += "*";
+    Out += Part;
+  };
+  if (NnzPow > 0)
+    Append(power("nnz", NnzPow));
+  if (NPow > 0)
+    Append(power("n", NPow));
+  if (DPow > 0)
+    Append(power("(nnz/n)", DPow));
+  if (NPow < 0 || DPow < 0 || NnzPow < 0)
+    Out += " [negative exponent]"; // never produced by range products
+  return Out;
+}
+
+} // namespace codegen
+} // namespace sds

@@ -1,0 +1,98 @@
+//===- Extraction.cpp - Dependence extraction from kernel IR --------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/deps/Extraction.h"
+
+#include <cassert>
+#include <set>
+
+namespace sds {
+namespace deps {
+
+using ir::Constraint;
+using ir::Expr;
+using kernels::Access;
+using kernels::Kernel;
+using kernels::Statement;
+
+namespace {
+
+/// Rename every induction variable of `S` with a trailing prime.
+std::map<std::string, Expr> primeMap(const Statement &S) {
+  std::map<std::string, Expr> Map;
+  for (const std::string &IV : S.ivs())
+    Map.emplace(IV, Expr::var(IV + "'"));
+  return Map;
+}
+
+} // namespace
+
+std::vector<Dependence> extractDependences(const Kernel &K,
+                                           bool Deduplicate) {
+  std::vector<Dependence> Out;
+  std::set<std::string> Seen;
+
+  for (size_t SI = 0; SI < K.Stmts.size(); ++SI) {
+    const Statement &S = K.Stmts[SI];
+    for (size_t TI = 0; TI < K.Stmts.size(); ++TI) {
+      const Statement &T = K.Stmts[TI];
+      for (size_t AI = 0; AI < S.Accesses.size(); ++AI) {
+        const Access &A = S.Accesses[AI];
+        for (size_t BI = 0; BI < T.Accesses.size(); ++BI) {
+          const Access &B = T.Accesses[BI];
+          if (A.Array != B.Array)
+            continue;
+          if (!A.IsWrite && !B.IsWrite)
+            continue;
+          // Commutative reduction updates to the same array carry no
+          // mutual ordering requirement (executed atomically).
+          if (A.IsReduction && B.IsReduction)
+            continue;
+          assert(A.Subscripts.size() == B.Subscripts.size() &&
+                 "inconsistent array rank");
+
+          std::map<std::string, Expr> Prime = primeMap(T);
+
+          Dependence D;
+          D.Array = A.Array;
+          D.SrcStmt = S.Name;
+          D.DstStmt = T.Name;
+          D.SrcAccess = A.str();
+          D.DstAccess = B.str();
+          D.SrcIsWrite = A.IsWrite;
+          D.DstIsWrite = B.IsWrite;
+
+          D.Rel.Name = D.label();
+          D.Rel.InVars = S.ivs();
+          for (const std::string &IV : T.ivs())
+            D.Rel.OutVars.push_back(IV + "'");
+
+          D.Rel.Conj.append(S.iterationDomain());
+          D.Rel.Conj.append(T.iterationDomain().substitute(Prime));
+          for (size_t DIdx = 0; DIdx < A.Subscripts.size(); ++DIdx)
+            D.Rel.Conj.add(Constraint::equals(
+                A.Subscripts[DIdx], B.Subscripts[DIdx].substitute(Prime)));
+          // Loop-carried on the outermost loop: src strictly earlier.
+          D.Rel.Conj.add(Constraint::lt(Expr::var(D.Rel.InVars[0]),
+                                        Expr::var(D.Rel.OutVars[0])));
+
+          if (Deduplicate) {
+            std::string Key = D.Rel.str();
+            // The tuple names are identical for same-statement-pair
+            // relations, so the relation text is a canonical key.
+            if (!Seen.insert(std::move(Key)).second)
+              continue;
+          }
+          Out.push_back(std::move(D));
+        }
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace deps
+} // namespace sds

@@ -1,0 +1,198 @@
+//===- Pipeline.cpp - The Figure-3 analysis pipeline ----------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/deps/Pipeline.h"
+
+#include "sds/codegen/Approximate.h"
+#include "sds/ir/SubsetDetection.h"
+#include "sds/support/JSON.h"
+
+namespace sds {
+namespace deps {
+
+std::string depStatusName(DepStatus S) {
+  switch (S) {
+  case DepStatus::AffineUnsat:
+    return "affine-unsat";
+  case DepStatus::PropertyUnsat:
+    return "property-unsat";
+  case DepStatus::Subsumed:
+    return "subsumed";
+  case DepStatus::Runtime:
+    return "runtime";
+  }
+  return "?";
+}
+
+unsigned PipelineResult::countExpensiveRuntime(bool Simplified) const {
+  unsigned N = 0;
+  for (const AnalyzedDependence &D : Deps) {
+    if (D.Status != DepStatus::Runtime && D.Status != DepStatus::Subsumed)
+      continue;
+    const codegen::Complexity &C = Simplified ? D.CostAfter : D.CostBefore;
+    if (KernelCost < C)
+      ++N;
+  }
+  return N;
+}
+
+std::string PipelineResult::summary() const {
+  std::string Out = Kernel.Name + ": " + std::to_string(Deps.size()) +
+                    " dependences, kernel cost " + KernelCost.str() + "\n";
+  for (const AnalyzedDependence &D : Deps) {
+    Out += "  [" + depStatusName(D.Status) + "] " + D.Dep.label();
+    if (D.Status == DepStatus::Runtime || D.Status == DepStatus::Subsumed)
+      Out += "  cost " + D.CostBefore.str() + " -> " + D.CostAfter.str();
+    if (D.NewEqualities)
+      Out += "  (+" + std::to_string(D.NewEqualities) + " eq)";
+    if (!D.SubsumedBy.empty())
+      Out += "  covered by " + D.SubsumedBy;
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::string PipelineResult::toJSON() const {
+  using json::Array;
+  using json::Object;
+  using json::Value;
+  Object Root;
+  Root.emplace("kernel", Value(Kernel.Name));
+  Root.emplace("format", Value(Kernel.Format));
+  Root.emplace("kernel_complexity", Value(KernelCost.str()));
+  Array DepList;
+  for (const AnalyzedDependence &D : Deps) {
+    Object DepObj;
+    DepObj.emplace("label", Value(D.Dep.label()));
+    DepObj.emplace("array", Value(D.Dep.Array));
+    DepObj.emplace("status", Value(depStatusName(D.Status)));
+    if (D.Status == DepStatus::Runtime || D.Status == DepStatus::Subsumed) {
+      DepObj.emplace("cost_before", Value(D.CostBefore.str()));
+      DepObj.emplace("cost_after", Value(D.CostAfter.str()));
+      DepObj.emplace("new_equalities",
+                     Value(static_cast<int64_t>(D.NewEqualities)));
+    }
+    if (!D.SubsumedBy.empty())
+      DepObj.emplace("subsumed_by", Value(D.SubsumedBy));
+    if (D.Status == DepStatus::Runtime && D.Plan.Valid) {
+      DepObj.emplace("inspector_c", Value(D.Plan.emitC("inspect")));
+      DepObj.emplace("approximated", Value(D.Approximated));
+    }
+    DepList.push_back(Value(std::move(DepObj)));
+  }
+  Root.emplace("dependences", Value(std::move(DepList)));
+  return Value(std::move(Root)).str();
+}
+
+PipelineResult analyzeKernel(const kernels::Kernel &K,
+                             const PipelineOptions &Opts) {
+  PipelineResult Res;
+  Res.Kernel = K;
+
+  // Kernel cost: the most expensive statement's iteration domain.
+  Res.KernelCost = codegen::Complexity::one();
+  for (const kernels::Statement &S : K.Stmts) {
+    codegen::Complexity C =
+        codegen::domainComplexity(S.iterationDomain(), S.ivs());
+    if (Res.KernelCost < C)
+      Res.KernelCost = C;
+  }
+
+  // Step 1: extraction (Figure 3 "Dependence Extraction").
+  for (Dependence &D : extractDependences(K)) {
+    AnalyzedDependence AD;
+    AD.Dep = std::move(D);
+    Res.Deps.push_back(std::move(AD));
+  }
+
+  for (AnalyzedDependence &AD : Res.Deps) {
+    // Step 2: affine consistency (no domain knowledge).
+    if (ir::provenUnsatAffineOnly(AD.Dep.Rel, Opts.Simp)) {
+      AD.Status = DepStatus::AffineUnsat;
+      continue;
+    }
+    // Step 3: property-based unsatisfiability (§2.2/§4.2). Syntactic
+    // phase-1 instantiation plus phase-2 disjunctions suffice here;
+    // semantic entailment probes only pay off for equality discovery.
+    ir::SimplifyOptions UnsatOpts = Opts.Simp;
+    UnsatOpts.SemanticPhase1 = false;
+    if (Opts.UseProperties &&
+        ir::provenUnsat(AD.Dep.Rel, K.Properties, UnsatOpts)) {
+      AD.Status = DepStatus::PropertyUnsat;
+      continue;
+    }
+    // Step 4: equality discovery (§4).
+    AD.Simplified = AD.Dep.Rel;
+    AD.CostBefore = codegen::buildInspectorPlan(AD.Dep.Rel).Cost;
+    if (Opts.UseEqualities) {
+      // Equality discovery is where the semantic probes earn their keep;
+      // give them a generous budget.
+      ir::SimplifyOptions EqOpts = Opts.Simp;
+      if (EqOpts.SemanticProbeCap < 1500)
+        EqOpts.SemanticProbeCap = 1500;
+      ir::EqualityDiscoveryResult R =
+          ir::discoverEqualities(AD.Simplified, K.Properties, EqOpts);
+      AD.NewEqualities = R.NewEqualities;
+    }
+    AD.CostAfter = codegen::buildInspectorPlan(AD.Simplified).Cost;
+    AD.Status = DepStatus::Runtime;
+  }
+
+  // Step 5: subset subsumption (§5). Only live runtime checks may act as
+  // the covering test, and a test may only discard one that is at least
+  // as expensive (there is no point paying more to cover less).
+  if (Opts.UseSubsets) {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (AnalyzedDependence &Cand : Res.Deps) {
+        if (Cand.Status != DepStatus::Runtime)
+          continue;
+        for (AnalyzedDependence &Kept : Res.Deps) {
+          if (&Kept == &Cand || Kept.Status != DepStatus::Runtime)
+            continue;
+          if (Cand.CostAfter < Kept.CostAfter)
+            continue;
+          // Containment is tested against the keeper's *original* relation:
+          // its inspector (simplified or not) enumerates exactly the
+          // original edge set, and the original has fewer constraints, so
+          // the polyhedral test is both sound and easier. The candidate
+          // side uses its simplified form (equalities only shrink it
+          // toward its true edge set).
+          if (ir::subsumes(Kept.Dep.Rel, Cand.Simplified, Opts.Simp) !=
+              presburger::Ternary::True)
+            continue;
+          Cand.Status = DepStatus::Subsumed;
+          Cand.SubsumedBy = Kept.Dep.label();
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Step 6: inspectors for the survivors, optionally over-approximated
+  // down to the kernel's own complexity (§8.1's ILU escape hatch).
+  for (AnalyzedDependence &AD : Res.Deps) {
+    if (AD.Status != DepStatus::Runtime)
+      continue;
+    if (Opts.ApproximateExpensive && Res.KernelCost < AD.CostAfter) {
+      codegen::ApproximationResult A =
+          codegen::approximateToCost(AD.Simplified, Res.KernelCost);
+      if (A.Changed) {
+        AD.Simplified = std::move(A.Rel);
+        AD.CostAfter = A.Cost;
+        AD.Approximated = true;
+      }
+    }
+    AD.Plan = codegen::buildInspectorPlan(AD.Simplified);
+  }
+
+  return Res;
+}
+
+} // namespace deps
+} // namespace sds

@@ -1,0 +1,101 @@
+//===- Applications.cpp - §10 applications of the analysis ----------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/driver/Applications.h"
+
+#include "sds/deps/Extraction.h"
+#include "sds/ir/Simplify.h"
+
+#include <algorithm>
+
+namespace sds {
+namespace driver {
+
+std::vector<RaceCheckVerdict>
+classifyRaceChecks(const kernels::Kernel &K, const ir::SimplifyOptions &Opts) {
+  std::vector<RaceCheckVerdict> Out;
+  for (const deps::Dependence &D : deps::extractDependences(K)) {
+    RaceCheckVerdict V;
+    V.Array = D.Array;
+    V.SrcAccess = D.SrcAccess + "@" + D.SrcStmt;
+    V.DstAccess = D.DstAccess + "@" + D.DstStmt;
+    if (ir::provenUnsatAffineOnly(D.Rel, Opts)) {
+      V.NeedsRuntimeCheck = false;
+      V.Reason = "affine-unsat";
+    } else if (ir::provenUnsat(D.Rel, K.Properties, Opts)) {
+      V.NeedsRuntimeCheck = false;
+      V.Reason = "property-unsat";
+    } else {
+      V.NeedsRuntimeCheck = true;
+      V.Reason = "possible cross-iteration conflict";
+    }
+    Out.push_back(std::move(V));
+  }
+  return Out;
+}
+
+double raceCheckSuppressionRatio(const std::vector<RaceCheckVerdict> &Vs) {
+  if (Vs.empty())
+    return 1.0;
+  unsigned Suppressed = 0;
+  for (const RaceCheckVerdict &V : Vs)
+    Suppressed += V.NeedsRuntimeCheck ? 0 : 1;
+  return double(Suppressed) / double(Vs.size());
+}
+
+namespace {
+
+/// Shared worklist traversal; `Backward` follows predecessors.
+std::vector<int> slice(const rt::DependenceGraph &G,
+                       const std::vector<int> &Seeds, bool Backward) {
+  int N = G.numNodes();
+  std::vector<bool> In(static_cast<size_t>(N), false);
+  for (int S : Seeds)
+    if (S >= 0 && S < N)
+      In[static_cast<size_t>(S)] = true;
+
+  if (Backward) {
+    // Edges only point forward (src < dst), so one descending sweep
+    // saturates the predecessor closure.
+    for (int U = N; U-- > 0;) {
+      if (In[static_cast<size_t>(U)])
+        continue;
+      for (int V : G.successors(U))
+        if (In[static_cast<size_t>(V)]) {
+          In[static_cast<size_t>(U)] = true;
+          break;
+        }
+    }
+  } else {
+    for (int U = 0; U < N; ++U) {
+      if (!In[static_cast<size_t>(U)])
+        continue;
+      for (int V : G.successors(U))
+        In[static_cast<size_t>(V)] = true;
+    }
+  }
+
+  std::vector<int> Out;
+  for (int U = 0; U < N; ++U)
+    if (In[static_cast<size_t>(U)])
+      Out.push_back(U);
+  return Out;
+}
+
+} // namespace
+
+std::vector<int> backwardSlice(const rt::DependenceGraph &G,
+                               const std::vector<int> &Targets) {
+  return slice(G, Targets, /*Backward=*/true);
+}
+
+std::vector<int> forwardSlice(const rt::DependenceGraph &G,
+                              const std::vector<int> &Sources) {
+  return slice(G, Sources, /*Backward=*/false);
+}
+
+} // namespace driver
+} // namespace sds

@@ -1,0 +1,56 @@
+//===- Driver.cpp - End-to-end inspector-executor orchestration -----------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/driver/Driver.h"
+
+namespace sds {
+namespace driver {
+
+codegen::UFEnvironment bindCSR(const rt::CSRMatrix &A,
+                               const std::vector<int> &DiagPos) {
+  codegen::UFEnvironment Env;
+  Env.bindArray("rowptr", A.RowPtr);
+  Env.bindArray("col", A.Col);
+  if (!DiagPos.empty())
+    Env.bindArray("diag", DiagPos);
+  Env.Params["n"] = A.N;
+  Env.Params["nnz"] = A.nnz();
+  return Env;
+}
+
+codegen::UFEnvironment bindCSC(const rt::CSCMatrix &A,
+                               const rt::PruneSets *Prune) {
+  codegen::UFEnvironment Env;
+  Env.bindArray("colptr", A.ColPtr);
+  Env.bindArray("rowidx", A.RowIdx);
+  if (Prune) {
+    Env.bindArray("pruneptr", Prune->Ptr);
+    Env.bindArray("pruneset", Prune->ColOf);
+  }
+  Env.Params["n"] = A.N;
+  Env.Params["nnz"] = A.nnz();
+  return Env;
+}
+
+InspectionResult runInspectors(const deps::PipelineResult &Analysis,
+                               const codegen::UFEnvironment &Env, int N) {
+  InspectionResult Res(N);
+  for (const deps::AnalyzedDependence &D : Analysis.Deps) {
+    if (D.Status != deps::DepStatus::Runtime || !D.Plan.Valid)
+      continue;
+    ++Res.NumInspectors;
+    Res.InspectorVisits +=
+        codegen::runInspector(D.Plan, Env, [&](int64_t Src, int64_t Dst) {
+          if (Src >= 0 && Src < N && Dst >= 0 && Dst < N)
+            Res.Graph.addEdge(Src, Dst);
+        });
+  }
+  Res.Graph.finalize();
+  return Res;
+}
+
+} // namespace driver
+} // namespace sds

@@ -1,0 +1,186 @@
+//===- Expr.cpp - Affine expressions with uninterpreted functions --------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/ir/Expr.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sds {
+namespace ir {
+
+Atom Atom::var(std::string Name) {
+  Atom A;
+  A.K = Kind::Var;
+  A.Name = std::move(Name);
+  return A;
+}
+
+Atom Atom::call(std::string Fn, std::vector<Expr> Args) {
+  Atom A;
+  A.K = Kind::Call;
+  A.Name = std::move(Fn);
+  A.Args = std::move(Args);
+  return A;
+}
+
+int Atom::compare(const Atom &O) const {
+  if (K != O.K)
+    return K == Kind::Var ? -1 : 1;
+  if (int C = Name.compare(O.Name))
+    return C < 0 ? -1 : 1;
+  if (Args.size() != O.Args.size())
+    return Args.size() < O.Args.size() ? -1 : 1;
+  for (size_t I = 0; I < Args.size(); ++I)
+    if (int C = Args[I].compare(O.Args[I]))
+      return C;
+  return 0;
+}
+
+std::string Atom::str() const {
+  if (isVar())
+    return Name;
+  std::string Out = Name + "(";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Args[I].str();
+  }
+  Out += ")";
+  return Out;
+}
+
+Expr::Expr(int64_t Coeff, Atom A) : Const(0) {
+  if (Coeff != 0)
+    Terms.push_back({Coeff, std::move(A)});
+}
+
+void Expr::normalize() {
+  std::sort(Terms.begin(), Terms.end(),
+            [](const Term &L, const Term &R) { return L.A < R.A; });
+  std::vector<Term> Merged;
+  for (Term &T : Terms) {
+    if (!Merged.empty() && Merged.back().A == T.A)
+      Merged.back().Coeff += T.Coeff;
+    else
+      Merged.push_back(std::move(T));
+  }
+  Merged.erase(std::remove_if(Merged.begin(), Merged.end(),
+                              [](const Term &T) { return T.Coeff == 0; }),
+               Merged.end());
+  Terms = std::move(Merged);
+}
+
+Expr Expr::operator+(const Expr &O) const {
+  Expr R;
+  R.Terms = Terms;
+  R.Terms.insert(R.Terms.end(), O.Terms.begin(), O.Terms.end());
+  R.Const = Const + O.Const;
+  R.normalize();
+  return R;
+}
+
+Expr Expr::operator-() const { return *this * -1; }
+
+Expr Expr::operator-(const Expr &O) const { return *this + (-O); }
+
+Expr Expr::operator*(int64_t K) const {
+  Expr R;
+  if (K == 0)
+    return R;
+  R.Terms = Terms;
+  for (Term &T : R.Terms)
+    T.Coeff *= K;
+  R.Const = Const * K;
+  return R;
+}
+
+int Expr::compare(const Expr &O) const {
+  if (Terms.size() != O.Terms.size())
+    return Terms.size() < O.Terms.size() ? -1 : 1;
+  for (size_t I = 0; I < Terms.size(); ++I) {
+    if (Terms[I].Coeff != O.Terms[I].Coeff)
+      return Terms[I].Coeff < O.Terms[I].Coeff ? -1 : 1;
+    if (int C = Terms[I].A.compare(O.Terms[I].A))
+      return C;
+  }
+  if (Const != O.Const)
+    return Const < O.Const ? -1 : 1;
+  return 0;
+}
+
+Expr Expr::substitute(const std::map<std::string, Expr> &Map) const {
+  Expr R(Const);
+  for (const Term &T : Terms) {
+    if (T.A.isVar()) {
+      auto It = Map.find(T.A.Name);
+      if (It != Map.end()) {
+        R += It->second * T.Coeff;
+        continue;
+      }
+      R += Expr(T.Coeff, T.A);
+      continue;
+    }
+    std::vector<Expr> NewArgs;
+    NewArgs.reserve(T.A.Args.size());
+    for (const Expr &Arg : T.A.Args)
+      NewArgs.push_back(Arg.substitute(Map));
+    R += Expr(T.Coeff, Atom::call(T.A.Name, std::move(NewArgs)));
+  }
+  return R;
+}
+
+void Expr::collectCalls(std::vector<Atom> &Out) const {
+  for (const Term &T : Terms) {
+    if (!T.A.isCall())
+      continue;
+    Out.push_back(T.A);
+    for (const Expr &Arg : T.A.Args)
+      Arg.collectCalls(Out);
+  }
+}
+
+void Expr::collectVars(std::vector<std::string> &Out) const {
+  for (const Term &T : Terms) {
+    if (T.A.isVar()) {
+      Out.push_back(T.A.Name);
+      continue;
+    }
+    for (const Expr &Arg : T.A.Args)
+      Arg.collectVars(Out);
+  }
+}
+
+std::string Expr::str() const {
+  if (Terms.empty())
+    return std::to_string(Const);
+  std::string Out;
+  bool First = true;
+  for (const Term &T : Terms) {
+    int64_t C = T.Coeff;
+    if (First) {
+      if (C == -1)
+        Out += "-";
+      else if (C != 1)
+        Out += std::to_string(C) + " ";
+    } else {
+      Out += C > 0 ? " + " : " - ";
+      int64_t A = C < 0 ? -C : C;
+      if (A != 1)
+        Out += std::to_string(A) + " ";
+    }
+    Out += T.A.str();
+    First = false;
+  }
+  if (Const != 0) {
+    Out += Const > 0 ? " + " : " - ";
+    Out += std::to_string(Const < 0 ? -Const : Const);
+  }
+  return Out;
+}
+
+} // namespace ir
+} // namespace sds

@@ -1,0 +1,82 @@
+//===- Flatten.cpp - Lower UF constraints to integer polyhedra -----------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/ir/Flatten.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sds {
+namespace ir {
+
+Expr Flattened::rowToExpr(const std::vector<int64_t> &Row) const {
+  assert(Row.size() == Cols.size() + 1 && "row width mismatch");
+  Expr E(Row.back());
+  for (size_t J = 0; J < Cols.size(); ++J)
+    if (Row[J] != 0)
+      E += Expr(Row[J], Cols[J]);
+  return E;
+}
+
+Flattened flatten(const Conjunction &C,
+                  const std::vector<std::string> &VarOrder) {
+  Flattened F;
+
+  auto AddColumn = [&](Atom A) {
+    std::string Key = A.str();
+    auto [It, Inserted] =
+        F.ColIndex.emplace(Key, static_cast<unsigned>(F.Cols.size()));
+    if (Inserted) {
+      F.Names.push_back(Key);
+      F.Cols.push_back(std::move(A));
+    }
+    return It->second;
+  };
+
+  // 1. Named variables in the requested order.
+  for (const std::string &V : VarOrder)
+    AddColumn(Atom::var(V));
+  // 2. Any stray variables (parameters etc.) in appearance order.
+  for (const std::string &V : C.collectVars())
+    AddColumn(Atom::var(V));
+  // 3. One column per structurally distinct UF call (nested included, so
+  //    instantiation-produced constraints over inner calls line up too).
+  for (const Atom &Call : C.collectCalls())
+    AddColumn(Call);
+
+  unsigned Width = static_cast<unsigned>(F.Cols.size());
+  presburger::BasicSet Set(Width);
+
+  for (const Constraint &Cons : C.constraints()) {
+    std::vector<int64_t> Row(Width + 1, 0);
+    Row[Width] = Cons.E.constant();
+    for (const Expr::Term &T : Cons.E.terms()) {
+      auto It = F.ColIndex.find(T.A.str());
+      assert(It != F.ColIndex.end() && "atom without a column");
+      Row[It->second] += T.Coeff;
+    }
+    if (Cons.isEq())
+      Set.addEquality(std::move(Row));
+    else
+      Set.addInequality(std::move(Row));
+  }
+
+  F.Set = std::move(Set);
+  return F;
+}
+
+Flattened flatten(const SparseRelation &R) {
+  std::vector<std::string> Order;
+  Order.insert(Order.end(), R.InVars.begin(), R.InVars.end());
+  Order.insert(Order.end(), R.OutVars.begin(), R.OutVars.end());
+  Order.insert(Order.end(), R.ExistVars.begin(), R.ExistVars.end());
+  for (const std::string &P : R.params())
+    Order.push_back(P);
+  return flatten(R.Conj, Order);
+}
+
+} // namespace ir
+} // namespace sds

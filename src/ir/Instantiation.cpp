@@ -1,0 +1,439 @@
+//===- Instantiation.cpp - Assertion instantiation and unsat (§4.2) ------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/ir/Flatten.h"
+#include "sds/ir/Simplify.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace sds {
+namespace ir {
+
+std::vector<Expr> argumentExpressionSet(const Conjunction &C) {
+  std::vector<Expr> E;
+  for (const Atom &Call : C.collectCalls())
+    for (const Expr &Arg : Call.Args)
+      E.push_back(Arg);
+  std::sort(E.begin(), E.end());
+  E.erase(std::unique(E.begin(), E.end()), E.end());
+  return E;
+}
+
+namespace {
+
+/// Is the constraint trivially false (constant expression violating it)?
+bool constantFalse(const Constraint &C) {
+  if (!C.E.isConstant())
+    return false;
+  return C.isEq() ? (C.E.constant() != 0) : (C.E.constant() < 0);
+}
+
+/// Negate a Geq constraint: !(e >= 0) is -e - 1 >= 0. Equalities negate to
+/// a disjunction and are handled by the caller.
+Constraint negateGeq(const Constraint &C) {
+  assert(!C.isEq() && "cannot negate an equality into one constraint");
+  return Constraint::geq(-C.E - Expr(1));
+}
+
+/// Enumerate all assertion instances over E^n, pruning vacuous ones.
+/// `Seen` deduplicates across enumeration rounds.
+void enumerateInstances(
+                        const std::vector<UniversalAssertion> &Assertions,
+                        const std::vector<Expr> &E,
+                        const SimplifyOptions &Opts,
+                        InstantiationStats &Stats,
+                        std::set<std::string> &Seen,
+                        std::vector<AssertionInstance> &Out) {
+  for (const UniversalAssertion &A : Assertions) {
+    size_t N = A.QVars.size();
+    // Odometer over E^N.
+    std::vector<size_t> Idx(N, 0);
+    if (E.empty() && N > 0)
+      continue;
+    while (true) {
+      if (Stats.Generated >= Opts.MaxInstances)
+        return;
+      ++Stats.Generated;
+      std::map<std::string, Expr> Map;
+      for (size_t I = 0; I < N; ++I)
+        Map.emplace(A.QVars[I], E[Idx[I]]);
+      AssertionInstance Inst;
+      Inst.Antecedent = A.Antecedent.substitute(Map);
+      Inst.Consequent = A.Consequent.substitute(Map);
+      Inst.Label = A.Label;
+
+      bool Vacuous = false;
+      for (const Constraint &C2 : Inst.Antecedent.constraints())
+        if (constantFalse(C2)) {
+          Vacuous = true;
+          break;
+        }
+      if (Vacuous) {
+        ++Stats.Vacuous;
+      } else {
+        // Deduplicate structurally (many tuples yield the same instance).
+        std::string Key =
+            Inst.Antecedent.str() + "=>" + Inst.Consequent.str();
+        if (Seen.insert(std::move(Key)).second)
+          Out.push_back(std::move(Inst));
+      }
+
+      // Advance the odometer.
+      size_t I = 0;
+      for (; I < N; ++I) {
+        if (++Idx[I] < E.size())
+          break;
+        Idx[I] = 0;
+      }
+      if (I == N || N == 0)
+        break;
+    }
+  }
+}
+
+/// Ackermann-style functional-consistency guards: for every pair of calls
+/// to the same function, `args1 == args2 => f(args1) == f(args2)`. These
+/// carry no domain knowledge — they are what "Affine Consistency" needs in
+/// Figure 7 — and they flow through the same two-phase machinery.
+void collectFunctionalConsistencyInstances(
+    const Conjunction &C, const SimplifyOptions &Opts,
+    InstantiationStats &Stats, std::set<std::string> &Seen,
+    std::vector<AssertionInstance> &Out) {
+  std::vector<Atom> Calls = C.collectCalls();
+  for (size_t I = 0; I < Calls.size(); ++I) {
+    for (size_t J = I + 1; J < Calls.size(); ++J) {
+      if (Stats.Generated >= Opts.MaxInstances)
+        return;
+      const Atom &A = Calls[I], &B = Calls[J];
+      if (A.Name != B.Name || A.Args.size() != B.Args.size())
+        continue;
+      ++Stats.Generated;
+      AssertionInstance Inst;
+      Inst.Label = "functional_consistency(" + A.Name + ")";
+      bool Vacuous = false;
+      for (size_t K = 0; K < A.Args.size(); ++K) {
+        Constraint Eq = Constraint::equals(A.Args[K], B.Args[K]);
+        if (constantFalse(Eq)) {
+          Vacuous = true;
+          break;
+        }
+        Inst.Antecedent.add(std::move(Eq));
+      }
+      if (Vacuous) {
+        ++Stats.Vacuous;
+        continue;
+      }
+      Inst.Consequent.add(
+          Constraint::equals(Expr(1, A), Expr(1, B)));
+      std::string Key = Inst.Antecedent.str() + "=>" + Inst.Consequent.str();
+      if (Seen.insert(std::move(Key)).second)
+        Out.push_back(std::move(Inst));
+    }
+  }
+}
+
+} // namespace
+
+Conjunction
+instantiatePhase1(const Conjunction &C,
+                  const std::vector<UniversalAssertion> &Assertions,
+                  const SimplifyOptions &Opts, InstantiationStats *Stats,
+                  std::vector<AssertionInstance> *Phase2) {
+  InstantiationStats Local;
+  InstantiationStats &S = Stats ? *Stats : Local;
+
+  Conjunction Aug = C;
+  std::set<std::string> SeenInstances;
+  std::vector<AssertionInstance> Instances;
+  std::vector<bool> Consumed;
+  unsigned ProbesLeft = Opts.SemanticPhase1 ? Opts.SemanticProbeCap : 0;
+
+  // Calls present in Aug, refreshed when consequents are appended: an
+  // antecedent mentioning a call that occurs nowhere in Aug can never be
+  // entailed, so we skip the (much costlier) semantic probe. The flattened
+  // form of Aug is kept alongside so each probe only lowers one extra row
+  // instead of re-flattening the whole conjunction.
+  std::set<std::string> AugCallKeys;
+  Flattened AugFlat;
+  auto RefreshCalls = [&] {
+    AugCallKeys.clear();
+    for (const Atom &A : Aug.collectCalls())
+      AugCallKeys.insert(A.str());
+    AugFlat = flatten(Aug, {});
+  };
+  RefreshCalls();
+  auto CallsPresent = [&](const Constraint &P) {
+    std::vector<Atom> Calls;
+    P.E.collectCalls(Calls);
+    for (const Atom &A : Calls)
+      if (!AugCallKeys.count(A.str()))
+        return false;
+    return true;
+  };
+
+  // Semantic entailment of one constraint by Aug, via integer emptiness of
+  // Aug && !P. Budgeted: each probe is one (cheap) LP/branch-and-bound
+  // run with a small node budget (rational infeasibility decides almost
+  // every probe). Positive results are cached forever (Aug only grows);
+  // negative results are cached per pass.
+  std::map<std::string, bool> ProbeCache;
+  auto ImpliedSemantically = [&](const Constraint &P) {
+    if (ProbesLeft == 0 || !CallsPresent(P))
+      return false;
+    std::string Key = P.str();
+    auto Cached = ProbeCache.find(Key);
+    if (Cached != ProbeCache.end())
+      return Cached->second;
+    unsigned Budget = std::min(Opts.EmptinessBudget, 8u);
+    auto EmptyWith = [&](const Constraint &Neg) {
+      // Lower !P onto Aug's column space; atoms are present (checked).
+      unsigned Width = AugFlat.Set.numVars();
+      std::vector<int64_t> Row(Width + 1, 0);
+      Row[Width] = Neg.E.constant();
+      for (const Expr::Term &T : Neg.E.terms()) {
+        auto It = AugFlat.ColIndex.find(T.A.str());
+        if (It == AugFlat.ColIndex.end())
+          return false; // unseen variable: cannot be entailed
+        Row[It->second] += T.Coeff;
+      }
+      presburger::BasicSet Probe = AugFlat.Set;
+      Probe.addInequality(std::move(Row));
+      return Probe.isEmpty(Budget) == presburger::Ternary::True;
+    };
+    bool Result = false;
+    if (!P.isEq()) {
+      --ProbesLeft;
+      Result = EmptyWith(negateGeq(P));
+    } else if (ProbesLeft >= 2) {
+      ProbesLeft -= 2;
+      Result = EmptyWith(Constraint::geq(P.E - Expr(1))) &&
+               EmptyWith(Constraint::geq(-P.E - Expr(1)));
+    }
+    ProbeCache.emplace(std::move(Key), Result);
+    return Result;
+  };
+
+  // Instantiation rounds: phase-1 additions introduce new call terms
+  // (e.g. rowptr(col(k)+1) from a segment-pointer consequent), which seed
+  // new argument expressions for Definition 1's E on the next round.
+  const unsigned MaxRounds = std::max(1u, Opts.InstantiationRounds);
+  for (unsigned Round = 0; Round < MaxRounds; ++Round) {
+  size_t SizeBefore = Instances.size();
+  std::vector<Expr> E = argumentExpressionSet(Aug);
+  // Property instances come first: they carry the domain knowledge and are
+  // the profitable targets for the (budgeted) semantic probes. The
+  // functional-consistency guards are numerous and mostly matter for
+  // phase 2, so they queue behind.
+  std::vector<AssertionInstance> NewInstances;
+  enumerateInstances(Assertions, E, Opts, S, SeenInstances, NewInstances);
+  std::stable_sort(NewInstances.begin(), NewInstances.end(),
+                   [](const AssertionInstance &A, const AssertionInstance &B) {
+                     return A.Antecedent.constraints().size() <
+                            B.Antecedent.constraints().size();
+                   });
+  collectFunctionalConsistencyInstances(Aug, Opts, S, SeenInstances,
+                                        NewInstances);
+  for (AssertionInstance &Inst : NewInstances)
+    Instances.push_back(std::move(Inst));
+  Consumed.resize(Instances.size(), false);
+  if (Round > 0 && Instances.size() == SizeBefore)
+    break; // nothing new to try
+
+  for (unsigned Pass = 0; Pass < Opts.Phase1Passes; ++Pass) {
+    bool Changed = false;
+    // Aug grew last pass: negative probe answers may have flipped.
+    for (auto It = ProbeCache.begin(); It != ProbeCache.end();) {
+      if (!It->second)
+        It = ProbeCache.erase(It);
+      else
+        ++It;
+    }
+    for (size_t I = 0; I < Instances.size(); ++I) {
+      if (Consumed[I])
+        continue;
+      const AssertionInstance &Inst = Instances[I];
+
+      // Useless if the consequent adds nothing.
+      bool ConsImplied = true;
+      for (const Constraint &Q : Inst.Consequent.constraints())
+        if (!Aug.impliesSyntactically(Q)) {
+          ConsImplied = false;
+          break;
+        }
+      if (ConsImplied) {
+        Consumed[I] = true;
+        ++S.AlreadyImplied;
+        continue;
+      }
+
+      // Forward rule: antecedent present => add consequent.
+      bool AnteImplied = true;
+      for (const Constraint &P : Inst.Antecedent.constraints())
+        if (!Aug.impliesSyntactically(P) && !ImpliedSemantically(P)) {
+          AnteImplied = false;
+          break;
+        }
+      if (AnteImplied) {
+        Aug.append(Inst.Consequent);
+        RefreshCalls();
+        Consumed[I] = true;
+        ++S.Phase1Added;
+        Changed = true;
+        continue;
+      }
+
+      // Contrapositive rule (§6.2): single-constraint consequent q with
+      // !q present lets us add !p for a single-constraint antecedent.
+      if (Inst.Consequent.constraints().size() == 1 &&
+          Inst.Antecedent.constraints().size() == 1) {
+        const Constraint &Q = Inst.Consequent.constraints()[0];
+        const Constraint &P = Inst.Antecedent.constraints()[0];
+        if (!Q.isEq() && !P.isEq() &&
+            Aug.impliesSyntactically(negateGeq(Q))) {
+          Aug.add(negateGeq(P));
+          Consumed[I] = true;
+          ++S.Phase1Added;
+          Changed = true;
+          continue;
+        }
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  } // rounds
+
+  if (Phase2) {
+    for (size_t I = 0; I < Instances.size(); ++I)
+      if (!Consumed[I])
+        Phase2->push_back(Instances[I]);
+  }
+  return Aug;
+}
+
+namespace {
+
+/// Drop pieces that are already provably empty (cheap budget), keeping the
+/// DNF small during phase 2.
+void prunePieces(std::vector<Conjunction> &Pieces, const SparseRelation &R,
+                 unsigned Budget) {
+  std::vector<Conjunction> Kept;
+  for (Conjunction &Piece : Pieces) {
+    SparseRelation Tmp = R;
+    Tmp.Conj = Piece;
+    Flattened F = flatten(Tmp);
+    if (F.Set.isEmpty(Budget) == presburger::Ternary::True)
+      continue;
+    Kept.push_back(std::move(Piece));
+  }
+  Pieces = std::move(Kept);
+}
+
+/// Conjoin a phase-2 instance (!A || C) onto a DNF piece list. Sets
+/// `Overflowed` (and leaves `Pieces` untouched) when the result would
+/// exceed the piece cap even after pruning empty pieces.
+void applyDisjunctiveInstance(std::vector<Conjunction> &Pieces,
+                              const AssertionInstance &Inst,
+                              const SparseRelation &R,
+                              const SimplifyOptions &Opts, bool &Overflowed) {
+  std::vector<Conjunction> Next;
+  for (const Conjunction &Piece : Pieces) {
+    // Branch 1: the consequent holds.
+    {
+      Conjunction P = Piece;
+      P.append(Inst.Consequent);
+      Next.push_back(std::move(P));
+    }
+    // Branches 2..k: some antecedent constraint fails.
+    for (const Constraint &A : Inst.Antecedent.constraints()) {
+      if (A.isEq()) {
+        Conjunction P1 = Piece;
+        P1.add(Constraint::geq(A.E - Expr(1)));
+        Next.push_back(std::move(P1));
+        Conjunction P2 = Piece;
+        P2.add(Constraint::geq(-A.E - Expr(1)));
+        Next.push_back(std::move(P2));
+      } else {
+        Conjunction P = Piece;
+        P.add(negateGeq(A));
+        Next.push_back(std::move(P));
+      }
+    }
+  }
+  if (Next.size() > Opts.MaxPieces)
+    prunePieces(Next, R, /*Budget=*/8);
+  if (Next.size() > Opts.MaxPieces) {
+    Overflowed = true;
+    return; // caller keeps the previous piece list
+  }
+  Pieces = std::move(Next);
+}
+
+bool allPiecesProvenEmpty(const std::vector<Conjunction> &Pieces,
+                          const SparseRelation &R,
+                          const SimplifyOptions &Opts) {
+  for (const Conjunction &Piece : Pieces) {
+    SparseRelation Tmp = R;
+    Tmp.Conj = Piece;
+    Flattened F = flatten(Tmp);
+    if (F.Set.isEmpty(Opts.EmptinessBudget) != presburger::Ternary::True)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+static bool provenUnsatWithAssertions(
+    const SparseRelation &R, const std::vector<UniversalAssertion> &Assertions,
+    const SimplifyOptions &Opts, InstantiationStats *Stats) {
+  std::vector<AssertionInstance> Phase2;
+  Conjunction Aug = instantiatePhase1(R.Conj, Assertions, Opts, Stats, &Phase2);
+
+  std::vector<Conjunction> Pieces{Aug};
+  if (allPiecesProvenEmpty(Pieces, R, Opts))
+    return true;
+
+  // Phase 2: add disjunction-introducing instances under the caps.
+  unsigned Used = 0;
+  for (const AssertionInstance &Inst : Phase2) {
+    if (Used >= Opts.MaxPhase2Instances)
+      break;
+    bool Overflowed = false;
+    applyDisjunctiveInstance(Pieces, Inst, R, Opts, Overflowed);
+    if (Overflowed) {
+      if (Stats)
+        ++Stats->Dropped;
+      continue;
+    }
+    ++Used;
+    if (Stats)
+      ++Stats->Phase2Used;
+    if (Pieces.empty())
+      return true; // every disjunct pruned as empty
+  }
+
+  if (Used == 0)
+    return false; // nothing new to try
+  return allPiecesProvenEmpty(Pieces, R, Opts);
+}
+
+bool provenUnsat(const SparseRelation &R, const PropertySet &PS,
+                 const SimplifyOptions &Opts, InstantiationStats *Stats) {
+  return provenUnsatWithAssertions(R, PS.assertions(), Opts, Stats);
+}
+
+bool provenUnsatAffineOnly(const SparseRelation &R,
+                           const SimplifyOptions &Opts) {
+  // No property assertions: functional-consistency guards only (these are
+  // always sound, independent of any domain knowledge).
+  return provenUnsatWithAssertions(R, {}, Opts, nullptr);
+}
+
+} // namespace ir
+} // namespace sds

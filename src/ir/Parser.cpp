@@ -1,0 +1,421 @@
+//===- Parser.cpp - Textual syntax for sparse relations ------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/ir/Parser.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace sds {
+namespace ir {
+
+namespace {
+
+class RelParser {
+public:
+  explicit RelParser(std::string_view Text) : Text(Text) {}
+
+  bool parseFull(SparseRelation &Out) {
+    skip();
+    if (!expect('{'))
+      return false;
+    if (!parseTuple(Out.InVars))
+      return false;
+    skip();
+    if (peekStr("->")) {
+      Pos += 2;
+      if (!parseTuple(Out.OutVars))
+        return false;
+    }
+    if (!expect(':'))
+      return false;
+    skip();
+    if (peekIdent("exists")) {
+      consumeIdent();
+      skip();
+      bool Paren = peek() == '(';
+      if (Paren)
+        ++Pos;
+      while (true) {
+        skip();
+        std::string Id = consumeIdent();
+        if (Id.empty())
+          return fail("expected identifier in exists list");
+        Out.ExistVars.push_back(Id);
+        skip();
+        if (peek() == ',') {
+          ++Pos;
+          continue;
+        }
+        break;
+      }
+      if (Paren && !expect(')'))
+        return false;
+      if (!expect(':'))
+        return false;
+    }
+    if (!parseConstraintList(Out.Conj))
+      return false;
+    if (!expect('}'))
+      return false;
+    skip();
+    if (Pos != Text.size())
+      return fail("trailing characters after '}'");
+    return true;
+  }
+
+  bool parseExprOnly(Expr &Out) {
+    if (!parseExpr(Out))
+      return false;
+    skip();
+    if (Pos != Text.size())
+      return fail("trailing characters after expression");
+    return true;
+  }
+
+  std::string error() const { return Err; }
+  size_t errorPos() const { return Pos; }
+
+private:
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+  bool peekStr(std::string_view S) const {
+    return Text.substr(Pos, S.size()) == S;
+  }
+
+  void skip() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool fail(const char *Msg) {
+    if (Err.empty())
+      Err = Msg;
+    return false;
+  }
+
+  bool expect(char C) {
+    skip();
+    if (peek() != C) {
+      Err = std::string("expected '") + C + "'";
+      return false;
+    }
+    ++Pos;
+    return true;
+  }
+
+  static bool isIdentStart(char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+  }
+  static bool isIdentChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '\'';
+  }
+
+  bool peekIdent(std::string_view Name) const {
+    if (Text.substr(Pos, Name.size()) != Name)
+      return false;
+    size_t After = Pos + Name.size();
+    return After >= Text.size() || !isIdentChar(Text[After]);
+  }
+
+  std::string consumeIdent() {
+    skip();
+    if (Pos >= Text.size() || !isIdentStart(Text[Pos]))
+      return "";
+    size_t Start = Pos;
+    while (Pos < Text.size() && isIdentChar(Text[Pos]))
+      ++Pos;
+    return std::string(Text.substr(Start, Pos - Start));
+  }
+
+  bool parseTuple(std::vector<std::string> &Vars) {
+    if (!expect('['))
+      return false;
+    skip();
+    if (peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      std::string Id = consumeIdent();
+      if (Id.empty())
+        return fail("expected identifier in tuple");
+      Vars.push_back(Id);
+      skip();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    return expect(']');
+  }
+
+  bool parseInt(int64_t &V) {
+    skip();
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos == Start || (Pos == Start + 1 && Text[Start] == '-'))
+      return fail("expected integer");
+    auto [Ptr, Ec] =
+        std::from_chars(Text.data() + Start, Text.data() + Pos, V);
+    if (Ec != std::errc() || Ptr != Text.data() + Pos)
+      return fail("integer literal out of range");
+    return true;
+  }
+
+  /// primary := int | ident [ '(' expr, ... ')' ] | '(' expr ')'
+  bool parsePrimary(Expr &Out) {
+    skip();
+    char C = peek();
+    if (C == '(') {
+      ++Pos;
+      if (!parseExpr(Out))
+        return false;
+      return expect(')');
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t V;
+      if (!parseInt(V))
+        return false;
+      Out = Expr(V);
+      return true;
+    }
+    std::string Id = consumeIdent();
+    if (Id.empty())
+      return fail("expected expression");
+    skip();
+    if (peek() == '(') {
+      ++Pos;
+      std::vector<Expr> Args;
+      skip();
+      if (peek() != ')') {
+        while (true) {
+          Expr Arg;
+          if (!parseExpr(Arg))
+            return false;
+          Args.push_back(std::move(Arg));
+          skip();
+          if (peek() == ',') {
+            ++Pos;
+            continue;
+          }
+          break;
+        }
+      }
+      if (!expect(')'))
+        return false;
+      Out = Expr::call(Id, std::move(Args));
+      return true;
+    }
+    Out = Expr::var(Id);
+    return true;
+  }
+
+  /// term := [int '*'?] primary | primary
+  bool parseTerm(Expr &Out) {
+    skip();
+    // Optional leading integer coefficient: "2 k" or "2*k" or plain "2".
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      int64_t V;
+      if (!parseInt(V))
+        return false;
+      skip();
+      if (peek() == '*') {
+        ++Pos;
+        Expr P;
+        if (!parsePrimary(P))
+          return false;
+        Out = P * V;
+        return true;
+      }
+      if (isIdentStart(peek())) {
+        Expr P;
+        if (!parsePrimary(P))
+          return false;
+        Out = P * V;
+        return true;
+      }
+      Out = Expr(V);
+      return true;
+    }
+    return parsePrimary(Out);
+  }
+
+  /// expr := ['-'] term (('+'|'-') term)*
+  bool parseExpr(Expr &Out) {
+    skip();
+    bool Neg = false;
+    if (peek() == '-') {
+      ++Pos;
+      Neg = true;
+    }
+    Expr T;
+    if (!parseTerm(T))
+      return false;
+    Out = Neg ? -T : T;
+    while (true) {
+      skip();
+      char C = peek();
+      if (C != '+' && C != '-')
+        break;
+      // Don't swallow "->" of a tuple arrow.
+      if (C == '-' && Pos + 1 < Text.size() && Text[Pos + 1] == '>')
+        break;
+      ++Pos;
+      Expr Next;
+      if (!parseTerm(Next))
+        return false;
+      Out = (C == '+') ? Out + Next : Out - Next;
+    }
+    return true;
+  }
+
+  enum class Cmp { Lt, Le, Gt, Ge, Eq };
+
+  bool parseCmpOp(Cmp &Op, bool &Found) {
+    skip();
+    Found = true;
+    if (peekStr("<=")) {
+      Pos += 2;
+      Op = Cmp::Le;
+      return true;
+    }
+    if (peekStr(">=")) {
+      Pos += 2;
+      Op = Cmp::Ge;
+      return true;
+    }
+    if (peekStr("==")) {
+      Pos += 2;
+      Op = Cmp::Eq;
+      return true;
+    }
+    if (peekStr("!=")) {
+      return fail("disequalities are not supported; split the relation "
+                  "into the two strict orderings instead");
+    }
+    char C = peek();
+    if (C == '<') {
+      ++Pos;
+      Op = Cmp::Lt;
+      return true;
+    }
+    if (C == '>') {
+      ++Pos;
+      Op = Cmp::Gt;
+      return true;
+    }
+    if (C == '=') {
+      ++Pos;
+      Op = Cmp::Eq;
+      return true;
+    }
+    Found = false;
+    return true;
+  }
+
+  /// constraint-chain := expr (cmp expr)+
+  bool parseConstraintChain(Conjunction &Conj) {
+    Expr L;
+    if (!parseExpr(L))
+      return false;
+    Cmp Op;
+    bool Found = false;
+    if (!parseCmpOp(Op, Found))
+      return false;
+    if (!Found)
+      return fail("expected comparison operator");
+    unsigned Count = 0;
+    while (Found) {
+      Expr R;
+      if (!parseExpr(R))
+        return false;
+      switch (Op) {
+      case Cmp::Lt:
+        Conj.add(Constraint::lt(L, R));
+        break;
+      case Cmp::Le:
+        Conj.add(Constraint::le(L, R));
+        break;
+      case Cmp::Gt:
+        Conj.add(Constraint::lt(R, L));
+        break;
+      case Cmp::Ge:
+        Conj.add(Constraint::le(R, L));
+        break;
+      case Cmp::Eq:
+        Conj.add(Constraint::equals(L, R));
+        break;
+      }
+      ++Count;
+      L = std::move(R);
+      if (!parseCmpOp(Op, Found))
+        return false;
+    }
+    return Count > 0;
+  }
+
+  bool parseConstraintList(Conjunction &Conj) {
+    skip();
+    // Allow an empty constraint list: "{ [i] : }" is not valid, but
+    // "{ [i] : true }" style is unnecessary; require at least one chain
+    // unless the body is immediately '}'.
+    if (peek() == '}')
+      return true;
+    while (true) {
+      if (!parseConstraintChain(Conj))
+        return false;
+      skip();
+      if (peekStr("&&")) {
+        Pos += 2;
+        continue;
+      }
+      if (peek() == ',') { // tolerate comma-separated constraints
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    return true;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace
+
+RelationParseResult parseRelation(std::string_view Text) {
+  RelationParseResult R;
+  RelParser P(Text);
+  if (P.parseFull(R.Rel)) {
+    R.Ok = true;
+  } else {
+    R.Error = P.error();
+    R.ErrorPos = P.errorPos();
+  }
+  return R;
+}
+
+ExprParseResult parseExpr(std::string_view Text) {
+  ExprParseResult R;
+  RelParser P(Text);
+  if (P.parseExprOnly(R.E))
+    R.Ok = true;
+  else
+    R.Error = P.error();
+  return R;
+}
+
+} // namespace ir
+} // namespace sds

@@ -1,0 +1,338 @@
+//===- Kernels.cpp - The Table-2 benchmark suite --------------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/kernels/Kernels.h"
+
+namespace sds {
+namespace kernels {
+
+using ir::Constraint;
+using ir::Expr;
+using ir::PropertyKind;
+using ir::PropertySet;
+
+namespace {
+
+/// CSR matrices: rowptr strictly increasing over [0, n], col sorted within
+/// each row. `LowerTriangular` adds col(k) <= i for k in row i.
+PropertySet csrProperties(bool LowerTriangular, bool DiagPointers) {
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "rowptr");
+  PS.add(PropertyKind::PeriodicMonotonic, "col", "rowptr");
+  if (LowerTriangular)
+    PS.add(PropertyKind::TriangularEntriesLE, "col", "rowptr");
+  if (DiagPointers)
+    PS.add(PropertyKind::SegmentPointer, "diag", "rowptr");
+  ir::DomainRangeDecl D;
+  D.Fn = "rowptr";
+  D.DomLo = Expr(0);
+  D.DomHi = Expr::var("n");
+  D.RanLo = Expr(0);
+  D.RanHi = Expr::var("nnz");
+  PS.addDomainRange(D);
+  return PS;
+}
+
+std::string csrPropertyJSON(bool LowerTriangular, bool DiagPointers) {
+  std::string J = R"({
+  "index_arrays": {
+    "rowptr": {
+      "properties": ["strict_monotonic_increasing"],
+      "domain": [0, "n"], "range": [0, "nnz"]
+    },
+    "col": {
+      "properties": [
+        {"kind": "periodic_monotonic", "segment": "rowptr"})";
+  if (LowerTriangular)
+    J += R"(,
+        {"kind": "triangular_entries_le", "ptr": "rowptr"})";
+  J += R"(
+      ]
+    })";
+  if (DiagPointers)
+    J += R"(,
+    "diag": {
+      "properties": [{"kind": "segment_pointer", "ptr": "rowptr"}]
+    })";
+  J += "\n  }\n}\n";
+  return J;
+}
+
+/// CSC matrices: colptr strictly increasing, rowidx sorted within each
+/// column; lower-triangular factors have rowidx(p) >= j within column j
+/// (diagonal stored first).
+PropertySet cscProperties(bool LowerTriangular) {
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "colptr");
+  PS.add(PropertyKind::PeriodicMonotonic, "rowidx", "colptr");
+  if (LowerTriangular) {
+    PS.add(PropertyKind::TriangularEntriesGE, "rowidx", "colptr");
+    // Diagonal-first storage: the first entry of column x is row x.
+    PS.add(PropertyKind::SegmentStartIdentity, "rowidx", "colptr", Expr(0),
+           Expr::var("n"));
+  }
+  ir::DomainRangeDecl D;
+  D.Fn = "colptr";
+  D.DomLo = Expr(0);
+  D.DomHi = Expr::var("n");
+  D.RanLo = Expr(0);
+  D.RanHi = Expr::var("nnz");
+  PS.addDomainRange(D);
+  return PS;
+}
+
+std::string cscPropertyJSON(bool LowerTriangular) {
+  std::string J = R"({
+  "index_arrays": {
+    "colptr": {
+      "properties": ["strict_monotonic_increasing"],
+      "domain": [0, "n"], "range": [0, "nnz"]
+    },
+    "rowidx": {
+      "properties": [
+        {"kind": "periodic_monotonic", "segment": "colptr"})";
+  if (LowerTriangular)
+    J += R"(,
+        {"kind": "triangular_entries_ge", "ptr": "colptr"},
+        {"kind": "segment_start_identity", "ptr": "colptr",
+         "domain": [0, "n"]})";
+  J += "\n      ]\n    }\n  }\n}\n";
+  return J;
+}
+
+} // namespace
+
+Kernel forwardSolveCSR() {
+  // Figure 1:
+  //   for (i = 0; i < n; i++) {
+  //     tmp = f[i];
+  //     for (k = rowptr[i]; k < rowptr[i+1]-1; k++)
+  //       S1: tmp -= val[k] * u[col[k]];
+  //     S2: u[i] = tmp / val[rowptr[i+1]-1];
+  //   }
+  KernelBuilder B("Forward Solve CSR", "CSR", "Vuduc et al. [65]");
+  Expr I = v("i"), K = v("k"), N = v("n");
+  B.loop("i", Expr(0), N)
+      .loop("k", uf("rowptr", I), uf("rowptr", I + Expr(1)) - Expr(1))
+      .stmt("S1", {read("val", {K}), read("u", {uf("col", K)})})
+      .end()
+      .stmt("S2", {write("u", {I}), read("f", {I}),
+                   read("val", {uf("rowptr", I + Expr(1)) - Expr(1)})})
+      .end();
+  Kernel Out = B.take();
+  Out.Properties = csrProperties(/*LowerTriangular=*/true,
+                                 /*DiagPointers=*/false);
+  Out.PropertyJSON = csrPropertyJSON(true, false);
+  return Out;
+}
+
+Kernel gaussSeidelCSR() {
+  // MKL-style sweep over a general matrix (diagonal position given by the
+  // diag pointer array):
+  //   for (i = 0; i < n; i++) {
+  //     sum = f[i];
+  //     for (k = rowptr[i]; k < rowptr[i+1]; k++)
+  //       S1: sum -= val[k] * x[col[k]];    // diagonal corrected via S2
+  //     S2: x[i] = sum / val[diag[i]];
+  //   }
+  KernelBuilder B("Gauss-Seidel CSR", "CSR", "Intel MKL [66]");
+  Expr I = v("i"), K = v("k"), N = v("n");
+  B.loop("i", Expr(0), N)
+      .loop("k", uf("rowptr", I), uf("rowptr", I + Expr(1)))
+      .stmt("S1", {read("val", {K}), read("x", {uf("col", K)})})
+      .end()
+      .stmt("S2", {write("x", {I}), read("f", {I}),
+                   read("val", {uf("diag", I)})})
+      .end();
+  Kernel Out = B.take();
+  Out.Properties = csrProperties(/*LowerTriangular=*/false,
+                                 /*DiagPointers=*/true);
+  Out.PropertyJSON = csrPropertyJSON(false, true);
+  return Out;
+}
+
+Kernel spmvCSR() {
+  //   for (i = 0; i < n; i++)
+  //     for (k = rowptr[i]; k < rowptr[i+1]; k++)
+  //       S1: y[i] += val[k] * x[col[k]];
+  KernelBuilder B("Sparse MV Multiply CSR", "CSR", "common");
+  Expr I = v("i"), K = v("k"), N = v("n");
+  B.loop("i", Expr(0), N)
+      .loop("k", uf("rowptr", I), uf("rowptr", I + Expr(1)))
+      .stmt("S1", {write("y", {I}), read("y", {I}), read("val", {K}),
+                   read("x", {uf("col", K)})})
+      .end()
+      .end();
+  Kernel Out = B.take();
+  Out.Properties = csrProperties(/*LowerTriangular=*/true,
+                                 /*DiagPointers=*/false);
+  Out.PropertyJSON = csrPropertyJSON(true, false);
+  return Out;
+}
+
+Kernel forwardSolveCSC() {
+  // Sympiler's column-oriented lower-triangular solve:
+  //   for (j = 0; j < n; j++) {
+  //     S1: x[j] = x[j] / val[colptr[j]];
+  //     for (p = colptr[j]+1; p < colptr[j+1]; p++)
+  //       S2: x[rowidx[p]] -= val[p] * x[j];
+  //   }
+  KernelBuilder B("Forward Solve CSC", "CSC", "Sympiler [15]");
+  Expr J = v("j"), P = v("p"), N = v("n");
+  B.loop("j", Expr(0), N)
+      .stmt("S1", {write("x", {J}), read("x", {J}),
+                   read("val", {uf("colptr", J)})})
+      .loop("p", uf("colptr", J) + Expr(1), uf("colptr", J + Expr(1)))
+      .stmt("S2", {update("x", {uf("rowidx", P)}), read("x", {J}),
+                   read("val", {P})})
+      .end()
+      .end();
+  Kernel Out = B.take();
+  Out.Properties = cscProperties(/*LowerTriangular=*/true);
+  Out.PropertyJSON = cscPropertyJSON(true);
+  return Out;
+}
+
+Kernel incompleteCholeskyCSC() {
+  // Figure 4 / Figure 6 (SparseLib++), with colPtr -> colptr and
+  // rowIdx -> rowidx:
+  //   for (i = 0; i < n; i++) {
+  //     S1: val[colptr[i]] = sqrt(val[colptr[i]]);
+  //     for (m = colptr[i]+1; m < colptr[i+1]; m++)
+  //       S2: val[m] = val[m] / val[colptr[i]];
+  //     for (m = colptr[i]+1; m < colptr[i+1]; m++)
+  //       for (k = colptr[rowidx[m]]; k < colptr[rowidx[m]+1]; k++)
+  //         for (l = m; l < colptr[i+1]; l++)
+  //           if (rowidx[l] == rowidx[k] && rowidx[l+1] <= rowidx[k])
+  //             S3: val[k] -= val[m] * val[l];
+  //   }
+  KernelBuilder B("Incomplete Cholesky CSC", "CSC", "SparseLib++ [43]");
+  Expr I = v("i"), M = v("m"), K = v("k"), L = v("l"), N = v("n");
+  B.loop("i", Expr(0), N)
+      .stmt("S1", {write("val", {uf("colptr", I)}),
+                   read("val", {uf("colptr", I)})})
+      .loop("m", uf("colptr", I) + Expr(1), uf("colptr", I + Expr(1)))
+      .stmt("S2", {write("val", {M}), read("val", {M}),
+                   read("val", {uf("colptr", I)})})
+      .end()
+      .loop("m", uf("colptr", I) + Expr(1), uf("colptr", I + Expr(1)))
+      .loop("k", uf("colptr", uf("rowidx", M)),
+            uf("colptr", uf("rowidx", M) + Expr(1)))
+      .loop("l", M, uf("colptr", I + Expr(1)))
+      .guard(Constraint::equals(uf("rowidx", L), uf("rowidx", K)))
+      .guard(Constraint::le(uf("rowidx", L + Expr(1)), uf("rowidx", K)))
+      .stmt("S3", {update("val", {K}), read("val", {M}),
+                   read("val", {L})})
+      .end()
+      .end()
+      .end()
+      .end();
+  Kernel Out = B.take();
+  Out.Properties = cscProperties(/*LowerTriangular=*/true);
+  Out.PropertyJSON = cscPropertyJSON(true);
+  return Out;
+}
+
+Kernel incompleteLU0CSR() {
+  // MKL-style ILU0 on a general CSR matrix with diag pointers:
+  //   for (i = 0; i < n; i++)
+  //     for (k = rowptr[i]; k < rowptr[i+1] && col[k] < i; k++) {
+  //       S1: val[k] = val[k] / val[diag[col[k]]];
+  //       for (j = k+1; j < rowptr[i+1]; j++)
+  //         for (l = rowptr[col[k]]; l < rowptr[col[k]+1]; l++)
+  //           if (col[l] == col[j])
+  //             S2: val[j] -= val[k] * val[l];
+  //     }
+  KernelBuilder B("Incomplete LU0 CSR", "CSR", "Intel MKL [66]");
+  Expr I = v("i"), K = v("k"), J = v("j"), L = v("l"), N = v("n");
+  B.loop("i", Expr(0), N)
+      .loop("k", uf("rowptr", I), uf("rowptr", I + Expr(1)))
+      .guard(Constraint::lt(uf("col", K), I))
+      .stmt("S1", {write("val", {K}), read("val", {K}),
+                   read("val", {uf("diag", uf("col", K))})})
+      .loop("j", K + Expr(1), uf("rowptr", I + Expr(1)))
+      .loop("l", uf("rowptr", uf("col", K)),
+            uf("rowptr", uf("col", K) + Expr(1)))
+      .guard(Constraint::lt(uf("col", K), I)) // still inside the k-guard
+      .guard(Constraint::equals(uf("col", L), uf("col", J)))
+      .stmt("S2", {update("val", {J}), read("val", {K}),
+                   read("val", {L})})
+      .end()
+      .end()
+      .end()
+      .end();
+  Kernel Out = B.take();
+  Out.Properties = csrProperties(/*LowerTriangular=*/false,
+                                 /*DiagPointers=*/true);
+  Out.PropertyJSON = csrPropertyJSON(false, true);
+  return Out;
+}
+
+Kernel leftCholeskyCSC() {
+  // Sympiler-style static left-looking Cholesky. Column j is updated by
+  // the columns named in its static prune set, then scaled. The gather
+  // buffer (reset per column) is privatizable and not modeled.
+  //   for (j = 0; j < n; j++) {
+  //     for (t = pruneptr[j]; t < pruneptr[j+1]; t++)        // k = pruneset[t]
+  //       for (p = colptr[pruneset[t]]; p < colptr[pruneset[t]+1]; p++)
+  //         S1: ... reads lval[p] ...                         // update
+  //     S2: lval[colptr[j]] = sqrt(f[j]);
+  //     for (p = colptr[j]+1; p < colptr[j+1]; p++)
+  //       S3: lval[p] = f[rowidx[p]] / lval[colptr[j]];
+  //   }
+  KernelBuilder B("Static Left Cholesky CSC", "CSC", "Sympiler [15]");
+  Expr J = v("j"), T = v("t"), P = v("p"), N = v("n");
+  B.loop("j", Expr(0), N)
+      .loop("t", uf("pruneptr", J), uf("pruneptr", J + Expr(1)))
+      .loop("p", uf("colptr", uf("pruneset", T)),
+            uf("colptr", uf("pruneset", T) + Expr(1)))
+      .stmt("S1", {read("lval", {P})})
+      .end()
+      .end()
+      .stmt("S2", {write("lval", {uf("colptr", J)})})
+      .loop("p", uf("colptr", J) + Expr(1), uf("colptr", J + Expr(1)))
+      .stmt("S3", {write("lval", {P}), read("lval", {uf("colptr", J)})})
+      .end()
+      .end();
+  Kernel Out = B.take();
+  PropertySet PS = cscProperties(/*LowerTriangular=*/true);
+  // Prune sets name strictly earlier columns, and pruneptr is monotone.
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "pruneptr");
+  PS.add(PropertyKind::TriangularEntriesLT, "pruneset", "pruneptr");
+  Out.Properties = PS;
+  Out.PropertyJSON = R"({
+  "index_arrays": {
+    "colptr": {
+      "properties": ["strict_monotonic_increasing"],
+      "domain": [0, "n"], "range": [0, "nnz"]
+    },
+    "rowidx": {
+      "properties": [
+        {"kind": "periodic_monotonic", "segment": "colptr"},
+        {"kind": "triangular_entries_ge", "ptr": "colptr"},
+        {"kind": "segment_start_identity", "ptr": "colptr",
+         "domain": [0, "n"]}
+      ]
+    },
+    "pruneptr": {"properties": ["strict_monotonic_increasing"]},
+    "pruneset": {
+      "properties": [{"kind": "triangular_entries_lt", "ptr": "pruneptr"}]
+    }
+  }
+}
+)";
+  return Out;
+}
+
+std::vector<Kernel> allKernels() {
+  return {gaussSeidelCSR(),        incompleteLU0CSR(),
+          incompleteCholeskyCSC(), forwardSolveCSC(),
+          forwardSolveCSR(),       spmvCSR(),
+          leftCholeskyCSC()};
+}
+
+} // namespace kernels
+} // namespace sds

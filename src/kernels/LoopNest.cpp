@@ -1,0 +1,121 @@
+//===- LoopNest.cpp - Loop-nest IR for sparse kernels ---------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/kernels/LoopNest.h"
+
+#include <cassert>
+
+namespace sds {
+namespace kernels {
+
+std::string Access::str() const {
+  std::string Out = Array + "[";
+  for (size_t I = 0; I < Subscripts.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Subscripts[I].str();
+  }
+  Out += "]";
+  return Out + (IsReduction ? " (u)" : (IsWrite ? " (w)" : " (r)"));
+}
+
+ir::Conjunction Statement::iterationDomain() const {
+  ir::Conjunction C;
+  for (const Loop &L : Loops) {
+    C.add(ir::Constraint::le(L.LB, ir::Expr::var(L.IV)));
+    C.add(ir::Constraint::lt(ir::Expr::var(L.IV), L.UB));
+  }
+  C.append(Guards);
+  return C;
+}
+
+std::vector<std::string> Statement::ivs() const {
+  std::vector<std::string> Out;
+  Out.reserve(Loops.size());
+  for (const Loop &L : Loops)
+    Out.push_back(L.IV);
+  return Out;
+}
+
+std::string Kernel::str() const {
+  std::string Out = Name + " (" + Format + ", from " + Source + ")\n";
+  for (const Statement &S : Stmts) {
+    Out += "  " + S.Name + " @ [";
+    for (size_t I = 0; I < S.Loops.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += S.Loops[I].IV;
+    }
+    Out += "]: ";
+    for (size_t I = 0; I < S.Accesses.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += S.Accesses[I].str();
+    }
+    if (!S.Guards.empty())
+      Out += "  if " + S.Guards.str();
+    Out += "\n";
+  }
+  return Out;
+}
+
+KernelBuilder::KernelBuilder(std::string Name, std::string Format,
+                             std::string Source) {
+  K.Name = std::move(Name);
+  K.Format = std::move(Format);
+  K.Source = std::move(Source);
+}
+
+KernelBuilder &KernelBuilder::loop(std::string IV, ir::Expr LB, ir::Expr UB) {
+  OpenLoops.push_back({std::move(IV), std::move(LB), std::move(UB)});
+  return *this;
+}
+
+KernelBuilder &KernelBuilder::end() {
+  assert(!OpenLoops.empty() && "end() without an open loop");
+  OpenLoops.pop_back();
+  return *this;
+}
+
+KernelBuilder &KernelBuilder::guard(ir::Constraint C) {
+  PendingGuards.add(std::move(C));
+  return *this;
+}
+
+KernelBuilder &KernelBuilder::stmt(std::string Name,
+                                   std::vector<Access> Accesses) {
+  Statement S;
+  S.Name = std::move(Name);
+  S.Loops = OpenLoops;
+  S.Guards = std::move(PendingGuards);
+  PendingGuards = ir::Conjunction();
+  S.Accesses = std::move(Accesses);
+  K.Stmts.push_back(std::move(S));
+  return *this;
+}
+
+Kernel KernelBuilder::take() {
+  assert(OpenLoops.empty() && "unclosed loops at take()");
+  return std::move(K);
+}
+
+ir::Expr v(const std::string &Name) { return ir::Expr::var(Name); }
+ir::Expr uf(const std::string &Fn, ir::Expr Arg) {
+  return ir::Expr::call(Fn, {std::move(Arg)});
+}
+Access read(std::string Array, std::vector<ir::Expr> Subs) {
+  return {std::move(Array), std::move(Subs), /*IsWrite=*/false};
+}
+Access write(std::string Array, std::vector<ir::Expr> Subs) {
+  return {std::move(Array), std::move(Subs), /*IsWrite=*/true};
+}
+Access update(std::string Array, std::vector<ir::Expr> Subs) {
+  return {std::move(Array), std::move(Subs), /*IsWrite=*/true,
+          /*IsReduction=*/true};
+}
+
+} // namespace kernels
+} // namespace sds

@@ -1,0 +1,631 @@
+//===- BasicSet.cpp - Integer polyhedra over named dimensions ------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/presburger/BasicSet.h"
+
+#include "sds/presburger/Simplex.h"
+#include "sds/support/MathExtras.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace sds {
+namespace presburger {
+
+void BasicSet::addEquality(std::vector<int64_t> Row) {
+  assert(Row.size() == NumVars + 1 && "bad row width");
+  Eqs.push_back(std::move(Row));
+}
+
+void BasicSet::addInequality(std::vector<int64_t> Row) {
+  assert(Row.size() == NumVars + 1 && "bad row width");
+  Ineqs.push_back(std::move(Row));
+}
+
+/// GCD-reduce one row; returns the gcd of the variable coefficients.
+static int64_t variableGcd(const std::vector<int64_t> &Row, unsigned NumVars) {
+  int64_t G = 0;
+  for (unsigned J = 0; J < NumVars; ++J)
+    G = gcd64(G, Row[J]);
+  return G;
+}
+
+bool BasicSet::normalize() {
+  std::vector<std::vector<int64_t>> NewEqs, NewIneqs;
+  std::set<std::vector<int64_t>> SeenEq, SeenIneq;
+
+  for (auto &Row : Eqs) {
+    int64_t G = variableGcd(Row, NumVars);
+    if (G == 0) {
+      if (Row[NumVars] != 0)
+        return false; // 0 == c, c != 0
+      continue;
+    }
+    if (Row[NumVars] % G != 0)
+      return false; // no integer solution for this equality
+    std::vector<int64_t> R = Row;
+    for (auto &C : R)
+      C /= G;
+    // Canonical sign: first nonzero variable coefficient positive.
+    for (unsigned J = 0; J < NumVars; ++J) {
+      if (R[J] == 0)
+        continue;
+      if (R[J] < 0)
+        for (auto &C : R)
+          C = -C;
+      break;
+    }
+    if (SeenEq.insert(R).second)
+      NewEqs.push_back(std::move(R));
+  }
+
+  for (auto &Row : Ineqs) {
+    int64_t G = variableGcd(Row, NumVars);
+    if (G == 0) {
+      if (Row[NumVars] < 0)
+        return false; // 0 >= -c with c > 0
+      continue;
+    }
+    std::vector<int64_t> R = Row;
+    for (unsigned J = 0; J < NumVars; ++J)
+      R[J] /= G;
+    // Integer tightening: constant rounds toward -inf.
+    R[NumVars] = floorDiv64(R[NumVars], G);
+    if (SeenIneq.insert(R).second)
+      NewIneqs.push_back(std::move(R));
+  }
+
+  Eqs = std::move(NewEqs);
+  Ineqs = std::move(NewIneqs);
+  return true;
+}
+
+namespace {
+
+/// Shared implementation of the integer emptiness test (rational simplex +
+/// branch-and-bound), also used for integer sampling.
+class EmptinessCheckerImpl {
+public:
+  explicit EmptinessCheckerImpl(unsigned NodeBudget) : Budget(NodeBudget) {}
+
+  /// Returns the emptiness verdict; on False (non-empty), `Point` holds an
+  /// integer point.
+  Ternary run(BasicSet S, std::vector<int64_t> &Point) {
+    if (!S.normalize())
+      return Ternary::True;
+
+    Simplex Sx(S.numVars());
+    for (const auto &R : S.equalities())
+      Sx.addEquality(R);
+    for (const auto &R : S.inequalities())
+      Sx.addInequality(R);
+    LPStatus St = Sx.checkFeasible();
+    if (St == LPStatus::Infeasible)
+      return Ternary::True;
+    if (St == LPStatus::Error)
+      return Ternary::Unknown;
+
+    // Rationally feasible: is the sample integral?
+    const std::vector<Fraction> &Sample = Sx.samplePoint();
+    unsigned FracVar = S.numVars();
+    for (unsigned J = 0; J < S.numVars(); ++J) {
+      if (!Sample[J].isIntegral()) {
+        FracVar = J;
+        break;
+      }
+    }
+    if (FracVar == S.numVars()) {
+      Point.resize(S.numVars());
+      for (unsigned J = 0; J < S.numVars(); ++J) {
+        Int128 V = Sample[J].num();
+        if (V > INT64_MAX || V < INT64_MIN)
+          return Ternary::Unknown;
+        Point[J] = static_cast<int64_t>(V);
+      }
+      return Ternary::False;
+    }
+
+    if (Budget == 0)
+      return Ternary::Unknown;
+    --Budget;
+
+    // Branch on the fractional coordinate.
+    Int128 Floor = Sample[FracVar].floor();
+    if (Floor > INT64_MAX - 1 || Floor < INT64_MIN + 1)
+      return Ternary::Unknown;
+    int64_t F = static_cast<int64_t>(Floor);
+
+    BasicSet Left = S; // x <= floor(v)
+    {
+      std::vector<int64_t> Row(S.numVars() + 1, 0);
+      Row[FracVar] = -1;
+      Row[S.numVars()] = F;
+      Left.addInequality(std::move(Row));
+    }
+    BasicSet Right = S; // x >= floor(v) + 1
+    {
+      std::vector<int64_t> Row(S.numVars() + 1, 0);
+      Row[FracVar] = 1;
+      Row[S.numVars()] = -(F + 1);
+      Right.addInequality(std::move(Row));
+    }
+
+    Ternary A = run(std::move(Left), Point);
+    if (A == Ternary::False)
+      return Ternary::False;
+    Ternary B = run(std::move(Right), Point);
+    if (B == Ternary::False)
+      return Ternary::False;
+    if (A == Ternary::True && B == Ternary::True)
+      return Ternary::True;
+    return Ternary::Unknown;
+  }
+
+private:
+  unsigned Budget;
+};
+
+} // namespace
+
+Ternary BasicSet::isEmpty(unsigned NodeBudget) const {
+  std::vector<int64_t> Ignored;
+  return EmptinessCheckerImpl(NodeBudget).run(*this, Ignored);
+}
+
+std::optional<std::vector<int64_t>>
+BasicSet::sampleIntegerPoint(unsigned NodeBudget) const {
+  std::vector<int64_t> Point;
+  if (EmptinessCheckerImpl(NodeBudget).run(*this, Point) == Ternary::False)
+    return Point;
+  return std::nullopt;
+}
+
+unsigned BasicSet::detectImplicitEqualities(unsigned NodeBudget) {
+  if (!normalize())
+    return 0;
+  unsigned Promoted = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < Ineqs.size(); ++I) {
+      // Is (row >= 1) infeasible within the set? Then row == 0 everywhere.
+      BasicSet Probe = *this;
+      std::vector<int64_t> Strict = Ineqs[I];
+      Strict[NumVars] -= 1;
+      Probe.addInequality(std::move(Strict));
+      if (Probe.isEmpty(NodeBudget) != Ternary::True)
+        continue;
+      Eqs.push_back(Ineqs[I]);
+      Ineqs.erase(Ineqs.begin() + static_cast<std::ptrdiff_t>(I));
+      --I;
+      ++Promoted;
+      Changed = true;
+    }
+  }
+  return Promoted;
+}
+
+BasicSet BasicSet::substitute(unsigned Var,
+                              const std::vector<int64_t> &Expr) const {
+  assert(Expr.size() == NumVars + 1 && "bad expression width");
+  assert(Expr[Var] == 0 && "self-referential substitution");
+  BasicSet Out(NumVars - 1);
+  auto Rewrite = [&](const std::vector<int64_t> &Row) {
+    // Clear the Var column by adding Var's coefficient times (Expr - Var).
+    std::vector<int64_t> Full(NumVars + 1, 0);
+    int64_t A = Row[Var];
+    for (unsigned J = 0; J <= NumVars; ++J)
+      Full[J] = Row[J] + A * Expr[J];
+    Full[Var] = 0;
+    std::vector<int64_t> Compact;
+    Compact.reserve(NumVars);
+    for (unsigned J = 0; J <= NumVars; ++J)
+      if (J != Var)
+        Compact.push_back(Full[J]);
+    return Compact;
+  };
+  for (const auto &R : Eqs)
+    Out.addEquality(Rewrite(R));
+  for (const auto &R : Ineqs)
+    Out.addInequality(Rewrite(R));
+  return Out;
+}
+
+BasicSet BasicSet::insertVars(unsigned Pos, unsigned Count) const {
+  assert(Pos <= NumVars && "insert position out of range");
+  BasicSet Out(NumVars + Count);
+  auto Widen = [&](const std::vector<int64_t> &Row) {
+    std::vector<int64_t> R;
+    R.reserve(NumVars + Count + 1);
+    R.insert(R.end(), Row.begin(), Row.begin() + Pos);
+    R.insert(R.end(), Count, 0);
+    R.insert(R.end(), Row.begin() + Pos, Row.end());
+    return R;
+  };
+  for (const auto &R : Eqs)
+    Out.addEquality(Widen(R));
+  for (const auto &R : Ineqs)
+    Out.addInequality(Widen(R));
+  return Out;
+}
+
+Ternary BasicSet::isSubsetOf(const BasicSet &Other,
+                             unsigned NodeBudget) const {
+  assert(NumVars == Other.NumVars && "dimension mismatch");
+  // this ⊆ {row >= 0}  iff  this ∧ (row <= -1) is empty.
+  auto ContainedInHalfspace = [&](const std::vector<int64_t> &Row) {
+    BasicSet Probe = *this;
+    std::vector<int64_t> Neg(NumVars + 1);
+    for (unsigned J = 0; J <= NumVars; ++J)
+      Neg[J] = -Row[J];
+    Neg[NumVars] -= 1;
+    Probe.addInequality(std::move(Neg));
+    return Probe.isEmpty(NodeBudget);
+  };
+  bool SawUnknown = false;
+  for (const auto &Row : Other.Ineqs) {
+    Ternary T = ContainedInHalfspace(Row);
+    if (T == Ternary::False)
+      return Ternary::False;
+    if (T == Ternary::Unknown)
+      SawUnknown = true;
+  }
+  for (const auto &Row : Other.Eqs) {
+    Ternary T = ContainedInHalfspace(Row);
+    if (T == Ternary::False)
+      return Ternary::False;
+    if (T == Ternary::Unknown)
+      SawUnknown = true;
+    std::vector<int64_t> Neg(NumVars + 1);
+    for (unsigned J = 0; J <= NumVars; ++J)
+      Neg[J] = -Row[J];
+    T = ContainedInHalfspace(Neg);
+    if (T == Ternary::False)
+      return Ternary::False;
+    if (T == Ternary::Unknown)
+      SawUnknown = true;
+  }
+  return SawUnknown ? Ternary::Unknown : Ternary::True;
+}
+
+//===----------------------------------------------------------------------===//
+// Projection (Fourier–Motzkin with exactness tracking)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Eliminate variable `Var` from `S` in place (column becomes zero).
+/// Returns false when the elimination had to over-approximate.
+bool eliminateVar(BasicSet &S, unsigned Var, unsigned FMPairCap) {
+  unsigned N = S.numVars();
+
+  // Preferred: substitution through an equality with a ±1 coefficient.
+  const std::vector<std::vector<int64_t>> &Eqs = S.equalities();
+  for (size_t I = 0; I < Eqs.size(); ++I) {
+    int64_t C = Eqs[I][Var];
+    if (C != 1 && C != -1)
+      continue;
+    // Var = -(sign) * (rest of row).
+    std::vector<int64_t> Expr(N + 1, 0);
+    for (unsigned J = 0; J <= N; ++J) {
+      if (J == Var)
+        continue;
+      Expr[J] = (C == 1) ? -Eqs[I][J] : Eqs[I][J];
+    }
+    BasicSet Out(N);
+    auto RewriteInto = [&](const std::vector<int64_t> &Row, bool IsEq) {
+      std::vector<int64_t> R(N + 1);
+      int64_t A = Row[Var];
+      for (unsigned J = 0; J <= N; ++J)
+        R[J] = Row[J] + A * Expr[J];
+      R[Var] = 0;
+      if (IsEq)
+        Out.addEquality(std::move(R));
+      else
+        Out.addInequality(std::move(R));
+    };
+    for (size_t K = 0; K < Eqs.size(); ++K)
+      if (K != I)
+        RewriteInto(Eqs[K], /*IsEq=*/true);
+    for (const auto &Row : S.inequalities())
+      RewriteInto(Row, /*IsEq=*/false);
+    S = std::move(Out);
+    return true;
+  }
+
+  // Equality with a non-unit coefficient: scaled elimination loses the
+  // divisibility constraint; mark inexact.
+  for (size_t I = 0; I < Eqs.size(); ++I) {
+    int64_t C = Eqs[I][Var];
+    if (C == 0)
+      continue;
+    int64_t AbsC = C < 0 ? -C : C;
+    int64_t SignC = C < 0 ? -1 : 1;
+    BasicSet Out(N);
+    std::vector<int64_t> EqRow = Eqs[I];
+    auto RewriteInto = [&](const std::vector<int64_t> &Row, bool IsEq) {
+      int64_t A = Row[Var];
+      std::vector<int64_t> R(N + 1);
+      bool Ovf = false;
+      for (unsigned J = 0; J <= N; ++J) {
+        int64_t T1, T2;
+        Ovf |= mulOverflow64(AbsC, Row[J], T1);
+        Ovf |= mulOverflow64(A * SignC, EqRow[J], T2);
+        Ovf |= addOverflow64(T1, -T2, R[J]);
+      }
+      if (Ovf)
+        return false;
+      R[Var] = 0;
+      if (IsEq)
+        Out.addEquality(std::move(R));
+      else
+        Out.addInequality(std::move(R));
+      return true;
+    };
+    bool OK = true;
+    for (size_t K = 0; K < Eqs.size() && OK; ++K)
+      if (K != I)
+        OK = RewriteInto(Eqs[K], /*IsEq=*/true);
+    for (const auto &Row : S.inequalities())
+      if (OK)
+        OK = RewriteInto(Row, /*IsEq=*/false);
+    if (OK) {
+      S = std::move(Out);
+      return false; // over-approximate (divisibility dropped)
+    }
+    break; // overflow: fall through to the relaxation path
+  }
+
+  // Fourier–Motzkin over the inequalities.
+  std::vector<std::vector<int64_t>> Lowers, Uppers, Others;
+  for (const auto &Row : S.inequalities()) {
+    if (Row[Var] > 0)
+      Lowers.push_back(Row);
+    else if (Row[Var] < 0)
+      Uppers.push_back(Row);
+    else
+      Others.push_back(Row);
+  }
+  // If any equality still involves Var here, there were no equalities with
+  // nonzero coefficient (handled above), so none do.
+  bool Exact = true;
+  BasicSet Out(N);
+  for (const auto &Row : S.equalities())
+    Out.addEquality(Row);
+  for (auto &Row : Others)
+    Out.addInequality(std::move(Row));
+
+  if (Lowers.size() * Uppers.size() > FMPairCap) {
+    // Too many combinations: drop all constraints on Var (pure relaxation).
+    S = std::move(Out);
+    return false;
+  }
+
+  for (const auto &L : Lowers) {
+    for (const auto &U : Uppers) {
+      int64_t AL = L[Var];        // > 0
+      int64_t AU = -U[Var];       // > 0
+      bool PairExact = (AL == 1 || AU == 1);
+      Exact &= PairExact;
+      std::vector<int64_t> R(N + 1);
+      bool Ovf = false;
+      for (unsigned J = 0; J <= N; ++J) {
+        int64_t T1, T2;
+        Ovf |= mulOverflow64(AU, L[J], T1);
+        Ovf |= mulOverflow64(AL, U[J], T2);
+        Ovf |= addOverflow64(T1, T2, R[J]);
+      }
+      if (Ovf) {
+        // Skip the combined constraint: still a relaxation, but inexact.
+        Exact = false;
+        continue;
+      }
+      R[Var] = 0;
+      if (!PairExact) {
+        // Integer (dark-shadow style) tightening is not applied; the pure
+        // FM result over-approximates the integer shadow.
+      }
+      Out.addInequality(std::move(R));
+    }
+  }
+  S = std::move(Out);
+  return Exact;
+}
+
+} // namespace
+
+ProjectResult
+BasicSet::projectOut(std::vector<unsigned> Positions) const {
+  BasicSet Work = *this;
+  bool Exact = true;
+  std::sort(Positions.begin(), Positions.end());
+  Positions.erase(std::unique(Positions.begin(), Positions.end()),
+                  Positions.end());
+  std::vector<bool> Eliminated(NumVars, false);
+
+  if (!Work.normalize()) {
+    unsigned OutWidth = NumVars - static_cast<unsigned>(Positions.size());
+    BasicSet Out(OutWidth);
+    std::vector<int64_t> False(OutWidth + 1, 0);
+    False[OutWidth] = -1;
+    Out.addInequality(std::move(False));
+    return {std::move(Out), true};
+  }
+
+  // Eliminate cheapest-first: prefer unit-equality substitutions, then the
+  // variable with the fewest FM pair combinations.
+  std::vector<unsigned> Pending = Positions;
+  while (!Pending.empty()) {
+    unsigned BestIdx = 0;
+    long BestScore = -1;
+    for (unsigned I = 0; I < Pending.size(); ++I) {
+      unsigned V = Pending[I];
+      bool HasUnitEq = false;
+      for (const auto &E : Work.equalities())
+        if (E[V] == 1 || E[V] == -1) {
+          HasUnitEq = true;
+          break;
+        }
+      long Score;
+      if (HasUnitEq) {
+        Score = 0;
+      } else {
+        long NumLow = 0, NumUp = 0;
+        for (const auto &R : Work.inequalities()) {
+          if (R[V] > 0)
+            ++NumLow;
+          else if (R[V] < 0)
+            ++NumUp;
+        }
+        Score = 1 + NumLow * NumUp;
+      }
+      if (BestScore < 0 || Score < BestScore) {
+        BestScore = Score;
+        BestIdx = I;
+      }
+    }
+    unsigned Var = Pending[BestIdx];
+    Pending.erase(Pending.begin() + BestIdx);
+    Exact &= eliminateVar(Work, Var, /*FMPairCap=*/2048);
+    Eliminated[Var] = true;
+    if (!Work.normalize()) {
+      // Proven empty during elimination: produce an empty set of the right
+      // output width; that is exact regardless of earlier approximations.
+      unsigned OutWidth = NumVars - static_cast<unsigned>(Positions.size());
+      BasicSet Out(OutWidth);
+      std::vector<int64_t> False(OutWidth + 1, 0);
+      False[OutWidth] = -1;
+      Out.addInequality(std::move(False));
+      return {std::move(Out), true};
+    }
+  }
+
+  // Compress the eliminated columns away.
+  unsigned OutWidth = NumVars - static_cast<unsigned>(Positions.size());
+  BasicSet Out(OutWidth);
+  auto Compress = [&](const std::vector<int64_t> &Row) {
+    std::vector<int64_t> R;
+    R.reserve(OutWidth + 1);
+    for (unsigned J = 0; J < NumVars; ++J)
+      if (!Eliminated[J])
+        R.push_back(Row[J]);
+    R.push_back(Row[NumVars]);
+    return R;
+  };
+  for (const auto &Row : Work.equalities())
+    Out.addEquality(Compress(Row));
+  for (const auto &Row : Work.inequalities())
+    Out.addInequality(Compress(Row));
+  Out.normalize();
+  return {std::move(Out), Exact};
+}
+
+//===----------------------------------------------------------------------===//
+// SetUnion
+//===----------------------------------------------------------------------===//
+
+Ternary SetUnion::isEmpty(unsigned NodeBudget) const {
+  bool SawUnknown = false;
+  for (const BasicSet &BS : Pieces) {
+    Ternary T = BS.isEmpty(NodeBudget);
+    if (T == Ternary::False)
+      return Ternary::False;
+    if (T == Ternary::Unknown)
+      SawUnknown = true;
+  }
+  return SawUnknown ? Ternary::Unknown : Ternary::True;
+}
+
+Ternary SetUnion::isSubsetOf(const SetUnion &Other,
+                             unsigned NodeBudget) const {
+  bool SawUnknown = false;
+  for (const BasicSet &Mine : Pieces) {
+    if (Mine.isEmpty(NodeBudget) == Ternary::True)
+      continue;
+    bool Contained = false;
+    for (const BasicSet &Theirs : Other.Pieces) {
+      if (Mine.isSubsetOf(Theirs, NodeBudget) == Ternary::True) {
+        Contained = true;
+        break;
+      }
+    }
+    if (!Contained) {
+      SawUnknown = true; // might still be covered jointly; stay conservative
+    }
+  }
+  return SawUnknown ? Ternary::Unknown : Ternary::True;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+std::string formatConstraintRow(const std::vector<int64_t> &Row, bool IsEq,
+                                const std::vector<std::string> &Names) {
+  unsigned NumVars = static_cast<unsigned>(Row.size()) - 1;
+  std::string Out;
+  bool First = true;
+  for (unsigned J = 0; J < NumVars; ++J) {
+    int64_t C = Row[J];
+    if (C == 0)
+      continue;
+    std::string Name =
+        J < Names.size() ? Names[J] : ("x" + std::to_string(J));
+    if (First) {
+      if (C == -1)
+        Out += "-";
+      else if (C != 1)
+        Out += std::to_string(C) + " ";
+    } else {
+      Out += C > 0 ? " + " : " - ";
+      int64_t A = C < 0 ? -C : C;
+      if (A != 1)
+        Out += std::to_string(A) + " ";
+    }
+    Out += Name;
+    First = false;
+  }
+  int64_t K = Row[NumVars];
+  if (First) {
+    Out += std::to_string(K);
+  } else if (K != 0) {
+    Out += K > 0 ? " + " : " - ";
+    Out += std::to_string(K < 0 ? -K : K);
+  }
+  Out += IsEq ? " == 0" : " >= 0";
+  return Out;
+}
+
+std::string BasicSet::str(const std::vector<std::string> &Names) const {
+  std::string Out = "{ [";
+  for (unsigned J = 0; J < NumVars; ++J) {
+    if (J)
+      Out += ", ";
+    Out += J < Names.size() ? Names[J] : ("x" + std::to_string(J));
+  }
+  Out += "] : ";
+  bool First = true;
+  for (const auto &Row : Eqs) {
+    if (!First)
+      Out += " && ";
+    Out += formatConstraintRow(Row, /*IsEq=*/true, Names);
+    First = false;
+  }
+  for (const auto &Row : Ineqs) {
+    if (!First)
+      Out += " && ";
+    Out += formatConstraintRow(Row, /*IsEq=*/false, Names);
+    First = false;
+  }
+  if (First)
+    Out += "true";
+  Out += " }";
+  return Out;
+}
+
+} // namespace presburger
+} // namespace sds

@@ -1,0 +1,297 @@
+//===- Simplex.cpp - Exact rational simplex for feasibility --------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/presburger/Simplex.h"
+
+#include <cassert>
+
+namespace sds {
+namespace presburger {
+
+void Simplex::addInequality(const std::vector<int64_t> &Row) {
+  assert(Row.size() == NumVars + 1 && "bad row width");
+  Rows.push_back({Row, /*IsEq=*/false});
+}
+
+void Simplex::addEquality(const std::vector<int64_t> &Row) {
+  assert(Row.size() == NumVars + 1 && "bad row width");
+  Rows.push_back({Row, /*IsEq=*/true});
+}
+
+LPStatus Simplex::checkFeasible() {
+  Fraction Ignored;
+  return solve(/*Obj=*/nullptr, Ignored);
+}
+
+LPStatus Simplex::minimize(const std::vector<int64_t> &Obj,
+                           Fraction &ObjValue) {
+  assert(Obj.size() == NumVars + 1 && "bad objective width");
+  return solve(&Obj, ObjValue);
+}
+
+namespace {
+
+/// Dense simplex tableau with an explicit reduced-cost row.
+class Tableau {
+public:
+  Tableau(unsigned NumRows, unsigned NumCols)
+      : NumRows(NumRows), NumCols(NumCols),
+        Cells(static_cast<size_t>(NumRows) * (NumCols + 1)),
+        ObjRow(NumCols + 1), Basis(NumRows, ~0u) {}
+
+  Fraction &at(unsigned R, unsigned C) {
+    return Cells[static_cast<size_t>(R) * (NumCols + 1) + C];
+  }
+  Fraction &rhs(unsigned R) { return at(R, NumCols); }
+  Fraction &obj(unsigned C) { return ObjRow[C]; }
+  Fraction &objVal() { return ObjRow[NumCols]; }
+
+  unsigned basis(unsigned R) const { return Basis[R]; }
+  void setBasis(unsigned R, unsigned C) { Basis[R] = C; }
+
+  bool overflowed() const { return Overflow; }
+
+  /// Pivot on (R, C): make column C basic in row R.
+  void pivot(unsigned R, unsigned C) {
+    Fraction P = at(R, C);
+    assert(!P.isZero() && "pivot on zero cell");
+    // Normalize the pivot row.
+    for (unsigned J = 0; J <= NumCols; ++J) {
+      at(R, J) = at(R, J) / P;
+      Overflow |= at(R, J).overflowed();
+    }
+    // Eliminate column C from all other rows and the objective row.
+    for (unsigned I = 0; I < NumRows; ++I) {
+      if (I == R)
+        continue;
+      Fraction F = at(I, C);
+      if (F.isZero())
+        continue;
+      for (unsigned J = 0; J <= NumCols; ++J) {
+        at(I, J) = at(I, J) - F * at(R, J);
+        Overflow |= at(I, J).overflowed();
+      }
+    }
+    Fraction F = obj(C);
+    if (!F.isZero()) {
+      for (unsigned J = 0; J <= NumCols; ++J) {
+        ObjRow[J] = ObjRow[J] - F * at(R, J);
+        Overflow |= ObjRow[J].overflowed();
+      }
+    }
+    Basis[R] = C;
+  }
+
+  /// Run simplex until optimal/unbounded/overflow: Dantzig's rule (most
+  /// negative reduced cost) for speed, switching to Bland's rule after a
+  /// pivot budget to guarantee termination on degenerate cycles.
+  /// `Allowed` masks which columns may enter the basis (may be null).
+  LPStatus iterate(const std::vector<bool> *Allowed) {
+    unsigned Pivots = 0;
+    const unsigned BlandAfter = 500;
+    while (true) {
+      if (Overflow)
+        return LPStatus::Error;
+      bool Bland = ++Pivots > BlandAfter;
+      unsigned Enter = NumCols;
+      Fraction Zero(0);
+      for (unsigned J = 0; J < NumCols; ++J) {
+        if (Allowed && !(*Allowed)[J])
+          continue;
+        if (!(obj(J) < Zero))
+          continue;
+        if (Enter == NumCols || (!Bland && obj(J) < obj(Enter))) {
+          Enter = J;
+          if (Bland)
+            break;
+        }
+      }
+      if (Enter == NumCols)
+        return LPStatus::Optimal;
+      // Leaving row: min ratio; ties broken by smallest basis index (Bland).
+      unsigned Leave = NumRows;
+      Fraction BestRatio(0);
+      for (unsigned I = 0; I < NumRows; ++I) {
+        if (!(at(I, Enter) > Zero))
+          continue;
+        Fraction Ratio = rhs(I) / at(I, Enter);
+        if (Ratio.overflowed())
+          return LPStatus::Error;
+        if (Leave == NumRows || Ratio < BestRatio ||
+            (Ratio == BestRatio && basis(I) < basis(Leave))) {
+          Leave = I;
+          BestRatio = Ratio;
+        }
+      }
+      if (Leave == NumRows)
+        return LPStatus::Unbounded;
+      pivot(Leave, Enter);
+    }
+  }
+
+  unsigned NumRows, NumCols;
+
+private:
+  std::vector<Fraction> Cells;
+  std::vector<Fraction> ObjRow;
+  std::vector<unsigned> Basis;
+  bool Overflow = false;
+};
+
+} // namespace
+
+LPStatus Simplex::solve(const std::vector<int64_t> *Obj, Fraction &ObjValue) {
+  // Quick scan: constraints with no variable part decide themselves.
+  std::vector<const RowRec *> Active;
+  Active.reserve(Rows.size());
+  for (const RowRec &R : Rows) {
+    bool AllZero = true;
+    for (unsigned J = 0; J < NumVars; ++J)
+      if (R.Coeffs[J] != 0) {
+        AllZero = false;
+        break;
+      }
+    if (AllZero) {
+      int64_t C = R.Coeffs[NumVars];
+      if (R.IsEq ? (C != 0) : (C < 0))
+        return LPStatus::Infeasible;
+      continue; // trivially satisfied
+    }
+    Active.push_back(&R);
+  }
+
+  unsigned NumIneq = 0;
+  for (const RowRec *R : Active)
+    if (!R->IsEq)
+      ++NumIneq;
+
+  unsigned M = static_cast<unsigned>(Active.size());
+  // Columns: p_0..p_{n-1}, q_0..q_{n-1}, slacks, artificials.
+  unsigned PBase = 0, QBase = NumVars, SBase = 2 * NumVars,
+           ABase = 2 * NumVars + NumIneq;
+  unsigned NumCols = ABase + M;
+
+  if (M == 0) {
+    // System is trivially satisfiable; the origin works.
+    Sample.assign(NumVars, Fraction(0));
+    if (Obj) {
+      // Objective may still be unbounded over free variables.
+      for (unsigned J = 0; J < NumVars; ++J)
+        if ((*Obj)[J] != 0)
+          return LPStatus::Unbounded;
+      ObjValue = Fraction((*Obj)[NumVars]);
+    }
+    return LPStatus::Optimal;
+  }
+
+  Tableau T(M, NumCols);
+  unsigned SlackIdx = 0;
+  for (unsigned I = 0; I < M; ++I) {
+    const RowRec &R = *Active[I];
+    // a.x + c (>=|==) 0  becomes  a.(p-q) [- s] = -c ; flip so RHS >= 0.
+    int64_t Rhs64 = -R.Coeffs[NumVars];
+    int Sign = Rhs64 < 0 ? -1 : 1;
+    for (unsigned J = 0; J < NumVars; ++J) {
+      int64_t A = R.Coeffs[J] * Sign;
+      T.at(I, PBase + J) = Fraction(A);
+      T.at(I, QBase + J) = Fraction(-A);
+    }
+    if (!R.IsEq) {
+      T.at(I, SBase + SlackIdx) = Fraction(-Sign);
+      ++SlackIdx;
+    }
+    T.at(I, ABase + I) = Fraction(1);
+    T.rhs(I) = Fraction(Sign < 0 ? -Rhs64 : Rhs64);
+    T.setBasis(I, ABase + I);
+  }
+
+  // Phase 1: minimize the sum of artificials. Reduced costs: cost 1 on each
+  // artificial, priced out against the artificial basis.
+  for (unsigned J = 0; J <= NumCols; ++J)
+    T.obj(J) = Fraction(0);
+  for (unsigned I = 0; I < M; ++I)
+    T.obj(ABase + I) = Fraction(1);
+  for (unsigned I = 0; I < M; ++I) {
+    // Basic artificial with cost 1: subtract its row from the objective.
+    for (unsigned J = 0; J <= NumCols; ++J)
+      T.obj(J) = T.obj(J) - T.at(I, J);
+  }
+
+  LPStatus S = T.iterate(/*Allowed=*/nullptr);
+  if (S == LPStatus::Error)
+    return S;
+  assert(S != LPStatus::Unbounded && "phase-1 objective is bounded below");
+  // Feasible iff the phase-1 optimum is zero, i.e. -objVal == 0.
+  if (!T.objVal().isZero())
+    return LPStatus::Infeasible;
+
+  // Drive any remaining basic artificials out (or detect redundant rows).
+  for (unsigned I = 0; I < M; ++I) {
+    if (T.basis(I) < ABase)
+      continue;
+    unsigned Col = NumCols;
+    for (unsigned J = 0; J < ABase; ++J)
+      if (!T.at(I, J).isZero()) {
+        Col = J;
+        break;
+      }
+    if (Col != NumCols)
+      T.pivot(I, Col);
+    // Otherwise the row is redundant; the artificial stays basic at zero,
+    // which is harmless as long as artificial columns never re-enter.
+  }
+  if (T.overflowed())
+    return LPStatus::Error;
+
+  std::vector<bool> Allowed(NumCols, true);
+  for (unsigned I = 0; I < M; ++I)
+    Allowed[ABase + I] = false;
+
+  if (Obj) {
+    // Phase 2: install the real objective and price out the basis.
+    for (unsigned J = 0; J <= NumCols; ++J)
+      T.obj(J) = Fraction(0);
+    for (unsigned J = 0; J < NumVars; ++J) {
+      T.obj(PBase + J) = Fraction((*Obj)[J]);
+      T.obj(QBase + J) = Fraction(-(*Obj)[J]);
+    }
+    for (unsigned I = 0; I < M; ++I) {
+      unsigned B = T.basis(I);
+      Fraction C = T.obj(B);
+      if (C.isZero())
+        continue;
+      for (unsigned J = 0; J <= NumCols; ++J)
+        T.obj(J) = T.obj(J) - C * T.at(I, J);
+    }
+    S = T.iterate(&Allowed);
+    if (S != LPStatus::Optimal)
+      return S;
+    // objVal holds -(c.x_B); optimum of c.x is its negation plus constant.
+    ObjValue = -T.objVal() + Fraction((*Obj)[NumVars]);
+    if (ObjValue.overflowed())
+      return LPStatus::Error;
+  }
+
+  // Extract the sample point x = p - q.
+  std::vector<Fraction> P(NumVars, Fraction(0)), Q(NumVars, Fraction(0));
+  for (unsigned I = 0; I < M; ++I) {
+    unsigned B = T.basis(I);
+    if (B < QBase)
+      P[B - PBase] = T.rhs(I);
+    else if (B < SBase)
+      Q[B - QBase] = T.rhs(I);
+  }
+  Sample.assign(NumVars, Fraction(0));
+  for (unsigned J = 0; J < NumVars; ++J) {
+    Sample[J] = P[J] - Q[J];
+    if (Sample[J].overflowed())
+      return LPStatus::Error;
+  }
+  return LPStatus::Optimal;
+}
+
+} // namespace presburger
+} // namespace sds

@@ -1,0 +1,237 @@
+//===- Matrix.cpp - CSR/CSC sparse matrices and generators ----------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/runtime/Matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+namespace sds {
+namespace rt {
+
+std::vector<int> CSRMatrix::diagonalPositions() const {
+  std::vector<int> Diag(N, -1);
+  for (int I = 0; I < N; ++I)
+    for (int K = RowPtr[I]; K < RowPtr[I + 1]; ++K)
+      if (Col[K] == I) {
+        Diag[I] = K;
+        break;
+      }
+  return Diag;
+}
+
+bool CSRMatrix::isWellFormed() const {
+  if (static_cast<int>(RowPtr.size()) != N + 1)
+    return false;
+  if (RowPtr[0] != 0 || RowPtr[N] != nnz())
+    return false;
+  if (Val.size() != Col.size())
+    return false;
+  for (int I = 0; I < N; ++I) {
+    if (RowPtr[I] > RowPtr[I + 1])
+      return false;
+    for (int K = RowPtr[I]; K < RowPtr[I + 1]; ++K) {
+      if (Col[K] < 0 || Col[K] >= N)
+        return false;
+      if (K > RowPtr[I] && Col[K - 1] >= Col[K])
+        return false; // must be strictly increasing within a row
+    }
+  }
+  return true;
+}
+
+bool CSRMatrix::isLowerTriangular() const {
+  for (int I = 0; I < N; ++I)
+    for (int K = RowPtr[I]; K < RowPtr[I + 1]; ++K)
+      if (Col[K] > I)
+        return false;
+  return true;
+}
+
+bool CSCMatrix::isWellFormed() const {
+  if (static_cast<int>(ColPtr.size()) != N + 1)
+    return false;
+  if (ColPtr[0] != 0 || ColPtr[N] != nnz())
+    return false;
+  if (Val.size() != RowIdx.size())
+    return false;
+  for (int J = 0; J < N; ++J) {
+    if (ColPtr[J] > ColPtr[J + 1])
+      return false;
+    for (int P = ColPtr[J]; P < ColPtr[J + 1]; ++P) {
+      if (RowIdx[P] < 0 || RowIdx[P] >= N)
+        return false;
+      if (P > ColPtr[J] && RowIdx[P - 1] >= RowIdx[P])
+        return false;
+    }
+  }
+  return true;
+}
+
+bool CSCMatrix::isLowerTriangular() const {
+  for (int J = 0; J < N; ++J)
+    for (int P = ColPtr[J]; P < ColPtr[J + 1]; ++P)
+      if (RowIdx[P] < J)
+        return false;
+  return true;
+}
+
+CSCMatrix toCSC(const CSRMatrix &A) {
+  CSCMatrix B;
+  B.N = A.N;
+  B.ColPtr.assign(A.N + 1, 0);
+  B.RowIdx.resize(A.Col.size());
+  B.Val.resize(A.Col.size());
+  for (int C : A.Col)
+    ++B.ColPtr[C + 1];
+  for (int J = 0; J < A.N; ++J)
+    B.ColPtr[J + 1] += B.ColPtr[J];
+  std::vector<int> Next(B.ColPtr.begin(), B.ColPtr.end() - 1);
+  // Row-major traversal keeps each column's rows sorted.
+  for (int I = 0; I < A.N; ++I) {
+    for (int K = A.RowPtr[I]; K < A.RowPtr[I + 1]; ++K) {
+      int J = A.Col[K];
+      B.RowIdx[Next[J]] = I;
+      B.Val[Next[J]] = A.Val[K];
+      ++Next[J];
+    }
+  }
+  return B;
+}
+
+CSRMatrix toCSR(const CSCMatrix &A) {
+  CSRMatrix B;
+  B.N = A.N;
+  B.RowPtr.assign(A.N + 1, 0);
+  B.Col.resize(A.RowIdx.size());
+  B.Val.resize(A.RowIdx.size());
+  for (int R : A.RowIdx)
+    ++B.RowPtr[R + 1];
+  for (int I = 0; I < A.N; ++I)
+    B.RowPtr[I + 1] += B.RowPtr[I];
+  std::vector<int> Next(B.RowPtr.begin(), B.RowPtr.end() - 1);
+  for (int J = 0; J < A.N; ++J) {
+    for (int P = A.ColPtr[J]; P < A.ColPtr[J + 1]; ++P) {
+      int I = A.RowIdx[P];
+      B.Col[Next[I]] = J;
+      B.Val[Next[I]] = A.Val[P];
+      ++Next[I];
+    }
+  }
+  return B;
+}
+
+CSRMatrix generateSPDLike(const GeneratorConfig &Config) {
+  assert(Config.N > 0 && Config.AvgNnzPerRow >= 1);
+  std::mt19937_64 Rng(Config.Seed);
+  int N = Config.N;
+  // Symmetric pattern: sample strictly-lower entries, mirror them.
+  std::vector<std::vector<int>> Lower(N);
+  std::uniform_int_distribution<int> Width(
+      1, std::max(1, Config.Bandwidth));
+  int TargetPerRow = std::max(0, (Config.AvgNnzPerRow - 1) / 2);
+  for (int I = 1; I < N; ++I) {
+    std::vector<int> &Row = Lower[I];
+    for (int T = 0; T < TargetPerRow; ++T) {
+      int J = I - Width(Rng);
+      if (J >= 0)
+        Row.push_back(J);
+    }
+    std::sort(Row.begin(), Row.end());
+    Row.erase(std::unique(Row.begin(), Row.end()), Row.end());
+  }
+  // Assemble full symmetric CSR with a dominant diagonal.
+  std::vector<std::vector<int>> Cols(N);
+  for (int I = 0; I < N; ++I) {
+    for (int J : Lower[I]) {
+      Cols[I].push_back(J);
+      Cols[J].push_back(I);
+    }
+    Cols[I].push_back(I);
+  }
+  CSRMatrix A;
+  A.N = N;
+  A.RowPtr.assign(N + 1, 0);
+  std::uniform_real_distribution<double> OffVal(-1.0, 1.0);
+  for (int I = 0; I < N; ++I) {
+    std::sort(Cols[I].begin(), Cols[I].end());
+    Cols[I].erase(std::unique(Cols[I].begin(), Cols[I].end()),
+                  Cols[I].end());
+    A.RowPtr[I + 1] = A.RowPtr[I] + static_cast<int>(Cols[I].size());
+  }
+  A.Col.reserve(A.RowPtr[N]);
+  A.Val.reserve(A.RowPtr[N]);
+  for (int I = 0; I < N; ++I) {
+    double RowSum = 0;
+    size_t DiagSlot = 0;
+    for (int J : Cols[I]) {
+      A.Col.push_back(J);
+      if (J == I) {
+        DiagSlot = A.Val.size();
+        A.Val.push_back(0); // patched below
+      } else {
+        // Symmetric value: deterministic in (min,max) so both triangles
+        // agree without extra bookkeeping.
+        uint64_t Key = static_cast<uint64_t>(std::min(I, J)) * 1000003u +
+                       static_cast<uint64_t>(std::max(I, J));
+        std::mt19937_64 PairRng(Config.Seed ^ Key);
+        double V = OffVal(PairRng);
+        A.Val.push_back(V);
+        RowSum += V < 0 ? -V : V;
+      }
+    }
+    A.Val[DiagSlot] = RowSum + 1.0; // strict diagonal dominance => SPD
+  }
+  return A;
+}
+
+CSRMatrix lowerTriangle(const CSRMatrix &A) {
+  CSRMatrix L;
+  L.N = A.N;
+  L.RowPtr.assign(A.N + 1, 0);
+  for (int I = 0; I < A.N; ++I) {
+    for (int K = A.RowPtr[I]; K < A.RowPtr[I + 1]; ++K)
+      if (A.Col[K] <= I)
+        ++L.RowPtr[I + 1];
+    L.RowPtr[I + 1] += L.RowPtr[I];
+  }
+  L.Col.reserve(L.RowPtr[A.N]);
+  L.Val.reserve(L.RowPtr[A.N]);
+  for (int I = 0; I < A.N; ++I)
+    for (int K = A.RowPtr[I]; K < A.RowPtr[I + 1]; ++K)
+      if (A.Col[K] <= I) {
+        L.Col.push_back(A.Col[K]);
+        L.Val.push_back(A.Val[K]);
+      }
+  return L;
+}
+
+std::vector<MatrixProfile> table4Profiles() {
+  // Table 4, ordered by nnz per column.
+  return {
+      {"af_shell3 (synthetic)", 504855, 35},
+      {"msdoor (synthetic)", 415863, 46},
+      {"bmwcra_1 (synthetic)", 148770, 72},
+      {"m_t1 (synthetic)", 97578, 100},
+      {"crankseg_2 (synthetic)", 63838, 222},
+  };
+}
+
+CSRMatrix generateFromProfile(const MatrixProfile &P, double Scale,
+                              uint64_t Seed) {
+  GeneratorConfig Config;
+  Config.N = std::max(16, static_cast<int>(P.Columns * Scale));
+  Config.AvgNnzPerRow = P.NnzPerCol;
+  // Band wide enough to host the requested density, with slack so the DAG
+  // has interesting (non-chain) structure.
+  Config.Bandwidth = std::max(8, P.NnzPerCol * 3);
+  Config.Seed = Seed;
+  return generateSPDLike(Config);
+}
+
+} // namespace rt
+} // namespace sds

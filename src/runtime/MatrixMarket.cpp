@@ -1,0 +1,151 @@
+//===- MatrixMarket.cpp - Matrix Market coordinate I/O --------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/runtime/Matrix.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sds {
+namespace rt {
+
+bool readMatrixMarket(const std::string &Path, CSRMatrix &Out,
+                      std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::string Line;
+  if (!std::getline(In, Line)) {
+    Error = "empty file";
+    return false;
+  }
+  // Banner: %%MatrixMarket matrix coordinate real|integer|pattern
+  //         general|symmetric
+  std::istringstream Banner(Line);
+  std::string Tag, Object, Format, Field, Symmetry;
+  Banner >> Tag >> Object >> Format >> Field >> Symmetry;
+  std::transform(Field.begin(), Field.end(), Field.begin(), ::tolower);
+  std::transform(Symmetry.begin(), Symmetry.end(), Symmetry.begin(),
+                 ::tolower);
+  if (Tag.substr(0, 2) != "%%" || Object != "matrix" ||
+      Format != "coordinate") {
+    Error = "unsupported MatrixMarket banner: " + Line;
+    return false;
+  }
+  bool Pattern = Field == "pattern";
+  if (!Pattern && Field != "real" && Field != "integer") {
+    Error = "unsupported field type: " + Field;
+    return false;
+  }
+  bool Symmetric = Symmetry == "symmetric";
+  if (!Symmetric && Symmetry != "general") {
+    Error = "unsupported symmetry: " + Symmetry;
+    return false;
+  }
+
+  // Skip comments, read the size line.
+  long Rows = 0, Cols = 0, Entries = 0;
+  while (std::getline(In, Line)) {
+    if (!Line.empty() && Line[0] == '%')
+      continue;
+    std::istringstream Size(Line);
+    if (!(Size >> Rows >> Cols >> Entries)) {
+      Error = "malformed size line: " + Line;
+      return false;
+    }
+    break;
+  }
+  if (Rows <= 0 || Rows != Cols) {
+    Error = "only square matrices are supported";
+    return false;
+  }
+
+  struct Entry {
+    int R, C;
+    double V;
+  };
+  std::vector<Entry> Es;
+  Es.reserve(static_cast<size_t>(Entries) * (Symmetric ? 2 : 1));
+  for (long T = 0; T < Entries; ++T) {
+    if (!std::getline(In, Line)) {
+      Error = "unexpected end of file after " + std::to_string(T) +
+              " entries";
+      return false;
+    }
+    std::istringstream Row(Line);
+    long R, C;
+    double V = 1.0;
+    if (!(Row >> R >> C) || (!Pattern && !(Row >> V))) {
+      Error = "malformed entry: " + Line;
+      return false;
+    }
+    if (R < 1 || R > Rows || C < 1 || C > Cols) {
+      Error = "entry out of range: " + Line;
+      return false;
+    }
+    Es.push_back({static_cast<int>(R - 1), static_cast<int>(C - 1), V});
+    if (Symmetric && R != C)
+      Es.push_back({static_cast<int>(C - 1), static_cast<int>(R - 1), V});
+  }
+
+  std::sort(Es.begin(), Es.end(), [](const Entry &A, const Entry &B) {
+    return A.R != B.R ? A.R < B.R : A.C < B.C;
+  });
+  // Coalesce duplicates (sum values, MatrixMarket convention).
+  std::vector<Entry> Unique;
+  for (const Entry &E : Es) {
+    if (!Unique.empty() && Unique.back().R == E.R && Unique.back().C == E.C)
+      Unique.back().V += E.V;
+    else
+      Unique.push_back(E);
+  }
+
+  Out = CSRMatrix();
+  Out.N = static_cast<int>(Rows);
+  Out.RowPtr.assign(Out.N + 1, 0);
+  for (const Entry &E : Unique)
+    ++Out.RowPtr[E.R + 1];
+  for (int I = 0; I < Out.N; ++I)
+    Out.RowPtr[I + 1] += Out.RowPtr[I];
+  Out.Col.reserve(Unique.size());
+  Out.Val.reserve(Unique.size());
+  for (const Entry &E : Unique) {
+    Out.Col.push_back(E.C);
+    Out.Val.push_back(E.V);
+  }
+  return true;
+}
+
+bool writeMatrixMarket(const std::string &Path, const CSRMatrix &A,
+                       std::string &Error) {
+  std::ofstream OutFile(Path);
+  if (!OutFile) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  OutFile << "%%MatrixMarket matrix coordinate real general\n";
+  OutFile << A.N << " " << A.N << " " << A.nnz() << "\n";
+  char Buf[64];
+  for (int I = 0; I < A.N; ++I)
+    for (int K = A.RowPtr[I]; K < A.RowPtr[I + 1]; ++K) {
+      std::snprintf(Buf, sizeof(Buf), "%d %d %.17g\n", I + 1, A.Col[K] + 1,
+                    A.Val[K]);
+      OutFile << Buf;
+    }
+  if (!OutFile) {
+    Error = "write failure on '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+} // namespace rt
+} // namespace sds

@@ -1,0 +1,153 @@
+//===- Fraction.cpp - Exact rationals over 128-bit integers --------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/support/Fraction.h"
+
+#include <cassert>
+
+namespace sds {
+
+std::string toString(Int128 V) {
+  if (V == 0)
+    return "0";
+  bool Neg = V < 0;
+  // Peel digits off the absolute value; negate digit-by-digit to avoid
+  // overflow on the minimum value.
+  std::string Digits;
+  Int128 Cur = V;
+  while (Cur != 0) {
+    int D = static_cast<int>(Cur % 10);
+    if (D < 0)
+      D = -D;
+    Digits.push_back(static_cast<char>('0' + D));
+    Cur /= 10;
+  }
+  if (Neg)
+    Digits.push_back('-');
+  return std::string(Digits.rbegin(), Digits.rend());
+}
+
+void Fraction::normalize() {
+  if (Den == 0) {
+    Overflowed = true; // treat as failure; callers bail out
+    Den = 1;
+    return;
+  }
+  if (Den < 0) {
+    Num = -Num;
+    Den = -Den;
+  }
+  Int128 G = gcd128(Num, Den);
+  if (G > 1) {
+    Num /= G;
+    Den /= G;
+  }
+}
+
+Fraction Fraction::operator+(const Fraction &O) const {
+  if (Overflowed || O.Overflowed)
+    return makeOverflowed();
+  // Fast path: both integral (the common case early in a simplex run).
+  if (Den == 1 && O.Den == 1) {
+    Fraction R;
+    if (addOverflow128(Num, O.Num, R.Num))
+      return makeOverflowed();
+    return R;
+  }
+  // a/b + c/d = (a*(l/b) + c*(l/d)) / l with l = lcm(b, d).
+  Int128 G = gcd128(Den, O.Den);
+  Int128 DenDivG = Den / G;
+  Int128 L, T1, T2, N;
+  if (mulOverflow128(DenDivG, O.Den, L))
+    return makeOverflowed();
+  if (mulOverflow128(Num, O.Den / G, T1))
+    return makeOverflowed();
+  if (mulOverflow128(O.Num, DenDivG, T2))
+    return makeOverflowed();
+  if (addOverflow128(T1, T2, N))
+    return makeOverflowed();
+  return Fraction(N, L);
+}
+
+Fraction Fraction::operator-(const Fraction &O) const { return *this + (-O); }
+
+Fraction Fraction::operator*(const Fraction &O) const {
+  if (Overflowed || O.Overflowed)
+    return makeOverflowed();
+  if (Num == 0 || O.Num == 0)
+    return Fraction();
+  if (Den == 1 && O.Den == 1) {
+    Fraction R;
+    if (mulOverflow128(Num, O.Num, R.Num))
+      return makeOverflowed();
+    return R;
+  }
+  // Cross-reduce before multiplying to keep magnitudes small.
+  Int128 G1 = gcd128(Num, O.Den);
+  Int128 G2 = gcd128(O.Num, Den);
+  Int128 N1 = G1 ? Num / G1 : Num;
+  Int128 D2 = G1 ? O.Den / G1 : O.Den;
+  Int128 N2 = G2 ? O.Num / G2 : O.Num;
+  Int128 D1 = G2 ? Den / G2 : Den;
+  Int128 N, D;
+  if (mulOverflow128(N1, N2, N) || mulOverflow128(D1, D2, D))
+    return makeOverflowed();
+  return Fraction(N, D);
+}
+
+Fraction Fraction::operator/(const Fraction &O) const {
+  if (Overflowed || O.Overflowed || O.Num == 0)
+    return makeOverflowed();
+  Fraction Inv;
+  Inv.Num = O.Den;
+  Inv.Den = O.Num;
+  Inv.Overflowed = false;
+  if (Inv.Den < 0) {
+    Inv.Num = -Inv.Num;
+    Inv.Den = -Inv.Den;
+  }
+  return *this * Inv;
+}
+
+int Fraction::compare(const Fraction &O) const {
+  assert(!Overflowed && !O.Overflowed && "comparing overflowed fractions");
+  // Compare a/b ? c/d via a*d ? c*b (b, d > 0). Fall back to long division
+  // if the cross products overflow.
+  Int128 L, R;
+  if (!mulOverflow128(Num, O.Den, L) && !mulOverflow128(O.Num, Den, R))
+    return L < R ? -1 : (L == R ? 0 : 1);
+  // Continued-fraction style comparison without big products.
+  Int128 A = Num, B = Den, C = O.Num, D = O.Den;
+  while (true) {
+    Int128 QA = floorDiv128(A, B), QC = floorDiv128(C, D);
+    if (QA != QC)
+      return QA < QC ? -1 : 1;
+    A -= QA * B;
+    C -= QC * D;
+    if (A == 0 && C == 0)
+      return 0;
+    if (A == 0)
+      return -1;
+    if (C == 0)
+      return 1;
+    // Compare A/B vs C/D with 0 < A/B, C/D < 1: invert and flip.
+    Int128 T;
+    T = A, A = B, B = T;
+    T = C, C = D, D = T;
+    T = A, A = C, C = T;
+    T = B, B = D, D = T;
+  }
+}
+
+std::string Fraction::str() const {
+  if (Overflowed)
+    return "<overflow>";
+  if (Den == 1)
+    return toString(Num);
+  return toString(Num) + "/" + toString(Den);
+}
+
+} // namespace sds

@@ -1,0 +1,132 @@
+//===- applications_test.cpp - §10 applications tests ----------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/driver/Applications.h"
+#include "sds/driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace sds;
+using namespace sds::driver;
+using namespace sds::rt;
+
+TEST(RaceCheck, SpMVNeedsNoChecks) {
+  // A race detector can drop every check on SpMV's parallel outer loop.
+  auto Vs = classifyRaceChecks(kernels::spmvCSR());
+  ASSERT_FALSE(Vs.empty());
+  for (const RaceCheckVerdict &V : Vs)
+    EXPECT_FALSE(V.NeedsRuntimeCheck) << V.Array << " " << V.SrcAccess;
+  EXPECT_DOUBLE_EQ(raceCheckSuppressionRatio(Vs), 1.0);
+}
+
+TEST(RaceCheck, ForwardSolveKeepsOneCheck) {
+  auto Vs = classifyRaceChecks(kernels::forwardSolveCSR());
+  unsigned Kept = 0;
+  for (const RaceCheckVerdict &V : Vs)
+    Kept += V.NeedsRuntimeCheck ? 1 : 0;
+  // Exactly the real runtime dependence needs instrumentation.
+  EXPECT_EQ(Kept, 1u);
+  EXPECT_GT(raceCheckSuppressionRatio(Vs), 0.5);
+}
+
+TEST(RaceCheck, ReasonsAreInformative) {
+  for (const RaceCheckVerdict &V :
+       classifyRaceChecks(kernels::forwardSolveCSR()))
+    EXPECT_FALSE(V.Reason.empty());
+}
+
+namespace {
+
+DependenceGraph chainAndIsolated() {
+  // 0 -> 1 -> 3, 2 isolated, 4 -> 5.
+  DependenceGraph G(6);
+  G.addEdge(0, 1);
+  G.addEdge(1, 3);
+  G.addEdge(4, 5);
+  G.finalize();
+  return G;
+}
+
+} // namespace
+
+TEST(Slicing, BackwardSliceFollowsPredecessors) {
+  DependenceGraph G = chainAndIsolated();
+  EXPECT_EQ(backwardSlice(G, {3}), (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(backwardSlice(G, {2}), (std::vector<int>{2}));
+  EXPECT_EQ(backwardSlice(G, {5, 1}), (std::vector<int>{0, 1, 4, 5}));
+  EXPECT_TRUE(backwardSlice(G, {}).empty());
+}
+
+TEST(Slicing, ForwardSliceFollowsSuccessors) {
+  DependenceGraph G = chainAndIsolated();
+  EXPECT_EQ(forwardSlice(G, {0}), (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(forwardSlice(G, {4}), (std::vector<int>{4, 5}));
+  EXPECT_EQ(forwardSlice(G, {3}), (std::vector<int>{3}));
+}
+
+TEST(Slicing, OutOfRangeSeedsIgnored) {
+  DependenceGraph G = chainAndIsolated();
+  EXPECT_TRUE(backwardSlice(G, {-1, 99}).empty());
+}
+
+TEST(Slicing, SliceOnRealInspectorGraph) {
+  // Recomputing one row of a forward solve requires exactly its reachable
+  // ancestors — check against a brute-force closure.
+  GeneratorConfig C;
+  C.N = 120;
+  C.AvgNnzPerRow = 6;
+  C.Bandwidth = 15;
+  C.Seed = 77;
+  CSRMatrix Lower = lowerTriangle(generateSPDLike(C));
+  CSCMatrix L = toCSC(Lower);
+  DependenceGraph G = exactForwardSolveGraph(L);
+
+  std::vector<int> Slice = backwardSlice(G, {L.N - 1});
+  // Brute force closure.
+  std::vector<bool> In(static_cast<size_t>(L.N), false);
+  In[static_cast<size_t>(L.N - 1)] = true;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int U = 0; U < L.N; ++U)
+      for (int V : G.successors(U))
+        if (In[static_cast<size_t>(V)] && !In[static_cast<size_t>(U)]) {
+          In[static_cast<size_t>(U)] = true;
+          Changed = true;
+        }
+  }
+  std::vector<int> Expect;
+  for (int U = 0; U < L.N; ++U)
+    if (In[static_cast<size_t>(U)])
+      Expect.push_back(U);
+  EXPECT_EQ(Slice, Expect);
+}
+
+TEST(ParallelInspector, MatchesSerialInspector) {
+  GeneratorConfig C;
+  C.N = 300;
+  C.AvgNnzPerRow = 7;
+  C.Bandwidth = 25;
+  C.Seed = 5;
+  CSRMatrix Lower = lowerTriangle(generateSPDLike(C));
+  auto Analysis = deps::analyzeKernel(kernels::forwardSolveCSR());
+  auto Env = bindCSR(Lower);
+  for (const deps::AnalyzedDependence &D : Analysis.Deps) {
+    if (D.Status != deps::DepStatus::Runtime)
+      continue;
+    DependenceGraph G1(Lower.N), G2(Lower.N);
+    uint64_t V1 = codegen::runInspector(
+        D.Plan, Env, [&](int64_t S, int64_t T) { G1.addEdge(S, T); });
+    uint64_t V2 = codegen::runInspectorParallel(
+        D.Plan, Env, 4, [&](int64_t S, int64_t T) { G2.addEdge(S, T); });
+    G1.finalize();
+    G2.finalize();
+    EXPECT_EQ(V1, V2);
+    EXPECT_EQ(G1.numEdges(), G2.numEdges());
+    for (int U = 0; U < Lower.N; ++U)
+      EXPECT_EQ(G1.successors(U), G2.successors(U));
+  }
+}

@@ -1,0 +1,118 @@
+//===- approximate_test.cpp - Over-approximation tests (§8.1) --------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/codegen/Approximate.h"
+#include "sds/ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace sds;
+using namespace sds::codegen;
+
+namespace {
+ir::SparseRelation parse(const char *Text) {
+  auto R = ir::parseRelation(Text);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.Rel;
+}
+} // namespace
+
+TEST(RelaxAway, DropsConstraintsAndVars) {
+  ir::SparseRelation R = parse(
+      "{ [i, k] -> [i'] : 0 <= i < n && rowptr(i) <= k < rowptr(i + 1) && "
+      "col(k) = i' && i < i' && 0 <= i' < n }");
+  ir::SparseRelation Relaxed = relaxAway(R, {"k"});
+  EXPECT_EQ(Relaxed.InVars, std::vector<std::string>{"i"});
+  // Constraints mentioning k (even inside col(k)) are gone.
+  for (const ir::Constraint &C : Relaxed.Conj.constraints()) {
+    std::vector<std::string> Vars;
+    C.E.collectVars(Vars);
+    EXPECT_EQ(std::find(Vars.begin(), Vars.end(), "k"), Vars.end())
+        << C.str();
+  }
+  EXPECT_EQ(Relaxed.Conj.constraints().size(), 5u); // i, i' bounds + i<i'
+}
+
+TEST(RelaxAway, NeverDropsOuterIterators) {
+  ir::SparseRelation R =
+      parse("{ [i, k] -> [i'] : 0 <= i < n && i <= k && i < i' < n }");
+  ir::SparseRelation Relaxed = relaxAway(R, {"i", "i'", "k"});
+  EXPECT_EQ(Relaxed.InVars, std::vector<std::string>{"i"});
+}
+
+TEST(ApproximateToCost, ReducesCostMonotonically) {
+  // A two-inner-loop relation that a target of nnz forces to shed work.
+  ir::SparseRelation R = parse(
+      "{ [i, k, l] -> [i'] : 0 <= i < n && rowptr(i) <= k < rowptr(i + 1) "
+      "&& rowptr(i) <= l < rowptr(i + 1) && col(l) = i' && i < i' && "
+      "0 <= i' < n }");
+  Complexity Before = buildInspectorPlan(R).Cost;
+  EXPECT_EQ(Before, (Complexity{1, 2})); // n * d * d
+
+  ApproximationResult A = approximateToCost(R, Complexity::nnz());
+  EXPECT_TRUE(A.Changed);
+  EXPECT_LE(A.Cost, Complexity::nnz());
+  EXPECT_EQ(A.DroppedVars.size(), 1u); // dropping k suffices
+}
+
+TEST(ApproximateToCost, NoChangeWhenAlreadyCheap) {
+  ir::SparseRelation R = parse("{ [i] -> [i'] : 0 <= i < i' < n }");
+  Complexity C = buildInspectorPlan(R).Cost;
+  ApproximationResult A = approximateToCost(R, C);
+  EXPECT_FALSE(A.Changed);
+  EXPECT_TRUE(A.DroppedVars.empty());
+}
+
+TEST(ApproximateToCost, RefusesUnhelpfulRelaxation) {
+  // i' is solved from col(k): dropping k would *raise* the cost (i' must
+  // then be searched), so the approximation must refuse to change
+  // anything even though the target is unmet.
+  ir::SparseRelation R = parse(
+      "{ [i, k] -> [i'] : 0 <= i < n && rowptr(i) <= k < rowptr(i + 1) && "
+      "col(k) = i' && i < i' && 0 <= i' < n }");
+  ApproximationResult A = approximateToCost(R, Complexity::n());
+  EXPECT_FALSE(A.Changed);
+  EXPECT_EQ(A.Cost, Complexity::nnz());
+}
+
+TEST(ApproximateToCost, ResultIsSuperset) {
+  // Enumerate both relations on a tiny concrete binding: every original
+  // edge must survive relaxation (the over-approximation guarantee).
+  // The extra l loop with its guard makes the exact inspector n*d^2; the
+  // approximation sheds l (and its filter col(l) <= i), enlarging the
+  // edge set.
+  ir::SparseRelation R = parse(
+      "{ [i, k, l] -> [i'] : 0 <= i < n && "
+      "rowptr(i) <= k < rowptr(i + 1) && "
+      "rowptr(i) <= l < rowptr(i + 1) && col(l) <= i && "
+      "col(k) = i' && i < i' && 0 <= i' < n }");
+  ApproximationResult A = approximateToCost(R, Complexity::nnz());
+  ASSERT_TRUE(A.Changed);
+
+  std::vector<int> RowPtr = {0, 1, 2, 4, 7};
+  std::vector<int> Col = {0, 1, 0, 2, 0, 2, 3};
+  UFEnvironment Env;
+  Env.bindArray("rowptr", RowPtr);
+  Env.bindArray("col", Col);
+  Env.Params["n"] = 4;
+
+  auto Edges = [&](const ir::SparseRelation &Rel) {
+    std::set<std::pair<int64_t, int64_t>> Out;
+    InspectorPlan P = buildInspectorPlan(Rel);
+    EXPECT_TRUE(P.Valid) << P.WhyInvalid;
+    runInspector(P, Env,
+                 [&](int64_t S, int64_t D) { Out.insert({S, D}); });
+    return Out;
+  };
+  auto Original = Edges(R);
+  auto Relaxed = Edges(A.Rel);
+  for (const auto &E : Original)
+    EXPECT_TRUE(Relaxed.count(E))
+        << "lost edge " << E.first << "->" << E.second;
+  EXPECT_GE(Relaxed.size(), Original.size());
+}

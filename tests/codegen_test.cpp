@@ -1,0 +1,196 @@
+//===- codegen_test.cpp - Inspector synthesis tests ------------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/codegen/Inspector.h"
+#include "sds/ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace sds;
+using namespace sds::codegen;
+
+namespace {
+ir::SparseRelation parse(const char *Text) {
+  auto R = ir::parseRelation(Text);
+  EXPECT_TRUE(R.Ok) << R.Error << " in " << Text;
+  return R.Rel;
+}
+} // namespace
+
+TEST(Complexity, OrderingAndPrinting) {
+  EXPECT_EQ(Complexity::one().str(), "1");
+  EXPECT_EQ(Complexity::n().str(), "n");
+  EXPECT_EQ(Complexity::d().str(), "(nnz/n)");
+  EXPECT_EQ(Complexity::nnz().str(), "nnz");
+  EXPECT_EQ((Complexity{2, 2}).str(), "nnz^2");
+  EXPECT_EQ((Complexity{1, 3}).str(), "nnz*(nnz/n)^2");
+  EXPECT_EQ((Complexity{2, 5}).str(), "nnz^2*(nnz/n)^3");
+  EXPECT_EQ((Complexity{2, 0}).str(), "n^2");
+  EXPECT_LT(Complexity::d(), Complexity::n());
+  EXPECT_LT(Complexity::n(), Complexity::nnz());
+  EXPECT_LT(Complexity::nnz(), (Complexity{2, 0}));
+  EXPECT_LT((Complexity{1, 2}), (Complexity{2, 0}));
+}
+
+TEST(Plan, PaperFigure5Before) {
+  // §4.1's pre-simplification relation: the inspector must loop over both
+  // i and i', costing O(n^2) (Figure 5a).
+  ir::SparseRelation R =
+      parse("{ [i] -> [i'] : i < i' && f(i') <= f(g(i)) && g(i) <= i' && "
+            "0 <= i < n && 0 <= i' < n }");
+  InspectorPlan P = buildInspectorPlan(R);
+  ASSERT_TRUE(P.Valid) << P.WhyInvalid;
+  EXPECT_EQ(P.Cost, (Complexity{2, 0}));
+}
+
+TEST(Plan, PaperFigure5AfterEquality) {
+  // With the discovered equality i' = g(i), i' is solved: O(n) (Fig. 5b).
+  ir::SparseRelation R =
+      parse("{ [i] -> [i'] : i < i' && f(i') <= f(g(i)) && g(i) <= i' && "
+            "i' = g(i) && 0 <= i < n && 0 <= i' < n }");
+  InspectorPlan P = buildInspectorPlan(R);
+  ASSERT_TRUE(P.Valid) << P.WhyInvalid;
+  EXPECT_EQ(P.Cost, Complexity::n());
+  // i' must be produced by a solve, not a loop.
+  bool Solved = false;
+  for (const PlanVar &V : P.Vars)
+    if (V.Name == "i'" && V.K == PlanVar::Kind::Solved)
+      Solved = true;
+  EXPECT_TRUE(Solved);
+}
+
+TEST(Plan, ForwardSolveFlowDependenceCostsNnz) {
+  // §2.1's relation: loop i' over rows, k' over the row's nonzeros, and
+  // solve i = col(k'): O(nnz), matching Table 3's "Forward solve CSR".
+  ir::SparseRelation R = parse(
+      "{ [i] -> [i', k'] : i < i' && i = col(k') && 0 <= i < n && "
+      "0 <= i' < n && rowptr(i') <= k' < rowptr(i' + 1) }");
+  InspectorPlan P = buildInspectorPlan(R);
+  ASSERT_TRUE(P.Valid) << P.WhyInvalid;
+  EXPECT_EQ(P.Cost, Complexity::nnz()) << P.Cost.str();
+}
+
+TEST(Plan, SegmentLoopsClassifyAsD) {
+  ir::SparseRelation R = parse(
+      "{ [i, m, l] : 0 <= i < n && colptr(i) + 1 <= m < colptr(i + 1) && "
+      "m <= l && l < colptr(i + 1) }");
+  InspectorPlan P = buildInspectorPlan(R);
+  ASSERT_TRUE(P.Valid);
+  EXPECT_EQ(P.Cost, (Complexity{1, 2})) << P.Cost.str(); // n * d * d
+}
+
+TEST(Plan, NnzParamLoops) {
+  ir::SparseRelation R = parse("{ [k] : 0 <= k < nnz }");
+  InspectorPlan P = buildInspectorPlan(R);
+  ASSERT_TRUE(P.Valid);
+  EXPECT_EQ(P.Cost, Complexity::nnz());
+}
+
+TEST(Plan, UnboundedVariableInvalid) {
+  ir::SparseRelation R = parse("{ [i] -> [i'] : i < i' }");
+  InspectorPlan P = buildInspectorPlan(R);
+  EXPECT_FALSE(P.Valid); // i' has no upper bound anywhere
+  EXPECT_FALSE(P.WhyInvalid.empty());
+}
+
+TEST(Plan, GuardsAttachAtEarliestPoint) {
+  ir::SparseRelation R = parse(
+      "{ [i] -> [i', k'] : i < i' && i = col(k') && 0 <= i < n && "
+      "0 <= i' < n && rowptr(i') <= k' < rowptr(i' + 1) && "
+      "col(k') <= i' }");
+  InspectorPlan P = buildInspectorPlan(R);
+  ASSERT_TRUE(P.Valid);
+  // Some guard must exist (col(k') <= i' or the ordering constraint).
+  unsigned NumGuards = 0;
+  for (const PlanVar &V : P.Vars)
+    NumGuards += static_cast<unsigned>(V.Guards.size());
+  EXPECT_GE(NumGuards, 1u);
+}
+
+TEST(EmitC, LooksLikeFigure5) {
+  ir::SparseRelation R =
+      parse("{ [i] -> [i'] : i < i' && f(i') <= f(g(i)) && "
+            "i' = g(i) && 0 <= i < n && 0 <= i' < n }");
+  InspectorPlan P = buildInspectorPlan(R);
+  ASSERT_TRUE(P.Valid);
+  std::string C = P.emitC("inspect_example");
+  EXPECT_NE(C.find("void inspect_example"), std::string::npos);
+  EXPECT_NE(C.find("for (long i = "), std::string::npos);
+  EXPECT_NE(C.find("long ip = g[i];"), std::string::npos); // solved var
+  EXPECT_NE(C.find("dag.addEdge(i, ip);"), std::string::npos);
+  EXPECT_NE(C.find("omp parallel for"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Executable inspectors: Figure 1's matrix must produce Figure 2's graph.
+//===----------------------------------------------------------------------===//
+
+TEST(RunInspector, Figure1MatrixGivesFigure2Graph) {
+  // CSR of Figure 1: rowptr = [0,1,2,4,7], col = [0,1,0,2,0,2,3].
+  std::vector<int> RowPtr = {0, 1, 2, 4, 7};
+  std::vector<int> Col = {0, 1, 0, 2, 0, 2, 3};
+
+  // Flow dependence of forward solve (§2.1): i = col(k'), k' in row i',
+  // restricted to the off-diagonal positions S1 actually reads
+  // (k' < rowptr(i'+1)-1).
+  ir::SparseRelation R = parse(
+      "{ [i] -> [i', k'] : i < i' && i = col(k') && 0 <= i < n && "
+      "0 <= i' < n && rowptr(i') <= k' < rowptr(i' + 1) - 1 }");
+  InspectorPlan P = buildInspectorPlan(R);
+  ASSERT_TRUE(P.Valid) << P.WhyInvalid;
+
+  UFEnvironment Env;
+  Env.bindArray("rowptr", RowPtr);
+  Env.bindArray("col", Col);
+  Env.Params["n"] = 4;
+
+  std::set<std::pair<int64_t, int64_t>> Edges;
+  runInspector(P, Env, [&](int64_t S, int64_t D) { Edges.insert({S, D}); });
+
+  // Figure 2's dependence graph: 0->2, 0->3, 2->3 (and no others).
+  std::set<std::pair<int64_t, int64_t>> Expected = {{0, 2}, {0, 3}, {2, 3}};
+  EXPECT_EQ(Edges, Expected);
+}
+
+TEST(RunInspector, VisitCountsMatchComplexityShape) {
+  // O(n^2) scan visits ~ n^2 points; the equality version ~ n.
+  auto G = [](int64_t X) { return X; }; // identity keeps everything simple
+  ir::SparseRelation Slow =
+      parse("{ [i] -> [i'] : 0 <= i < n && 0 <= i' < n && i < i' && "
+            "g(i) <= i' }");
+  ir::SparseRelation Fast =
+      parse("{ [i] -> [i'] : 0 <= i < n && 0 <= i' < n && i < i' && "
+            "i' = g(i) }");
+  UFEnvironment Env;
+  Env.Arrays["g"] = G;
+  Env.Params["n"] = 64;
+  auto PSlow = buildInspectorPlan(Slow);
+  auto PFast = buildInspectorPlan(Fast);
+  ASSERT_TRUE(PSlow.Valid);
+  ASSERT_TRUE(PFast.Valid);
+  uint64_t VSlow = runInspector(PSlow, Env, [](int64_t, int64_t) {});
+  uint64_t VFast = runInspector(PFast, Env, [](int64_t, int64_t) {});
+  EXPECT_GT(VSlow, 64u * 16u);
+  EXPECT_LE(VFast, 2u * 64u);
+}
+
+TEST(RunInspector, EmptyLoopRanges) {
+  ir::SparseRelation R = parse("{ [i] : 5 <= i < 3 }");
+  InspectorPlan P = buildInspectorPlan(R);
+  ASSERT_TRUE(P.Valid);
+  UFEnvironment Env;
+  unsigned Count = 0;
+  runInspector(P, Env, [&](int64_t, int64_t) { ++Count; });
+  EXPECT_EQ(Count, 0u);
+}
+
+TEST(DomainComplexity, KernelShapes) {
+  // for i in [0,n): for k in [rowptr(i), rowptr(i+1)) is O(nnz).
+  auto R = parse("{ [i, k] : 0 <= i < n && rowptr(i) <= k < rowptr(i+1) }");
+  EXPECT_EQ(domainComplexity(R.Conj, {"i", "k"}), Complexity::nnz());
+}

@@ -1,0 +1,122 @@
+//===- deps_extraction_test.cpp - Dependence extraction tests --------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/deps/Extraction.h"
+#include "sds/kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace sds;
+using namespace sds::deps;
+using namespace sds::kernels;
+
+TEST(Extraction, ForwardSolveCSRDependences) {
+  // Array u: S1 reads u[col[k]], S2 writes u[i]. Pairs with >= 1 write:
+  // (S1r,S2w), (S2w,S1r), (S2w,S2w). val and f are read-only.
+  auto Deps = extractDependences(forwardSolveCSR());
+  ASSERT_EQ(Deps.size(), 3u);
+  for (const Dependence &D : Deps)
+    EXPECT_EQ(D.Array, "u");
+}
+
+TEST(Extraction, PaperSection21Relation) {
+  // The flow dependence of §2.1: write u[i]@S2 to read u[col[k']]@S1.
+  auto Deps = extractDependences(forwardSolveCSR());
+  const Dependence *Flow = nullptr;
+  for (const Dependence &D : Deps)
+    if (D.SrcStmt == "S2" && D.DstStmt == "S1" && D.SrcIsWrite &&
+        !D.DstIsWrite)
+      Flow = &D;
+  ASSERT_NE(Flow, nullptr);
+  const ir::SparseRelation &R = Flow->Rel;
+  EXPECT_EQ(R.InVars, std::vector<std::string>{"i"});
+  EXPECT_EQ(R.OutVars, (std::vector<std::string>{"i'", "k'"}));
+  // Constraints include i < i' and i = col(k').
+  EXPECT_TRUE(R.Conj.impliesSyntactically(
+      ir::Constraint::lt(ir::Expr::var("i"), ir::Expr::var("i'"))))
+      << R.str();
+  EXPECT_TRUE(R.Conj.impliesSyntactically(ir::Constraint::equals(
+      ir::Expr::var("i"), ir::Expr::call("col", {ir::Expr::var("k'")}))))
+      << R.str();
+}
+
+TEST(Extraction, PrimingAppliesInsideCallArguments) {
+  auto Deps = extractDependences(forwardSolveCSR());
+  for (const Dependence &D : Deps) {
+    if (D.SrcStmt != "S2" || D.DstStmt != "S1")
+      continue;
+    // The sink's rowptr bounds must reference i', not i.
+    bool FoundPrimed = false;
+    for (const ir::Atom &A : D.Rel.Conj.collectCalls())
+      if (A.str() == "rowptr(i')")
+        FoundPrimed = true;
+    EXPECT_TRUE(FoundPrimed) << D.Rel.str();
+  }
+}
+
+TEST(Extraction, NoReadReadPairs) {
+  for (const kernels::Kernel &K : allKernels())
+    for (const Dependence &D : extractDependences(K))
+      EXPECT_TRUE(D.SrcIsWrite || D.DstIsWrite) << K.Name << " " << D.label();
+}
+
+TEST(Extraction, DeduplicationCollapsesIdenticalRelations) {
+  // SpMV's y[i] write/read pairs all produce the same relation.
+  auto Raw = extractDependences(spmvCSR(), /*Deduplicate=*/false);
+  auto Unique = extractDependences(spmvCSR(), /*Deduplicate=*/true);
+  EXPECT_GT(Raw.size(), Unique.size());
+  ASSERT_EQ(Unique.size(), 1u);
+}
+
+TEST(Extraction, SuiteWideCounts) {
+  // The paper reports 75 unique dependence relations across the suite
+  // (§7.1; its conclusion says 63). Our extractor, with its own counting
+  // conventions (deduplicated ordered access pairs, reduction updates
+  // conflict-free with each other), lands at 67 — the same regime. Pin
+  // the per-kernel counts so encoding regressions are visible.
+  std::map<std::string, unsigned> Expected = {
+      {"Gauss-Seidel CSR", 3},          {"Incomplete LU0 CSR", 15},
+      {"Incomplete Cholesky CSC", 26},  {"Forward Solve CSC", 7},
+      {"Forward Solve CSR", 3},         {"Sparse MV Multiply CSR", 1},
+      {"Static Left Cholesky CSC", 12},
+  };
+  unsigned Total = 0;
+  for (const kernels::Kernel &K : allKernels()) {
+    auto Deps = extractDependences(K);
+    ASSERT_TRUE(Expected.count(K.Name)) << K.Name;
+    EXPECT_EQ(Deps.size(), Expected[K.Name]) << K.Name;
+    Total += static_cast<unsigned>(Deps.size());
+  }
+  EXPECT_EQ(Total, 67u);
+}
+
+TEST(Extraction, GuardsAreIncluded) {
+  auto Deps = extractDependences(incompleteCholeskyCSC());
+  // Any S3-source relation carries the rowidx guards.
+  bool Found = false;
+  for (const Dependence &D : Deps) {
+    if (D.SrcStmt != "S3")
+      continue;
+    Found = true;
+    EXPECT_TRUE(D.Rel.Conj.impliesSyntactically(ir::Constraint::equals(
+        ir::Expr::call("rowidx", {ir::Expr::var("l")}),
+        ir::Expr::call("rowidx", {ir::Expr::var("k")}))))
+        << D.Rel.str();
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Extraction, OuterLoopOrderingAlwaysPresent) {
+  for (const kernels::Kernel &K : allKernels())
+    for (const Dependence &D : extractDependences(K)) {
+      ir::Constraint Outer = ir::Constraint::lt(
+          ir::Expr::var(D.Rel.InVars[0]), ir::Expr::var(D.Rel.OutVars[0]));
+      EXPECT_TRUE(D.Rel.Conj.impliesSyntactically(Outer))
+          << K.Name << " " << D.label();
+    }
+}

@@ -1,0 +1,105 @@
+//===- driver_test.cpp - Driver glue tests ---------------------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace sds;
+using namespace sds::rt;
+
+namespace {
+
+CSRMatrix tiny() {
+  CSRMatrix A;
+  A.N = 3;
+  A.RowPtr = {0, 1, 3, 5};
+  A.Col = {0, 0, 1, 1, 2};
+  A.Val = {2, -1, 2, -1, 2};
+  return A;
+}
+
+} // namespace
+
+TEST(Bindings, CSRBindsArraysAndParams) {
+  CSRMatrix A = tiny();
+  auto Env = driver::bindCSR(A, A.diagonalPositions());
+  EXPECT_EQ(Env.Params.at("n"), 3);
+  EXPECT_EQ(Env.Params.at("nnz"), 5);
+  EXPECT_EQ(Env.Arrays.at("rowptr")(2), 3);
+  EXPECT_EQ(Env.Arrays.at("col")(1), 0);
+  EXPECT_EQ(Env.Arrays.at("diag")(1), 2); // diagonal of row 1 at position 2
+}
+
+TEST(Bindings, CSCBindsPruneSets) {
+  CSCMatrix L = toCSC(tiny());
+  PruneSets P = buildPruneSets(L);
+  auto Env = driver::bindCSC(L, &P);
+  EXPECT_TRUE(Env.Arrays.count("pruneptr"));
+  EXPECT_TRUE(Env.Arrays.count("pruneset"));
+  // Row 1's prune list holds column 0 (entry (1,0)).
+  EXPECT_EQ(Env.Arrays.at("pruneptr")(1), 0);
+  EXPECT_EQ(Env.Arrays.at("pruneptr")(2), 1);
+  EXPECT_EQ(Env.Arrays.at("pruneset")(0), 0);
+}
+
+TEST(Bindings, OutOfRangeProbesReturnSentinel) {
+  CSRMatrix A = tiny();
+  auto Env = driver::bindCSR(A);
+  EXPECT_EQ(Env.Arrays.at("col")(-1), codegen::UFEnvironment::OutOfRange);
+  EXPECT_EQ(Env.Arrays.at("col")(99), codegen::UFEnvironment::OutOfRange);
+}
+
+TEST(PruneSets, MatchStructure) {
+  // For each (row r, column k) with k < r and L(r,k) != 0, exactly one
+  // prune entry exists and PosOf points at that coefficient.
+  CSRMatrix Lower = lowerTriangle(generateSPDLike({60, 6, 12, 9}));
+  CSCMatrix L = toCSC(Lower);
+  PruneSets P = buildPruneSets(L);
+  ASSERT_EQ(P.Ptr.size(), static_cast<size_t>(L.N) + 1);
+  for (int R = 0; R < L.N; ++R) {
+    for (int T = P.Ptr[R]; T < P.Ptr[R + 1]; ++T) {
+      int K = P.ColOf[T];
+      int Pos = P.PosOf[T];
+      EXPECT_LT(K, R);
+      EXPECT_GE(Pos, L.ColPtr[K] + 1);
+      EXPECT_LT(Pos, L.ColPtr[K + 1]);
+      EXPECT_EQ(L.RowIdx[Pos], R);
+    }
+  }
+  // Total entries = number of off-diagonal coefficients.
+  EXPECT_EQ(P.ColOf.size(),
+            static_cast<size_t>(L.nnz() - L.N));
+}
+
+TEST(RunInspectors, FiltersOutOfRangeEdges) {
+  // A hand-built plan that emits an out-of-range destination must not
+  // corrupt the graph.
+  deps::PipelineResult Analysis =
+      deps::analyzeKernel(kernels::forwardSolveCSR());
+  CSRMatrix A = tiny();
+  auto Env = driver::bindCSR(A);
+  // Lie about n so the inspector ranges over more rows than the graph has.
+  Env.Params["n"] = 10;
+  driver::InspectionResult R = driver::runInspectors(Analysis, Env, A.N);
+  for (int U = 0; U < R.Graph.numNodes(); ++U)
+    for (int V : R.Graph.successors(U)) {
+      EXPECT_GE(V, 0);
+      EXPECT_LT(V, A.N);
+    }
+}
+
+TEST(RunInspectors, CountsInspectorsAndVisits) {
+  deps::PipelineResult Analysis =
+      deps::analyzeKernel(kernels::gaussSeidelCSR());
+  CSRMatrix A = generateSPDLike({80, 6, 12, 21});
+  auto Env = driver::bindCSR(A, A.diagonalPositions());
+  driver::InspectionResult R = driver::runInspectors(Analysis, Env, A.N);
+  EXPECT_EQ(R.NumInspectors, 2u);
+  EXPECT_GT(R.InspectorVisits, static_cast<uint64_t>(A.N));
+  EXPECT_GT(R.Graph.numEdges(), 0u);
+  EXPECT_TRUE(R.Graph.isForwardOnly());
+}

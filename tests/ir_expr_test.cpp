@@ -1,0 +1,114 @@
+//===- ir_expr_test.cpp - UF expression tests ------------------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/ir/Expr.h"
+
+#include <gtest/gtest.h>
+
+using namespace sds::ir;
+
+TEST(Expr, ConstantsAndVars) {
+  Expr C(5);
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_EQ(C.constant(), 5);
+  EXPECT_EQ(C.str(), "5");
+
+  Expr V = Expr::var("i");
+  EXPECT_FALSE(V.isConstant());
+  EXPECT_TRUE(V.isSingleAtom());
+  EXPECT_EQ(V.str(), "i");
+}
+
+TEST(Expr, ArithmeticCanonicalizes) {
+  Expr I = Expr::var("i"), J = Expr::var("j");
+  Expr E = I + J + I - Expr(3); // 2i + j - 3
+  EXPECT_EQ(E.str(), "2 i + j - 3");
+  Expr Z = E - E;
+  EXPECT_TRUE(Z.isConstant());
+  EXPECT_EQ(Z.constant(), 0);
+  EXPECT_EQ((I * 0).str(), "0");
+  EXPECT_EQ((-I).str(), "-i");
+}
+
+TEST(Expr, CancellationRemovesTerms) {
+  Expr I = Expr::var("i");
+  Expr E = I * 3 - I * 3 + Expr(1);
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.constant(), 1);
+}
+
+TEST(Expr, CallsStructuralEquality) {
+  Expr K = Expr::var("k");
+  Expr C1 = Expr::call("col", {K + Expr(1)});
+  Expr C2 = Expr::call("col", {Expr(1) + K});
+  EXPECT_EQ(C1, C2); // argument canonicalization makes these equal
+  Expr C3 = Expr::call("col", {K});
+  EXPECT_NE(C1, C3);
+  EXPECT_EQ((C1 - C2).constant(), 0);
+}
+
+TEST(Expr, NestedCallsPrint) {
+  Expr M = Expr::var("m");
+  Expr Nested = Expr::call("col", {Expr::call("row", {M})});
+  EXPECT_EQ(Nested.str(), "col(row(m))");
+  Expr E = Nested - Expr::var("k") - Expr(1);
+  EXPECT_EQ(E.str(), "-k + col(row(m)) - 1");
+}
+
+TEST(Expr, SubstituteTopLevelVar) {
+  Expr I = Expr::var("i"), J = Expr::var("j");
+  Expr E = I * 2 + J;
+  std::map<std::string, Expr> Map{{"i", Expr::var("x") + Expr(1)}};
+  EXPECT_EQ(E.substitute(Map).str(), "j + 2 x + 2");
+}
+
+TEST(Expr, SubstituteInsideCallArgs) {
+  Expr K = Expr::var("k'");
+  Expr E = Expr::call("col", {K}) - Expr::var("i");
+  std::map<std::string, Expr> Map{{"k'", Expr::var("m")}};
+  EXPECT_EQ(E.substitute(Map).str(), "-i + col(m)");
+  // Nested substitution.
+  Expr Nested = Expr::call("col", {Expr::call("row", {K})});
+  EXPECT_EQ(Nested.substitute(Map).str(), "col(row(m))");
+}
+
+TEST(Expr, SubstituteMergesTerms) {
+  // f(i) + f(j) with j := i must merge into 2 f(i).
+  Expr E = Expr::call("f", {Expr::var("i")}) +
+           Expr::call("f", {Expr::var("j")});
+  std::map<std::string, Expr> Map{{"j", Expr::var("i")}};
+  EXPECT_EQ(E.substitute(Map).str(), "2 f(i)");
+}
+
+TEST(Expr, CollectCallsIncludesNested) {
+  Expr M = Expr::var("m");
+  Expr E = Expr::call("col", {Expr::call("row", {M})}) +
+           Expr::call("row", {M + Expr(1)});
+  std::vector<Atom> Calls;
+  E.collectCalls(Calls);
+  // col(row(m)), its nested row(m), and row(m + 1).
+  ASSERT_EQ(Calls.size(), 3u);
+}
+
+TEST(Expr, CollectVarsIncludesCallArgs) {
+  Expr E = Expr::call("rowptr", {Expr::var("i") + Expr(1)}) - Expr::var("k");
+  std::vector<std::string> Vars;
+  E.collectVars(Vars);
+  ASSERT_EQ(Vars.size(), 2u);
+  EXPECT_NE(std::find(Vars.begin(), Vars.end(), "i"), Vars.end());
+  EXPECT_NE(std::find(Vars.begin(), Vars.end(), "k"), Vars.end());
+}
+
+TEST(Expr, CompareTotalOrder) {
+  Expr A = Expr::var("a"), B = Expr::var("b");
+  EXPECT_LT(A, B);
+  EXPECT_FALSE(B < A);
+  Expr CA = Expr::call("f", {A});
+  Expr CB = Expr::call("f", {B});
+  EXPECT_LT(CA, CB);
+  // Vars order before calls within an atom ordering.
+  EXPECT_LT(Atom::var("z").compare(Atom::call("a", {})), 0);
+}

@@ -1,0 +1,197 @@
+//===- ir_parser_test.cpp - Relation parser tests --------------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace sds::ir;
+
+TEST(Parser, PaperForwardSolveRelation) {
+  // The flow dependence from §2.1 (u[col[k]]@S1 read vs u[i]@S2 write).
+  auto R = parseRelation("{ [i] -> [i'] : exists(k') : i < i' && "
+                         "i = col(k') && 0 <= i < n && 0 <= i' < n && "
+                         "rowptr(i') <= k' < rowptr(i'+1) }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const SparseRelation &Rel = R.Rel;
+  EXPECT_EQ(Rel.InVars, std::vector<std::string>{"i"});
+  EXPECT_EQ(Rel.OutVars, std::vector<std::string>{"i'"});
+  EXPECT_EQ(Rel.ExistVars, std::vector<std::string>{"k'"});
+  // Chained 0 <= i < n produces two constraints; total:
+  // i<i', i=col(k'), 0<=i, i<n, 0<=i', i'<n, rowptr(i')<=k', k'<rowptr(i'+1)
+  EXPECT_EQ(Rel.Conj.constraints().size(), 8u);
+  EXPECT_EQ(Rel.params(), std::vector<std::string>{"n"});
+}
+
+TEST(Parser, SetWithoutOutputTuple) {
+  auto R = parseRelation("{ [i, j] : 0 <= i < n && i <= j }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Rel.InVars.size(), 2u);
+  EXPECT_TRUE(R.Rel.OutVars.empty());
+  EXPECT_TRUE(R.Rel.ExistVars.empty());
+}
+
+TEST(Parser, ChainedComparisons) {
+  auto R = parseRelation("{ [i] : 0 <= i < n <= m }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Rel.Conj.constraints().size(), 3u);
+}
+
+TEST(Parser, GreaterThanOperators) {
+  auto R = parseRelation("{ [i, j] : i > j && i >= 2 j }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Rel.Conj.constraints().size(), 2u);
+  // i > j becomes i - j - 1 >= 0.
+  EXPECT_EQ(R.Rel.Conj.constraints()[0].str(), "i - j - 1 >= 0");
+  EXPECT_EQ(R.Rel.Conj.constraints()[1].str(), "i - 2 j >= 0");
+}
+
+TEST(Parser, EqualityBothSpellings) {
+  auto R1 = parseRelation("{ [i] : i = 5 }");
+  auto R2 = parseRelation("{ [i] : i == 5 }");
+  ASSERT_TRUE(R1.Ok);
+  ASSERT_TRUE(R2.Ok);
+  EXPECT_EQ(R1.Rel.Conj.constraints()[0], R2.Rel.Conj.constraints()[0]);
+}
+
+TEST(Parser, NestedCallsAndArithmetic) {
+  auto R = parseRelation(
+      "{ [i, m, k, l] : col(row(m)) <= k < col(row(m) + 1) && "
+      "2*k - 3 <= col(i + 1) }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Rel.Conj.constraints().size(), 3u);
+}
+
+TEST(Parser, PrimedIdentifiers) {
+  auto R = parseRelation("{ [i] -> [i', m'] : i' <= m' && i < i' }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Rel.OutVars[0], "i'");
+  EXPECT_EQ(R.Rel.OutVars[1], "m'");
+}
+
+TEST(Parser, ExistsWithoutParens) {
+  auto R = parseRelation("{ [i] -> [j] : exists k, l : i <= k && k < j }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Rel.ExistVars, (std::vector<std::string>{"k", "l"}));
+}
+
+TEST(Parser, NegativeCoefficientsAndUnaryMinus) {
+  auto R = parseRelation("{ [i] : -i + 3 >= 0 && i >= -2 }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Rel.Conj.constraints()[0].str(), "-i + 3 >= 0");
+}
+
+TEST(Parser, RejectsDisequality) {
+  auto R = parseRelation("{ [i] -> [i'] : i != i' }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("disequal"), std::string::npos);
+}
+
+TEST(Parser, RejectsMalformed) {
+  EXPECT_FALSE(parseRelation("").Ok);
+  EXPECT_FALSE(parseRelation("{ [i] : i < }").Ok);
+  EXPECT_FALSE(parseRelation("{ [i] i < n }").Ok);
+  EXPECT_FALSE(parseRelation("{ [i] : i < n").Ok);
+  EXPECT_FALSE(parseRelation("{ [i] : i < n } garbage").Ok);
+  EXPECT_FALSE(parseRelation("{ [1] : i < n }").Ok);
+  EXPECT_FALSE(parseRelation("{ [i] : i }").Ok); // bare expression
+}
+
+TEST(Parser, RoundTripThroughPrinter) {
+  const char *Text = "{ [i] -> [i'] : exists(k') : i < i' && "
+                     "i = col(k') && rowptr(i') <= k' < rowptr(i' + 1) }";
+  auto R1 = parseRelation(Text);
+  ASSERT_TRUE(R1.Ok);
+  auto R2 = parseRelation(R1.Rel.str());
+  ASSERT_TRUE(R2.Ok) << R2.Error << " in: " << R1.Rel.str();
+  EXPECT_EQ(R1.Rel.str(), R2.Rel.str());
+}
+
+TEST(Parser, ExprEntryPoint) {
+  auto E = parseExpr("rowptr(i + 1) - 1");
+  ASSERT_TRUE(E.Ok);
+  EXPECT_EQ(E.E.str(), "rowptr(i + 1) - 1");
+  EXPECT_FALSE(parseExpr("rowptr(").Ok);
+  EXPECT_FALSE(parseExpr("a b").Ok);
+}
+
+namespace {
+
+/// Random expression generator for the print/reparse fuzz test.
+sds::ir::Expr randomExpr(std::mt19937 &Rng, int Depth) {
+  using sds::ir::Expr;
+  std::uniform_int_distribution<int> Coef(-3, 3);
+  std::uniform_int_distribution<int> NumTerms(1, 3);
+  std::uniform_int_distribution<int> Kind(0, Depth > 0 ? 2 : 1);
+  const char *Vars[] = {"i", "j", "k'", "n"};
+  const char *Fns[] = {"rowptr", "col", "diag"};
+  std::uniform_int_distribution<int> VarPick(0, 3), FnPick(0, 2);
+  Expr E(Coef(Rng));
+  int T = NumTerms(Rng);
+  for (int I = 0; I < T; ++I) {
+    int C = Coef(Rng);
+    if (C == 0)
+      C = 1;
+    switch (Kind(Rng)) {
+    case 0:
+      E += Expr::var(Vars[VarPick(Rng)]) * C;
+      break;
+    case 1:
+      E += Expr(C);
+      break;
+    default:
+      E += Expr::call(Fns[FnPick(Rng)], {randomExpr(Rng, Depth - 1)}) * C;
+    }
+  }
+  return E;
+}
+
+} // namespace
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, PrintReparseRoundTrip) {
+  std::mt19937 Rng(static_cast<unsigned>(GetParam()));
+  for (int I = 0; I < 20; ++I) {
+    sds::ir::Expr E = randomExpr(Rng, 2);
+    auto R = parseExpr(E.str());
+    ASSERT_TRUE(R.Ok) << E.str() << ": " << R.Error;
+    EXPECT_EQ(R.E, E) << E.str() << " reparsed as " << R.E.str();
+  }
+}
+
+TEST_P(ParserFuzz, RelationRoundTrip) {
+  std::mt19937 Rng(static_cast<unsigned>(GetParam()) + 77);
+  SparseRelation R;
+  R.InVars = {"i"};
+  R.OutVars = {"i'"};
+  for (int I = 0; I < 4; ++I) {
+    sds::ir::Expr E = randomExpr(Rng, 1);
+    if (I % 2)
+      R.Conj.add(sds::ir::Constraint::geq(E));
+    else
+      R.Conj.add(sds::ir::Constraint::eq(E));
+  }
+  auto P = parseRelation(R.str());
+  ASSERT_TRUE(P.Ok) << R.str() << ": " << P.Error;
+  EXPECT_EQ(P.Rel.str(), R.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 10));
+
+TEST(Parser, HugeIntegerLiteralRejectedGracefully) {
+  auto R = parseRelation("{ [i] : i < 99999999999999999999999999 }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of range"), std::string::npos);
+}
+
+TEST(Parser, CoefficientTimesCall) {
+  auto E = parseExpr("2 col(k) + 3*row(m)");
+  ASSERT_TRUE(E.Ok) << E.Error;
+  EXPECT_EQ(E.E.str(), "2 col(k) + 3 row(m)");
+}

@@ -1,0 +1,160 @@
+//===- ir_properties_test.cpp - Index-array property tests -----------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/ir/Properties.h"
+#include "sds/support/JSON.h"
+
+#include <gtest/gtest.h>
+
+using namespace sds::ir;
+
+TEST(Properties, KeywordRoundTrip) {
+  for (PropertyKind K :
+       {PropertyKind::MonotonicIncreasing,
+        PropertyKind::StrictMonotonicIncreasing,
+        PropertyKind::MonotonicDecreasing,
+        PropertyKind::StrictMonotonicDecreasing, PropertyKind::Injective,
+        PropertyKind::PeriodicMonotonic, PropertyKind::CoMonotonic,
+        PropertyKind::Triangular, PropertyKind::TriangularEntriesLE,
+        PropertyKind::TriangularEntriesGE, PropertyKind::TriangularEntriesLT,
+        PropertyKind::TriangularEntriesGT, PropertyKind::SegmentPointer}) {
+    auto Parsed = parsePropertyKind(propertyKindName(K));
+    ASSERT_TRUE(Parsed.has_value());
+    EXPECT_EQ(*Parsed, K);
+  }
+  EXPECT_FALSE(parsePropertyKind("bogus").has_value());
+}
+
+TEST(Properties, StrictMonotonicExpandsWithContrapositive) {
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "rowptr");
+  auto As = PS.assertions();
+  ASSERT_EQ(As.size(), 4u); // base, weak, contra, contra-strict
+  // The §4.1 contrapositive: f(x1) >= f(x2) => x1 >= x2, i.e. in our
+  // ordering f(__q1) <= f(__q0) => __q1 <= __q0.
+  bool FoundContra = false;
+  for (const auto &A : As)
+    if (A.Label.find("[contra]") != std::string::npos) {
+      FoundContra = true;
+      EXPECT_EQ(A.QVars.size(), 2u);
+      EXPECT_EQ(A.Antecedent.constraints().size(), 1u);
+      EXPECT_EQ(A.Consequent.constraints().size(), 1u);
+    }
+  EXPECT_TRUE(FoundContra);
+}
+
+TEST(Properties, CoMonotonicHasEmptyAntecedent) {
+  PropertySet PS;
+  PS.add(PropertyKind::CoMonotonic, "rowptr", "diagptr");
+  auto As = PS.assertions();
+  ASSERT_EQ(As.size(), 1u);
+  EXPECT_TRUE(As[0].Antecedent.empty());
+  EXPECT_EQ(As[0].Consequent.constraints().size(), 1u);
+}
+
+TEST(Properties, PeriodicMonotonicUsesThreeQVars) {
+  PropertySet PS;
+  PS.add(PropertyKind::PeriodicMonotonic, "col", "rowptr");
+  auto As = PS.assertions();
+  ASSERT_EQ(As.size(), 2u);
+  EXPECT_EQ(As[0].QVars.size(), 3u);
+}
+
+TEST(Properties, DomainRangeAssertion) {
+  PropertySet PS;
+  DomainRangeDecl D;
+  D.Fn = "rowptr";
+  D.DomLo = Expr(0);
+  D.DomHi = Expr::var("n");
+  D.RanLo = Expr(0);
+  D.RanHi = Expr::var("nnz");
+  PS.addDomainRange(D);
+  auto As = PS.assertions();
+  ASSERT_EQ(As.size(), 1u);
+  EXPECT_EQ(As[0].Antecedent.constraints().size(), 2u);
+  EXPECT_EQ(As[0].Consequent.constraints().size(), 2u);
+}
+
+TEST(Properties, FilteredKeepsOnlyRequestedKinds) {
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "rowptr");
+  PS.add(PropertyKind::PeriodicMonotonic, "col", "rowptr");
+  PS.add(PropertyKind::Triangular, "col", "rowptr");
+  PropertySet F =
+      PS.filtered({PropertyKind::StrictMonotonicIncreasing});
+  ASSERT_EQ(F.properties().size(), 1u);
+  EXPECT_EQ(F.properties()[0].Fn, "rowptr");
+}
+
+TEST(Properties, FromJSONFullShape) {
+  const char *Text = R"({
+    "index_arrays": {
+      "rowptr": {
+        "properties": ["strict_monotonic_increasing"],
+        "domain": [0, "n"],
+        "range": [0, "nnz"]
+      },
+      "col": {
+        "properties": [
+          {"kind": "periodic_monotonic", "segment": "rowptr"},
+          {"kind": "triangular_entries_le", "ptr": "rowptr"}
+        ]
+      }
+    }
+  })";
+  auto J = sds::json::parse(Text);
+  ASSERT_TRUE(J.Ok) << J.Error;
+  std::string Error;
+  auto PS = PropertySet::fromJSON(J.Val, Error);
+  ASSERT_TRUE(PS.has_value()) << Error;
+  EXPECT_EQ(PS->properties().size(), 3u);
+  EXPECT_EQ(PS->domainRanges().size(), 1u);
+  // col's periodic_monotonic carries the segment array name.
+  bool Found = false;
+  for (const auto &P : PS->properties())
+    if (P.K == PropertyKind::PeriodicMonotonic) {
+      EXPECT_EQ(P.Fn, "col");
+      EXPECT_EQ(P.Other, "rowptr");
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Properties, FromJSONErrors) {
+  std::string Error;
+  auto Check = [&](const char *Text) {
+    auto J = sds::json::parse(Text);
+    EXPECT_TRUE(J.Ok);
+    Error.clear();
+    auto PS = PropertySet::fromJSON(J.Val, Error);
+    EXPECT_FALSE(PS.has_value());
+    EXPECT_FALSE(Error.empty());
+  };
+  Check(R"({})");
+  Check(R"({"index_arrays": {"a": {"properties": ["nope"]}}})");
+  Check(R"({"index_arrays": {"a": {"properties": [42]}}})");
+  Check(R"({"index_arrays": {"a": {"properties":
+        [{"kind": "periodic_monotonic"}]}}})"); // missing segment
+  Check(R"({"index_arrays": {"a": {"domain": [1]}}})");
+  Check(R"({"index_arrays": {"a": {"domain": [0, "***"]}}})");
+}
+
+TEST(Properties, SegmentPointerUnconditional) {
+  PropertySet PS;
+  PS.add(PropertyKind::SegmentPointer, "diag", "rowptr");
+  auto As = PS.assertions();
+  ASSERT_EQ(As.size(), 1u);
+  EXPECT_TRUE(As[0].Antecedent.empty());
+  EXPECT_EQ(As[0].Consequent.constraints().size(), 2u);
+}
+
+TEST(Properties, AssertionPrinting) {
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "f");
+  auto As = PS.assertions();
+  EXPECT_NE(As[0].str().find("forall"), std::string::npos);
+  EXPECT_NE(As[0].str().find("=>"), std::string::npos);
+}

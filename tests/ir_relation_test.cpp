@@ -1,0 +1,124 @@
+//===- ir_relation_test.cpp - Conjunction/relation API tests ---------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/ir/Parser.h"
+#include "sds/ir/Relation.h"
+
+#include <gtest/gtest.h>
+
+using namespace sds::ir;
+
+namespace {
+Expr v(const char *N) { return Expr::var(N); }
+} // namespace
+
+TEST(Conjunction, DropsTriviallyTrueKeepsFalse) {
+  Conjunction C;
+  C.add(Constraint::geq(Expr(5)));  // 5 >= 0: dropped
+  C.add(Constraint::eq(Expr(0)));   // 0 == 0: dropped
+  EXPECT_TRUE(C.empty());
+  C.add(Constraint::geq(Expr(-1))); // -1 >= 0: kept (flatten detects)
+  C.add(Constraint::eq(Expr(3)));   // 3 == 0: kept
+  EXPECT_EQ(C.constraints().size(), 2u);
+}
+
+TEST(Conjunction, ExactDeduplication) {
+  Conjunction C;
+  C.add(Constraint::lt(v("i"), v("j")));
+  C.add(Constraint::lt(v("i"), v("j")));
+  EXPECT_EQ(C.constraints().size(), 1u);
+  // A weaker bound on the same linear part is a distinct constraint.
+  C.add(Constraint::le(v("i"), v("j")));
+  EXPECT_EQ(C.constraints().size(), 2u);
+}
+
+TEST(Conjunction, ImpliesSyntacticallyGeqChain) {
+  Conjunction C;
+  C.add(Constraint::geq(v("x") - Expr(5))); // x >= 5
+  EXPECT_TRUE(C.impliesSyntactically(Constraint::geq(v("x") - Expr(5))));
+  EXPECT_TRUE(C.impliesSyntactically(Constraint::geq(v("x") - Expr(3))));
+  EXPECT_FALSE(C.impliesSyntactically(Constraint::geq(v("x") - Expr(7))));
+  // Different linear part: no implication.
+  EXPECT_FALSE(C.impliesSyntactically(Constraint::geq(v("y") - Expr(1))));
+  // Negated orientation of a Geq does not imply.
+  EXPECT_FALSE(C.impliesSyntactically(Constraint::geq(Expr(9) - v("x"))));
+}
+
+TEST(Conjunction, ImpliesSyntacticallyFromEquality) {
+  Conjunction C;
+  C.add(Constraint::equals(v("x"), Expr(4))); // x == 4
+  EXPECT_TRUE(C.impliesSyntactically(Constraint::geq(v("x") - Expr(4))));
+  EXPECT_TRUE(C.impliesSyntactically(Constraint::geq(v("x") - Expr(2))));
+  EXPECT_FALSE(C.impliesSyntactically(Constraint::geq(v("x") - Expr(5))));
+  // The negated orientation works through the equality.
+  EXPECT_TRUE(C.impliesSyntactically(Constraint::geq(Expr(4) - v("x"))));
+  EXPECT_TRUE(C.impliesSyntactically(Constraint::geq(Expr(6) - v("x"))));
+  EXPECT_FALSE(C.impliesSyntactically(Constraint::geq(Expr(3) - v("x"))));
+  // Equality implication must be exact.
+  EXPECT_TRUE(C.impliesSyntactically(Constraint::equals(v("x"), Expr(4))));
+  EXPECT_TRUE(C.impliesSyntactically(Constraint::equals(Expr(4), v("x"))));
+  EXPECT_FALSE(C.impliesSyntactically(Constraint::equals(v("x"), Expr(5))));
+}
+
+TEST(Conjunction, ImpliesSyntacticallyConstants) {
+  Conjunction C;
+  EXPECT_TRUE(C.impliesSyntactically(Constraint::geq(Expr(0))));
+  EXPECT_TRUE(C.impliesSyntactically(Constraint::eq(Expr(0))));
+  EXPECT_FALSE(C.impliesSyntactically(Constraint::geq(Expr(-1))));
+  EXPECT_FALSE(C.impliesSyntactically(Constraint::eq(Expr(2))));
+}
+
+TEST(Conjunction, GeqDoesNotImplyEquality) {
+  Conjunction C;
+  C.add(Constraint::geq(v("x") - Expr(4)));
+  EXPECT_FALSE(C.impliesSyntactically(Constraint::equals(v("x"), Expr(4))));
+}
+
+TEST(Conjunction, AppendMerges) {
+  Conjunction A, B;
+  A.add(Constraint::lt(v("i"), v("n")));
+  B.add(Constraint::lt(v("i"), v("n")));
+  B.add(Constraint::geq(v("i")));
+  A.append(B);
+  EXPECT_EQ(A.constraints().size(), 2u);
+}
+
+TEST(SparseRelation, ParamsInAppearanceOrder) {
+  auto R = parseRelation(
+      "{ [i] -> [i'] : exists(k) : 0 <= i < n && k < nnz && i' < m }");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Rel.params(), (std::vector<std::string>{"n", "nnz", "m"}));
+}
+
+TEST(SparseRelation, SubstituteRewritesCallArguments) {
+  // Substituting m := k' + 1 must rewrite call arguments too.
+  auto R = parseRelation("{ [i] : exists(m, k') : m = k' + 1 && "
+                         "rowptr(m) <= i < rowptr(m + 1) }");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Rel.eliminateDeterminedExistentials(), 1u);
+  EXPECT_EQ(R.Rel.ExistVars, std::vector<std::string>{"k'"});
+  bool Found = false;
+  for (const Atom &A : R.Rel.Conj.collectCalls())
+    if (A.str() == "rowptr(k' + 2)")
+      Found = true;
+  EXPECT_TRUE(Found) << R.Rel.str();
+}
+
+TEST(SparseRelation, EliminationIsChained) {
+  // a = b, b = c + 1, with a, b existential: both eliminated.
+  auto R = parseRelation(
+      "{ [c] : exists(a, b) : a = b && b = c + 1 && 0 <= a < 10 }");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Rel.eliminateDeterminedExistentials(), 2u);
+  EXPECT_TRUE(R.Rel.ExistVars.empty());
+  // Constraints now over c only: 0 <= c + 1 < 10.
+  for (const Constraint &C : R.Rel.Conj.constraints()) {
+    std::vector<std::string> Vars;
+    C.E.collectVars(Vars);
+    for (const std::string &V : Vars)
+      EXPECT_EQ(V, "c");
+  }
+}

@@ -1,0 +1,285 @@
+//===- ir_simplify_test.cpp - §4/§6.2 simplification tests -----------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// Golden tests anchored to the paper's worked examples: the §2.2 unsat
+// demonstration, the §4.1 equality-discovery example, and the Definition 1
+// expression-set construction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/ir/Parser.h"
+#include "sds/ir/Simplify.h"
+
+#include <gtest/gtest.h>
+
+using namespace sds::ir;
+
+namespace {
+SparseRelation parse(const char *Text) {
+  auto R = parseRelation(Text);
+  EXPECT_TRUE(R.Ok) << R.Error << " in " << Text;
+  return R.Rel;
+}
+} // namespace
+
+TEST(ArgumentExpressionSet, Definition1) {
+  SparseRelation R = parse("{ [i] -> [i'] : exists(k') : i = col(k') && "
+                           "rowptr(i') <= k' < rowptr(i' + 1) }");
+  std::vector<Expr> E = argumentExpressionSet(R.Conj);
+  // Arguments: k', i', i' + 1.
+  ASSERT_EQ(E.size(), 3u);
+}
+
+TEST(ArgumentExpressionSet, NestedCallArgsIncluded) {
+  SparseRelation R = parse("{ [m] : col(row(m)) <= 5 }");
+  std::vector<Expr> E = argumentExpressionSet(R.Conj);
+  // Arguments: row(m) (arg of col) and m (arg of row).
+  ASSERT_EQ(E.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// §2.2: strict monotonicity disproves the Gauss-Seidel-shaped dependence.
+//===----------------------------------------------------------------------===//
+
+TEST(ProvenUnsat, PaperSection22Example) {
+  SparseRelation R = parse(
+      "{ [i] -> [i'] : exists(m, k') : i < i' && m = k' && "
+      "0 <= i < n && 0 <= i' < n && "
+      "rowptr(i - 1) <= m < rowptr(i) && "
+      "rowptr(i') <= k' < rowptr(i' + 1) }");
+
+  // Without domain knowledge the relation is satisfiable.
+  EXPECT_FALSE(provenUnsatAffineOnly(R));
+  PropertySet None;
+  EXPECT_FALSE(provenUnsat(R, None));
+
+  // With strict monotonicity of rowptr it is unsatisfiable (the instance
+  // x1 = i, x2 = i' gives rowptr(i) < rowptr(i'), a direct contradiction).
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "rowptr");
+  InstantiationStats Stats;
+  EXPECT_TRUE(provenUnsat(R, PS, {}, &Stats));
+  EXPECT_GT(Stats.Phase1Added, 0u);
+}
+
+TEST(ProvenUnsat, MonotonicityAloneInsufficientHere) {
+  // With only *non-strict* monotonicity the same relation stays
+  // satisfiable: rowptr(i) == rowptr(i') is allowed, and the two nonzero
+  // windows may coincide... but wait, m < rowptr(i) <= rowptr(i') <= m is
+  // still a contradiction. Use a window shape where non-strictness truly
+  // matters: overlap requires rowptr(i') < rowptr(i), which non-strict
+  // monotonicity alone cannot refute for i < i'... it can (i < i' gives
+  // rowptr(i) <= rowptr(i')). Keep this as a sanity check that the
+  // non-strict property still proves this case.
+  SparseRelation R = parse(
+      "{ [i] -> [i'] : exists(m, k') : i < i' && m = k' && "
+      "0 <= i < n && 0 <= i' < n && "
+      "rowptr(i - 1) <= m < rowptr(i) && "
+      "rowptr(i') <= k' < rowptr(i' + 1) }");
+  PropertySet PS;
+  PS.add(PropertyKind::MonotonicIncreasing, "rowptr");
+  EXPECT_TRUE(provenUnsat(R, PS));
+}
+
+TEST(ProvenUnsat, PeriodicMonotonicDisprovesDuplicateColumns) {
+  // Two distinct nonzeros of one row cannot carry the same column index
+  // when col is strictly increasing within each rowptr segment.
+  SparseRelation R = parse(
+      "{ [i] : exists(k1, k2) : rowptr(i) <= k1 < k2 && "
+      "k2 < rowptr(i + 1) && col(k1) = col(k2) }");
+  EXPECT_FALSE(provenUnsatAffineOnly(R));
+  PropertySet PS;
+  PS.add(PropertyKind::PeriodicMonotonic, "col", "rowptr");
+  EXPECT_TRUE(provenUnsat(R, PS));
+}
+
+TEST(ProvenUnsat, TriangularEntriesDisproveForwardReference) {
+  // Lower-triangular CSR: col(k) <= i for k in row i, so a read of
+  // u[col(k)] in iteration i can never touch a row written by a *later*
+  // iteration i' = col(k) > i.
+  SparseRelation R = parse(
+      "{ [i] -> [i'] : exists(k) : i < i' && col(k) = i' && "
+      "rowptr(i) <= k < rowptr(i + 1) && 0 <= i < n && 0 <= i' < n }");
+  EXPECT_FALSE(provenUnsatAffineOnly(R));
+  PropertySet PS;
+  PS.add(PropertyKind::TriangularEntriesLE, "col", "rowptr");
+  EXPECT_TRUE(provenUnsat(R, PS));
+}
+
+TEST(ProvenUnsat, CoMonotonicity) {
+  // diag(i) points into row i's window: rowptr(i) <= diag(i). A position
+  // strictly before rowptr(i) can then never equal diag(i).
+  SparseRelation R = parse(
+      "{ [i] : exists(m) : rowptr(i - 1) <= m < rowptr(i) && "
+      "m = diag(i) }");
+  PropertySet PS;
+  PS.add(PropertyKind::CoMonotonic, "rowptr", "diag");
+  EXPECT_TRUE(provenUnsat(R, PS));
+}
+
+TEST(ProvenUnsat, FunctionalConsistencyAffineOnly) {
+  // f(i) and f(j) with i == j must agree even with zero domain knowledge.
+  SparseRelation R =
+      parse("{ [i, j] : i = j && f(i) < f(j) }");
+  EXPECT_TRUE(provenUnsatAffineOnly(R));
+}
+
+TEST(ProvenUnsat, IntegerGapArgument) {
+  // Strict monotonicity turns f(i) < f(j) < f(i+1) into i < j < i+1,
+  // which has no integer solutions.
+  SparseRelation R = parse("{ [i, j] : f(i) < f(j) && f(j) < f(i + 1) }");
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "f");
+  EXPECT_TRUE(provenUnsat(R, PS));
+}
+
+TEST(ProvenUnsat, Phase2CaseSplit) {
+  // Needs case analysis: i, j in {0, 1}, f(0) = 10, f(1) = 20, but
+  // f(i) + f(j) = 25 is impossible for any choice (20, 30, or 40).
+  // No antecedent is syntactically present, so phase 1 cannot close it;
+  // the disjunctive functional-consistency instances must.
+  SparseRelation R = parse(
+      "{ [i, j] : 0 <= i <= 1 && 0 <= j <= 1 && i <= j && "
+      "f(0) = 10 && f(1) = 20 && f(i) + f(j) = 25 }");
+  InstantiationStats Stats;
+  EXPECT_TRUE(provenUnsat(R, PropertySet(), {}, &Stats));
+  EXPECT_GT(Stats.Phase2Used, 0u);
+}
+
+TEST(ProvenUnsat, SatisfiableRelationStaysSatisfiable) {
+  // The true forward-solve dependence (§2.1) must NOT be disproved even
+  // with every property switched on: it is a real runtime dependence.
+  SparseRelation R = parse(
+      "{ [i] -> [i'] : exists(k') : i < i' && i = col(k') && "
+      "0 <= i < n && 0 <= i' < n && rowptr(i') <= k' < rowptr(i' + 1) }");
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "rowptr");
+  PS.add(PropertyKind::PeriodicMonotonic, "col", "rowptr");
+  PS.add(PropertyKind::TriangularEntriesLE, "col", "rowptr");
+  EXPECT_FALSE(provenUnsat(R, PS));
+}
+
+//===----------------------------------------------------------------------===//
+// §4.1: equality discovery.
+//===----------------------------------------------------------------------===//
+
+TEST(DiscoverEqualities, PaperSection41Example) {
+  // (i < i') && f(i') <= f(g(i)) && g(i) <= i' with f strictly monotonic.
+  // The contrapositive instance x1 = g(i), x2 = i' yields i' <= g(i),
+  // which sandwiches to i' == g(i) — the O(n^2) -> O(n) inspector win.
+  SparseRelation R = parse(
+      "{ [i] -> [i'] : i < i' && f(i') <= f(g(i)) && g(i) <= i' && "
+      "0 <= i < n && 0 <= i' < n }");
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "f");
+
+  EqualityDiscoveryResult Res = discoverEqualities(R, PS);
+  EXPECT_GE(Res.NewEqualities, 1u);
+  // The relation now contains i' - g(i) == 0 (in some orientation).
+  Constraint Want =
+      Constraint::equals(Expr::var("i'"), Expr::call("g", {Expr::var("i")}));
+  EXPECT_TRUE(R.Conj.impliesSyntactically(Want)) << R.str();
+}
+
+TEST(DiscoverEqualities, NoFalseEqualities) {
+  // A plain box must not gain equalities.
+  SparseRelation R = parse("{ [i, j] : 0 <= i < n && 0 <= j < n }");
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "f");
+  EqualityDiscoveryResult Res = discoverEqualities(R, PS);
+  EXPECT_EQ(Res.NewEqualities, 0u);
+}
+
+TEST(DiscoverEqualities, EliminatesDeterminedExistentials) {
+  SparseRelation R = parse(
+      "{ [i] -> [i'] : exists(m, k') : i < i' && m = k' && "
+      "rowptr(i') <= k' < rowptr(i' + 1) && rowptr(i) <= m }");
+  // m = k' pins m; it disappears as an existential.
+  PropertySet PS;
+  EqualityDiscoveryResult Res = discoverEqualities(R, PS);
+  EXPECT_GE(Res.ExistentialsEliminated, 1u);
+  EXPECT_EQ(R.ExistVars.size(), 1u);
+}
+
+TEST(DiscoverEqualities, DoesNotEliminateCallBoundExistential) {
+  // i = col(k') does NOT determine k' (k' only occurs inside the call).
+  SparseRelation R = parse(
+      "{ [i] -> [i'] : exists(k') : i = col(k') && "
+      "rowptr(i') <= k' < rowptr(i' + 1) }");
+  PropertySet PS;
+  discoverEqualities(R, PS);
+  EXPECT_EQ(R.ExistVars.size(), 1u);
+}
+
+TEST(EliminateDeterminedExistentials, SubstitutesInsideCallArgs) {
+  SparseRelation R = parse(
+      "{ [i] : exists(m) : m = i + 1 && rowptr(m) <= 10 }");
+  EXPECT_EQ(R.eliminateDeterminedExistentials(), 1u);
+  EXPECT_TRUE(R.ExistVars.empty());
+  // rowptr(m) became rowptr(i + 1).
+  bool Found = false;
+  for (const Atom &A : R.Conj.collectCalls())
+    if (A.str() == "rowptr(i + 1)")
+      Found = true;
+  EXPECT_TRUE(Found) << R.str();
+}
+
+TEST(DiscoverEqualities, SecondRoundDerivesDiagonalIdentity) {
+  // The IC0 pattern: k names the *start* of column i' (k = colptr(i')),
+  // and diagonal-first storage gives rowidx(colptr(x)) == x. Deriving the
+  // inspector-friendly i' == rowidx(k) needs the term rowidx(colptr(i'))
+  // that phase 1 itself introduces — i.e. a second instantiation round.
+  // rowidx(k) must occur somewhere for the link to exist — in IC0 it
+  // comes from the guards; here a domain fact plays that role.
+  const char *Text = "{ [k] -> [i'] : k = colptr(i') && 0 <= i' < n && "
+                     "0 <= k < nnz && rowidx(k) >= 0 }";
+  PropertySet PS;
+  PS.add(PropertyKind::SegmentStartIdentity, "rowidx", "colptr", Expr(0),
+         Expr::var("n"));
+  Constraint Want = Constraint::equals(
+      Expr::var("i'"), Expr::call("rowidx", {Expr::var("k")}));
+
+  SparseRelation OneRound = parse(Text);
+  SimplifyOptions Opts1;
+  Opts1.InstantiationRounds = 1;
+  discoverEqualities(OneRound, PS, Opts1);
+  EXPECT_FALSE(OneRound.Conj.impliesSyntactically(Want)) << OneRound.str();
+
+  SparseRelation TwoRounds = parse(Text);
+  SimplifyOptions Opts2;
+  Opts2.InstantiationRounds = 2;
+  discoverEqualities(TwoRounds, PS, Opts2);
+  EXPECT_TRUE(TwoRounds.Conj.impliesSyntactically(Want)) << TwoRounds.str();
+}
+
+TEST(InstantiatePhase1, StatsAreAccounted) {
+  SparseRelation R = parse(
+      "{ [i] -> [i'] : i < i' && rowptr(i) <= rowptr(i') }");
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "rowptr");
+  InstantiationStats Stats;
+  std::vector<AssertionInstance> Phase2;
+  Conjunction Aug =
+      instantiatePhase1(R.Conj, PS.assertions(), {}, &Stats, &Phase2);
+  EXPECT_GT(Stats.Generated, 0u);
+  // x1 = i, x2 = i' with antecedent i < i' fires in phase 1 and adds
+  // rowptr(i) < rowptr(i').
+  EXPECT_GT(Stats.Phase1Added, 0u);
+  Constraint Want = Constraint::lt(Expr::call("rowptr", {Expr::var("i")}),
+                                   Expr::call("rowptr", {Expr::var("i'")}));
+  EXPECT_TRUE(Aug.impliesSyntactically(Want));
+}
+
+TEST(InstantiatePhase1, InstanceCapRespected) {
+  SparseRelation R = parse(
+      "{ [i] -> [i'] : i < i' && f(i) <= f(i') && f(i + 1) <= f(i' + 1) && "
+      "f(i + 2) <= f(i' + 2) && f(i + 3) <= f(i' + 3) }");
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "f");
+  SimplifyOptions Opts;
+  Opts.MaxInstances = 10;
+  InstantiationStats Stats;
+  instantiatePhase1(R.Conj, PS.assertions(), Opts, &Stats, nullptr);
+  EXPECT_LE(Stats.Generated, 10u);
+}

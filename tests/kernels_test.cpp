@@ -1,0 +1,106 @@
+//===- kernels_test.cpp - Table-2 kernel encodings tests -------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/kernels/Kernels.h"
+#include "sds/support/JSON.h"
+
+#include <gtest/gtest.h>
+
+using namespace sds::kernels;
+using sds::ir::PropertyKind;
+
+TEST(Kernels, SuiteHasSevenEntries) {
+  auto All = allKernels();
+  ASSERT_EQ(All.size(), 7u); // Table 2
+  for (const Kernel &K : All) {
+    EXPECT_FALSE(K.Name.empty());
+    EXPECT_FALSE(K.Stmts.empty()) << K.Name;
+    EXPECT_TRUE(K.Format == "CSR" || K.Format == "CSC") << K.Name;
+  }
+}
+
+TEST(Kernels, ForwardSolveCSRShape) {
+  Kernel K = forwardSolveCSR();
+  ASSERT_EQ(K.Stmts.size(), 2u);
+  // S1 sits inside the k loop; S2 only inside i.
+  EXPECT_EQ(K.Stmts[0].Loops.size(), 2u);
+  EXPECT_EQ(K.Stmts[1].Loops.size(), 1u);
+  // S1 reads u[col[k]]; S2 writes u[i].
+  bool ReadsUCol = false, WritesUI = false;
+  for (const Access &A : K.Stmts[0].Accesses)
+    if (A.Array == "u" && !A.IsWrite)
+      ReadsUCol = true;
+  for (const Access &A : K.Stmts[1].Accesses)
+    if (A.Array == "u" && A.IsWrite)
+      WritesUI = true;
+  EXPECT_TRUE(ReadsUCol);
+  EXPECT_TRUE(WritesUI);
+}
+
+TEST(Kernels, IterationDomainBuildsBoundsAndGuards) {
+  Kernel K = incompleteCholeskyCSC();
+  const Statement *S3 = nullptr;
+  for (const Statement &S : K.Stmts)
+    if (S.Name == "S3")
+      S3 = &S;
+  ASSERT_NE(S3, nullptr);
+  EXPECT_EQ(S3->Loops.size(), 4u); // i, m, k, l
+  EXPECT_EQ(S3->Guards.constraints().size(), 2u);
+  // Domain: 2 bounds per loop + 2 guards = 10 constraints.
+  EXPECT_EQ(S3->iterationDomain().constraints().size(), 10u);
+}
+
+TEST(Kernels, PropertyJSONParsesAndMatchesDeclaredProperties) {
+  for (const Kernel &K : allKernels()) {
+    auto J = sds::json::parse(K.PropertyJSON);
+    ASSERT_TRUE(J.Ok) << K.Name << ": " << J.Error << "\n" << K.PropertyJSON;
+    std::string Error;
+    auto PS = sds::ir::PropertySet::fromJSON(J.Val, Error);
+    ASSERT_TRUE(PS.has_value()) << K.Name << ": " << Error;
+    EXPECT_EQ(PS->properties().size(), K.Properties.properties().size())
+        << K.Name;
+  }
+}
+
+TEST(Kernels, Table2PropertyColumns) {
+  // Table 2: every kernel uses strict + periodic monotonicity; the
+  // triangular-solve and factorization kernels add triangularity.
+  auto Has = [](const Kernel &K, PropertyKind Kind) {
+    for (const auto &P : K.Properties.properties())
+      if (P.K == Kind)
+        return true;
+    return false;
+  };
+  for (const Kernel &K : allKernels()) {
+    EXPECT_TRUE(Has(K, PropertyKind::StrictMonotonicIncreasing)) << K.Name;
+    EXPECT_TRUE(Has(K, PropertyKind::PeriodicMonotonic)) << K.Name;
+  }
+  EXPECT_TRUE(Has(forwardSolveCSR(), PropertyKind::TriangularEntriesLE));
+  EXPECT_TRUE(Has(forwardSolveCSC(), PropertyKind::TriangularEntriesGE));
+  EXPECT_TRUE(
+      Has(incompleteCholeskyCSC(), PropertyKind::TriangularEntriesGE));
+  EXPECT_TRUE(Has(gaussSeidelCSR(), PropertyKind::SegmentPointer));
+  EXPECT_TRUE(Has(incompleteLU0CSR(), PropertyKind::SegmentPointer));
+  EXPECT_TRUE(Has(leftCholeskyCSC(), PropertyKind::TriangularEntriesLT));
+}
+
+TEST(Kernels, BuilderBalancedLoops) {
+  KernelBuilder B("T", "CSR", "test");
+  B.loop("i", sds::ir::Expr(0), v("n"))
+      .stmt("S1", {write("a", {v("i")})})
+      .end();
+  Kernel K = B.take();
+  ASSERT_EQ(K.Stmts.size(), 1u);
+  EXPECT_EQ(K.Stmts[0].Loops.size(), 1u);
+}
+
+TEST(Kernels, PrintersAreInformative) {
+  Kernel K = forwardSolveCSR();
+  std::string S = K.str();
+  EXPECT_NE(S.find("Forward Solve CSR"), std::string::npos);
+  EXPECT_NE(S.find("u[col(k)]"), std::string::npos);
+  EXPECT_NE(S.find("(w)"), std::string::npos);
+}

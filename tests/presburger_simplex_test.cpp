@@ -1,0 +1,153 @@
+//===- presburger_simplex_test.cpp - Exact rational simplex tests --------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/presburger/Simplex.h"
+
+#include <gtest/gtest.h>
+
+using namespace sds;
+using namespace sds::presburger;
+
+namespace {
+std::vector<int64_t> row(std::initializer_list<int64_t> L) { return L; }
+} // namespace
+
+TEST(Simplex, EmptySystemFeasible) {
+  Simplex S(2);
+  EXPECT_EQ(S.checkFeasible(), LPStatus::Optimal);
+}
+
+TEST(Simplex, SimpleFeasible) {
+  // x >= 1, y >= 2, x + y <= 10.
+  Simplex S(2);
+  S.addInequality(row({1, 0, -1}));
+  S.addInequality(row({0, 1, -2}));
+  S.addInequality(row({-1, -1, 10}));
+  EXPECT_EQ(S.checkFeasible(), LPStatus::Optimal);
+  auto P = S.samplePoint();
+  Fraction X = P[0], Y = P[1];
+  EXPECT_GE(X, Fraction(1));
+  EXPECT_GE(Y, Fraction(2));
+  EXPECT_LE(X + Y, Fraction(10));
+}
+
+TEST(Simplex, InfeasibleBounds) {
+  // x >= 5 and x <= 3.
+  Simplex S(1);
+  S.addInequality(row({1, -5}));
+  S.addInequality(row({-1, 3}));
+  EXPECT_EQ(S.checkFeasible(), LPStatus::Infeasible);
+}
+
+TEST(Simplex, InfeasibleEqualityChain) {
+  // x = y, y = z, x - z = 1 is contradictory.
+  Simplex S(3);
+  S.addEquality(row({1, -1, 0, 0}));
+  S.addEquality(row({0, 1, -1, 0}));
+  S.addEquality(row({1, 0, -1, -1}));
+  EXPECT_EQ(S.checkFeasible(), LPStatus::Infeasible);
+}
+
+TEST(Simplex, TrivialRows) {
+  Simplex S(1);
+  S.addInequality(row({0, 5}));  // 5 >= 0, fine
+  S.addEquality(row({0, 0}));    // 0 == 0, fine
+  EXPECT_EQ(S.checkFeasible(), LPStatus::Optimal);
+  Simplex S2(1);
+  S2.addInequality(row({0, -3})); // -3 >= 0, contradiction
+  EXPECT_EQ(S2.checkFeasible(), LPStatus::Infeasible);
+  Simplex S3(1);
+  S3.addEquality(row({0, 2})); // 2 == 0, contradiction
+  EXPECT_EQ(S3.checkFeasible(), LPStatus::Infeasible);
+}
+
+TEST(Simplex, MinimizeBounded) {
+  // Minimize x + y with x >= 3, y >= 4.
+  Simplex S(2);
+  S.addInequality(row({1, 0, -3}));
+  S.addInequality(row({0, 1, -4}));
+  Fraction Opt;
+  EXPECT_EQ(S.minimize(row({1, 1, 0}), Opt), LPStatus::Optimal);
+  EXPECT_EQ(Opt, Fraction(7));
+}
+
+TEST(Simplex, MinimizeWithConstantTerm) {
+  Simplex S(1);
+  S.addInequality(row({1, 0})); // x >= 0
+  Fraction Opt;
+  EXPECT_EQ(S.minimize(row({2, 5}), Opt), LPStatus::Optimal);
+  EXPECT_EQ(Opt, Fraction(5)); // min 2x + 5 at x = 0
+}
+
+TEST(Simplex, MinimizeUnbounded) {
+  Simplex S(1);
+  S.addInequality(row({-1, 10})); // x <= 10
+  Fraction Opt;
+  EXPECT_EQ(S.minimize(row({1, 0}), Opt), LPStatus::Unbounded);
+}
+
+TEST(Simplex, UnboundedObjectiveNoConstraints) {
+  Simplex S(1);
+  Fraction Opt;
+  EXPECT_EQ(S.minimize(row({1, 0}), Opt), LPStatus::Unbounded);
+}
+
+TEST(Simplex, FractionalOptimum) {
+  // 2x = 1 has rational solution x = 1/2.
+  Simplex S(1);
+  S.addEquality(row({2, -1}));
+  EXPECT_EQ(S.checkFeasible(), LPStatus::Optimal);
+  EXPECT_EQ(S.samplePoint()[0], Fraction(1, 2));
+}
+
+TEST(Simplex, NegativeSolution) {
+  // x <= -5.
+  Simplex S(1);
+  S.addInequality(row({-1, -5}));
+  EXPECT_EQ(S.checkFeasible(), LPStatus::Optimal);
+  EXPECT_LE(S.samplePoint()[0], Fraction(-5));
+}
+
+TEST(Simplex, DegenerateCyclePotential) {
+  // A classic degenerate system; Bland's rule must terminate.
+  Simplex S(2);
+  S.addInequality(row({1, 0, 0}));   // x >= 0
+  S.addInequality(row({0, 1, 0}));   // y >= 0
+  S.addInequality(row({-1, -1, 0})); // x + y <= 0 -> x = y = 0
+  Fraction Opt;
+  EXPECT_EQ(S.minimize(row({-1, -2, 0}), Opt), LPStatus::Optimal);
+  EXPECT_EQ(Opt, Fraction(0));
+}
+
+TEST(Simplex, RedundantEqualities) {
+  // x = 1 stated twice plus an implied combination.
+  Simplex S(2);
+  S.addEquality(row({1, 0, -1}));
+  S.addEquality(row({1, 0, -1}));
+  S.addEquality(row({2, 0, -2}));
+  S.addEquality(row({0, 1, -3}));
+  EXPECT_EQ(S.checkFeasible(), LPStatus::Optimal);
+  EXPECT_EQ(S.samplePoint()[0], Fraction(1));
+  EXPECT_EQ(S.samplePoint()[1], Fraction(3));
+}
+
+TEST(Simplex, DependenceShapedSystem) {
+  // Shape of a typical dependence system: i < i', both in [0, 100),
+  // k in [ri, ri+5), k' in [ri', ri'+5), k = k', ri' >= ri + 6.
+  // Infeasible because the k-windows cannot overlap.
+  // Vars: i, i', k, k', ri, ri'.
+  Simplex S(6);
+  S.addInequality(row({-1, 1, 0, 0, 0, 0, -1})); // i' - i - 1 >= 0
+  S.addInequality(row({1, 0, 0, 0, 0, 0, 0}));   // i >= 0
+  S.addInequality(row({0, -1, 0, 0, 0, 0, 99})); // i' <= 99
+  S.addInequality(row({0, 0, 1, 0, -1, 0, 0}));  // k >= ri
+  S.addInequality(row({0, 0, -1, 0, 1, 0, 4}));  // k <= ri + 4
+  S.addInequality(row({0, 0, 0, 1, 0, -1, 0}));  // k' >= ri'
+  S.addInequality(row({0, 0, 0, -1, 0, 1, 4}));  // k' <= ri' + 4
+  S.addEquality(row({0, 0, 1, -1, 0, 0, 0}));    // k = k'
+  S.addInequality(row({0, 0, 0, 0, -1, 1, -6})); // ri' >= ri + 6
+  EXPECT_EQ(S.checkFeasible(), LPStatus::Infeasible);
+}

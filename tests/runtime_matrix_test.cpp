@@ -1,0 +1,174 @@
+//===- runtime_matrix_test.cpp - Matrix substrate tests --------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/runtime/Matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace sds::rt;
+
+namespace {
+
+/// Figure 1's matrix.
+CSRMatrix figure1Matrix() {
+  CSRMatrix A;
+  A.N = 4;
+  A.RowPtr = {0, 1, 2, 4, 7};
+  A.Col = {0, 1, 0, 2, 0, 2, 3};
+  A.Val = {1, 2, 3, 4, 5, 6, 7}; // a..g
+  return A;
+}
+
+} // namespace
+
+TEST(Matrix, Figure1WellFormed) {
+  CSRMatrix A = figure1Matrix();
+  EXPECT_TRUE(A.isWellFormed());
+  EXPECT_TRUE(A.isLowerTriangular());
+  EXPECT_EQ(A.nnz(), 7);
+  auto Diag = A.diagonalPositions();
+  EXPECT_EQ(Diag, (std::vector<int>{0, 1, 3, 6}));
+}
+
+TEST(Matrix, CSRtoCSCRoundTrip) {
+  CSRMatrix A = figure1Matrix();
+  CSCMatrix B = toCSC(A);
+  EXPECT_TRUE(B.isWellFormed());
+  EXPECT_TRUE(B.isLowerTriangular());
+  // Column 0 holds rows 0, 2, 3 (values a, c, e).
+  EXPECT_EQ(B.ColPtr, (std::vector<int>{0, 3, 4, 6, 7}));
+  EXPECT_EQ(B.RowIdx, (std::vector<int>{0, 2, 3, 1, 2, 3, 3}));
+  EXPECT_EQ(B.Val, (std::vector<double>{1, 3, 5, 2, 4, 6, 7}));
+  CSRMatrix C = toCSR(B);
+  EXPECT_EQ(C.RowPtr, A.RowPtr);
+  EXPECT_EQ(C.Col, A.Col);
+  EXPECT_EQ(C.Val, A.Val);
+}
+
+TEST(Matrix, GeneratorProducesWellFormedSPD) {
+  GeneratorConfig Config;
+  Config.N = 200;
+  Config.AvgNnzPerRow = 9;
+  Config.Bandwidth = 30;
+  CSRMatrix A = generateSPDLike(Config);
+  ASSERT_TRUE(A.isWellFormed());
+  // Symmetric pattern & values.
+  CSCMatrix T = toCSC(A);
+  EXPECT_EQ(T.ColPtr, A.RowPtr);
+  EXPECT_EQ(T.RowIdx, A.Col);
+  EXPECT_EQ(T.Val, A.Val);
+  // Full diagonal, strictly dominant.
+  auto Diag = A.diagonalPositions();
+  for (int I = 0; I < A.N; ++I) {
+    ASSERT_GE(Diag[I], 0);
+    double Off = 0;
+    for (int K = A.RowPtr[I]; K < A.RowPtr[I + 1]; ++K)
+      if (A.Col[K] != I)
+        Off += std::abs(A.Val[K]);
+    EXPECT_GT(A.Val[Diag[I]], Off);
+  }
+}
+
+TEST(Matrix, GeneratorDeterministicInSeed) {
+  GeneratorConfig C1, C2;
+  C1.Seed = C2.Seed = 7;
+  CSRMatrix A = generateSPDLike(C1), B = generateSPDLike(C2);
+  EXPECT_EQ(A.Col, B.Col);
+  EXPECT_EQ(A.Val, B.Val);
+  C2.Seed = 8;
+  CSRMatrix C = generateSPDLike(C2);
+  EXPECT_NE(A.Col, C.Col);
+}
+
+TEST(Matrix, LowerTriangleExtraction) {
+  CSRMatrix A = generateSPDLike({100, 7, 20, 3});
+  CSRMatrix L = lowerTriangle(A);
+  EXPECT_TRUE(L.isWellFormed());
+  EXPECT_TRUE(L.isLowerTriangular());
+  // Each row keeps its diagonal.
+  auto Diag = L.diagonalPositions();
+  for (int I = 0; I < L.N; ++I)
+    EXPECT_GE(Diag[I], 0);
+}
+
+TEST(Matrix, Table4ProfilesMatchPaper) {
+  auto Profiles = table4Profiles();
+  ASSERT_EQ(Profiles.size(), 5u);
+  EXPECT_EQ(Profiles[0].Columns, 504855); // af_shell3
+  EXPECT_EQ(Profiles[4].NnzPerCol, 222);  // crankseg_2
+  // Ordered by nnz per column, as in the paper.
+  for (size_t I = 1; I < Profiles.size(); ++I)
+    EXPECT_GT(Profiles[I].NnzPerCol, Profiles[I - 1].NnzPerCol);
+}
+
+TEST(Matrix, ProfileGenerationApproximatesDensity) {
+  auto P = table4Profiles()[1]; // msdoor: 46 nnz/col
+  CSRMatrix A = generateFromProfile(P, /*Scale=*/0.01, /*Seed=*/1);
+  ASSERT_TRUE(A.isWellFormed());
+  double Density = double(A.nnz()) / A.N;
+  EXPECT_GT(Density, P.NnzPerCol * 0.5);
+  EXPECT_LT(Density, P.NnzPerCol * 1.5);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  CSRMatrix A = figure1Matrix();
+  std::string Path = ::testing::TempDir() + "/sds_mm_roundtrip.mtx";
+  std::string Error;
+  ASSERT_TRUE(writeMatrixMarket(Path, A, Error)) << Error;
+  CSRMatrix B;
+  ASSERT_TRUE(readMatrixMarket(Path, B, Error)) << Error;
+  EXPECT_EQ(B.RowPtr, A.RowPtr);
+  EXPECT_EQ(B.Col, A.Col);
+  EXPECT_EQ(B.Val, A.Val);
+  std::remove(Path.c_str());
+}
+
+TEST(MatrixMarket, SymmetricAndPatternInputs) {
+  std::string Path = ::testing::TempDir() + "/sds_mm_sym.mtx";
+  {
+    FILE *F = fopen(Path.c_str(), "w");
+    ASSERT_NE(F, nullptr);
+    fputs("%%MatrixMarket matrix coordinate real symmetric\n"
+          "% comment line\n"
+          "3 3 4\n"
+          "1 1 2.0\n2 2 2.0\n3 3 2.0\n3 1 -1.0\n",
+          F);
+    fclose(F);
+  }
+  CSRMatrix A;
+  std::string Error;
+  ASSERT_TRUE(readMatrixMarket(Path, A, Error)) << Error;
+  EXPECT_EQ(A.nnz(), 5); // mirror of (3,1) added
+  EXPECT_TRUE(A.isWellFormed());
+  std::remove(Path.c_str());
+}
+
+TEST(MatrixMarket, Errors) {
+  CSRMatrix A;
+  std::string Error;
+  EXPECT_FALSE(readMatrixMarket("/nonexistent/x.mtx", A, Error));
+  std::string Path = ::testing::TempDir() + "/sds_mm_bad.mtx";
+  auto WriteAndTry = [&](const char *Content) {
+    FILE *F = fopen(Path.c_str(), "w");
+    fputs(Content, F);
+    fclose(F);
+    Error.clear();
+    bool OK = readMatrixMarket(Path, A, Error);
+    EXPECT_FALSE(OK);
+    EXPECT_FALSE(Error.empty());
+  };
+  WriteAndTry("");                                            // empty
+  WriteAndTry("%%MatrixMarket matrix array real general\n");  // not coord
+  WriteAndTry("%%MatrixMarket matrix coordinate real general\n"
+              "2 3 1\n1 1 1.0\n"); // non-square
+  WriteAndTry("%%MatrixMarket matrix coordinate real general\n"
+              "2 2 2\n1 1 1.0\n"); // truncated
+  WriteAndTry("%%MatrixMarket matrix coordinate real general\n"
+              "2 2 1\n5 1 1.0\n"); // out of range
+  std::remove(Path.c_str());
+}

@@ -1,0 +1,171 @@
+//===- runtime_wavefront_test.cpp - DAG / level set / LBC tests ------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/runtime/Matrix.h"
+#include "sds/runtime/Wavefront.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace sds::rt;
+
+namespace {
+
+/// Figure 2's dependence graph (from Figure 1's matrix).
+DependenceGraph figure2Graph() {
+  DependenceGraph G(4);
+  G.addEdge(0, 2);
+  G.addEdge(0, 3);
+  G.addEdge(2, 3);
+  G.finalize();
+  return G;
+}
+
+} // namespace
+
+TEST(DependenceGraph, EdgesAndInvariants) {
+  DependenceGraph G = figure2Graph();
+  EXPECT_EQ(G.numEdges(), 3u);
+  EXPECT_TRUE(G.isForwardOnly());
+  EXPECT_EQ(G.successors(0), (std::vector<int>{2, 3}));
+  EXPECT_TRUE(G.successors(1).empty());
+}
+
+TEST(DependenceGraph, DeduplicatesAndIgnoresSelfEdges) {
+  DependenceGraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(0, 1);
+  G.addEdge(1, 1); // ignored
+  G.finalize();
+  EXPECT_EQ(G.numEdges(), 1u);
+}
+
+TEST(LevelSets, Figure2Waves) {
+  // The paper's Figure 2: waves {0, 1}, {2}, {3}.
+  LevelSets LS = computeLevelSets(figure2Graph());
+  ASSERT_EQ(LS.numLevels(), 3);
+  EXPECT_EQ(LS.Levels[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(LS.Levels[1], (std::vector<int>{2}));
+  EXPECT_EQ(LS.Levels[2], (std::vector<int>{3}));
+}
+
+TEST(LevelSets, ChainAndIndependent) {
+  DependenceGraph Chain(4);
+  Chain.addEdge(0, 1);
+  Chain.addEdge(1, 2);
+  Chain.addEdge(2, 3);
+  Chain.finalize();
+  EXPECT_EQ(computeLevelSets(Chain).numLevels(), 4);
+
+  DependenceGraph Free(4);
+  Free.finalize();
+  EXPECT_EQ(computeLevelSets(Free).numLevels(), 1);
+}
+
+TEST(Schedule, LevelSetsRespectDependences) {
+  DependenceGraph G = figure2Graph();
+  for (int Threads : {1, 2, 4, 8}) {
+    WavefrontSchedule S = scheduleLevelSets(G, Threads);
+    EXPECT_TRUE(S.respects(G)) << "threads=" << Threads;
+    EXPECT_EQ(S.numWaves(), 3);
+  }
+}
+
+TEST(Schedule, LBCRespectsDependences) {
+  DependenceGraph G = figure2Graph();
+  for (int Threads : {1, 2, 4}) {
+    LBCConfig C;
+    C.NumThreads = Threads;
+    C.MinWorkPerThread = 1;
+    WavefrontSchedule S = scheduleLBC(G, C);
+    EXPECT_TRUE(S.respects(G)) << "threads=" << Threads;
+  }
+}
+
+TEST(Schedule, LBCCoarsensLongChains) {
+  // A graph of many short levels: LBC must produce far fewer waves than
+  // plain level sets (that is its whole point, §8.1).
+  int N = 512;
+  DependenceGraph G(N);
+  for (int I = 0; I + 2 < N; I += 2)
+    G.addEdge(I, I + 2); // two independent chains of length N/2
+  G.finalize();
+  WavefrontSchedule Plain = scheduleLevelSets(G, 4);
+  LBCConfig C;
+  C.NumThreads = 4;
+  C.MinWorkPerThread = 16;
+  WavefrontSchedule Coarse = scheduleLBC(G, C);
+  EXPECT_TRUE(Coarse.respects(G));
+  EXPECT_LT(Coarse.numWaves(), Plain.numWaves() / 4);
+}
+
+TEST(Schedule, CostBalancing) {
+  // One expensive node and many cheap ones in a single level: the
+  // expensive node must not share its thread with most of the cheap work.
+  DependenceGraph G(9);
+  G.finalize();
+  std::vector<double> Cost(9, 1.0);
+  Cost[0] = 8.0;
+  WavefrontSchedule S = scheduleLevelSets(G, 2, Cost);
+  ASSERT_EQ(S.numWaves(), 1);
+  // Find node 0's partition; it should carry few other nodes.
+  for (const auto &Part : S.Waves[0]) {
+    bool HasBig = false;
+    for (int Node : Part)
+      if (Node == 0)
+        HasBig = true;
+    if (HasBig) {
+      EXPECT_LE(Part.size(), 3u);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Property test: schedules from random DAGs are always valid.
+//===----------------------------------------------------------------------===//
+
+class WavefrontRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(WavefrontRandom, SchedulesRespectRandomGraphs) {
+  std::mt19937 Rng(static_cast<unsigned>(GetParam()));
+  int N = 64 + GetParam() * 8;
+  DependenceGraph G(N);
+  std::uniform_int_distribution<int> NodeDist(0, N - 1);
+  for (int E = 0; E < N * 3; ++E) {
+    int A = NodeDist(Rng), B = NodeDist(Rng);
+    if (A < B)
+      G.addEdge(A, B);
+  }
+  G.finalize();
+  WavefrontSchedule Plain = scheduleLevelSets(G, 4);
+  EXPECT_TRUE(Plain.respects(G));
+  LBCConfig C;
+  C.NumThreads = 4;
+  C.MinWorkPerThread = 8;
+  WavefrontSchedule Coarse = scheduleLBC(G, C);
+  EXPECT_TRUE(Coarse.respects(G));
+  // LBC never has more waves than plain level sets.
+  EXPECT_LE(Coarse.numWaves(), Plain.numWaves());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WavefrontRandom, ::testing::Range(0, 20));
+
+TEST(Schedule, RespectsDetectsViolations) {
+  DependenceGraph G = figure2Graph();
+  WavefrontSchedule Bad;
+  // All nodes in one wave on separate threads: 0->2 violated.
+  Bad.Waves = {{{0}, {1}, {2}, {3}}};
+  EXPECT_FALSE(Bad.respects(G));
+  // Missing node.
+  WavefrontSchedule Missing;
+  Missing.Waves = {{{0, 1, 2}}};
+  EXPECT_FALSE(Missing.respects(G));
+  // Same-thread ordering of a same-wave edge is legal.
+  WavefrontSchedule SameThread;
+  SameThread.Waves = {{{0, 2, 3}, {1}}};
+  EXPECT_TRUE(SameThread.respects(G));
+}

@@ -1,0 +1,113 @@
+//===- support_fraction_test.cpp - Exact rational arithmetic tests -------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/support/Fraction.h"
+#include "sds/support/MathExtras.h"
+
+#include <gtest/gtest.h>
+
+using namespace sds;
+
+TEST(MathExtras, Gcd64) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(12, -18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(5, 0), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(gcd64(7, 13), 1);
+}
+
+TEST(MathExtras, FloorCeilDiv) {
+  EXPECT_EQ(floorDiv64(7, 2), 3);
+  EXPECT_EQ(floorDiv64(-7, 2), -4);
+  EXPECT_EQ(floorDiv64(7, -2), -4);
+  EXPECT_EQ(floorDiv64(-7, -2), 3);
+  EXPECT_EQ(ceilDiv64(7, 2), 4);
+  EXPECT_EQ(ceilDiv64(-7, 2), -3);
+  EXPECT_EQ(ceilDiv64(7, -2), -3);
+  EXPECT_EQ(ceilDiv64(-7, -2), 4);
+  EXPECT_EQ(floorDiv64(6, 3), 2);
+  EXPECT_EQ(ceilDiv64(6, 3), 2);
+}
+
+TEST(MathExtras, Int128ToString) {
+  EXPECT_EQ(toString(Int128(0)), "0");
+  EXPECT_EQ(toString(Int128(42)), "42");
+  EXPECT_EQ(toString(Int128(-42)), "-42");
+  Int128 Big = Int128(1) << 100;
+  EXPECT_EQ(toString(Big), "1267650600228229401496703205376");
+}
+
+TEST(Fraction, Canonicalization) {
+  Fraction F(6, 4);
+  EXPECT_EQ(toString(F.num()), "3");
+  EXPECT_EQ(toString(F.den()), "2");
+  Fraction G(6, -4);
+  EXPECT_EQ(toString(G.num()), "-3");
+  EXPECT_EQ(toString(G.den()), "2");
+  EXPECT_EQ(Fraction(0, 7).str(), "0");
+}
+
+TEST(Fraction, Arithmetic) {
+  Fraction Half(1, 2), Third(1, 3);
+  EXPECT_EQ((Half + Third).str(), "5/6");
+  EXPECT_EQ((Half - Third).str(), "1/6");
+  EXPECT_EQ((Half * Third).str(), "1/6");
+  EXPECT_EQ((Half / Third).str(), "3/2");
+  EXPECT_EQ((-Half).str(), "-1/2");
+  EXPECT_TRUE((Half - Half).isZero());
+}
+
+TEST(Fraction, Comparison) {
+  EXPECT_LT(Fraction(1, 3), Fraction(1, 2));
+  EXPECT_GT(Fraction(-1, 3), Fraction(-1, 2));
+  EXPECT_EQ(Fraction(2, 4), Fraction(1, 2));
+  EXPECT_LE(Fraction(5), Fraction(5));
+  EXPECT_LT(Fraction(-7, 3), Fraction(0));
+}
+
+TEST(Fraction, ComparisonHugeCrossProducts) {
+  // Cross products overflow 128 bits; the continued-fraction fallback
+  // must still order these correctly.
+  Int128 Big = (Int128(1) << 100) + 1;
+  Fraction A(Big, (Int128(1) << 100));       // slightly above 1
+  Fraction B((Int128(1) << 100), Big);       // slightly below 1
+  EXPECT_GT(A, B);
+  EXPECT_LT(B, A);
+  EXPECT_EQ(A.compare(A), 0);
+}
+
+TEST(Fraction, FloorCeil) {
+  EXPECT_EQ(toString(Fraction(7, 2).floor()), "3");
+  EXPECT_EQ(toString(Fraction(7, 2).ceil()), "4");
+  EXPECT_EQ(toString(Fraction(-7, 2).floor()), "-4");
+  EXPECT_EQ(toString(Fraction(-7, 2).ceil()), "-3");
+  EXPECT_EQ(toString(Fraction(4).floor()), "4");
+  EXPECT_EQ(toString(Fraction(4).ceil()), "4");
+}
+
+TEST(Fraction, IntegralityAndOverflowFlag) {
+  EXPECT_TRUE(Fraction(8, 2).isIntegral());
+  EXPECT_FALSE(Fraction(7, 2).isIntegral());
+  Fraction Ovf = Fraction::makeOverflowed();
+  EXPECT_TRUE(Ovf.overflowed());
+  EXPECT_TRUE((Ovf + Fraction(1)).overflowed());
+  EXPECT_TRUE((Fraction(1) * Ovf).overflowed());
+}
+
+TEST(Fraction, OverflowDetectedInMultiply) {
+  Int128 Big = Int128(1) << 126;
+  Fraction A(Big, 1), B(Big, 1);
+  EXPECT_TRUE((A * B).overflowed());
+  // But reduced multiplies stay exact.
+  Fraction C(Big, Big);
+  EXPECT_EQ((C * C).str(), "1");
+}
+
+TEST(Fraction, DivisionByZeroIsOverflow) {
+  EXPECT_TRUE((Fraction(1) / Fraction(0)).overflowed());
+}

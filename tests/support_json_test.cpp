@@ -1,0 +1,110 @@
+//===- support_json_test.cpp - Minimal JSON parser tests ------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/support/JSON.h"
+
+#include <gtest/gtest.h>
+
+using namespace sds::json;
+
+TEST(Json, Scalars) {
+  EXPECT_TRUE(parse("null").Val.isNull());
+  EXPECT_EQ(parse("true").Val.asBool(), true);
+  EXPECT_EQ(parse("false").Val.asBool(), false);
+  EXPECT_EQ(parse("42").Val.asInt(), 42);
+  EXPECT_EQ(parse("-17").Val.asInt(), -17);
+  EXPECT_DOUBLE_EQ(parse("2.5").Val.asDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").Val.asDouble(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").Val.asString(), "hi");
+}
+
+TEST(Json, StringEscapes) {
+  auto R = parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Val.asString(), "a\"b\\c\nd\teA");
+}
+
+TEST(Json, UnicodeEscapeMultibyte) {
+  auto R = parse(R"("é€")"); // é and €
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Val.asString(), "\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(Json, ArraysAndNesting) {
+  auto R = parse("[1, [2, 3], {\"k\": 4}]");
+  ASSERT_TRUE(R.Ok);
+  const Array &A = R.Val.asArray();
+  ASSERT_EQ(A.size(), 3u);
+  EXPECT_EQ(A[0].asInt(), 1);
+  EXPECT_EQ(A[1].asArray()[1].asInt(), 3);
+  EXPECT_EQ(A[2].get("k")->asInt(), 4);
+}
+
+TEST(Json, PropertyFileShape) {
+  // The shape used by the paper's pipeline input (Figure 3): index-array
+  // properties as a JSON object.
+  const char *Text = R"({
+    "kernel": "forward_solve_csr",
+    "parallel_loop": "i",
+    "index_arrays": {
+      "rowptr": {"properties": ["strict_monotonic_increasing"],
+                 "domain": [0, "n"], "range": [0, "nnz"]},
+      "col":    {"properties": ["periodic_monotonic", "triangular"]}
+    }
+  })";
+  auto R = parse(Text);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const Value *Arrays = R.Val.get("index_arrays");
+  ASSERT_NE(Arrays, nullptr);
+  const Value *RowPtr = Arrays->get("rowptr");
+  ASSERT_NE(RowPtr, nullptr);
+  EXPECT_EQ(RowPtr->get("properties")->asArray()[0].asString(),
+            "strict_monotonic_increasing");
+  EXPECT_EQ(RowPtr->get("domain")->asArray()[1].asString(), "n");
+}
+
+TEST(Json, ObjectLookupMissing) {
+  auto R = parse("{\"a\": 1}");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Val.get("b"), nullptr);
+  EXPECT_EQ(R.Val.get("a")->get("c"), nullptr); // non-object lookup
+}
+
+TEST(Json, Errors) {
+  EXPECT_FALSE(parse("").Ok);
+  EXPECT_FALSE(parse("{").Ok);
+  EXPECT_FALSE(parse("[1,]").Ok);
+  EXPECT_FALSE(parse("\"unterminated").Ok);
+  EXPECT_FALSE(parse("tru").Ok);
+  EXPECT_FALSE(parse("{\"a\" 1}").Ok);
+  EXPECT_FALSE(parse("1 2").Ok); // trailing garbage
+}
+
+TEST(Json, ErrorPositions) {
+  auto R = parse("{\n  \"a\": @\n}");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Line, 2u);
+  EXPECT_GT(R.Col, 1u);
+}
+
+TEST(Json, RoundTrip) {
+  const char *Text = R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null}})";
+  auto R = parse(Text);
+  ASSERT_TRUE(R.Ok);
+  // Serialize and reparse; compare structure via second serialization.
+  auto R2 = parse(R.Val.str());
+  ASSERT_TRUE(R2.Ok);
+  EXPECT_EQ(R.Val.str(), R2.Val.str());
+}
+
+TEST(Json, Int64Boundaries) {
+  EXPECT_EQ(parse("9223372036854775807").Val.asInt(), INT64_MAX);
+  EXPECT_EQ(parse("-9223372036854775808").Val.asInt(), INT64_MIN);
+  // Overflowing integers degrade to double rather than failing.
+  auto R = parse("92233720368547758080");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Val.isNumber());
+}
