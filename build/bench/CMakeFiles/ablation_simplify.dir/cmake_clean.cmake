@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_simplify.dir/ablation_simplify.cpp.o"
+  "CMakeFiles/ablation_simplify.dir/ablation_simplify.cpp.o.d"
+  "ablation_simplify"
+  "ablation_simplify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_simplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_breakeven.dir/fig10_breakeven.cpp.o"
+  "CMakeFiles/fig10_breakeven.dir/fig10_breakeven.cpp.o.d"
+  "fig10_breakeven"
+  "fig10_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_unsat.dir/fig7_unsat.cpp.o"
+  "CMakeFiles/fig7_unsat.dir/fig7_unsat.cpp.o.d"
+  "fig7_unsat"
+  "fig7_unsat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_unsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

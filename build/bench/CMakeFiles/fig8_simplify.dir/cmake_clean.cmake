@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_simplify.dir/fig8_simplify.cpp.o"
+  "CMakeFiles/fig8_simplify.dir/fig8_simplify.cpp.o.d"
+  "fig8_simplify"
+  "fig8_simplify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_simplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

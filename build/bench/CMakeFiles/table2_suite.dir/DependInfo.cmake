@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_suite.cpp" "bench/CMakeFiles/table2_suite.dir/table2_suite.cpp.o" "gcc" "bench/CMakeFiles/table2_suite.dir/table2_suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/sds_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/sds_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/sds_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/sds_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sds_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sds_presburger.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sds_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sds_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

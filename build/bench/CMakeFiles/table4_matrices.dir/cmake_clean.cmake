@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_matrices.dir/table4_matrices.cpp.o"
+  "CMakeFiles/table4_matrices.dir/table4_matrices.cpp.o.d"
+  "table4_matrices"
+  "table4_matrices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_matrices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_serial.dir/table5_serial.cpp.o"
+  "CMakeFiles/table5_serial.dir/table5_serial.cpp.o.d"
+  "table5_serial"
+  "table5_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_relation.dir/custom_relation.cpp.o"
+  "CMakeFiles/custom_relation.dir/custom_relation.cpp.o.d"
+  "custom_relation"
+  "custom_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

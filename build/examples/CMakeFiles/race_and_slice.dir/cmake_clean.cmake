@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_and_slice.dir/race_and_slice.cpp.o"
+  "CMakeFiles/race_and_slice.dir/race_and_slice.cpp.o.d"
+  "race_and_slice"
+  "race_and_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_and_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

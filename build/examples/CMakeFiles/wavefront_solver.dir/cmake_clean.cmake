@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavefront_solver.dir/wavefront_solver.cpp.o"
+  "CMakeFiles/wavefront_solver.dir/wavefront_solver.cpp.o.d"
+  "wavefront_solver"
+  "wavefront_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavefront_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

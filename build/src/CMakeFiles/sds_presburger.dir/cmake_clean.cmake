@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_presburger.dir/presburger/BasicSet.cpp.o"
+  "CMakeFiles/sds_presburger.dir/presburger/BasicSet.cpp.o.d"
+  "CMakeFiles/sds_presburger.dir/presburger/Simplex.cpp.o"
+  "CMakeFiles/sds_presburger.dir/presburger/Simplex.cpp.o.d"
+  "libsds_presburger.a"
+  "libsds_presburger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_presburger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_support.dir/support/Fraction.cpp.o"
+  "CMakeFiles/sds_support.dir/support/Fraction.cpp.o.d"
+  "CMakeFiles/sds_support.dir/support/JSON.cpp.o"
+  "CMakeFiles/sds_support.dir/support/JSON.cpp.o.d"
+  "libsds_support.a"
+  "libsds_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/Approximate.cpp" "src/codegen/CMakeFiles/sds_codegen.dir/Approximate.cpp.o" "gcc" "src/codegen/CMakeFiles/sds_codegen.dir/Approximate.cpp.o.d"
+  "/root/repo/src/codegen/Complexity.cpp" "src/codegen/CMakeFiles/sds_codegen.dir/Complexity.cpp.o" "gcc" "src/codegen/CMakeFiles/sds_codegen.dir/Complexity.cpp.o.d"
+  "/root/repo/src/codegen/Emit.cpp" "src/codegen/CMakeFiles/sds_codegen.dir/Emit.cpp.o" "gcc" "src/codegen/CMakeFiles/sds_codegen.dir/Emit.cpp.o.d"
+  "/root/repo/src/codegen/Evaluate.cpp" "src/codegen/CMakeFiles/sds_codegen.dir/Evaluate.cpp.o" "gcc" "src/codegen/CMakeFiles/sds_codegen.dir/Evaluate.cpp.o.d"
+  "/root/repo/src/codegen/Plan.cpp" "src/codegen/CMakeFiles/sds_codegen.dir/Plan.cpp.o" "gcc" "src/codegen/CMakeFiles/sds_codegen.dir/Plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/sds_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sds_presburger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sds_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_codegen.dir/Approximate.cpp.o"
+  "CMakeFiles/sds_codegen.dir/Approximate.cpp.o.d"
+  "CMakeFiles/sds_codegen.dir/Complexity.cpp.o"
+  "CMakeFiles/sds_codegen.dir/Complexity.cpp.o.d"
+  "CMakeFiles/sds_codegen.dir/Emit.cpp.o"
+  "CMakeFiles/sds_codegen.dir/Emit.cpp.o.d"
+  "CMakeFiles/sds_codegen.dir/Evaluate.cpp.o"
+  "CMakeFiles/sds_codegen.dir/Evaluate.cpp.o.d"
+  "CMakeFiles/sds_codegen.dir/Plan.cpp.o"
+  "CMakeFiles/sds_codegen.dir/Plan.cpp.o.d"
+  "libsds_codegen.a"
+  "libsds_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

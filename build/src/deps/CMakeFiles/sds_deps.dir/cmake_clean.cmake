@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_deps.dir/Extraction.cpp.o"
+  "CMakeFiles/sds_deps.dir/Extraction.cpp.o.d"
+  "CMakeFiles/sds_deps.dir/Pipeline.cpp.o"
+  "CMakeFiles/sds_deps.dir/Pipeline.cpp.o.d"
+  "libsds_deps.a"
+  "libsds_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_driver.dir/Applications.cpp.o"
+  "CMakeFiles/sds_driver.dir/Applications.cpp.o.d"
+  "CMakeFiles/sds_driver.dir/Driver.cpp.o"
+  "CMakeFiles/sds_driver.dir/Driver.cpp.o.d"
+  "libsds_driver.a"
+  "libsds_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

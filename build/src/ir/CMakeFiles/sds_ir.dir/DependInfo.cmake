@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/EqualityDiscovery.cpp" "src/ir/CMakeFiles/sds_ir.dir/EqualityDiscovery.cpp.o" "gcc" "src/ir/CMakeFiles/sds_ir.dir/EqualityDiscovery.cpp.o.d"
+  "/root/repo/src/ir/Expr.cpp" "src/ir/CMakeFiles/sds_ir.dir/Expr.cpp.o" "gcc" "src/ir/CMakeFiles/sds_ir.dir/Expr.cpp.o.d"
+  "/root/repo/src/ir/Flatten.cpp" "src/ir/CMakeFiles/sds_ir.dir/Flatten.cpp.o" "gcc" "src/ir/CMakeFiles/sds_ir.dir/Flatten.cpp.o.d"
+  "/root/repo/src/ir/Instantiation.cpp" "src/ir/CMakeFiles/sds_ir.dir/Instantiation.cpp.o" "gcc" "src/ir/CMakeFiles/sds_ir.dir/Instantiation.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/ir/CMakeFiles/sds_ir.dir/Parser.cpp.o" "gcc" "src/ir/CMakeFiles/sds_ir.dir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Properties.cpp" "src/ir/CMakeFiles/sds_ir.dir/Properties.cpp.o" "gcc" "src/ir/CMakeFiles/sds_ir.dir/Properties.cpp.o.d"
+  "/root/repo/src/ir/Relation.cpp" "src/ir/CMakeFiles/sds_ir.dir/Relation.cpp.o" "gcc" "src/ir/CMakeFiles/sds_ir.dir/Relation.cpp.o.d"
+  "/root/repo/src/ir/SubsetDetection.cpp" "src/ir/CMakeFiles/sds_ir.dir/SubsetDetection.cpp.o" "gcc" "src/ir/CMakeFiles/sds_ir.dir/SubsetDetection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sds_presburger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sds_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

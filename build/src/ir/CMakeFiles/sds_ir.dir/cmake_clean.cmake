@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_ir.dir/EqualityDiscovery.cpp.o"
+  "CMakeFiles/sds_ir.dir/EqualityDiscovery.cpp.o.d"
+  "CMakeFiles/sds_ir.dir/Expr.cpp.o"
+  "CMakeFiles/sds_ir.dir/Expr.cpp.o.d"
+  "CMakeFiles/sds_ir.dir/Flatten.cpp.o"
+  "CMakeFiles/sds_ir.dir/Flatten.cpp.o.d"
+  "CMakeFiles/sds_ir.dir/Instantiation.cpp.o"
+  "CMakeFiles/sds_ir.dir/Instantiation.cpp.o.d"
+  "CMakeFiles/sds_ir.dir/Parser.cpp.o"
+  "CMakeFiles/sds_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/sds_ir.dir/Properties.cpp.o"
+  "CMakeFiles/sds_ir.dir/Properties.cpp.o.d"
+  "CMakeFiles/sds_ir.dir/Relation.cpp.o"
+  "CMakeFiles/sds_ir.dir/Relation.cpp.o.d"
+  "CMakeFiles/sds_ir.dir/SubsetDetection.cpp.o"
+  "CMakeFiles/sds_ir.dir/SubsetDetection.cpp.o.d"
+  "libsds_ir.a"
+  "libsds_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/Kernels.cpp" "src/kernels/CMakeFiles/sds_kernels.dir/Kernels.cpp.o" "gcc" "src/kernels/CMakeFiles/sds_kernels.dir/Kernels.cpp.o.d"
+  "/root/repo/src/kernels/LoopNest.cpp" "src/kernels/CMakeFiles/sds_kernels.dir/LoopNest.cpp.o" "gcc" "src/kernels/CMakeFiles/sds_kernels.dir/LoopNest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/sds_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sds_presburger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sds_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

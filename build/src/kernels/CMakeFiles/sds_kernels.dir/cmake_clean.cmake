@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_kernels.dir/Kernels.cpp.o"
+  "CMakeFiles/sds_kernels.dir/Kernels.cpp.o.d"
+  "CMakeFiles/sds_kernels.dir/LoopNest.cpp.o"
+  "CMakeFiles/sds_kernels.dir/LoopNest.cpp.o.d"
+  "libsds_kernels.a"
+  "libsds_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

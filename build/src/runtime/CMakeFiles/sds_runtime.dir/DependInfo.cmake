@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Kernels.cpp" "src/runtime/CMakeFiles/sds_runtime.dir/Kernels.cpp.o" "gcc" "src/runtime/CMakeFiles/sds_runtime.dir/Kernels.cpp.o.d"
+  "/root/repo/src/runtime/Matrix.cpp" "src/runtime/CMakeFiles/sds_runtime.dir/Matrix.cpp.o" "gcc" "src/runtime/CMakeFiles/sds_runtime.dir/Matrix.cpp.o.d"
+  "/root/repo/src/runtime/MatrixMarket.cpp" "src/runtime/CMakeFiles/sds_runtime.dir/MatrixMarket.cpp.o" "gcc" "src/runtime/CMakeFiles/sds_runtime.dir/MatrixMarket.cpp.o.d"
+  "/root/repo/src/runtime/Wavefront.cpp" "src/runtime/CMakeFiles/sds_runtime.dir/Wavefront.cpp.o" "gcc" "src/runtime/CMakeFiles/sds_runtime.dir/Wavefront.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sds_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_runtime.dir/Kernels.cpp.o"
+  "CMakeFiles/sds_runtime.dir/Kernels.cpp.o.d"
+  "CMakeFiles/sds_runtime.dir/Matrix.cpp.o"
+  "CMakeFiles/sds_runtime.dir/Matrix.cpp.o.d"
+  "CMakeFiles/sds_runtime.dir/MatrixMarket.cpp.o"
+  "CMakeFiles/sds_runtime.dir/MatrixMarket.cpp.o.d"
+  "CMakeFiles/sds_runtime.dir/Wavefront.cpp.o"
+  "CMakeFiles/sds_runtime.dir/Wavefront.cpp.o.d"
+  "libsds_runtime.a"
+  "libsds_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

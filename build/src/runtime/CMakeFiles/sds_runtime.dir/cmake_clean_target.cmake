@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsds_runtime.a"
+)

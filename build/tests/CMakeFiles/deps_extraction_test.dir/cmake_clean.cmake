@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deps_extraction_test.dir/deps_extraction_test.cpp.o"
+  "CMakeFiles/deps_extraction_test.dir/deps_extraction_test.cpp.o.d"
+  "deps_extraction_test"
+  "deps_extraction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deps_extraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

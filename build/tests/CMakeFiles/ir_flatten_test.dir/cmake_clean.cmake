@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_flatten_test.dir/ir_flatten_test.cpp.o"
+  "CMakeFiles/ir_flatten_test.dir/ir_flatten_test.cpp.o.d"
+  "ir_flatten_test"
+  "ir_flatten_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_flatten_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

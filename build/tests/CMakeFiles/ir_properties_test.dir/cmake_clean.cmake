@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_properties_test.dir/ir_properties_test.cpp.o"
+  "CMakeFiles/ir_properties_test.dir/ir_properties_test.cpp.o.d"
+  "ir_properties_test"
+  "ir_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_relation_test.dir/ir_relation_test.cpp.o"
+  "CMakeFiles/ir_relation_test.dir/ir_relation_test.cpp.o.d"
+  "ir_relation_test"
+  "ir_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

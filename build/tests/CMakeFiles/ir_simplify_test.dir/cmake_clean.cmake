@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_simplify_test.dir/ir_simplify_test.cpp.o"
+  "CMakeFiles/ir_simplify_test.dir/ir_simplify_test.cpp.o.d"
+  "ir_simplify_test"
+  "ir_simplify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_subset_test.dir/ir_subset_test.cpp.o"
+  "CMakeFiles/ir_subset_test.dir/ir_subset_test.cpp.o.d"
+  "ir_subset_test"
+  "ir_subset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_subset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_complexity_test.dir/kernel_complexity_test.cpp.o"
+  "CMakeFiles/kernel_complexity_test.dir/kernel_complexity_test.cpp.o.d"
+  "kernel_complexity_test"
+  "kernel_complexity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_complexity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

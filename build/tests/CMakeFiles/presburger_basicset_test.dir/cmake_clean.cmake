@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presburger_basicset_test.dir/presburger_basicset_test.cpp.o"
+  "CMakeFiles/presburger_basicset_test.dir/presburger_basicset_test.cpp.o.d"
+  "presburger_basicset_test"
+  "presburger_basicset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presburger_basicset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presburger_property_test.dir/presburger_property_test.cpp.o"
+  "CMakeFiles/presburger_property_test.dir/presburger_property_test.cpp.o.d"
+  "presburger_property_test"
+  "presburger_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presburger_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presburger_simplex_test.dir/presburger_simplex_test.cpp.o"
+  "CMakeFiles/presburger_simplex_test.dir/presburger_simplex_test.cpp.o.d"
+  "presburger_simplex_test"
+  "presburger_simplex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presburger_simplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_matrix_test.dir/runtime_matrix_test.cpp.o"
+  "CMakeFiles/runtime_matrix_test.dir/runtime_matrix_test.cpp.o.d"
+  "runtime_matrix_test"
+  "runtime_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

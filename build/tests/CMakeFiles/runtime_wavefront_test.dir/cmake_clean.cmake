@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_wavefront_test.dir/runtime_wavefront_test.cpp.o"
+  "CMakeFiles/runtime_wavefront_test.dir/runtime_wavefront_test.cpp.o.d"
+  "runtime_wavefront_test"
+  "runtime_wavefront_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_wavefront_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

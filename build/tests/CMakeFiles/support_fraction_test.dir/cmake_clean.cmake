@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_fraction_test.dir/support_fraction_test.cpp.o"
+  "CMakeFiles/support_fraction_test.dir/support_fraction_test.cpp.o.d"
+  "support_fraction_test"
+  "support_fraction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_fraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
