@@ -10,6 +10,10 @@
 //                (default 0.02: laptop-friendly; 1.0 = paper-sized)
 //   SDS_THREADS  wavefront executor thread count (default: hardware)
 //   SDS_HEAVY    set to 0 to skip the minutes-long analyses (IC0, ILU0)
+//   SDS_TRACE    path: enable obs tracing and write a Chrome trace-event
+//                JSON of the whole bench run there at exit
+//   SDS_STATS    path (or "-" for stdout): enable obs and write the
+//                aggregate span/counter stats JSON there at exit
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,10 +21,13 @@
 #define SDS_BENCH_COMMON_H
 
 #include "sds/driver/Driver.h"
+#include "sds/obs/Export.h"
+#include "sds/obs/Trace.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include <omp.h>
@@ -43,6 +50,48 @@ inline bool envHeavy() {
   const char *S = std::getenv("SDS_HEAVY");
   return !S || std::atoi(S) != 0;
 }
+
+/// Observability hook driven by SDS_TRACE / SDS_STATS: construct one at
+/// the top of main(); if either env var is set, tracing is switched on for
+/// the run and the requested artifacts are written when the bench exits.
+/// With neither var set this is free (tracing stays disabled, every
+/// instrumented call is a single predictable branch).
+class ObsSession {
+public:
+  ObsSession() {
+    const char *T = std::getenv("SDS_TRACE");
+    const char *S = std::getenv("SDS_STATS");
+    TracePath = T ? T : "";
+    StatsPath = S ? S : "";
+    if (!TracePath.empty() || !StatsPath.empty()) {
+      sds::obs::clear();
+      sds::obs::setEnabled(true);
+    }
+  }
+  ~ObsSession() {
+    if (!StatsPath.empty()) {
+      if (StatsPath == "-") {
+        std::printf("%s\n", sds::obs::statsJSON().c_str());
+      } else {
+        std::ofstream Out(StatsPath);
+        Out << sds::obs::statsJSON() << "\n";
+        std::fprintf(stderr, "# stats written to %s\n", StatsPath.c_str());
+      }
+    }
+    if (!TracePath.empty()) {
+      if (sds::obs::writeChromeTrace(TracePath))
+        std::fprintf(stderr, "# trace written to %s\n", TracePath.c_str());
+      else
+        std::fprintf(stderr, "# cannot write trace to %s\n",
+                     TracePath.c_str());
+    }
+  }
+  ObsSession(const ObsSession &) = delete;
+  ObsSession &operator=(const ObsSession &) = delete;
+
+private:
+  std::string TracePath, StatsPath;
+};
 
 /// Wall-clock seconds of one call.
 template <typename Fn> double timeOf(Fn &&F) {

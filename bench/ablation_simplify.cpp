@@ -36,6 +36,7 @@ uint64_t totalInspectorWork(const PipelineResult &R,
 } // namespace
 
 int main() {
+  bench::ObsSession Obs;
   double Scale = bench::envScale() * 0.25; // naive inspectors are O(n^2)+
   rt::CSRMatrix Full = rt::generateFromProfile(rt::table4Profiles()[0],
                                                std::max(Scale, 0.002));

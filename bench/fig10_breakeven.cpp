@@ -20,6 +20,7 @@ using namespace sds;
 using namespace sds::rt;
 
 int main() {
+  bench::ObsSession Obs;
   double Scale = bench::envScale();
   int Threads = bench::envThreads();
   bool Heavy = bench::envHeavy();

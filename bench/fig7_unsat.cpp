@@ -33,6 +33,7 @@ struct Config {
 } // namespace
 
 int main() {
+  bench::ObsSession Obs;
   bool Heavy = bench::envHeavy();
   std::vector<Config> Configs = {
       {"Original", false, false, {}},

@@ -17,6 +17,7 @@ using namespace sds;
 using namespace sds::deps;
 
 int main() {
+  bench::ObsSession Obs;
   bool Heavy = bench::envHeavy();
   std::printf("Figure 8: impact of dependence simplification on inspector "
               "checks\n");

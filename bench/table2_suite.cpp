@@ -7,6 +7,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "sds/kernels/Kernels.h"
 
 #include <cstdio>
@@ -15,6 +17,7 @@
 using namespace sds;
 
 int main() {
+  bench::ObsSession Obs;
   std::printf("Table 2: the benchmark suite (paper Table 2)\n");
   std::printf("%-26s %-7s %-18s %s\n", "Kernel", "Format", "Source",
               "Index array properties");

@@ -35,6 +35,7 @@ std::string sumOfCosts(const std::map<std::string, unsigned> &Terms) {
 } // namespace
 
 int main() {
+  bench::ObsSession Obs;
   bool Heavy = bench::envHeavy();
   std::printf("Table 3: impact of simplification on inspector complexity\n\n");
   for (const kernels::Kernel &K : kernels::allKernels()) {

@@ -15,6 +15,7 @@
 using namespace sds;
 
 int main() {
+  bench::ObsSession Obs;
   double Scale = bench::envScale();
   std::printf("Table 4: input matrices (paper columns vs synthetic at "
               "scale %.3f)\n\n",

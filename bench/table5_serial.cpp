@@ -72,6 +72,7 @@ void leftChol(benchmark::State &State, const bench::BenchMatrix &M) {
 } // namespace
 
 int main(int argc, char **argv) {
+  bench::ObsSession Obs;
   for (const bench::BenchMatrix &M : matrices()) {
     benchmark::RegisterBenchmark(("FS_CSC/" + M.Name).c_str(), fsCSC, M);
     benchmark::RegisterBenchmark(("FS_CSR/" + M.Name).c_str(), fsCSR, M);

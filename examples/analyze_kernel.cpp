@@ -4,20 +4,34 @@
 //
 // The Figure-3 driver as a tool: pick one of the Table-2 kernels (or all),
 // optionally overriding its index-array knowledge from a JSON file, and
-// print the full analysis — dependences and their fates, discovered
-// equalities, inspector complexities, and generated inspector C code.
+// print the full analysis — dependences and their fates (with decision
+// provenance), discovered equalities, inspector complexities, and generated
+// inspector C code.
 //
-//   analyze_kernel                    # list kernels
-//   analyze_kernel fs_csr             # analyze forward solve CSR
-//   analyze_kernel fs_csr props.json  # with user-supplied properties
-//   analyze_kernel all                # the whole suite (slow: IC0, ILU0)
+//   analyze_kernel                          # list kernels
+//   analyze_kernel fs_csr                   # analyze forward solve CSR
+//   analyze_kernel fs_csr props.json        # with user-supplied properties
+//   analyze_kernel all                      # the whole suite (slow: IC0, ILU0)
+//   analyze_kernel --trace out.json fs_csr  # + end-to-end traced run; dump
+//                                           #   Chrome trace-event JSON
+//   analyze_kernel --stats fs_csr           # + aggregate span/counter report
+//   analyze_kernel --n 500 --trace t.json gs_csr   # bigger traced matrix
+//
+// With --trace or --stats the tool also runs the full inspector-executor
+// flow on a generated SPD-like matrix (inspectors -> dependence graph ->
+// level-set schedule -> wavefront executor), so the trace covers every
+// pipeline stage, each inspector, and the parallel wave execution. Load
+// the --trace output in chrome://tracing or https://ui.perfetto.dev.
 //
 //===----------------------------------------------------------------------===//
 
-#include "sds/deps/Pipeline.h"
+#include "sds/driver/Driver.h"
+#include "sds/obs/Export.h"
+#include "sds/obs/Trace.h"
 #include "sds/support/JSON.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -38,7 +52,70 @@ std::map<std::string, kernels::Kernel> kernelsByKey() {
   };
 }
 
-void analyzeOne(kernels::Kernel K) {
+/// Run the inspector-executor half on a generated matrix so the trace
+/// contains inspector and wavefront-execution spans, not just the
+/// compile-time pipeline. Which arrays get bound and which executor runs
+/// depends on the kernel's storage format.
+void runTraced(const std::string &Key, const deps::PipelineResult &R, int N) {
+  rt::CSRMatrix A = rt::generateSPDLike({N, 6, 12, 21});
+  const int Threads = 4;
+
+  codegen::UFEnvironment Env;
+  rt::CSRMatrix Lower;
+  rt::CSCMatrix L;
+  rt::PruneSets Prune;
+  if (Key == "gs_csr" || Key == "ilu0_csr") {
+    Env = driver::bindCSR(A, A.diagonalPositions());
+  } else if (Key == "fs_csr") {
+    Lower = rt::lowerTriangle(A);
+    Env = driver::bindCSR(Lower);
+  } else if (Key == "fs_csc" || Key == "ic0_csc" || Key == "lchol_csc") {
+    L = rt::toCSC(rt::lowerTriangle(A));
+    if (Key == "lchol_csc") {
+      Prune = rt::buildPruneSets(L);
+      Env = driver::bindCSC(L, &Prune);
+    } else {
+      Env = driver::bindCSC(L);
+    }
+  } else {
+    std::printf("(no runtime dependences for %s; nothing to inspect)\n",
+                Key.c_str());
+    return;
+  }
+
+  driver::InspectionResult Insp = driver::runInspectors(R, Env, A.N);
+  std::printf("inspection: %u inspectors, %llu visits, %llu edges, %.3f ms\n",
+              Insp.NumInspectors,
+              static_cast<unsigned long long>(Insp.InspectorVisits),
+              static_cast<unsigned long long>(Insp.Graph.numEdges()),
+              Insp.Seconds * 1e3);
+
+  rt::WavefrontSchedule S =
+      rt::scheduleLevelSets(Insp.Graph, Threads);
+  rt::ScheduleStats SS = rt::describeSchedule(S);
+  std::printf("schedule: %d waves over %llu nodes, parallelism %.2f\n",
+              SS.NumWaves, static_cast<unsigned long long>(SS.TotalNodes),
+              SS.achievedParallelism());
+
+  std::vector<double> B(static_cast<size_t>(A.N), 1.0);
+  std::vector<double> X(static_cast<size_t>(A.N), 0.0);
+  if (Key == "fs_csr")
+    rt::forwardSolveCSRWavefront(Lower, B, X, S);
+  else if (Key == "fs_csc")
+    rt::forwardSolveCSCWavefront(L, B, X, S);
+  else if (Key == "gs_csr")
+    rt::gaussSeidelCSRWavefront(A, B, X, S);
+  else if (Key == "ic0_csc")
+    rt::incompleteCholeskyCSCWavefront(L, S);
+  else if (Key == "lchol_csc")
+    rt::leftCholeskyCSCWavefront(L, S);
+  else
+    std::printf("(no wavefront executor for %s; schedule only)\n",
+                Key.c_str());
+}
+
+void analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
+                int N) {
   std::printf("=== %s ===\n%s\n", K.Name.c_str(), K.str().c_str());
   deps::PipelineResult R = deps::analyzeKernel(K);
   std::printf("%s\n", R.summary().c_str());
@@ -48,59 +125,100 @@ void analyzeOne(kernels::Kernel K) {
     std::printf("--- inspector for %s ---\n%s\n", D.Dep.label().c_str(),
                 D.Plan.emitC("inspect").c_str());
   }
+  if (Traced)
+    runTraced(Key, R, N);
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string TracePath;
+  bool Stats = false;
+  int N = 200;
+  std::vector<std::string> Positional;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--trace" && I + 1 < argc) {
+      TracePath = argv[++I];
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--n" && I + 1 < argc) {
+      N = std::atoi(argv[++I]);
+      if (N < 4) {
+        std::fprintf(stderr, "--n must be >= 4\n");
+        return 1;
+      }
+    } else {
+      Positional.push_back(Arg);
+    }
+  }
+
   auto Kernels = kernelsByKey();
-  if (argc < 2) {
-    std::printf("usage: %s <kernel|all> [properties.json]\nkernels:\n",
-                argv[0]);
+  if (Positional.empty()) {
+    std::printf(
+        "usage: %s [--trace out.json] [--stats] [--n N] <kernel|all> "
+        "[properties.json]\nkernels:\n",
+        argv[0]);
     for (const auto &[Key, K] : Kernels)
       std::printf("  %-10s %s\n", Key.c_str(), K.Name.c_str());
     return 0;
   }
 
-  std::string Which = argv[1];
+  bool Traced = !TracePath.empty() || Stats;
+  if (Traced)
+    obs::setEnabled(true);
+
+  std::string Which = Positional[0];
   if (Which == "all") {
     for (auto &[Key, K] : Kernels)
-      analyzeOne(K);
-    return 0;
-  }
-  auto It = Kernels.find(Which);
-  if (It == Kernels.end()) {
-    std::fprintf(stderr, "unknown kernel '%s'\n", Which.c_str());
-    return 1;
-  }
-  kernels::Kernel K = It->second;
+      analyzeOne(Key, K, Traced, N);
+  } else {
+    auto It = Kernels.find(Which);
+    if (It == Kernels.end()) {
+      std::fprintf(stderr, "unknown kernel '%s'\n", Which.c_str());
+      return 1;
+    }
+    kernels::Kernel K = It->second;
 
-  if (argc > 2) {
-    // Replace the kernel's built-in knowledge with the user's JSON file —
-    // exactly the input path of the paper's pipeline (Figure 3).
-    std::ifstream In(argv[2]);
-    if (!In) {
-      std::fprintf(stderr, "cannot open '%s'\n", argv[2]);
-      return 1;
+    if (Positional.size() > 1) {
+      // Replace the kernel's built-in knowledge with the user's JSON file —
+      // exactly the input path of the paper's pipeline (Figure 3).
+      const std::string &Path = Positional[1];
+      std::ifstream In(Path);
+      if (!In) {
+        std::fprintf(stderr, "cannot open '%s'\n", Path.c_str());
+        return 1;
+      }
+      std::stringstream SS;
+      SS << In.rdbuf();
+      json::ParseResult J = json::parse(SS.str());
+      if (!J.Ok) {
+        std::fprintf(stderr, "%s:%u:%u: %s\n", Path.c_str(), J.Line, J.Col,
+                     J.Error.c_str());
+        return 1;
+      }
+      std::string Error;
+      auto PS = ir::PropertySet::fromJSON(J.Val, Error);
+      if (!PS) {
+        std::fprintf(stderr, "%s: %s\n", Path.c_str(), Error.c_str());
+        return 1;
+      }
+      K.Properties = *PS;
+      std::printf("(using index-array properties from %s)\n", Path.c_str());
     }
-    std::stringstream SS;
-    SS << In.rdbuf();
-    json::ParseResult J = json::parse(SS.str());
-    if (!J.Ok) {
-      std::fprintf(stderr, "%s:%u:%u: %s\n", argv[2], J.Line, J.Col,
-                   J.Error.c_str());
-      return 1;
-    }
-    std::string Error;
-    auto PS = ir::PropertySet::fromJSON(J.Val, Error);
-    if (!PS) {
-      std::fprintf(stderr, "%s: %s\n", argv[2], Error.c_str());
-      return 1;
-    }
-    K.Properties = *PS;
-    std::printf("(using index-array properties from %s)\n", argv[2]);
+
+    analyzeOne(Which, K, Traced, N);
   }
 
-  analyzeOne(K);
+  if (Stats)
+    std::printf("%s\n", obs::statsJSON().c_str());
+  if (!TracePath.empty()) {
+    if (!obs::writeChromeTrace(TracePath)) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n", TracePath.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu events)\n", TracePath.c_str(),
+                obs::snapshotEvents().size());
+  }
   return 0;
 }

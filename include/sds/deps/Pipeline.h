@@ -23,6 +23,9 @@
 #include "sds/deps/Extraction.h"
 #include "sds/ir/Simplify.h"
 #include "sds/kernels/Kernels.h"
+#include "sds/obs/Provenance.h"
+
+#include <map>
 
 namespace sds {
 namespace deps {
@@ -48,6 +51,10 @@ struct AnalyzedDependence {
   std::string SubsumedBy;            ///< label of the covering dependence
   codegen::InspectorPlan Plan;       ///< runtime inspector (Status Runtime)
   bool Approximated = false;         ///< plan over-approximates (§8.1)
+  /// Which stage decided this dependence's fate, and why: the refuting
+  /// property instances, the discovered equalities, or the covering
+  /// dependence (see obs/Provenance.h).
+  obs::Provenance Prov;
 };
 
 /// Pipeline switches (used by the ablation benches).
@@ -67,6 +74,12 @@ struct PipelineResult {
   kernels::Kernel Kernel;
   codegen::Complexity KernelCost; ///< cost of the computation itself
   std::vector<AnalyzedDependence> Deps;
+
+  /// Wall-clock seconds per Figure-3 stage, accumulated over all
+  /// dependences. Always populated (independent of obs tracing). Keys:
+  /// extraction, affine_unsat, property_unsat, equality_discovery,
+  /// subsumption, codegen.
+  std::map<std::string, double> StageSeconds;
 
   unsigned count(DepStatus S) const {
     unsigned N = 0;

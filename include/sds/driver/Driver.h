@@ -32,11 +32,25 @@ codegen::UFEnvironment bindCSR(const rt::CSRMatrix &A,
 codegen::UFEnvironment bindCSC(const rt::CSCMatrix &A,
                                const rt::PruneSets *Prune = nullptr);
 
+/// Work accounting for one executed inspector. Visits counts every
+/// variable binding of the inspector's loop nest — each iteration of each
+/// loop level plus each solve-by-equality evaluation — so nested loop
+/// shapes are never under-counted relative to their actual work.
+struct InspectorRun {
+  std::string Label;    ///< dependence label the inspector tests
+  uint64_t Visits = 0;  ///< variable bindings (see above)
+  uint64_t Edges = 0;   ///< edges emitted (before graph dedup)
+  double Seconds = 0;   ///< wall time of this inspector
+};
+
 /// Result of running the generated inspectors on one matrix.
 struct InspectionResult {
   rt::DependenceGraph Graph;
   uint64_t InspectorVisits = 0; ///< total loop iterations across inspectors
   unsigned NumInspectors = 0;
+  std::vector<InspectorRun> Runs; ///< per-inspector accounting; the sum of
+                                  ///< Runs[i].Visits equals InspectorVisits
+  double Seconds = 0;             ///< wall time incl. graph finalization
 
   explicit InspectionResult(int N) : Graph(N) {}
 };

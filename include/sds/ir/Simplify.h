@@ -65,6 +65,10 @@ struct InstantiationStats {
   unsigned Phase1Added = 0;   ///< Added conjunctively (antecedent present).
   unsigned Phase2Used = 0;    ///< Added as disjunctions.
   unsigned Dropped = 0;       ///< Lost to the phase-2 caps.
+  /// Labels of the assertion instances actually applied (phase 1 additions,
+  /// contrapositives, and phase-2 disjunctions), in application order and
+  /// possibly with repeats — the provenance trail of an unsat proof.
+  std::vector<std::string> UsedLabels;
 };
 
 /// Compute Definition 1's set E: every expression used as a UF-call
@@ -93,7 +97,8 @@ bool provenUnsat(const SparseRelation &R, const PropertySet &PS,
 /// whose purely affine part is infeasible (the paper's "Affine
 /// Consistency" baseline in Figure 7).
 bool provenUnsatAffineOnly(const SparseRelation &R,
-                           const SimplifyOptions &Opts = {});
+                           const SimplifyOptions &Opts = {},
+                           InstantiationStats *Stats = nullptr);
 
 /// Result of equality discovery on one relation.
 struct EqualityDiscoveryResult {

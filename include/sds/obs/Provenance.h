@@ -1,0 +1,58 @@
+//===- Provenance.h - Decision provenance for the pipeline ------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 7 of the paper says *how many* dependences each simplification
+// killed; this channel says *which one did it and why*. Every analyzed
+// dependence carries a Provenance record naming the pipeline stage that
+// decided its fate and the evidence behind the decision:
+//
+//   affine-unsat     the functional-consistency guards used (if any)
+//   property-unsat   the instantiated property assertions applied while
+//                    refuting the relation (e.g. "triangular(rowidx)
+//                    [contra]")
+//   equality         the discovered equality strings (§4) that simplified
+//                    the surviving inspector
+//   subsumption      the label of the covering dependence (§5)
+//
+// The record is embedded in PipelineResult::toJSON(), turning the
+// analysis output into an explainable artifact.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_OBS_PROVENANCE_H
+#define SDS_OBS_PROVENANCE_H
+
+#include "sds/support/JSON.h"
+
+#include <string>
+#include <vector>
+
+namespace sds {
+namespace obs {
+
+/// Why one dependence ended up with its status. `Stage` is the pipeline
+/// stage that made the final call; `Evidence` is stage-specific
+/// human-readable support (assertion labels, equality strings, covering
+/// dependence label). `Seconds` is the analysis time spent deciding it.
+struct Provenance {
+  std::string Stage;
+  std::vector<std::string> Evidence;
+  double Seconds = 0;
+
+  void addEvidence(std::string E) { Evidence.push_back(std::move(E)); }
+
+  /// One-line rendering, e.g.
+  /// "property-unsat [triangular(rowidx), monotonic(colptr) [contra]]".
+  std::string str() const;
+
+  /// {"stage": ..., "evidence": [...], "seconds": ...}
+  json::Value toJSON() const;
+};
+
+} // namespace obs
+} // namespace sds
+
+#endif // SDS_OBS_PROVENANCE_H

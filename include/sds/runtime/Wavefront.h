@@ -94,6 +94,26 @@ struct LBCConfig {
 WavefrontSchedule scheduleLBC(const DependenceGraph &G, const LBCConfig &C,
                               const std::vector<double> &NodeCost = {});
 
+/// Observability summary of a schedule: wave count, per-wave node counts
+/// (the level-size histogram behind Figure 9's parallelism story), and the
+/// achieved parallelism totalNodes / criticalWork — the average number of
+/// nodes runnable concurrently under the schedule.
+struct ScheduleStats {
+  int NumWaves = 0;
+  uint64_t TotalNodes = 0;
+  uint64_t CriticalWork = 0;       ///< max-over-threads, summed over waves
+  std::vector<uint64_t> WaveSizes; ///< nodes per wave, in wave order
+  uint64_t MaxWaveSize = 0;
+
+  double achievedParallelism() const {
+    return CriticalWork ? static_cast<double>(TotalNodes) /
+                              static_cast<double>(CriticalWork)
+                        : 0.0;
+  }
+};
+
+ScheduleStats describeSchedule(const WavefrontSchedule &S);
+
 } // namespace rt
 } // namespace sds
 

@@ -8,10 +8,54 @@
 
 #include "sds/codegen/Approximate.h"
 #include "sds/ir/SubsetDetection.h"
+#include "sds/obs/Trace.h"
 #include "sds/support/JSON.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
 
 namespace sds {
 namespace deps {
+
+namespace {
+
+/// Times one stage invocation: accumulates wall seconds into the result's
+/// per-stage map (always) and mirrors the interval as an obs span (only
+/// when tracing is on). Span names are "pipeline.<stage>".
+class StageScope {
+public:
+  StageScope(PipelineResult &Res, const char *Stage)
+      : Res(Res), Stage(Stage), Sp(std::string("pipeline.") + Stage, "deps"),
+        T0(std::chrono::steady_clock::now()) {}
+  ~StageScope() { Res.StageSeconds[Stage] += seconds(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         T0)
+        .count();
+  }
+  obs::Span &span() { return Sp; }
+
+private:
+  PipelineResult &Res;
+  const char *Stage;
+  obs::Span Sp;
+  std::chrono::steady_clock::time_point T0;
+};
+
+/// First-occurrence dedup of the applied-instance label trail (an unsat
+/// proof often re-applies the same assertion instance across passes).
+std::vector<std::string> dedupeLabels(const std::vector<std::string> &In) {
+  std::vector<std::string> Out;
+  std::set<std::string> Seen;
+  for (const std::string &L : In)
+    if (Seen.insert(L).second)
+      Out.push_back(L);
+  return Out;
+}
+
+} // namespace
 
 std::string depStatusName(DepStatus S) {
   switch (S) {
@@ -50,6 +94,8 @@ std::string PipelineResult::summary() const {
       Out += "  (+" + std::to_string(D.NewEqualities) + " eq)";
     if (!D.SubsumedBy.empty())
       Out += "  covered by " + D.SubsumedBy;
+    if (!D.Prov.Stage.empty())
+      Out += "\n      decided by " + D.Prov.str();
     Out += "\n";
   }
   return Out;
@@ -81,9 +127,15 @@ std::string PipelineResult::toJSON() const {
       DepObj.emplace("inspector_c", Value(D.Plan.emitC("inspect")));
       DepObj.emplace("approximated", Value(D.Approximated));
     }
+    if (!D.Prov.Stage.empty())
+      DepObj.emplace("provenance", D.Prov.toJSON());
     DepList.push_back(Value(std::move(DepObj)));
   }
   Root.emplace("dependences", Value(std::move(DepList)));
+  Object Stages;
+  for (const auto &[Stage, Seconds] : StageSeconds)
+    Stages.emplace(Stage, Value(Seconds));
+  Root.emplace("stage_seconds", Value(std::move(Stages)));
   return Value(std::move(Root)).str();
 }
 
@@ -91,6 +143,8 @@ PipelineResult analyzeKernel(const kernels::Kernel &K,
                              const PipelineOptions &Opts) {
   PipelineResult Res;
   Res.Kernel = K;
+  obs::Span Total("pipeline.analyze", "deps");
+  Total.tag("kernel", K.Name);
 
   // Kernel cost: the most expensive statement's iteration domain.
   Res.KernelCost = codegen::Complexity::one();
@@ -102,49 +156,83 @@ PipelineResult analyzeKernel(const kernels::Kernel &K,
   }
 
   // Step 1: extraction (Figure 3 "Dependence Extraction").
-  for (Dependence &D : extractDependences(K)) {
-    AnalyzedDependence AD;
-    AD.Dep = std::move(D);
-    Res.Deps.push_back(std::move(AD));
+  {
+    StageScope Sc(Res, "extraction");
+    for (Dependence &D : extractDependences(K)) {
+      AnalyzedDependence AD;
+      AD.Dep = std::move(D);
+      Res.Deps.push_back(std::move(AD));
+    }
+    Sc.span().tag("dependences", static_cast<int64_t>(Res.Deps.size()));
   }
 
   for (AnalyzedDependence &AD : Res.Deps) {
     // Step 2: affine consistency (no domain knowledge).
-    if (ir::provenUnsatAffineOnly(AD.Dep.Rel, Opts.Simp)) {
-      AD.Status = DepStatus::AffineUnsat;
-      continue;
+    {
+      StageScope Sc(Res, "affine_unsat");
+      Sc.span().tag("dep", AD.Dep.label());
+      ir::InstantiationStats St;
+      if (ir::provenUnsatAffineOnly(AD.Dep.Rel, Opts.Simp, &St)) {
+        AD.Status = DepStatus::AffineUnsat;
+        AD.Prov.Stage = "affine-unsat";
+        AD.Prov.Evidence = dedupeLabels(St.UsedLabels);
+        if (AD.Prov.Evidence.empty())
+          AD.Prov.addEvidence("affine core infeasible");
+        AD.Prov.Seconds = Sc.seconds();
+        continue;
+      }
     }
     // Step 3: property-based unsatisfiability (§2.2/§4.2). Syntactic
     // phase-1 instantiation plus phase-2 disjunctions suffice here;
     // semantic entailment probes only pay off for equality discovery.
-    ir::SimplifyOptions UnsatOpts = Opts.Simp;
-    UnsatOpts.SemanticPhase1 = false;
-    if (Opts.UseProperties &&
-        ir::provenUnsat(AD.Dep.Rel, K.Properties, UnsatOpts)) {
-      AD.Status = DepStatus::PropertyUnsat;
-      continue;
+    if (Opts.UseProperties) {
+      StageScope Sc(Res, "property_unsat");
+      Sc.span().tag("dep", AD.Dep.label());
+      ir::SimplifyOptions UnsatOpts = Opts.Simp;
+      UnsatOpts.SemanticPhase1 = false;
+      ir::InstantiationStats St;
+      if (ir::provenUnsat(AD.Dep.Rel, K.Properties, UnsatOpts, &St)) {
+        AD.Status = DepStatus::PropertyUnsat;
+        AD.Prov.Stage = "property-unsat";
+        AD.Prov.Evidence = dedupeLabels(St.UsedLabels);
+        AD.Prov.Seconds = Sc.seconds();
+        continue;
+      }
     }
     // Step 4: equality discovery (§4).
-    AD.Simplified = AD.Dep.Rel;
-    AD.CostBefore = codegen::buildInspectorPlan(AD.Dep.Rel).Cost;
-    if (Opts.UseEqualities) {
-      // Equality discovery is where the semantic probes earn their keep;
-      // give them a generous budget.
-      ir::SimplifyOptions EqOpts = Opts.Simp;
-      if (EqOpts.SemanticProbeCap < 1500)
-        EqOpts.SemanticProbeCap = 1500;
-      ir::EqualityDiscoveryResult R =
-          ir::discoverEqualities(AD.Simplified, K.Properties, EqOpts);
-      AD.NewEqualities = R.NewEqualities;
+    {
+      StageScope Sc(Res, "equality_discovery");
+      Sc.span().tag("dep", AD.Dep.label());
+      AD.Simplified = AD.Dep.Rel;
+      AD.CostBefore = codegen::buildInspectorPlan(AD.Dep.Rel).Cost;
+      if (Opts.UseEqualities) {
+        // Equality discovery is where the semantic probes earn their keep;
+        // give them a generous budget.
+        ir::SimplifyOptions EqOpts = Opts.Simp;
+        if (EqOpts.SemanticProbeCap < 1500)
+          EqOpts.SemanticProbeCap = 1500;
+        ir::EqualityDiscoveryResult R =
+            ir::discoverEqualities(AD.Simplified, K.Properties, EqOpts);
+        AD.NewEqualities = R.NewEqualities;
+        if (R.NewEqualities > 0) {
+          AD.Prov.Stage = "equality-discovery";
+          AD.Prov.Evidence = R.EqualityStrings;
+        }
+      }
+      AD.CostAfter = codegen::buildInspectorPlan(AD.Simplified).Cost;
+      AD.Status = DepStatus::Runtime;
+      if (AD.Prov.Stage.empty())
+        AD.Prov.Stage = "runtime";
+      AD.Prov.Seconds = Sc.seconds();
     }
-    AD.CostAfter = codegen::buildInspectorPlan(AD.Simplified).Cost;
-    AD.Status = DepStatus::Runtime;
   }
 
   // Step 5: subset subsumption (§5). Only live runtime checks may act as
   // the covering test, and a test may only discard one that is at least
   // as expensive (there is no point paying more to cover less).
   if (Opts.UseSubsets) {
+    StageScope Sc(Res, "subsumption");
+    unsigned Discarded = 0;
     bool Changed = true;
     while (Changed) {
       Changed = false;
@@ -167,28 +255,36 @@ PipelineResult analyzeKernel(const kernels::Kernel &K,
             continue;
           Cand.Status = DepStatus::Subsumed;
           Cand.SubsumedBy = Kept.Dep.label();
+          Cand.Prov.Stage = "subsumption";
+          Cand.Prov.Evidence = {"covered by " + Kept.Dep.label()};
+          ++Discarded;
           Changed = true;
           break;
         }
       }
     }
+    Sc.span().tag("discarded", static_cast<int64_t>(Discarded));
   }
 
   // Step 6: inspectors for the survivors, optionally over-approximated
   // down to the kernel's own complexity (§8.1's ILU escape hatch).
-  for (AnalyzedDependence &AD : Res.Deps) {
-    if (AD.Status != DepStatus::Runtime)
-      continue;
-    if (Opts.ApproximateExpensive && Res.KernelCost < AD.CostAfter) {
-      codegen::ApproximationResult A =
-          codegen::approximateToCost(AD.Simplified, Res.KernelCost);
-      if (A.Changed) {
-        AD.Simplified = std::move(A.Rel);
-        AD.CostAfter = A.Cost;
-        AD.Approximated = true;
+  {
+    StageScope Sc(Res, "codegen");
+    for (AnalyzedDependence &AD : Res.Deps) {
+      if (AD.Status != DepStatus::Runtime)
+        continue;
+      if (Opts.ApproximateExpensive && Res.KernelCost < AD.CostAfter) {
+        codegen::ApproximationResult A =
+            codegen::approximateToCost(AD.Simplified, Res.KernelCost);
+        if (A.Changed) {
+          AD.Simplified = std::move(A.Rel);
+          AD.CostAfter = A.Cost;
+          AD.Approximated = true;
+          AD.Prov.addEvidence("over-approximated to cost " + A.Cost.str());
+        }
       }
+      AD.Plan = codegen::buildInspectorPlan(AD.Simplified);
     }
-    AD.Plan = codegen::buildInspectorPlan(AD.Simplified);
   }
 
   return Res;

@@ -6,6 +6,10 @@
 
 #include "sds/driver/Driver.h"
 
+#include "sds/obs/Trace.h"
+
+#include <chrono>
+
 namespace sds {
 namespace driver {
 
@@ -37,18 +41,40 @@ codegen::UFEnvironment bindCSC(const rt::CSCMatrix &A,
 
 InspectionResult runInspectors(const deps::PipelineResult &Analysis,
                                const codegen::UFEnvironment &Env, int N) {
+  static obs::Counter &TotalVisits = obs::counter("driver.inspector_visits");
+  static obs::Counter &TotalEdges = obs::counter("driver.edges_inserted");
+  using Clock = std::chrono::steady_clock;
+  auto T0 = Clock::now();
+  obs::Span All("driver.run_inspectors", "driver");
+  All.tag("kernel", Analysis.Kernel.Name);
+
   InspectionResult Res(N);
   for (const deps::AnalyzedDependence &D : Analysis.Deps) {
     if (D.Status != deps::DepStatus::Runtime || !D.Plan.Valid)
       continue;
     ++Res.NumInspectors;
-    Res.InspectorVisits +=
+    InspectorRun Run;
+    Run.Label = D.Dep.label();
+    obs::Span Sp("driver.inspector", "driver");
+    Sp.tag("dep", Run.Label);
+    auto TI = Clock::now();
+    Run.Visits =
         codegen::runInspector(D.Plan, Env, [&](int64_t Src, int64_t Dst) {
-          if (Src >= 0 && Src < N && Dst >= 0 && Dst < N)
+          if (Src >= 0 && Src < N && Dst >= 0 && Dst < N) {
             Res.Graph.addEdge(Src, Dst);
+            ++Run.Edges;
+          }
         });
+    Run.Seconds = std::chrono::duration<double>(Clock::now() - TI).count();
+    Sp.tag("visits", static_cast<int64_t>(Run.Visits));
+    Sp.tag("edges", static_cast<int64_t>(Run.Edges));
+    TotalVisits.add(Run.Visits);
+    TotalEdges.add(Run.Edges);
+    Res.InspectorVisits += Run.Visits;
+    Res.Runs.push_back(std::move(Run));
   }
   Res.Graph.finalize();
+  Res.Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
   return Res;
 }
 

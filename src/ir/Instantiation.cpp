@@ -283,6 +283,7 @@ instantiatePhase1(const Conjunction &C,
         RefreshCalls();
         Consumed[I] = true;
         ++S.Phase1Added;
+        S.UsedLabels.push_back(Inst.Label);
         Changed = true;
         continue;
       }
@@ -298,6 +299,7 @@ instantiatePhase1(const Conjunction &C,
           Aug.add(negateGeq(P));
           Consumed[I] = true;
           ++S.Phase1Added;
+          S.UsedLabels.push_back(Inst.Label + " [contrapositive]");
           Changed = true;
           continue;
         }
@@ -412,8 +414,10 @@ static bool provenUnsatWithAssertions(
       continue;
     }
     ++Used;
-    if (Stats)
+    if (Stats) {
       ++Stats->Phase2Used;
+      Stats->UsedLabels.push_back(Inst.Label + " [disjunctive]");
+    }
     if (Pieces.empty())
       return true; // every disjunct pruned as empty
   }
@@ -429,10 +433,11 @@ bool provenUnsat(const SparseRelation &R, const PropertySet &PS,
 }
 
 bool provenUnsatAffineOnly(const SparseRelation &R,
-                           const SimplifyOptions &Opts) {
+                           const SimplifyOptions &Opts,
+                           InstantiationStats *Stats) {
   // No property assertions: functional-consistency guards only (these are
   // always sound, independent of any domain knowledge).
-  return provenUnsatWithAssertions(R, {}, Opts, nullptr);
+  return provenUnsatWithAssertions(R, {}, Opts, Stats);
 }
 
 } // namespace ir

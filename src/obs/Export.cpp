@@ -1,0 +1,102 @@
+//===- Export.cpp - Trace and stats exporters -----------------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/obs/Export.h"
+
+#include "sds/obs/Trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+namespace sds {
+namespace obs {
+
+namespace {
+
+json::Value countersObject() {
+  json::Object Counters;
+  for (const auto &[Name, Val] : snapshotCounters())
+    Counters.emplace(Name, json::Value(static_cast<int64_t>(Val)));
+  return json::Value(std::move(Counters));
+}
+
+} // namespace
+
+json::Value chromeTrace() {
+  json::Array Events;
+  for (const TraceEvent &E : snapshotEvents()) {
+    json::Object Ev;
+    Ev.emplace("name", json::Value(E.Name));
+    Ev.emplace("cat", json::Value(E.Category));
+    Ev.emplace("ph", json::Value(std::string("X")));
+    Ev.emplace("ts", json::Value(static_cast<double>(E.StartNs) / 1000.0));
+    Ev.emplace("dur", json::Value(static_cast<double>(E.DurNs) / 1000.0));
+    Ev.emplace("pid", json::Value(static_cast<int64_t>(1)));
+    Ev.emplace("tid", json::Value(static_cast<int64_t>(E.ThreadId)));
+    if (!E.Tags.empty()) {
+      json::Object Args;
+      for (const auto &[K, V] : E.Tags)
+        Args.emplace(K, json::Value(V));
+      Ev.emplace("args", json::Value(std::move(Args)));
+    }
+    Events.push_back(json::Value(std::move(Ev)));
+  }
+  json::Object Root;
+  Root.emplace("traceEvents", json::Value(std::move(Events)));
+  Root.emplace("displayTimeUnit", json::Value(std::string("ms")));
+  Root.emplace("counters", countersObject());
+  if (uint64_t N = droppedEvents())
+    Root.emplace("dropped_events", json::Value(static_cast<int64_t>(N)));
+  return json::Value(std::move(Root));
+}
+
+std::string chromeTraceJSON() { return chromeTrace().str(); }
+
+bool writeChromeTrace(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << chromeTraceJSON() << "\n";
+  return static_cast<bool>(Out);
+}
+
+json::Value statsReport() {
+  struct Agg {
+    uint64_t Count = 0;
+    uint64_t TotalNs = 0;
+    uint64_t MinNs = UINT64_MAX;
+    uint64_t MaxNs = 0;
+  };
+  std::map<std::string, Agg> ByName;
+  for (const TraceEvent &E : snapshotEvents()) {
+    Agg &A = ByName[E.Name];
+    ++A.Count;
+    A.TotalNs += E.DurNs;
+    A.MinNs = std::min(A.MinNs, E.DurNs);
+    A.MaxNs = std::max(A.MaxNs, E.DurNs);
+  }
+  json::Object Spans;
+  for (const auto &[Name, A] : ByName) {
+    json::Object S;
+    S.emplace("count", json::Value(static_cast<int64_t>(A.Count)));
+    S.emplace("total_ms", json::Value(static_cast<double>(A.TotalNs) / 1e6));
+    S.emplace("min_ms", json::Value(static_cast<double>(A.MinNs) / 1e6));
+    S.emplace("max_ms", json::Value(static_cast<double>(A.MaxNs) / 1e6));
+    Spans.emplace(Name, json::Value(std::move(S)));
+  }
+  json::Object Root;
+  Root.emplace("spans", json::Value(std::move(Spans)));
+  Root.emplace("counters", countersObject());
+  Root.emplace("dropped_events",
+               json::Value(static_cast<int64_t>(droppedEvents())));
+  return json::Value(std::move(Root));
+}
+
+std::string statsJSON() { return statsReport().str(); }
+
+} // namespace obs
+} // namespace sds

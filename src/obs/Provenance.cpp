@@ -1,0 +1,38 @@
+//===- Provenance.cpp - Decision provenance for the pipeline --------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/obs/Provenance.h"
+
+namespace sds {
+namespace obs {
+
+std::string Provenance::str() const {
+  std::string Out = Stage;
+  if (!Evidence.empty()) {
+    Out += " [";
+    for (size_t I = 0; I < Evidence.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Evidence[I];
+    }
+    Out += "]";
+  }
+  return Out;
+}
+
+json::Value Provenance::toJSON() const {
+  json::Object Root;
+  Root.emplace("stage", json::Value(Stage));
+  json::Array Ev;
+  for (const std::string &E : Evidence)
+    Ev.push_back(json::Value(E));
+  Root.emplace("evidence", json::Value(std::move(Ev)));
+  Root.emplace("seconds", json::Value(Seconds));
+  return json::Value(std::move(Root));
+}
+
+} // namespace obs
+} // namespace sds

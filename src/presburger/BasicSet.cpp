@@ -6,6 +6,7 @@
 
 #include "sds/presburger/BasicSet.h"
 
+#include "sds/obs/Trace.h"
 #include "sds/presburger/Simplex.h"
 #include "sds/support/MathExtras.h"
 
@@ -95,6 +96,8 @@ public:
   /// Returns the emptiness verdict; on False (non-empty), `Point` holds an
   /// integer point.
   Ternary run(BasicSet S, std::vector<int64_t> &Point) {
+    static obs::Counter &Nodes = obs::counter("basicset.bnb_nodes");
+    Nodes.add();
     if (!S.normalize())
       return Ternary::True;
 
@@ -172,12 +175,16 @@ private:
 } // namespace
 
 Ternary BasicSet::isEmpty(unsigned NodeBudget) const {
+  static obs::Counter &Checks = obs::counter("basicset.emptiness_checks");
+  Checks.add();
   std::vector<int64_t> Ignored;
   return EmptinessCheckerImpl(NodeBudget).run(*this, Ignored);
 }
 
 std::optional<std::vector<int64_t>>
 BasicSet::sampleIntegerPoint(unsigned NodeBudget) const {
+  static obs::Counter &Samples = obs::counter("basicset.samples");
+  Samples.add();
   std::vector<int64_t> Point;
   if (EmptinessCheckerImpl(NodeBudget).run(*this, Point) == Ternary::False)
     return Point;
@@ -255,6 +262,8 @@ BasicSet BasicSet::insertVars(unsigned Pos, unsigned Count) const {
 
 Ternary BasicSet::isSubsetOf(const BasicSet &Other,
                              unsigned NodeBudget) const {
+  static obs::Counter &Tests = obs::counter("basicset.subset_tests");
+  Tests.add();
   assert(NumVars == Other.NumVars && "dimension mismatch");
   // this ⊆ {row >= 0}  iff  this ∧ (row <= -1) is empty.
   auto ContainedInHalfspace = [&](const std::vector<int64_t> &Row) {
@@ -440,6 +449,8 @@ bool eliminateVar(BasicSet &S, unsigned Var, unsigned FMPairCap) {
 
 ProjectResult
 BasicSet::projectOut(std::vector<unsigned> Positions) const {
+  static obs::Counter &Projections = obs::counter("basicset.projections");
+  Projections.add();
   BasicSet Work = *this;
   bool Exact = true;
   std::sort(Positions.begin(), Positions.end());

@@ -6,6 +6,8 @@
 
 #include "sds/presburger/Simplex.h"
 
+#include "sds/obs/Trace.h"
+
 #include <cassert>
 
 namespace sds {
@@ -90,11 +92,13 @@ public:
   /// pivot budget to guarantee termination on degenerate cycles.
   /// `Allowed` masks which columns may enter the basis (may be null).
   LPStatus iterate(const std::vector<bool> *Allowed) {
+    static obs::Counter &PivotCount = obs::counter("simplex.pivots");
     unsigned Pivots = 0;
     const unsigned BlandAfter = 500;
     while (true) {
       if (Overflow)
         return LPStatus::Error;
+      PivotCount.add();
       bool Bland = ++Pivots > BlandAfter;
       unsigned Enter = NumCols;
       Fraction Zero(0);
@@ -144,6 +148,8 @@ private:
 } // namespace
 
 LPStatus Simplex::solve(const std::vector<int64_t> *Obj, Fraction &ObjValue) {
+  static obs::Counter &Solves = obs::counter("simplex.solves");
+  Solves.add();
   // Quick scan: constraints with no variable part decide themselves.
   std::vector<const RowRec *> Active;
   Active.reserve(Rows.size());

@@ -6,8 +6,11 @@
 
 #include "sds/runtime/Kernels.h"
 
+#include "sds/obs/Trace.h"
+
 #include <cassert>
 #include <cmath>
+#include <optional>
 
 #include <omp.h>
 
@@ -226,17 +229,39 @@ void leftCholeskyCSCSerial(CSCMatrix &L) {
 
 namespace {
 
+/// Thread 0's per-wave span: opened before the wave's work, closed after
+/// the barrier, so its duration includes the imbalance wait — exactly the
+/// per-level execution time behind Figure 9. Inert (no clock reads, no
+/// allocation) when tracing is off.
+std::optional<obs::Span> waveSpan(int Thread, size_t Wave,
+                                  const std::vector<std::vector<int>> &Parts) {
+  if (Thread != 0 || !obs::enabled())
+    return std::nullopt;
+  std::optional<obs::Span> Sp;
+  Sp.emplace("wavefront.wave", "rt");
+  Sp->tag("wave", static_cast<int64_t>(Wave));
+  uint64_t Nodes = 0;
+  for (const auto &Part : Parts)
+    Nodes += Part.size();
+  Sp->tag("nodes", static_cast<int64_t>(Nodes));
+  return Sp;
+}
+
 /// Run `Body(Iteration)` over the schedule: one OpenMP thread per
 /// partition, a barrier between waves.
 template <typename Fn>
 void runSchedule(const WavefrontSchedule &S, Fn &&Body) {
   int NumThreads =
       S.Waves.empty() ? 1 : static_cast<int>(S.Waves[0].size());
+  obs::Span Total("wavefront.execute", "rt");
+  Total.tag("waves", static_cast<int64_t>(S.Waves.size()));
+  Total.tag("threads", static_cast<int64_t>(NumThreads));
 #pragma omp parallel num_threads(NumThreads)
   {
     int T = omp_get_thread_num();
     for (size_t W = 0; W < S.Waves.size(); ++W) {
       const auto &Wave = S.Waves[W];
+      std::optional<obs::Span> Sp = waveSpan(T, W, Wave);
       if (T < static_cast<int>(Wave.size()))
         for (int Node : Wave[static_cast<size_t>(T)])
           Body(Node);
@@ -308,6 +333,9 @@ void leftCholeskyCSCWavefront(CSCMatrix &L, const WavefrontSchedule &S) {
   PruneSets Rows = buildPruneSets(L);
   int NumThreads =
       S.Waves.empty() ? 1 : static_cast<int>(S.Waves[0].size());
+  obs::Span Total("wavefront.execute", "rt");
+  Total.tag("waves", static_cast<int64_t>(S.Waves.size()));
+  Total.tag("threads", static_cast<int64_t>(NumThreads));
   // One gather buffer per thread.
   std::vector<std::vector<double>> W(
       static_cast<size_t>(NumThreads),
@@ -317,6 +345,7 @@ void leftCholeskyCSCWavefront(CSCMatrix &L, const WavefrontSchedule &S) {
     int T = omp_get_thread_num();
     for (size_t WaveI = 0; WaveI < S.Waves.size(); ++WaveI) {
       const auto &Wave = S.Waves[WaveI];
+      std::optional<obs::Span> Sp = waveSpan(T, WaveI, Wave);
       if (T < static_cast<int>(Wave.size()))
         for (int J : Wave[static_cast<size_t>(T)])
           leftCholColumn(L, AVal, Rows, J, W[static_cast<size_t>(T)]);

@@ -6,6 +6,8 @@
 
 #include "sds/runtime/Wavefront.h"
 
+#include "sds/obs/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <functional>
@@ -38,6 +40,7 @@ bool DependenceGraph::isForwardOnly() const {
 }
 
 LevelSets computeLevelSets(const DependenceGraph &G) {
+  obs::Span Sp("wavefront.level_sets", "rt");
   LevelSets LS;
   int N = G.numNodes();
   LS.LevelOf.assign(N, 0);
@@ -53,6 +56,8 @@ LevelSets computeLevelSets(const DependenceGraph &G) {
   LS.Levels.assign(static_cast<size_t>(MaxLevel) + 1, {});
   for (int U = 0; U < N; ++U)
     LS.Levels[static_cast<size_t>(LS.LevelOf[U])].push_back(U);
+  Sp.tag("nodes", static_cast<int64_t>(N));
+  Sp.tag("levels", static_cast<int64_t>(LS.Levels.size()));
   return LS;
 }
 
@@ -122,14 +127,52 @@ partitionByCost(const std::vector<int> &Nodes, int NumThreads,
 
 } // namespace
 
+namespace {
+
+/// Record the shape of a finished schedule as span tags + counters.
+void recordScheduleStats(obs::Span &Sp, const WavefrontSchedule &S) {
+  if (!obs::enabled())
+    return;
+  static obs::Counter &Waves = obs::counter("wavefront.waves");
+  static obs::Counter &Nodes = obs::counter("wavefront.scheduled_nodes");
+  ScheduleStats St = describeSchedule(S);
+  Waves.add(static_cast<uint64_t>(St.NumWaves));
+  Nodes.add(St.TotalNodes);
+  Sp.tag("waves", static_cast<int64_t>(St.NumWaves));
+  Sp.tag("nodes", static_cast<int64_t>(St.TotalNodes));
+  Sp.tag("max_wave", static_cast<int64_t>(St.MaxWaveSize));
+  Sp.tag("parallelism",
+         std::to_string(St.achievedParallelism()));
+}
+
+} // namespace
+
+ScheduleStats describeSchedule(const WavefrontSchedule &S) {
+  ScheduleStats St;
+  St.NumWaves = S.numWaves();
+  St.CriticalWork = S.criticalWork();
+  St.WaveSizes.reserve(S.Waves.size());
+  for (const auto &Wave : S.Waves) {
+    uint64_t Size = 0;
+    for (const auto &Part : Wave)
+      Size += Part.size();
+    St.WaveSizes.push_back(Size);
+    St.TotalNodes += Size;
+    St.MaxWaveSize = std::max(St.MaxWaveSize, Size);
+  }
+  return St;
+}
+
 WavefrontSchedule scheduleLevelSets(const DependenceGraph &G, int NumThreads,
                                     const std::vector<double> &NodeCost) {
   assert(NumThreads >= 1);
+  obs::Span Sp("wavefront.schedule_levelsets", "rt");
   LevelSets LS = computeLevelSets(G);
   WavefrontSchedule S;
   S.Waves.reserve(LS.Levels.size());
   for (const std::vector<int> &Level : LS.Levels)
     S.Waves.push_back(partitionByCost(Level, NumThreads, NodeCost));
+  recordScheduleStats(Sp, S);
   return S;
 }
 
@@ -282,6 +325,7 @@ private:
 WavefrontSchedule scheduleLBC(const DependenceGraph &G, const LBCConfig &C,
                               const std::vector<double> &NodeCost) {
   assert(C.NumThreads >= 1);
+  obs::Span Sp("wavefront.schedule_lbc", "rt");
   LevelSets LS = computeLevelSets(G);
   LBCPartitioner P(G, LS, C, NodeCost);
 
@@ -304,6 +348,7 @@ WavefrontSchedule scheduleLBC(const DependenceGraph &G, const LBCConfig &C,
     P.emit(L, End - 1, S.Waves);
     L = End;
   }
+  recordScheduleStats(Sp, S);
   return S;
 }
 

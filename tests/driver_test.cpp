@@ -103,3 +103,45 @@ TEST(RunInspectors, CountsInspectorsAndVisits) {
   EXPECT_GT(R.Graph.numEdges(), 0u);
   EXPECT_TRUE(R.Graph.isForwardOnly());
 }
+
+TEST(RunInspectors, PerRunAccountingIsConsistent) {
+  // The per-inspector breakdown must tile the totals exactly: one Run per
+  // inspector, visits summing to InspectorVisits, and (pre-dedup) at least
+  // as many emitted edges as the finalized graph keeps.
+  deps::PipelineResult Analysis =
+      deps::analyzeKernel(kernels::gaussSeidelCSR());
+  CSRMatrix A = generateSPDLike({80, 6, 12, 21});
+  auto Env = driver::bindCSR(A, A.diagonalPositions());
+  driver::InspectionResult R = driver::runInspectors(Analysis, Env, A.N);
+
+  ASSERT_EQ(R.Runs.size(), static_cast<size_t>(R.NumInspectors));
+  uint64_t SumVisits = 0, SumEdges = 0;
+  for (const driver::InspectorRun &Run : R.Runs) {
+    EXPECT_FALSE(Run.Label.empty());
+    EXPECT_GT(Run.Visits, 0u) << Run.Label;
+    EXPECT_GE(Run.Seconds, 0.0);
+    SumVisits += Run.Visits;
+    SumEdges += Run.Edges;
+  }
+  EXPECT_EQ(SumVisits, R.InspectorVisits);
+  EXPECT_GE(SumEdges, R.Graph.numEdges());
+  EXPECT_GE(R.Seconds, 0.0);
+}
+
+TEST(RunInspectors, NestedLoopInspectorIsNotUnderCounted) {
+  // Forward solve CSR's surviving inspector walks the below-diagonal
+  // entries of each row inside the row loop. Visits counts every variable
+  // binding at every depth, so on tiny() it must be at least
+  // n (outer) + nnz - n (inner: the off-diagonal entries) — a
+  // per-outer-iteration count would report only n and under-count the
+  // nested work.
+  deps::PipelineResult Analysis =
+      deps::analyzeKernel(kernels::forwardSolveCSR());
+  CSRMatrix A = tiny();
+  auto Env = driver::bindCSR(A);
+  driver::InspectionResult R = driver::runInspectors(Analysis, Env, A.N);
+  ASSERT_EQ(R.NumInspectors, 1u);
+  EXPECT_GT(R.InspectorVisits, static_cast<uint64_t>(A.N));
+  EXPECT_GE(R.InspectorVisits, static_cast<uint64_t>(A.nnz()));
+  EXPECT_EQ(R.Runs[0].Visits, R.InspectorVisits);
+}

@@ -123,6 +123,69 @@ TEST(Pipeline, JSONReportRoundTrips) {
       SawInspector = true;
   }
   EXPECT_TRUE(SawInspector);
+
+  // Per-stage wall timings are part of the report: every Figure-3 stage
+  // the pipeline ran appears with a non-negative duration.
+  const sds::json::Value *Stages = Parsed.Val.get("stage_seconds");
+  ASSERT_NE(Stages, nullptr);
+  for (const char *Stage :
+       {"extraction", "affine_unsat", "property_unsat", "equality_discovery",
+        "subsumption", "codegen"}) {
+    const sds::json::Value *S = Stages->get(Stage);
+    ASSERT_NE(S, nullptr) << Stage;
+    EXPECT_GE(S->asDouble(), 0.0) << Stage;
+  }
+}
+
+TEST(Pipeline, ProvenanceRecordsWhoDecidedEachDependence) {
+  PipelineResult R = analyzeKernel(kernels::forwardSolveCSC());
+  for (const AnalyzedDependence &D : R.Deps) {
+    ASSERT_FALSE(D.Prov.Stage.empty()) << D.Dep.label();
+    switch (D.Status) {
+    case DepStatus::AffineUnsat:
+      EXPECT_EQ(D.Prov.Stage, "affine-unsat");
+      break;
+    case DepStatus::PropertyUnsat:
+      EXPECT_EQ(D.Prov.Stage, "property-unsat");
+      // The refutation names at least one applied property instance.
+      EXPECT_FALSE(D.Prov.Evidence.empty()) << D.Dep.label();
+      break;
+    case DepStatus::Subsumed:
+      EXPECT_EQ(D.Prov.Stage, "subsumption");
+      ASSERT_FALSE(D.Prov.Evidence.empty());
+      EXPECT_NE(D.Prov.Evidence[0].find(D.SubsumedBy), std::string::npos);
+      break;
+    case DepStatus::Runtime:
+      EXPECT_TRUE(D.Prov.Stage == "runtime" ||
+                  D.Prov.Stage == "equality-discovery")
+          << D.Prov.Stage;
+      break;
+    }
+  }
+  // Provenance reaches the JSON report for decided dependences.
+  auto Parsed = sds::json::parse(R.toJSON());
+  ASSERT_TRUE(Parsed.Ok) << Parsed.Error;
+  unsigned WithProv = 0;
+  for (const auto &D : Parsed.Val.get("dependences")->asArray())
+    if (const sds::json::Value *P = D.get("provenance")) {
+      EXPECT_NE(P->get("stage"), nullptr);
+      EXPECT_NE(P->get("evidence"), nullptr);
+      EXPECT_GE(P->get("seconds")->asDouble(), 0.0);
+      ++WithProv;
+    }
+  EXPECT_EQ(WithProv, R.Deps.size());
+}
+
+TEST(Pipeline, EqualityDiscoveryProvenanceNamesTheEqualities) {
+  PipelineResult R = analyzeKernel(kernels::leftCholeskyCSC());
+  bool SawEqualityEvidence = false;
+  for (const AnalyzedDependence &D : R.Deps)
+    if (D.Prov.Stage == "equality-discovery") {
+      EXPECT_GT(D.NewEqualities, 0u);
+      EXPECT_FALSE(D.Prov.Evidence.empty());
+      SawEqualityEvidence = true;
+    }
+  EXPECT_TRUE(SawEqualityEvidence);
 }
 
 TEST(Pipeline, SummaryMentionsEveryDependence) {
