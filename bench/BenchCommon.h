@@ -8,12 +8,18 @@
 // Environment knobs:
 //   SDS_SCALE    fraction of Table 4's matrix dimensions to instantiate
 //                (default 0.02: laptop-friendly; 1.0 = paper-sized)
-//   SDS_THREADS  wavefront executor thread count (default: hardware)
+//   SDS_THREADS  inspector + wavefront executor thread count
+//                (default: hardware; the --threads flag overrides it)
 //   SDS_HEAVY    set to 0 to skip the minutes-long analyses (IC0, ILU0)
 //   SDS_TRACE    path: enable obs tracing and write a Chrome trace-event
 //                JSON of the whole bench run there at exit
 //   SDS_STATS    path (or "-" for stdout): enable obs and write the
 //                aggregate span/counter stats JSON there at exit
+//
+// Benches additionally write BENCH_<name>.json into the working directory
+// (see BenchReport): a small flat object with the run's headline numbers
+// (visits, edges, seconds, threads, presburger cache hit rate) so the
+// perf trajectory can be tracked across commits.
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,12 +29,15 @@
 #include "sds/driver/Driver.h"
 #include "sds/obs/Export.h"
 #include "sds/obs/Trace.h"
+#include "sds/presburger/BasicSet.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <omp.h>
 
@@ -50,6 +59,71 @@ inline bool envHeavy() {
   const char *S = std::getenv("SDS_HEAVY");
   return !S || std::atoi(S) != 0;
 }
+
+/// Thread count for a bench main(): `--threads N` on the command line
+/// wins, then SDS_THREADS, then the hardware default.
+inline int parseThreads(int argc, char **argv) {
+  for (int I = 1; I + 1 < argc; ++I)
+    if (std::string(argv[I]) == "--threads") {
+      int V = std::atoi(argv[I + 1]);
+      if (V > 0)
+        return V;
+    }
+  return envThreads();
+}
+
+/// Machine-readable per-bench metrics: accumulates flat key -> number (or
+/// string) fields in insertion order and writes BENCH_<name>.json. The
+/// presburger query-cache hit rate is captured automatically at write
+/// time.
+class BenchReport {
+public:
+  explicit BenchReport(std::string BenchName) : Name(std::move(BenchName)) {}
+
+  void set(const std::string &Key, double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+    Fields.emplace_back(Key, Buf);
+  }
+  void set(const std::string &Key, uint64_t V) {
+    Fields.emplace_back(Key, std::to_string(V));
+  }
+  void set(const std::string &Key, int V) {
+    Fields.emplace_back(Key, std::to_string(V));
+  }
+  void setString(const std::string &Key, const std::string &V) {
+    std::string Quoted = "\"";
+    for (char C : V) {
+      if (C == '"' || C == '\\')
+        Quoted.push_back('\\');
+      Quoted.push_back(C);
+    }
+    Quoted.push_back('"');
+    Fields.emplace_back(Key, std::move(Quoted));
+  }
+
+  /// Write BENCH_<name>.json into the working directory.
+  bool write() {
+    sds::presburger::QueryCacheStats QC = sds::presburger::queryCacheStats();
+    set("presburger_cache_hits", QC.Hits);
+    set("presburger_cache_misses", QC.Misses);
+    set("presburger_cache_hit_rate", QC.hitRate());
+    std::string Path = "BENCH_" + Name + ".json";
+    std::ofstream Out(Path);
+    if (!Out)
+      return false;
+    Out << "{\n  \"bench\": \"" << Name << "\"";
+    for (const auto &[K, V] : Fields)
+      Out << ",\n  \"" << K << "\": " << V;
+    Out << "\n}\n";
+    std::fprintf(stderr, "# metrics written to %s\n", Path.c_str());
+    return true;
+  }
+
+private:
+  std::string Name;
+  std::vector<std::pair<std::string, std::string>> Fields;
+};
 
 /// Observability hook driven by SDS_TRACE / SDS_STATS: construct one at
 /// the top of main(); if either env var is set, tracing is switched on for

@@ -21,12 +21,13 @@ namespace {
 
 uint64_t totalInspectorWork(const PipelineResult &R,
                             const codegen::UFEnvironment &Env,
-                            uint64_t Cap) {
+                            uint64_t Cap, int Threads) {
   uint64_t Total = 0;
   for (const AnalyzedDependence &D : R.Deps) {
     if (D.Status != DepStatus::Runtime || !D.Plan.Valid)
       continue;
-    Total += codegen::runInspector(D.Plan, Env, [](int64_t, int64_t) {});
+    Total += codegen::runInspectorParallel(D.Plan, Env, Threads,
+                                           [](int64_t, int64_t) {});
     if (Total > Cap)
       return Total; // enough signal; avoid hour-long naive scans
   }
@@ -35,8 +36,9 @@ uint64_t totalInspectorWork(const PipelineResult &R,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   bench::ObsSession Obs;
+  int Threads = bench::parseThreads(argc, argv);
   double Scale = bench::envScale() * 0.25; // naive inspectors are O(n^2)+
   rt::CSRMatrix Full = rt::generateFromProfile(rt::table4Profiles()[0],
                                                std::max(Scale, 0.002));
@@ -70,6 +72,8 @@ int main() {
                    Full.N});
 
   const uint64_t Cap = 500u * 1000u * 1000u;
+  uint64_t FinalStageWork = 0;
+  double WorkSeconds = 0;
   for (Case &C : Cases) {
     std::printf("%-8s", C.Name);
     for (const Stage &S : Stages) {
@@ -77,7 +81,11 @@ int main() {
       Opts.UseEqualities = S.Eq;
       Opts.UseSubsets = S.Sub;
       PipelineResult R = analyzeKernel(C.K, Opts);
-      uint64_t Work = totalInspectorWork(R, C.Env, Cap);
+      uint64_t Work = 0;
+      WorkSeconds += bench::timeOf(
+          [&] { Work = totalInspectorWork(R, C.Env, Cap, Threads); });
+      if (S.Eq && S.Sub)
+        FinalStageWork += Work;
       if (Work > Cap)
         std::printf("  %-18s", ">5e8 (capped)");
       else
@@ -91,5 +99,11 @@ int main() {
   std::printf("Reading: each stage must not increase work; equalities give "
               "the\nasymptotic drops (§4.1's O(n^2)->O(n)), subsets remove "
               "whole checks.\n");
+  bench::BenchReport Report("ablation");
+  Report.set("scale", Scale);
+  Report.set("threads", Threads);
+  Report.set("visits", FinalStageWork);
+  Report.set("seconds", WorkSeconds);
+  Report.write();
   return 0;
 }

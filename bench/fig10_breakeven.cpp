@@ -19,10 +19,10 @@
 using namespace sds;
 using namespace sds::rt;
 
-int main() {
+int main(int argc, char **argv) {
   bench::ObsSession Obs;
   double Scale = bench::envScale();
-  int Threads = bench::envThreads();
+  int Threads = bench::parseThreads(argc, argv);
   bool Heavy = bench::envHeavy();
   std::printf("Figure 10: executor runs needed to amortize the inspector "
               "(scale=%.3f, threads=%d)\n\n",
@@ -37,6 +37,10 @@ int main() {
     std::printf(" %11s", M.Name.c_str());
   std::printf("   inspector/serial\n");
 
+  driver::InspectorOptions IOpts;
+  IOpts.NumThreads = Threads;
+  uint64_t TotalVisits = 0, TotalEdges = 0;
+  double TotalInspT = 0;
   for (bench::WiredKernel &K : Kernels) {
     std::printf("%-10s", K.Name.c_str());
     double InspectorOverSerial = 0;
@@ -45,8 +49,11 @@ int main() {
       bench::WiredKernel::Instance I = K.Wire(M);
       driver::InspectionResult Insp(1);
       double InspT = bench::timeOf([&] {
-        Insp = driver::runInspectors(K.Analysis, I.Env, I.N);
+        Insp = driver::runInspectors(K.Analysis, I.Env, I.N, IOpts);
       });
+      TotalVisits += Insp.InspectorVisits;
+      TotalEdges += Insp.Graph.numEdges();
+      TotalInspT += InspT;
       LBCConfig C;
       C.NumThreads = Threads;
       C.MinWorkPerThread = 256;
@@ -63,6 +70,16 @@ int main() {
     }
     std::printf("   %10.1fx\n", InspectorOverSerial / Cells);
   }
+  bench::BenchReport Report("fig10");
+  Report.set("scale", Scale);
+  Report.set("threads", Threads);
+  Report.set("visits", TotalVisits);
+  Report.set("edges", TotalEdges);
+  Report.set("inspector_seconds", TotalInspT);
+  Report.set("visits_per_second",
+             TotalInspT > 0 ? static_cast<double>(TotalVisits) / TotalInspT
+                            : 0.0);
+  Report.write();
   std::printf(
       "\nThe last column (inspector time / one serial run) is the machine-\n"
       "independent shape: the solvers' inspectors cost tens of serial runs\n"

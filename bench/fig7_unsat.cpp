@@ -15,6 +15,7 @@
 #include "sds/ir/Simplify.h"
 #include "sds/kernels/Kernels.h"
 
+#include <cctype>
 #include <cstdio>
 #include <map>
 
@@ -96,6 +97,8 @@ int main() {
               "(%zu unique relations total%s)\n\n",
               Deps.size(), Heavy ? "" : ", heavy kernels skipped");
 
+  bench::BenchReport Report("fig7");
+  Report.set("relations", static_cast<uint64_t>(Deps.size()));
   for (const Config &C : Configs) {
     std::map<std::string, unsigned> Histogram;
     unsigned Remaining = 0;
@@ -118,9 +121,14 @@ int main() {
     for (const auto &[Class, Count] : Histogram)
       std::printf("  %s:%u", Class.c_str(), Count);
     std::printf("\n");
+    std::string Key = "remaining_";
+    for (const char *P = C.Name; *P; ++P)
+      Key.push_back(*P == ' ' ? '_' : static_cast<char>(std::tolower(*P)));
+    Report.set(Key, static_cast<uint64_t>(Remaining));
   }
   std::printf(
       "\nPaper reference: Original 75, Affine Consistency 67, all "
       "properties combined leave 22 runtime checks (Figure 7, §7.1).\n");
+  Report.write();
   return 0;
 }

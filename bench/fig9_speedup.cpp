@@ -19,10 +19,10 @@
 using namespace sds;
 using namespace sds::rt;
 
-int main() {
+int main(int argc, char **argv) {
   bench::ObsSession Obs;
   double Scale = bench::envScale();
-  int Threads = bench::envThreads();
+  int Threads = bench::parseThreads(argc, argv);
   bool Heavy = bench::envHeavy();
   std::printf("Figure 9: wavefront executor speedup over serial "
               "(scale=%.3f, threads=%d, hw cores=%d)\n\n",
@@ -43,6 +43,11 @@ int main() {
   // paper's Figure 9 even on this machine.
   std::vector<std::string> BoundRows;
 
+  driver::InspectorOptions IOpts;
+  IOpts.NumThreads = Threads;
+  uint64_t TotalVisits = 0, TotalEdges = 0;
+  double TotalInspSeconds = 0, SumSpeedup = 0;
+  int Cells = 0;
   for (bench::WiredKernel &K : Kernels) {
     std::printf("%-10s", K.Name.c_str());
     std::string Bound(K.Name);
@@ -50,13 +55,18 @@ int main() {
     for (const bench::BenchMatrix &M : Matrices) {
       bench::WiredKernel::Instance I = K.Wire(M);
       driver::InspectionResult Insp =
-          driver::runInspectors(K.Analysis, I.Env, I.N);
+          driver::runInspectors(K.Analysis, I.Env, I.N, IOpts);
+      TotalVisits += Insp.InspectorVisits;
+      TotalEdges += Insp.Graph.numEdges();
+      TotalInspSeconds += Insp.Seconds;
       LBCConfig C;
       C.NumThreads = Threads;
       C.MinWorkPerThread = 256;
       WavefrontSchedule S = scheduleLBC(Insp.Graph, C, I.NodeCost);
       double SerialT = bench::medianTimeOf(I.Serial);
       double ExecT = bench::medianTimeOf([&] { I.Wavefront(S); });
+      SumSpeedup += SerialT / ExecT;
+      ++Cells;
       std::printf(" %10.2fx", SerialT / ExecT);
       std::fflush(stdout);
 
@@ -91,5 +101,13 @@ int main() {
   std::printf("\nPaper reference (Figure 9): 2x-8x on 8 cores; Left "
               "Cholesky superlinear\n(5x-625x) due to LBC locality "
               "effects on the large factors.\n");
+  bench::BenchReport Report("fig9");
+  Report.set("scale", Scale);
+  Report.set("threads", Threads);
+  Report.set("visits", TotalVisits);
+  Report.set("edges", TotalEdges);
+  Report.set("inspector_seconds", TotalInspSeconds);
+  Report.set("mean_speedup", Cells ? SumSpeedup / Cells : 0.0);
+  Report.write();
   return 0;
 }

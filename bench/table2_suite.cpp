@@ -37,5 +37,8 @@ int main() {
   std::printf("\nPer-kernel property JSON (pipeline input, Figure 3):\n");
   for (const kernels::Kernel &K : kernels::allKernels())
     std::printf("--- %s ---\n%s", K.Name.c_str(), K.PropertyJSON.c_str());
+  bench::BenchReport Report("table2");
+  Report.set("kernels", static_cast<uint64_t>(kernels::allKernels().size()));
+  Report.write();
   return 0;
 }

@@ -36,6 +36,8 @@
 #include <map>
 #include <sstream>
 
+#include <omp.h>
+
 using namespace sds;
 
 namespace {
@@ -56,9 +58,9 @@ std::map<std::string, kernels::Kernel> kernelsByKey() {
 /// contains inspector and wavefront-execution spans, not just the
 /// compile-time pipeline. Which arrays get bound and which executor runs
 /// depends on the kernel's storage format.
-void runTraced(const std::string &Key, const deps::PipelineResult &R, int N) {
+void runTraced(const std::string &Key, const deps::PipelineResult &R, int N,
+               int Threads) {
   rt::CSRMatrix A = rt::generateSPDLike({N, 6, 12, 21});
-  const int Threads = 4;
 
   codegen::UFEnvironment Env;
   rt::CSRMatrix Lower;
@@ -83,7 +85,9 @@ void runTraced(const std::string &Key, const deps::PipelineResult &R, int N) {
     return;
   }
 
-  driver::InspectionResult Insp = driver::runInspectors(R, Env, A.N);
+  driver::InspectorOptions IOpts;
+  IOpts.NumThreads = Threads;
+  driver::InspectionResult Insp = driver::runInspectors(R, Env, A.N, IOpts);
   std::printf("inspection: %u inspectors, %llu visits, %llu edges, %.3f ms\n",
               Insp.NumInspectors,
               static_cast<unsigned long long>(Insp.InspectorVisits),
@@ -115,7 +119,7 @@ void runTraced(const std::string &Key, const deps::PipelineResult &R, int N) {
 }
 
 void analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
-                int N) {
+                int N, int Threads) {
   std::printf("=== %s ===\n%s\n", K.Name.c_str(), K.str().c_str());
   deps::PipelineResult R = deps::analyzeKernel(K);
   std::printf("%s\n", R.summary().c_str());
@@ -126,7 +130,7 @@ void analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
                 D.Plan.emitC("inspect").c_str());
   }
   if (Traced)
-    runTraced(Key, R, N);
+    runTraced(Key, R, N, Threads);
 }
 
 } // namespace
@@ -135,6 +139,7 @@ int main(int argc, char **argv) {
   std::string TracePath;
   bool Stats = false;
   int N = 200;
+  int Threads = omp_get_max_threads();
   std::vector<std::string> Positional;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -148,6 +153,12 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "--n must be >= 4\n");
         return 1;
       }
+    } else if (Arg == "--threads" && I + 1 < argc) {
+      Threads = std::atoi(argv[++I]);
+      if (Threads < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 1;
+      }
     } else {
       Positional.push_back(Arg);
     }
@@ -156,8 +167,8 @@ int main(int argc, char **argv) {
   auto Kernels = kernelsByKey();
   if (Positional.empty()) {
     std::printf(
-        "usage: %s [--trace out.json] [--stats] [--n N] <kernel|all> "
-        "[properties.json]\nkernels:\n",
+        "usage: %s [--trace out.json] [--stats] [--n N] [--threads N] "
+        "<kernel|all> [properties.json]\nkernels:\n",
         argv[0]);
     for (const auto &[Key, K] : Kernels)
       std::printf("  %-10s %s\n", Key.c_str(), K.Name.c_str());
@@ -171,7 +182,7 @@ int main(int argc, char **argv) {
   std::string Which = Positional[0];
   if (Which == "all") {
     for (auto &[Key, K] : Kernels)
-      analyzeOne(Key, K, Traced, N);
+      analyzeOne(Key, K, Traced, N, Threads);
   } else {
     auto It = Kernels.find(Which);
     if (It == Kernels.end()) {
@@ -207,7 +218,7 @@ int main(int argc, char **argv) {
       std::printf("(using index-array properties from %s)\n", Path.c_str());
     }
 
-    analyzeOne(Which, K, Traced, N);
+    analyzeOne(Which, K, Traced, N, Threads);
   }
 
   if (Stats)

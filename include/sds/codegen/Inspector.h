@@ -30,6 +30,7 @@
 #include <memory>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sds {
@@ -79,22 +80,31 @@ Complexity domainComplexity(
 // Runtime execution
 //===----------------------------------------------------------------------===//
 
-/// Runtime bindings: index arrays as arity-1 functions plus integer
-/// parameter values. Bound arrays are range-checked: a guard expression
-/// may probe one position outside the array while some *other* guard of
-/// the same conjunction is false (the conjunction as a whole is false
-/// either way), so out-of-range reads yield a sentinel that fails every
-/// bound/guard instead of touching memory.
+/// Runtime bindings: index arrays plus integer parameter values. Bound
+/// arrays are range-checked: a guard expression may probe one position
+/// outside the array while some *other* guard of the same conjunction is
+/// false (the conjunction as a whole is false either way), so
+/// out-of-range reads yield a sentinel that fails every bound/guard
+/// instead of touching memory.
+///
+/// Arrays bound through bindArray() are stored twice: as a raw
+/// `{data, size}` span (`Spans`) that the compiled inspector probes
+/// directly — a bounds check and a load, no type-erased call — and as a
+/// `std::function` closure (`Arrays`) kept for direct callers and for
+/// arrays installed as arbitrary functions (tests bind plain lambdas).
+/// The evaluator prefers the span when one exists.
 struct UFEnvironment {
   static constexpr int64_t OutOfRange = INT64_MIN / 4;
 
   std::map<std::string, std::function<int64_t(int64_t)>> Arrays;
+  std::map<std::string, std::shared_ptr<const std::vector<int>>> Spans;
   std::map<std::string, int64_t> Params;
 
-  /// Bind an index array. The closure owns a copy, so temporaries (e.g.
-  /// `A.diagonalPositions()`) are safe to pass.
+  /// Bind an index array. The environment owns a copy, so temporaries
+  /// (e.g. `A.diagonalPositions()`) are safe to pass.
   void bindArray(const std::string &Name, std::vector<int> Data) {
     auto Owned = std::make_shared<const std::vector<int>>(std::move(Data));
+    Spans[Name] = Owned;
     Arrays[Name] = [Owned](int64_t I) {
       if (I < 0 || I >= static_cast<int64_t>(Owned->size()))
         return OutOfRange;
@@ -103,16 +113,67 @@ struct UFEnvironment {
   }
 };
 
+namespace detail {
+class CompiledProgram; // Evaluate.cpp
+} // namespace detail
+
+/// A dependence edge emitted by an inspector: (source, destination)
+/// outer-loop iterations.
+using InspectorEdge = std::pair<int64_t, int64_t>;
+
+/// An inspector plan compiled against one environment: variable names
+/// resolved to slots, parameters constant-folded, expressions flattened
+/// into a term pool, and bound arrays resolved to raw spans. Compilation
+/// happens once; every run() afterwards only touches flat arrays.
+///
+/// The compiled program is immutable and shared — copies are cheap and
+/// safe to run concurrently (each run owns its slot state). The
+/// environment must outlive the compiled inspector: spans point into its
+/// owned arrays and function-bound arrays are called through it.
+class CompiledInspector {
+public:
+  CompiledInspector(const InspectorPlan &Plan, const UFEnvironment &Env);
+
+  /// True when the outermost plan variable is a loop (the parallel
+  /// runners split its range).
+  bool outerIsLoop() const;
+
+  /// Bounds of the outermost loop variable (valid at depth 0, where no
+  /// plan variable can feed them). False when the outermost variable is
+  /// solved or a bound is poisoned.
+  bool outerRange(int64_t &Lo, int64_t &Hi) const;
+
+  /// Run over the full iteration space, appending every dependence pair
+  /// to `Out`. Returns the number of iterations visited. The edge append
+  /// inlines into the inner loop — no per-edge indirect call.
+  uint64_t run(std::vector<InspectorEdge> &Out) const;
+
+  /// Run restricted to outermost-loop values in [Lo, Hi) — how parallel
+  /// runners split work. Each call owns fresh slot state, so concurrent
+  /// calls on one CompiledInspector are safe.
+  uint64_t runRange(int64_t Lo, int64_t Hi,
+                    std::vector<InspectorEdge> &Out) const;
+
+  /// Type-erased variant (one indirect call per edge); kept for callers
+  /// that want a callback rather than a buffer.
+  uint64_t run(const std::function<void(int64_t, int64_t)> &EmitEdge) const;
+
+private:
+  std::shared_ptr<const detail::CompiledProgram> Prog;
+};
+
 /// Run the inspector: every (src, dst) dependence pair found is passed to
 /// `EmitEdge`. Returns the number of iterations visited (a direct measure
-/// of inspector work, used by the Figure 10 bench).
+/// of inspector work, used by the Figure 10 bench). Compiles the plan on
+/// every call — hot paths should compile once via CompiledInspector.
 uint64_t runInspector(const InspectorPlan &Plan, const UFEnvironment &Env,
                       const std::function<void(int64_t, int64_t)> &EmitEdge);
 
 /// Parallel variant (§6.1: the generated inspectors' outermost loops are
-/// embarrassingly parallel). The outermost loop variable's range is split
-/// across `NumThreads` OpenMP threads; edges are buffered per thread and
-/// `EmitEdge` is invoked serially afterwards, so it needs no
+/// embarrassingly parallel). The plan is compiled once; the outermost
+/// loop variable's range is split across `NumThreads` OpenMP threads,
+/// each running the shared compiled program with its own slot state and
+/// edge buffer. `EmitEdge` is invoked serially afterwards, so it needs no
 /// synchronization. Falls back to the serial run when the outermost
 /// variable is solved.
 uint64_t runInspectorParallel(

@@ -55,10 +55,23 @@ struct InspectionResult {
   explicit InspectionResult(int N) : Graph(N) {}
 };
 
+/// Knobs for the inspection run.
+struct InspectorOptions {
+  /// OpenMP threads for the inspector fleet. The outermost loop of each
+  /// inspector is split into per-thread chunks and independent inspectors
+  /// run concurrently as one work list; <= 1 runs serially. The resulting
+  /// graph and per-run accounting are identical for every thread count
+  /// (thread-local edge buffers are merged in deterministic order).
+  int NumThreads = 1;
+};
+
 /// Run every surviving runtime inspector of `Analysis` against the bound
 /// arrays, accumulating edges into one dependence graph over N iterations.
+/// Each inspector plan is compiled exactly once regardless of thread
+/// count.
 InspectionResult runInspectors(const deps::PipelineResult &Analysis,
-                               const codegen::UFEnvironment &Env, int N);
+                               const codegen::UFEnvironment &Env, int N,
+                               const InspectorOptions &Opts = {});
 
 } // namespace driver
 } // namespace sds

@@ -142,6 +142,37 @@ private:
 std::string formatConstraintRow(const std::vector<int64_t> &Row, bool IsEq,
                                 const std::vector<std::string> &Names);
 
+//===----------------------------------------------------------------------===//
+// Query memoization
+//===----------------------------------------------------------------------===//
+//
+// Emptiness and subset queries are memoized process-wide, keyed on the
+// *canonicalized* constraint system (normalized rows in sorted order) plus
+// the node budget. Only definitive verdicts (True/False) are cached —
+// they are mathematical facts about the constraint system, so entries can
+// never go stale and no invalidation is required; Unknown verdicts are
+// recomputed because a different call could still resolve them. The cache
+// is bounded and thread-safe.
+
+/// Counters for the process-wide presburger query cache.
+struct QueryCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Entries = 0;
+
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+QueryCacheStats queryCacheStats();
+
+/// Drop every cached verdict and reset hit/miss counters (bench and test
+/// isolation; correctness never requires it).
+void clearQueryCache();
+
 } // namespace presburger
 } // namespace sds
 

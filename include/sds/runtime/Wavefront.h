@@ -16,28 +16,47 @@
 #define SDS_RUNTIME_WAVEFRONT_H
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace sds {
 namespace rt {
 
-/// Dependence graph over outer-loop iterations 0..N-1. Edges are stored
-/// de-duplicated and in CSR-like adjacency after finalize().
+/// Dependence graph over outer-loop iterations 0..N-1, stored in CSR form
+/// after finalize(): a flat `EdgePtr`/`EdgeDst` pair, sorted and
+/// de-duplicated per row. Edges added before finalize() go into a flat
+/// staging buffer (one append, no per-node vector churn); finalize() runs
+/// a two-pass count-then-fill build and dedups during the fill.
 class DependenceGraph {
 public:
   explicit DependenceGraph(int NumIterations)
-      : N(NumIterations), Adj(NumIterations) {}
+      : N(NumIterations),
+        EdgePtr(static_cast<size_t>(NumIterations) + 1, 0) {}
 
   int numNodes() const { return N; }
 
   /// Record a dependence: iteration Src must run before Dst. Self-edges
-  /// are ignored. Thread-safe only per distinct Src.
+  /// are ignored. Not thread-safe — merge thread-local buffers serially
+  /// (or via reserveEdges + per-thread ranges).
   void addEdge(int64_t Src, int64_t Dst);
 
-  /// Sort and deduplicate adjacency lists; compute edge count.
+  /// Hint the staging buffer capacity (e.g. the summed size of the
+  /// thread-local edge buffers about to be merged).
+  void reserveEdges(size_t Count) { Staged.reserve(Staged.size() + Count); }
+
+  /// Build the CSR arrays: count per source, prefix-sum, fill, and dedup
+  /// (sort + unique per row, compacting in place). Idempotent; edges may
+  /// be staged after a finalize and re-finalized.
   void finalize();
 
-  const std::vector<int> &successors(int Node) const { return Adj[Node]; }
+  /// Successor list of a node (sorted, deduplicated). Empty before
+  /// finalize(). The span is invalidated by the next finalize().
+  std::span<const int> successors(int Node) const {
+    size_t B = EdgePtr[static_cast<size_t>(Node)];
+    size_t E = EdgePtr[static_cast<size_t>(Node) + 1];
+    return {EdgeDst.data() + B, E - B};
+  }
   uint64_t numEdges() const { return Edges; }
 
   /// True when every edge goes from a smaller to a larger iteration (the
@@ -46,7 +65,9 @@ public:
 
 private:
   int N;
-  std::vector<std::vector<int>> Adj;
+  std::vector<std::pair<int, int>> Staged; ///< pre-finalize edge buffer
+  std::vector<size_t> EdgePtr;             ///< CSR row offsets, N+1 entries
+  std::vector<int> EdgeDst;                ///< CSR destinations
   uint64_t Edges = 0;
 };
 

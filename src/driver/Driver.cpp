@@ -8,7 +8,10 @@
 
 #include "sds/obs/Trace.h"
 
+#include <algorithm>
 #include <chrono>
+
+#include <omp.h>
 
 namespace sds {
 namespace driver {
@@ -39,8 +42,26 @@ codegen::UFEnvironment bindCSC(const rt::CSCMatrix &A,
   return Env;
 }
 
+namespace {
+
+/// One unit of inspector work: a slice [Lo, Hi) of inspector `Insp`'s
+/// outermost loop (or its full run when the outer variable is solved).
+/// Chunks are built in (inspector, ascending Lo) order and merged in that
+/// same order, so the result is bitwise independent of the thread count.
+struct InspectorChunk {
+  size_t Insp;
+  int64_t Lo, Hi;
+  bool Full; ///< run the whole nest instead of a range
+  std::vector<codegen::InspectorEdge> Edges;
+  uint64_t Visits = 0;
+  double Seconds = 0;
+};
+
+} // namespace
+
 InspectionResult runInspectors(const deps::PipelineResult &Analysis,
-                               const codegen::UFEnvironment &Env, int N) {
+                               const codegen::UFEnvironment &Env, int N,
+                               const InspectorOptions &Opts) {
   static obs::Counter &TotalVisits = obs::counter("driver.inspector_visits");
   static obs::Counter &TotalEdges = obs::counter("driver.edges_inserted");
   using Clock = std::chrono::steady_clock;
@@ -49,29 +70,93 @@ InspectionResult runInspectors(const deps::PipelineResult &Analysis,
   All.tag("kernel", Analysis.Kernel.Name);
 
   InspectionResult Res(N);
+
+  // Compile every surviving plan exactly once, outside any parallel
+  // region; threads share the immutable compiled programs.
+  std::vector<const deps::AnalyzedDependence *> Deps;
+  std::vector<codegen::CompiledInspector> Compiled;
   for (const deps::AnalyzedDependence &D : Analysis.Deps) {
     if (D.Status != deps::DepStatus::Runtime || !D.Plan.Valid)
       continue;
-    ++Res.NumInspectors;
-    InspectorRun Run;
-    Run.Label = D.Dep.label();
-    obs::Span Sp("driver.inspector", "driver");
-    Sp.tag("dep", Run.Label);
+    Deps.push_back(&D);
+    Compiled.emplace_back(D.Plan, Env);
+  }
+  Res.NumInspectors = static_cast<unsigned>(Deps.size());
+  Res.Runs.resize(Deps.size());
+  for (size_t I = 0; I < Deps.size(); ++I)
+    Res.Runs[I].Label = Deps[I]->Dep.label();
+
+  int NT = std::max(1, Opts.NumThreads);
+  All.tag("threads", static_cast<int64_t>(NT));
+
+  // Work list: per-thread slices of each inspector's outer loop, so
+  // independent inspectors and chunks of one inspector run concurrently.
+  std::vector<InspectorChunk> Chunks;
+  for (size_t I = 0; I < Compiled.size(); ++I) {
+    int64_t Lo = 0, Hi = 0;
+    if (NT > 1 && Compiled[I].outerRange(Lo, Hi) && Hi > Lo) {
+      int64_t Parts = std::min<int64_t>(NT, Hi - Lo);
+      for (int64_t P = 0; P < Parts; ++P)
+        Chunks.push_back({I, Lo + (Hi - Lo) * P / Parts,
+                          Lo + (Hi - Lo) * (P + 1) / Parts, false, {}, 0, 0});
+    } else {
+      Chunks.push_back({I, 0, 0, true, {}, 0, 0});
+    }
+  }
+
+  auto RunChunk = [&](InspectorChunk &C) {
     auto TI = Clock::now();
-    Run.Visits =
-        codegen::runInspector(D.Plan, Env, [&](int64_t Src, int64_t Dst) {
-          if (Src >= 0 && Src < N && Dst >= 0 && Dst < N) {
-            Res.Graph.addEdge(Src, Dst);
-            ++Run.Edges;
-          }
-        });
-    Run.Seconds = std::chrono::duration<double>(Clock::now() - TI).count();
-    Sp.tag("visits", static_cast<int64_t>(Run.Visits));
-    Sp.tag("edges", static_cast<int64_t>(Run.Edges));
+    C.Visits = C.Full ? Compiled[C.Insp].run(C.Edges)
+                      : Compiled[C.Insp].runRange(C.Lo, C.Hi, C.Edges);
+    C.Seconds = std::chrono::duration<double>(Clock::now() - TI).count();
+  };
+
+  if (NT <= 1) {
+    // Serial: keep the per-inspector span wrapping actual execution so
+    // `driver.inspector` aggregates stay meaningful.
+    for (InspectorChunk &C : Chunks) {
+      obs::Span Sp("driver.inspector", "driver");
+      Sp.tag("dep", Res.Runs[C.Insp].Label);
+      RunChunk(C);
+      Sp.tag("visits", static_cast<int64_t>(C.Visits));
+      Sp.tag("edges", static_cast<int64_t>(C.Edges.size()));
+    }
+  } else {
+#pragma omp parallel for schedule(dynamic) num_threads(NT)
+    for (size_t I = 0; I < Chunks.size(); ++I)
+      RunChunk(Chunks[I]);
+  }
+
+  // Deterministic merge, chunk order = (inspector, ascending Lo): filter
+  // out-of-range endpoints, insert, and reconcile per-run accounting.
+  size_t Emitted = 0;
+  for (const InspectorChunk &C : Chunks)
+    Emitted += C.Edges.size();
+  Res.Graph.reserveEdges(Emitted);
+  for (InspectorChunk &C : Chunks) {
+    InspectorRun &Run = Res.Runs[C.Insp];
+    for (const auto &[Src, Dst] : C.Edges)
+      if (Src >= 0 && Src < N && Dst >= 0 && Dst < N) {
+        Res.Graph.addEdge(Src, Dst);
+        ++Run.Edges;
+      }
+    Run.Visits += C.Visits;
+    Run.Seconds += C.Seconds;
+  }
+  if (NT > 1) {
+    // Parallel runs record the per-inspector span post-hoc (tags only;
+    // wall time lives in driver.run_inspectors).
+    for (const InspectorRun &Run : Res.Runs) {
+      obs::Span Sp("driver.inspector", "driver");
+      Sp.tag("dep", Run.Label);
+      Sp.tag("visits", static_cast<int64_t>(Run.Visits));
+      Sp.tag("edges", static_cast<int64_t>(Run.Edges));
+    }
+  }
+  for (const InspectorRun &Run : Res.Runs) {
     TotalVisits.add(Run.Visits);
     TotalEdges.add(Run.Edges);
     Res.InspectorVisits += Run.Visits;
-    Res.Runs.push_back(std::move(Run));
   }
   Res.Graph.finalize();
   Res.Seconds = std::chrono::duration<double>(Clock::now() - T0).count();

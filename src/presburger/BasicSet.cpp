@@ -12,7 +12,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 #include <set>
+#include <unordered_map>
 
 namespace sds {
 namespace presburger {
@@ -172,13 +174,107 @@ private:
   unsigned Budget;
 };
 
+//===----------------------------------------------------------------------===//
+// Query memoization
+//===----------------------------------------------------------------------===//
+
+/// Process-wide canonical-system -> verdict cache. Definitive verdicts are
+/// mathematical facts about the (budget, constraint-system) pair, so there
+/// is no invalidation; the map is simply bounded.
+struct QueryCache {
+  static constexpr size_t MaxEntries = 1u << 20;
+
+  std::mutex M;
+  std::unordered_map<std::string, Ternary> Map;
+  uint64_t Hits = 0, Misses = 0;
+
+  std::optional<Ternary> lookup(const std::string &Key) {
+    static obs::Counter &HitCtr = obs::counter("basicset.cache_hits");
+    static obs::Counter &MissCtr = obs::counter("basicset.cache_misses");
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Map.find(Key);
+    if (It != Map.end()) {
+      ++Hits;
+      HitCtr.add();
+      return It->second;
+    }
+    ++Misses;
+    MissCtr.add();
+    return std::nullopt;
+  }
+
+  void store(const std::string &Key, Ternary V) {
+    if (V == Ternary::Unknown)
+      return; // budget-dependent; another query may still resolve it
+    std::lock_guard<std::mutex> Lock(M);
+    if (Map.size() < MaxEntries)
+      Map.emplace(Key, V);
+  }
+};
+
+QueryCache &queryCache() {
+  static QueryCache C;
+  return C;
+}
+
+void appendInt(std::string &Out, int64_t V) {
+  for (int B = 0; B < 8; ++B)
+    Out.push_back(static_cast<char>((static_cast<uint64_t>(V) >> (8 * B)) &
+                                    0xff));
+}
+
+/// Canonical byte string of one set: normalized rows in sorted order. Two
+/// syntactically different but normalize-identical systems share a key;
+/// semantically equal systems with different normal forms simply miss (the
+/// cache stays sound either way).
+void appendCanonical(std::string &Out, const BasicSet &S) {
+  BasicSet N = S;
+  bool Feasible = N.normalize();
+  appendInt(Out, static_cast<int64_t>(S.numVars()));
+  appendInt(Out, Feasible ? 1 : 0);
+  if (!Feasible)
+    return; // all trivially-unsat systems of one width share a key
+  auto Rows = [&Out](std::vector<std::vector<int64_t>> Rs, int64_t Tag) {
+    std::sort(Rs.begin(), Rs.end());
+    appendInt(Out, Tag);
+    appendInt(Out, static_cast<int64_t>(Rs.size()));
+    for (const auto &R : Rs)
+      for (int64_t V : R)
+        appendInt(Out, V);
+  };
+  Rows(N.equalities(), /*Tag=*/1);
+  Rows(N.inequalities(), /*Tag=*/2);
+}
+
 } // namespace
+
+QueryCacheStats queryCacheStats() {
+  QueryCache &C = queryCache();
+  std::lock_guard<std::mutex> Lock(C.M);
+  return {C.Hits, C.Misses, C.Map.size()};
+}
+
+void clearQueryCache() {
+  QueryCache &C = queryCache();
+  std::lock_guard<std::mutex> Lock(C.M);
+  C.Map.clear();
+  C.Hits = C.Misses = 0;
+}
 
 Ternary BasicSet::isEmpty(unsigned NodeBudget) const {
   static obs::Counter &Checks = obs::counter("basicset.emptiness_checks");
   Checks.add();
+  std::string Key;
+  Key.reserve(16 + (numConstraints() + 2) * (NumVars + 2) * 8);
+  Key.push_back('E');
+  appendInt(Key, NodeBudget);
+  appendCanonical(Key, *this);
+  if (std::optional<Ternary> Hit = queryCache().lookup(Key))
+    return *Hit;
   std::vector<int64_t> Ignored;
-  return EmptinessCheckerImpl(NodeBudget).run(*this, Ignored);
+  Ternary R = EmptinessCheckerImpl(NodeBudget).run(*this, Ignored);
+  queryCache().store(Key, R);
+  return R;
 }
 
 std::optional<std::vector<int64_t>>
@@ -265,6 +361,19 @@ Ternary BasicSet::isSubsetOf(const BasicSet &Other,
   static obs::Counter &Tests = obs::counter("basicset.subset_tests");
   Tests.add();
   assert(NumVars == Other.NumVars && "dimension mismatch");
+  // Memoized on (canonical this, canonical other, budget); the per-
+  // halfspace emptiness probes below additionally hit the emptiness cache.
+  std::string Key;
+  Key.reserve(32 +
+              (numConstraints() + Other.numConstraints() + 4) *
+                  (NumVars + 2) * 8);
+  Key.push_back('S');
+  appendInt(Key, NodeBudget);
+  appendCanonical(Key, *this);
+  appendCanonical(Key, Other);
+  if (std::optional<Ternary> Hit = queryCache().lookup(Key))
+    return *Hit;
+  Ternary Verdict = [&] {
   // this ⊆ {row >= 0}  iff  this ∧ (row <= -1) is empty.
   auto ContainedInHalfspace = [&](const std::vector<int64_t> &Row) {
     BasicSet Probe = *this;
@@ -299,6 +408,9 @@ Ternary BasicSet::isSubsetOf(const BasicSet &Other,
       SawUnknown = true;
   }
   return SawUnknown ? Ternary::Unknown : Ternary::True;
+  }();
+  queryCache().store(Key, Verdict);
+  return Verdict;
 }
 
 //===----------------------------------------------------------------------===//

@@ -19,21 +19,59 @@ void DependenceGraph::addEdge(int64_t Src, int64_t Dst) {
   if (Src == Dst)
     return;
   assert(Src >= 0 && Src < N && Dst >= 0 && Dst < N && "edge out of range");
-  Adj[static_cast<size_t>(Src)].push_back(static_cast<int>(Dst));
+  Staged.emplace_back(static_cast<int>(Src), static_cast<int>(Dst));
 }
 
 void DependenceGraph::finalize() {
-  Edges = 0;
-  for (std::vector<int> &Succ : Adj) {
-    std::sort(Succ.begin(), Succ.end());
-    Succ.erase(std::unique(Succ.begin(), Succ.end()), Succ.end());
-    Edges += Succ.size();
+  // Idempotent: re-stage the current CSR content so late addEdge() calls
+  // merge rather than replace.
+  if (Edges != 0) {
+    Staged.reserve(Staged.size() + static_cast<size_t>(Edges));
+    for (int U = 0; U < N; ++U)
+      for (int V : successors(U))
+        Staged.emplace_back(U, V);
   }
+
+  // Pass 1: count edges per source, exclusive prefix-sum into EdgePtr.
+  std::fill(EdgePtr.begin(), EdgePtr.end(), 0);
+  for (const auto &[Src, Dst] : Staged) {
+    (void)Dst;
+    ++EdgePtr[static_cast<size_t>(Src) + 1];
+  }
+  for (size_t I = 1; I < EdgePtr.size(); ++I)
+    EdgePtr[I] += EdgePtr[I - 1];
+
+  // Pass 2: fill row segments via per-row cursors, then dedup each row in
+  // place (sort + unique) while compacting the arrays left.
+  EdgeDst.assign(Staged.size(), 0);
+  std::vector<size_t> Cursor(EdgePtr.begin(), EdgePtr.end() - 1);
+  for (const auto &[Src, Dst] : Staged)
+    EdgeDst[Cursor[static_cast<size_t>(Src)]++] = Dst;
+  Staged.clear();
+  Staged.shrink_to_fit();
+
+  size_t Write = 0;
+  for (int U = 0; U < N; ++U) {
+    size_t B = EdgePtr[static_cast<size_t>(U)];
+    size_t E = EdgePtr[static_cast<size_t>(U) + 1];
+    std::sort(EdgeDst.begin() + static_cast<int64_t>(B),
+              EdgeDst.begin() + static_cast<int64_t>(E));
+    EdgePtr[static_cast<size_t>(U)] = Write;
+    int Last = -1;
+    for (size_t I = B; I < E; ++I)
+      if (EdgeDst[I] != Last) {
+        Last = EdgeDst[I];
+        EdgeDst[Write++] = Last;
+      }
+  }
+  EdgePtr[static_cast<size_t>(N)] = Write;
+  EdgeDst.resize(Write);
+  Edges = Write;
 }
 
 bool DependenceGraph::isForwardOnly() const {
   for (int U = 0; U < N; ++U)
-    for (int V : Adj[U])
+    for (int V : successors(U))
       if (V <= U)
         return false;
   return true;

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace sds;
 using namespace sds::driver;
 using namespace sds::rt;
@@ -126,7 +128,10 @@ TEST(ParallelInspector, MatchesSerialInspector) {
     G2.finalize();
     EXPECT_EQ(V1, V2);
     EXPECT_EQ(G1.numEdges(), G2.numEdges());
-    for (int U = 0; U < Lower.N; ++U)
-      EXPECT_EQ(G1.successors(U), G2.successors(U));
+    for (int U = 0; U < Lower.N; ++U) {
+      auto S1 = G1.successors(U), S2 = G2.successors(U);
+      EXPECT_TRUE(std::equal(S1.begin(), S1.end(), S2.begin(), S2.end()))
+          << "successor mismatch at node " << U;
+    }
   }
 }

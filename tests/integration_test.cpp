@@ -85,8 +85,12 @@ TEST(Integration, Figure1MatrixYieldsFigure2Waves) {
       driver::runInspectors(fsCSRAnalysis(), Env, A.N);
   EXPECT_EQ(Insp.NumInspectors, 1u);
   EXPECT_EQ(Insp.Graph.numEdges(), 3u);
-  EXPECT_EQ(Insp.Graph.successors(0), (std::vector<int>{2, 3}));
-  EXPECT_EQ(Insp.Graph.successors(2), (std::vector<int>{3}));
+  auto Succ0 = Insp.Graph.successors(0);
+  auto Succ2 = Insp.Graph.successors(2);
+  EXPECT_EQ(std::vector<int>(Succ0.begin(), Succ0.end()),
+            (std::vector<int>{2, 3}));
+  EXPECT_EQ(std::vector<int>(Succ2.begin(), Succ2.end()),
+            (std::vector<int>{3}));
 
   LevelSets LS = computeLevelSets(Insp.Graph);
   ASSERT_EQ(LS.numLevels(), 3);
@@ -106,7 +110,7 @@ TEST(Integration, InspectorGraphCoversExactDependences) {
   DependenceGraph Exact = exactForwardSolveGraph(LC);
   for (int U = 0; U < Exact.numNodes(); ++U)
     for (int V : Exact.successors(U)) {
-      const auto &Succ = Insp.Graph.successors(U);
+      const auto Succ = Insp.Graph.successors(U);
       EXPECT_TRUE(std::find(Succ.begin(), Succ.end(), V) != Succ.end())
           << "missing dependence " << U << " -> " << V;
     }

@@ -383,3 +383,98 @@ TEST_P(BasicSetRandomized, ProjectionIsSupersetAndExactWhenClaimed) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BasicSetRandomized,
                          ::testing::Range(0, 40));
+
+//===----------------------------------------------------------------------===//
+// Query memoization (emptiness / subset verdict cache).
+//===----------------------------------------------------------------------===//
+
+TEST(QueryCache, RepeatedEmptinessQueriesHit) {
+  clearQueryCache();
+  BasicSet S(2);
+  S.addInequality(row({1, 0, 0}));   // x >= 0
+  S.addInequality(row({0, 1, 0}));   // y >= 0
+  S.addInequality(row({-1, -1, 5})); // x + y <= 5
+  Ternary First = S.isEmpty();
+  QueryCacheStats After1 = queryCacheStats();
+  EXPECT_EQ(After1.Hits, 0u);
+  EXPECT_GE(After1.Misses, 1u);
+  EXPECT_GE(After1.Entries, 1u);
+  // Same system again (fresh object): must hit and agree.
+  BasicSet T(2);
+  T.addInequality(row({1, 0, 0}));
+  T.addInequality(row({0, 1, 0}));
+  T.addInequality(row({-1, -1, 5}));
+  EXPECT_EQ(T.isEmpty(), First);
+  QueryCacheStats After2 = queryCacheStats();
+  EXPECT_EQ(After2.Hits, After1.Hits + 1);
+  EXPECT_EQ(After2.Misses, After1.Misses);
+}
+
+TEST(QueryCache, PermutedConstraintOrderSharesEntry) {
+  // The key is canonical (sorted normalized rows), so constraint insertion
+  // order must not defeat the cache.
+  clearQueryCache();
+  BasicSet A(2);
+  A.addInequality(row({1, 0, 0}));
+  A.addInequality(row({-1, -1, 9}));
+  A.addInequality(row({0, 1, 0}));
+  Ternary VA = A.isEmpty();
+  QueryCacheStats Mid = queryCacheStats();
+  BasicSet B(2);
+  B.addInequality(row({0, 1, 0}));
+  B.addInequality(row({1, 0, 0}));
+  B.addInequality(row({-1, -1, 9}));
+  EXPECT_EQ(B.isEmpty(), VA);
+  QueryCacheStats End = queryCacheStats();
+  EXPECT_EQ(End.Hits, Mid.Hits + 1);
+}
+
+TEST(QueryCache, SubsetQueriesCachedSeparatelyFromEmptiness) {
+  clearQueryCache();
+  BasicSet Small(1);
+  Small.addInequality(row({1, -2}));  // x >= 2
+  Small.addInequality(row({-1, 4}));  // x <= 4
+  BasicSet Big(1);
+  Big.addInequality(row({1, 0}));     // x >= 0
+  Big.addInequality(row({-1, 10}));   // x <= 10
+  Ternary V1 = Small.isSubsetOf(Big);
+  EXPECT_EQ(V1, Ternary::True);
+  QueryCacheStats Mid = queryCacheStats();
+  EXPECT_EQ(Small.isSubsetOf(Big), V1); // hit
+  QueryCacheStats End = queryCacheStats();
+  EXPECT_EQ(End.Hits, Mid.Hits + 1);
+  // Reversed direction is a different key (and a different answer).
+  EXPECT_EQ(Big.isSubsetOf(Small), Ternary::False);
+}
+
+TEST(QueryCache, ClearResetsStatsAndEntries) {
+  BasicSet S(1);
+  S.addInequality(row({1, 0}));
+  (void)S.isEmpty();
+  clearQueryCache();
+  QueryCacheStats Z = queryCacheStats();
+  EXPECT_EQ(Z.Hits, 0u);
+  EXPECT_EQ(Z.Misses, 0u);
+  EXPECT_EQ(Z.Entries, 0u);
+  EXPECT_EQ(Z.hitRate(), 0.0);
+}
+
+TEST(QueryCache, CachedVerdictsMatchFreshSolves) {
+  // Randomized consistency: solve, re-solve (cached), clear, solve fresh —
+  // all three verdicts must agree.
+  std::mt19937 Rng(4242);
+  std::uniform_int_distribution<int64_t> Coef(-3, 3);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    BasicSet S(2);
+    for (int R = 0; R < 4; ++R)
+      S.addInequality(row({Coef(Rng), Coef(Rng), Coef(Rng)}));
+    BasicSet Copy = S;
+    Ternary First = S.isEmpty();
+    Ternary Cached = Copy.isEmpty();
+    clearQueryCache();
+    BasicSet Fresh = S;
+    Ternary Recomputed = Fresh.isEmpty();
+    EXPECT_EQ(First, Cached) << "trial " << Trial;
+    EXPECT_EQ(First, Recomputed) << "trial " << Trial;
+  }
+}

@@ -9,11 +9,20 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
+#include <set>
 
 using namespace sds::rt;
 
 namespace {
+
+/// Successor list as a vector (successors() returns a span into the CSR
+/// arrays; gtest compares vectors more readably).
+std::vector<int> succ(const DependenceGraph &G, int Node) {
+  auto S = G.successors(Node);
+  return {S.begin(), S.end()};
+}
 
 /// Figure 2's dependence graph (from Figure 1's matrix).
 DependenceGraph figure2Graph() {
@@ -31,7 +40,7 @@ TEST(DependenceGraph, EdgesAndInvariants) {
   DependenceGraph G = figure2Graph();
   EXPECT_EQ(G.numEdges(), 3u);
   EXPECT_TRUE(G.isForwardOnly());
-  EXPECT_EQ(G.successors(0), (std::vector<int>{2, 3}));
+  EXPECT_EQ(succ(G, 0), (std::vector<int>{2, 3}));
   EXPECT_TRUE(G.successors(1).empty());
 }
 
@@ -42,6 +51,82 @@ TEST(DependenceGraph, DeduplicatesAndIgnoresSelfEdges) {
   G.addEdge(1, 1); // ignored
   G.finalize();
   EXPECT_EQ(G.numEdges(), 1u);
+}
+
+TEST(DependenceGraph, CSRSuccessorsSortedUniqueAgainstReference) {
+  // Random insertion order with heavy duplication: the finalized CSR rows
+  // must match a reference adjacency-set representation exactly, with each
+  // row sorted ascending.
+  std::mt19937 Rng(1234);
+  int N = 97;
+  DependenceGraph G(N);
+  std::vector<std::set<int>> Ref(static_cast<size_t>(N));
+  std::uniform_int_distribution<int> NodeDist(0, N - 1);
+  for (int E = 0; E < N * 20; ++E) {
+    int A = NodeDist(Rng), B = NodeDist(Rng);
+    G.addEdge(A, B);
+    if (A != B)
+      Ref[static_cast<size_t>(A)].insert(B);
+  }
+  G.finalize();
+  uint64_t RefEdges = 0;
+  for (int U = 0; U < N; ++U) {
+    const std::set<int> &R = Ref[static_cast<size_t>(U)];
+    RefEdges += R.size();
+    std::vector<int> S = succ(G, U);
+    EXPECT_EQ(S, std::vector<int>(R.begin(), R.end())) << "node " << U;
+    EXPECT_TRUE(std::is_sorted(S.begin(), S.end())) << "node " << U;
+  }
+  EXPECT_EQ(G.numEdges(), RefEdges);
+}
+
+TEST(DependenceGraph, RefinalizeMergesLateEdges) {
+  // finalize() must be idempotent and accept edges added after a previous
+  // finalize (the driver finalizes once, but schedulers may refinalize).
+  DependenceGraph G(4);
+  G.addEdge(0, 2);
+  G.finalize();
+  EXPECT_EQ(G.numEdges(), 1u);
+  G.addEdge(0, 3);
+  G.addEdge(0, 2); // duplicate of a pre-finalize edge
+  G.addEdge(2, 3);
+  G.finalize();
+  EXPECT_EQ(G.numEdges(), 3u);
+  EXPECT_EQ(succ(G, 0), (std::vector<int>{2, 3}));
+  EXPECT_EQ(succ(G, 2), (std::vector<int>{3}));
+  G.finalize(); // no staged edges: a no-op
+  EXPECT_EQ(G.numEdges(), 3u);
+}
+
+TEST(LevelSets, CSRGraphMatchesReferenceLongestPath) {
+  // Level sets computed from the CSR layout must equal the textbook
+  // longest-path-from-source levels computed on an independent adjacency
+  // list.
+  std::mt19937 Rng(777);
+  int N = 128;
+  DependenceGraph G(N);
+  std::vector<std::vector<int>> Adj(static_cast<size_t>(N));
+  std::uniform_int_distribution<int> NodeDist(0, N - 1);
+  for (int E = 0; E < N * 4; ++E) {
+    int A = NodeDist(Rng), B = NodeDist(Rng);
+    if (A < B) { // forward edges only: guaranteed acyclic
+      G.addEdge(A, B);
+      Adj[static_cast<size_t>(A)].push_back(B);
+    }
+  }
+  G.finalize();
+  std::vector<int> Depth(static_cast<size_t>(N), 0);
+  for (int U = 0; U < N; ++U) // topological order since A < B
+    for (int V : Adj[static_cast<size_t>(U)])
+      Depth[static_cast<size_t>(V)] =
+          std::max(Depth[static_cast<size_t>(V)],
+                   Depth[static_cast<size_t>(U)] + 1);
+  LevelSets LS = computeLevelSets(G);
+  ASSERT_EQ(LS.numLevels(),
+            *std::max_element(Depth.begin(), Depth.end()) + 1);
+  for (int Lvl = 0; Lvl < LS.numLevels(); ++Lvl)
+    for (int Node : LS.Levels[static_cast<size_t>(Lvl)])
+      EXPECT_EQ(Depth[static_cast<size_t>(Node)], Lvl) << "node " << Node;
 }
 
 TEST(LevelSets, Figure2Waves) {
