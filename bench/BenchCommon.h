@@ -39,7 +39,7 @@
 #include <utility>
 #include <vector>
 
-#include <omp.h>
+#include "sds/support/OMP.h"
 
 namespace bench {
 
@@ -133,6 +133,11 @@ private:
 class ObsSession {
 public:
   ObsSession() {
+    // Every bench starts from a cold Presburger verdict cache and zeroed
+    // prefilter counters, so the cache/prefilter figures in
+    // BENCH_<name>.json are reproducible run-to-run regardless of what
+    // (or in which order) a wrapper script ran before.
+    sds::presburger::clearQueryCache();
     const char *T = std::getenv("SDS_TRACE");
     const char *S = std::getenv("SDS_STATS");
     TracePath = T ? T : "";

@@ -80,6 +80,7 @@ int main(int argc, char **argv) {
       PipelineOptions Opts;
       Opts.UseEqualities = S.Eq;
       Opts.UseSubsets = S.Sub;
+      Opts.NumThreads = Threads;
       PipelineResult R = analyzeKernel(C.K, Opts);
       uint64_t Work = 0;
       WorkSeconds += bench::timeOf(

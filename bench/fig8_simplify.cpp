@@ -16,9 +16,11 @@
 using namespace sds;
 using namespace sds::deps;
 
-int main() {
+int main(int argc, char **argv) {
   bench::ObsSession Obs;
   bool Heavy = bench::envHeavy();
+  PipelineOptions Opts;
+  Opts.NumThreads = bench::parseThreads(argc, argv);
   std::printf("Figure 8: impact of dependence simplification on inspector "
               "checks\n");
   std::printf("(expensive = inspector complexity exceeds the kernel's)\n\n");
@@ -32,7 +34,7 @@ int main() {
     if (!Heavy && (K.Name.find("Cholesky") != std::string::npos ||
                    K.Name.find("LU0") != std::string::npos))
       continue;
-    PipelineResult R = analyzeKernel(K);
+    PipelineResult R = analyzeKernel(K, Opts);
     unsigned Sat = R.count(DepStatus::Runtime) + R.count(DepStatus::Subsumed);
     unsigned ExpBefore = R.countExpensiveRuntime(/*Simplified=*/false);
     unsigned ExpAfterEq = R.countExpensiveRuntime(/*Simplified=*/true);

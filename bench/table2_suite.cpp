@@ -16,8 +16,11 @@
 
 using namespace sds;
 
-int main() {
+int main(int argc, char **argv) {
   bench::ObsSession Obs;
+  // Table 2 runs no analysis, but honors the shared flag so suite
+  // wrappers can pass a uniform `--threads N` to every bench binary.
+  int Threads = bench::parseThreads(argc, argv);
   std::printf("Table 2: the benchmark suite (paper Table 2)\n");
   std::printf("%-26s %-7s %-18s %s\n", "Kernel", "Format", "Source",
               "Index array properties");
@@ -39,6 +42,7 @@ int main() {
     std::printf("--- %s ---\n%s", K.Name.c_str(), K.PropertyJSON.c_str());
   bench::BenchReport Report("table2");
   Report.set("kernels", static_cast<uint64_t>(kernels::allKernels().size()));
+  Report.set("threads", Threads);
   Report.write();
   return 0;
 }

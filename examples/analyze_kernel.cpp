@@ -36,7 +36,7 @@
 #include <map>
 #include <sstream>
 
-#include <omp.h>
+#include "sds/support/OMP.h"
 
 using namespace sds;
 
@@ -121,7 +121,9 @@ void runTraced(const std::string &Key, const deps::PipelineResult &R, int N,
 void analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
                 int N, int Threads) {
   std::printf("=== %s ===\n%s\n", K.Name.c_str(), K.str().c_str());
-  deps::PipelineResult R = deps::analyzeKernel(K);
+  deps::PipelineOptions POpts;
+  POpts.NumThreads = Threads; // same flag drives analysis and inspectors
+  deps::PipelineResult R = deps::analyzeKernel(K, POpts);
   std::printf("%s\n", R.summary().c_str());
   for (const deps::AnalyzedDependence &D : R.Deps) {
     if (D.Status != deps::DepStatus::Runtime)

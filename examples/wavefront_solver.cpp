@@ -19,7 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include <omp.h>
+#include "sds/support/OMP.h"
 
 using namespace sds;
 using namespace sds::rt;

@@ -67,6 +67,14 @@ struct PipelineOptions {
   /// still costlier than the kernel down to the kernel's own complexity
   /// (its inspector then reports a superset of the true dependences).
   bool ApproximateExpensive = false;
+  /// Worker threads for the per-dependence fan-out (affine/property
+  /// refutation and equality discovery run concurrently across
+  /// dependences; extraction, subsumption, and codegen stay ordered
+  /// serial barriers). Results are bit-identical at any value: each
+  /// dependence's analysis is independent, results merge in relation
+  /// order, and the shared Presburger verdict cache only memoizes
+  /// deterministic facts. <=1 means serial.
+  int NumThreads = 1;
 };
 
 /// Full analysis of one kernel.

@@ -143,6 +143,44 @@ std::string formatConstraintRow(const std::vector<int64_t> &Row, bool IsEq,
                                 const std::vector<std::string> &Names);
 
 //===----------------------------------------------------------------------===//
+// Prefilter ladder
+//===----------------------------------------------------------------------===//
+//
+// Before paying for a Simplex solve (and even before the cache-key
+// canonicalization), `isEmpty` runs a ladder of cheap, sound rejection
+// tests: per-row GCD infeasibility (via normalize), a conflicting-equality
+// scan (two equalities with the same variable part but different
+// constants), and bounded single-variable interval propagation with
+// conflict detection. `isSubsetOf` additionally tries a syntactic
+// row-containment proof. Each rung only ever strengthens "Unknown" into a
+// *proven* verdict, so the ladder cannot change any pipeline outcome —
+// only how fast (and how attributably) it is reached. Hits are recorded
+// both in always-on PrefilterStats and, when tracing is enabled, in the
+// `basicset.prefilter_*` obs counters so Fig. 7's "disproved by
+// properties" accounting can attribute which rung decided a verdict.
+
+/// Run only the emptiness prefilter ladder on `S`. `True` means proven
+/// empty over the integers; `Unknown` means the ladder could not decide.
+/// Never returns `False` (the ladder never finds satisfying points).
+Ternary prefilterEmptiness(const BasicSet &S);
+
+/// Always-on counters for the prefilter ladder (relaxed atomics; reset by
+/// clearQueryCache()).
+struct PrefilterStats {
+  uint64_t GcdRejects = 0;       ///< normalize() proved a row unsatisfiable
+  uint64_t EqConflictRejects = 0;///< same-lhs equalities with different rhs
+  uint64_t IntervalRejects = 0;  ///< interval propagation found a conflict
+  uint64_t SyntacticSubsetHits = 0; ///< subset proven by row containment
+  uint64_t Misses = 0;           ///< ladder fell through to the full solver
+
+  uint64_t rejects() const {
+    return GcdRejects + EqConflictRejects + IntervalRejects;
+  }
+};
+
+PrefilterStats prefilterStats();
+
+//===----------------------------------------------------------------------===//
 // Query memoization
 //===----------------------------------------------------------------------===//
 //
@@ -152,7 +190,10 @@ std::string formatConstraintRow(const std::vector<int64_t> &Row, bool IsEq,
 // they are mathematical facts about the constraint system, so entries can
 // never go stale and no invalidation is required; Unknown verdicts are
 // recomputed because a different call could still resolve them. The cache
-// is bounded and thread-safe.
+// is bounded and thread-safe: it is split into independently-locked
+// shards selected by the key's hash, so concurrent queries from the
+// task-parallel analysis pipeline do not serialize on one mutex, and the
+// hit/miss tallies are contention-free relaxed atomics.
 
 /// Counters for the process-wide presburger query cache.
 struct QueryCacheStats {
@@ -169,8 +210,10 @@ struct QueryCacheStats {
 
 QueryCacheStats queryCacheStats();
 
-/// Drop every cached verdict and reset hit/miss counters (bench and test
-/// isolation; correctness never requires it).
+/// Drop every cached verdict and reset the hit/miss and prefilter
+/// counters (bench and test isolation — every bench calls this at start
+/// so BENCH_*.json cache figures are reproducible run-to-run; correctness
+/// never requires it).
 void clearQueryCache();
 
 } // namespace presburger

@@ -21,6 +21,7 @@
 #define SDS_PRESBURGER_SIMPLEX_H
 
 #include "sds/support/Fraction.h"
+#include "sds/support/SmallVector.h"
 
 #include <cstdint>
 #include <optional>
@@ -64,8 +65,12 @@ public:
   const std::vector<Fraction> &samplePoint() const { return Sample; }
 
 private:
+  /// Constraint rows use inline storage: dependence relations rarely
+  /// exceed a dozen columns, so the emptiness test's thousands of
+  /// short-lived Simplex instances stop paying one heap allocation per
+  /// row. (The tableau itself is reused across solves — see Simplex.cpp.)
   struct RowRec {
-    std::vector<int64_t> Coeffs; // NumVars + 1 entries
+    SmallVector<int64_t, 16> Coeffs; // NumVars + 1 entries
     bool IsEq;
   };
 

@@ -1,0 +1,29 @@
+//===- OMP.h - OpenMP header shim -------------------------------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Include this instead of <omp.h>. When the build has no OpenMP
+// (`-DSDS_OPENMP=OFF`, or a toolchain without it), the runtime-library
+// calls degrade to their single-threaded answers and every
+// `#ifdef _OPENMP`-guarded pragma disappears, so the whole project
+// compiles and runs fully serial with identical results — the pipeline's
+// determinism guarantee makes serial execution just the NumThreads=1
+// special case.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_SUPPORT_OMP_H
+#define SDS_SUPPORT_OMP_H
+
+#ifdef _OPENMP
+#include <omp.h>
+#else
+inline int omp_get_thread_num() { return 0; }
+inline int omp_get_num_threads() { return 1; }
+inline int omp_get_max_threads() { return 1; }
+inline int omp_get_num_procs() { return 1; }
+#endif
+
+#endif // SDS_SUPPORT_OMP_H

@@ -1,0 +1,144 @@
+//===- SmallVector.h - Inline-storage dynamic array -------------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// A minimal vector with inline storage for the first `N` elements, used
+// for constraint rows in the Presburger hot loops: dependence relations
+// rarely exceed a dozen columns, so row storage stays on the stack (or
+// inside the owning node) and the per-row heap allocation the hot
+// emptiness path used to pay disappears. Only what those call sites need
+// is implemented: trivially-copyable element types, push_back, indexing,
+// iteration, and copy/move of whole rows.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_SUPPORT_SMALLVECTOR_H
+#define SDS_SUPPORT_SMALLVECTOR_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+namespace sds {
+
+template <typename T, unsigned N> class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector only supports trivially copyable types");
+
+public:
+  SmallVector() = default;
+
+  SmallVector(const T *First, const T *Last) { assign(First, Last); }
+
+  template <typename Range> explicit SmallVector(const Range &R) {
+    assign(R.data(), R.data() + R.size());
+  }
+
+  SmallVector(const SmallVector &O) { assign(O.begin(), O.end()); }
+
+  SmallVector(SmallVector &&O) noexcept {
+    if (O.isInline()) {
+      assign(O.begin(), O.end());
+    } else {
+      Data = O.Data;
+      Size = O.Size;
+      Cap = O.Cap;
+      O.Data = O.Inline;
+      O.Size = 0;
+      O.Cap = N;
+    }
+  }
+
+  SmallVector &operator=(const SmallVector &O) {
+    if (this != &O)
+      assign(O.begin(), O.end());
+    return *this;
+  }
+
+  SmallVector &operator=(SmallVector &&O) noexcept {
+    if (this == &O)
+      return *this;
+    if (!isInline())
+      delete[] Data;
+    Data = Inline;
+    Size = 0;
+    Cap = N;
+    if (O.isInline()) {
+      assign(O.begin(), O.end());
+    } else {
+      Data = O.Data;
+      Size = O.Size;
+      Cap = O.Cap;
+      O.Data = O.Inline;
+      O.Size = 0;
+      O.Cap = N;
+    }
+    return *this;
+  }
+
+  ~SmallVector() {
+    if (!isInline())
+      delete[] Data;
+  }
+
+  void assign(const T *First, const T *Last) {
+    size_t Count = static_cast<size_t>(Last - First);
+    reserve(Count);
+    std::copy(First, Last, Data);
+    Size = Count;
+  }
+
+  void reserve(size_t Count) {
+    if (Count <= Cap)
+      return;
+    size_t NewCap = std::max(Count, Cap * 2);
+    T *NewData = new T[NewCap];
+    std::copy(Data, Data + Size, NewData);
+    if (!isInline())
+      delete[] Data;
+    Data = NewData;
+    Cap = NewCap;
+  }
+
+  void push_back(const T &V) {
+    reserve(Size + 1);
+    Data[Size++] = V;
+  }
+
+  void clear() { Size = 0; }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+  T &operator[](size_t I) {
+    assert(I < Size && "index out of range");
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Size && "index out of range");
+    return Data[I];
+  }
+
+  T *begin() { return Data; }
+  T *end() { return Data + Size; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Size; }
+  T *data() { return Data; }
+  const T *data() const { return Data; }
+
+private:
+  bool isInline() const { return Data == Inline; }
+
+  T Inline[N];
+  T *Data = Inline;
+  size_t Size = 0;
+  size_t Cap = N;
+};
+
+} // namespace sds
+
+#endif // SDS_SUPPORT_SMALLVECTOR_H

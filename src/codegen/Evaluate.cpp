@@ -33,7 +33,7 @@
 #include <limits>
 #include <unordered_map>
 
-#include <omp.h>
+#include "sds/support/OMP.h"
 
 namespace sds {
 namespace codegen {
@@ -375,7 +375,9 @@ uint64_t runInspectorParallel(
   uint64_t Total = 0;
   std::vector<std::vector<InspectorEdge>> Buffers(
       static_cast<size_t>(NumThreads));
+#ifdef _OPENMP
 #pragma omp parallel num_threads(NumThreads) reduction(+ : Total)
+#endif
   {
     int T = omp_get_thread_num();
     int NT = omp_get_num_threads();

@@ -10,9 +10,11 @@
 #include "sds/ir/SubsetDetection.h"
 #include "sds/obs/Trace.h"
 #include "sds/support/JSON.h"
+#include "sds/support/OMP.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <set>
 
 namespace sds {
@@ -20,15 +22,20 @@ namespace deps {
 
 namespace {
 
-/// Times one stage invocation: accumulates wall seconds into the result's
-/// per-stage map (always) and mirrors the interval as an obs span (only
-/// when tracing is on). Span names are "pipeline.<stage>".
+/// Times one stage invocation: accumulates wall seconds into a per-stage
+/// map (always) and mirrors the interval as an obs span (only when
+/// tracing is on). Span names are "pipeline.<stage>". The target map is
+/// the result's StageSeconds when a stage runs serially; parallel
+/// per-dependence stages each write a private map that is merged in
+/// relation order afterwards, so the accumulation order (and therefore
+/// the floating-point sum) does not depend on thread scheduling.
 class StageScope {
 public:
-  StageScope(PipelineResult &Res, const char *Stage)
-      : Res(Res), Stage(Stage), Sp(std::string("pipeline.") + Stage, "deps"),
+  StageScope(std::map<std::string, double> &Seconds, const char *Stage)
+      : Seconds(Seconds), Stage(Stage),
+        Sp(std::string("pipeline.") + Stage, "deps"),
         T0(std::chrono::steady_clock::now()) {}
-  ~StageScope() { Res.StageSeconds[Stage] += seconds(); }
+  ~StageScope() { Seconds[Stage] += seconds(); }
 
   double seconds() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -38,7 +45,7 @@ public:
   obs::Span &span() { return Sp; }
 
 private:
-  PipelineResult &Res;
+  std::map<std::string, double> &Seconds;
   const char *Stage;
   obs::Span Sp;
   std::chrono::steady_clock::time_point T0;
@@ -53,6 +60,100 @@ std::vector<std::string> dedupeLabels(const std::vector<std::string> &In) {
     if (Seen.insert(L).second)
       Out.push_back(L);
   return Out;
+}
+
+/// Steps 2-4 of Figure 3 for one dependence: affine refutation, property
+/// refutation, equality discovery. Self-contained per dependence — the
+/// only shared state it touches is the Presburger verdict cache (which
+/// memoizes deterministic facts) and the thread-safe obs registry — so
+/// the pipeline may run one instance per dependence concurrently and the
+/// outcome is identical to the serial order. Stage wall time goes to
+/// `Seconds` (the caller merges per-dependence maps in relation order).
+void analyzeOneDependence(AnalyzedDependence &AD, const kernels::Kernel &K,
+                          const PipelineOptions &Opts,
+                          std::map<std::string, double> &Seconds) {
+  // Step 2: affine consistency (no domain knowledge).
+  {
+    StageScope Sc(Seconds, "affine_unsat");
+    Sc.span().tag("dep", AD.Dep.label());
+    ir::InstantiationStats St;
+    if (ir::provenUnsatAffineOnly(AD.Dep.Rel, Opts.Simp, &St)) {
+      AD.Status = DepStatus::AffineUnsat;
+      AD.Prov.Stage = "affine-unsat";
+      AD.Prov.Evidence = dedupeLabels(St.UsedLabels);
+      if (AD.Prov.Evidence.empty())
+        AD.Prov.addEvidence("affine core infeasible");
+      AD.Prov.Seconds = Sc.seconds();
+      return;
+    }
+  }
+  // Step 3: property-based unsatisfiability (§2.2/§4.2). Syntactic
+  // phase-1 instantiation plus phase-2 disjunctions suffice here;
+  // semantic entailment probes only pay off for equality discovery.
+  if (Opts.UseProperties) {
+    StageScope Sc(Seconds, "property_unsat");
+    Sc.span().tag("dep", AD.Dep.label());
+    ir::SimplifyOptions UnsatOpts = Opts.Simp;
+    UnsatOpts.SemanticPhase1 = false;
+    ir::InstantiationStats St;
+    if (ir::provenUnsat(AD.Dep.Rel, K.Properties, UnsatOpts, &St)) {
+      AD.Status = DepStatus::PropertyUnsat;
+      AD.Prov.Stage = "property-unsat";
+      AD.Prov.Evidence = dedupeLabels(St.UsedLabels);
+      AD.Prov.Seconds = Sc.seconds();
+      return;
+    }
+  }
+  // Step 4: equality discovery (§4).
+  {
+    StageScope Sc(Seconds, "equality_discovery");
+    Sc.span().tag("dep", AD.Dep.label());
+    AD.Simplified = AD.Dep.Rel;
+    AD.CostBefore = codegen::buildInspectorPlan(AD.Dep.Rel).Cost;
+    if (Opts.UseEqualities) {
+      // Equality discovery is where the semantic probes earn their keep;
+      // give them a generous budget.
+      ir::SimplifyOptions EqOpts = Opts.Simp;
+      if (EqOpts.SemanticProbeCap < 1500)
+        EqOpts.SemanticProbeCap = 1500;
+      ir::EqualityDiscoveryResult R =
+          ir::discoverEqualities(AD.Simplified, K.Properties, EqOpts);
+      AD.NewEqualities = R.NewEqualities;
+      if (R.NewEqualities > 0) {
+        AD.Prov.Stage = "equality-discovery";
+        AD.Prov.Evidence = R.EqualityStrings;
+      }
+    }
+    AD.CostAfter = codegen::buildInspectorPlan(AD.Simplified).Cost;
+    AD.Status = DepStatus::Runtime;
+    if (AD.Prov.Stage.empty())
+      AD.Prov.Stage = "runtime";
+    AD.Prov.Seconds = Sc.seconds();
+  }
+}
+
+/// FNV-1a over the parts of a relation the subsumption precondition
+/// inspects: `subsumes()` answers Unknown outright unless both relations
+/// share the full input tuple and the first output iterator, so pairs
+/// with different signatures can be skipped without calling it. Equal
+/// hashes prove nothing (collisions just lose the skip); unequal hashes
+/// soundly prune.
+uint64_t subsumptionSignature(const ir::SparseRelation &R) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](const std::string &S) {
+    for (char C : S) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 1099511628211ull;
+    }
+    H ^= 0xffu; // separator so {"ab"} and {"a","b"} differ
+    H *= 1099511628211ull;
+  };
+  for (const std::string &V : R.InVars)
+    Mix(V);
+  Mix("|");
+  if (!R.OutVars.empty())
+    Mix(R.OutVars[0]);
+  return H;
 }
 
 } // namespace
@@ -157,7 +258,7 @@ PipelineResult analyzeKernel(const kernels::Kernel &K,
 
   // Step 1: extraction (Figure 3 "Dependence Extraction").
   {
-    StageScope Sc(Res, "extraction");
+    StageScope Sc(Res.StageSeconds, "extraction");
     for (Dependence &D : extractDependences(K)) {
       AnalyzedDependence AD;
       AD.Dep = std::move(D);
@@ -166,84 +267,69 @@ PipelineResult analyzeKernel(const kernels::Kernel &K,
     Sc.span().tag("dependences", static_cast<int64_t>(Res.Deps.size()));
   }
 
-  for (AnalyzedDependence &AD : Res.Deps) {
-    // Step 2: affine consistency (no domain knowledge).
-    {
-      StageScope Sc(Res, "affine_unsat");
-      Sc.span().tag("dep", AD.Dep.label());
-      ir::InstantiationStats St;
-      if (ir::provenUnsatAffineOnly(AD.Dep.Rel, Opts.Simp, &St)) {
-        AD.Status = DepStatus::AffineUnsat;
-        AD.Prov.Stage = "affine-unsat";
-        AD.Prov.Evidence = dedupeLabels(St.UsedLabels);
-        if (AD.Prov.Evidence.empty())
-          AD.Prov.addEvidence("affine core infeasible");
-        AD.Prov.Seconds = Sc.seconds();
-        continue;
-      }
-    }
-    // Step 3: property-based unsatisfiability (§2.2/§4.2). Syntactic
-    // phase-1 instantiation plus phase-2 disjunctions suffice here;
-    // semantic entailment probes only pay off for equality discovery.
-    if (Opts.UseProperties) {
-      StageScope Sc(Res, "property_unsat");
-      Sc.span().tag("dep", AD.Dep.label());
-      ir::SimplifyOptions UnsatOpts = Opts.Simp;
-      UnsatOpts.SemanticPhase1 = false;
-      ir::InstantiationStats St;
-      if (ir::provenUnsat(AD.Dep.Rel, K.Properties, UnsatOpts, &St)) {
-        AD.Status = DepStatus::PropertyUnsat;
-        AD.Prov.Stage = "property-unsat";
-        AD.Prov.Evidence = dedupeLabels(St.UsedLabels);
-        AD.Prov.Seconds = Sc.seconds();
-        continue;
-      }
-    }
-    // Step 4: equality discovery (§4).
-    {
-      StageScope Sc(Res, "equality_discovery");
-      Sc.span().tag("dep", AD.Dep.label());
-      AD.Simplified = AD.Dep.Rel;
-      AD.CostBefore = codegen::buildInspectorPlan(AD.Dep.Rel).Cost;
-      if (Opts.UseEqualities) {
-        // Equality discovery is where the semantic probes earn their keep;
-        // give them a generous budget.
-        ir::SimplifyOptions EqOpts = Opts.Simp;
-        if (EqOpts.SemanticProbeCap < 1500)
-          EqOpts.SemanticProbeCap = 1500;
-        ir::EqualityDiscoveryResult R =
-            ir::discoverEqualities(AD.Simplified, K.Properties, EqOpts);
-        AD.NewEqualities = R.NewEqualities;
-        if (R.NewEqualities > 0) {
-          AD.Prov.Stage = "equality-discovery";
-          AD.Prov.Evidence = R.EqualityStrings;
-        }
-      }
-      AD.CostAfter = codegen::buildInspectorPlan(AD.Simplified).Cost;
-      AD.Status = DepStatus::Runtime;
-      if (AD.Prov.Stage.empty())
-        AD.Prov.Stage = "runtime";
-      AD.Prov.Seconds = Sc.seconds();
-    }
+  // Steps 2-4 fan out across dependences: each one is analyzed
+  // independently (see analyzeOneDependence), so the per-dependence work
+  // runs task-parallel under Opts.NumThreads. Every result slot and
+  // timing map is written by exactly one task, and the merge below walks
+  // them in relation order — verdicts, provenance, and JSON are
+  // bit-identical at any thread count.
+  int NT = std::max(1, Opts.NumThreads);
+  if (static_cast<size_t>(NT) > Res.Deps.size())
+    NT = static_cast<int>(std::max<size_t>(1, Res.Deps.size()));
+  Total.tag("threads", static_cast<int64_t>(NT));
+  if (NT <= 1) {
+    for (AnalyzedDependence &AD : Res.Deps)
+      analyzeOneDependence(AD, K, Opts, Res.StageSeconds);
+  } else {
+    std::vector<std::map<std::string, double>> DepSeconds(Res.Deps.size());
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) num_threads(NT)
+#endif
+    for (size_t I = 0; I < Res.Deps.size(); ++I)
+      analyzeOneDependence(Res.Deps[I], K, Opts, DepSeconds[I]);
+    for (const auto &M : DepSeconds)
+      for (const auto &[Stage, Seconds] : M)
+        Res.StageSeconds[Stage] += Seconds;
   }
 
   // Step 5: subset subsumption (§5). Only live runtime checks may act as
   // the covering test, and a test may only discard one that is at least
-  // as expensive (there is no point paying more to cover less).
+  // as expensive (there is no point paying more to cover less). This
+  // stage stays a serial ordered barrier: each discard changes the live
+  // set the next probe sees, and the paper's greedy order is part of the
+  // reproduced output.
   if (Opts.UseSubsets) {
-    StageScope Sc(Res, "subsumption");
+    StageScope Sc(Res.StageSeconds, "subsumption");
+    static obs::Counter &SigPruned =
+        obs::counter("pipeline.subsume_sig_prune");
+    // Pairs whose relations differ in input tuple or first output
+    // iterator are Unknown by precondition; comparing precomputed
+    // signature hashes skips the polyhedral machinery for them.
+    std::vector<uint64_t> SigOrig(Res.Deps.size()), SigSimp(Res.Deps.size());
+    for (size_t I = 0; I < Res.Deps.size(); ++I) {
+      if (Res.Deps[I].Status != DepStatus::Runtime)
+        continue;
+      SigOrig[I] = subsumptionSignature(Res.Deps[I].Dep.Rel);
+      SigSimp[I] = subsumptionSignature(Res.Deps[I].Simplified);
+    }
     unsigned Discarded = 0;
     bool Changed = true;
     while (Changed) {
       Changed = false;
-      for (AnalyzedDependence &Cand : Res.Deps) {
+      for (size_t CI = 0; CI < Res.Deps.size(); ++CI) {
+        AnalyzedDependence &Cand = Res.Deps[CI];
         if (Cand.Status != DepStatus::Runtime)
           continue;
-        for (AnalyzedDependence &Kept : Res.Deps) {
-          if (&Kept == &Cand || Kept.Status != DepStatus::Runtime)
+        for (size_t KI = 0; KI < Res.Deps.size(); ++KI) {
+          AnalyzedDependence &Kept = Res.Deps[KI];
+          if (KI == CI || Kept.Status != DepStatus::Runtime)
             continue;
           if (Cand.CostAfter < Kept.CostAfter)
             continue;
+          if (SigSimp[CI] != SigOrig[KI]) {
+            SigPruned.add();
+            continue;
+          }
           // Containment is tested against the keeper's *original* relation:
           // its inspector (simplified or not) enumerates exactly the
           // original edge set, and the original has fewer constraints, so
@@ -269,7 +355,7 @@ PipelineResult analyzeKernel(const kernels::Kernel &K,
   // Step 6: inspectors for the survivors, optionally over-approximated
   // down to the kernel's own complexity (§8.1's ILU escape hatch).
   {
-    StageScope Sc(Res, "codegen");
+    StageScope Sc(Res.StageSeconds, "codegen");
     for (AnalyzedDependence &AD : Res.Deps) {
       if (AD.Status != DepStatus::Runtime)
         continue;

@@ -11,7 +11,7 @@
 #include <algorithm>
 #include <chrono>
 
-#include <omp.h>
+#include "sds/support/OMP.h"
 
 namespace sds {
 namespace driver {
@@ -122,7 +122,9 @@ InspectionResult runInspectors(const deps::PipelineResult &Analysis,
       Sp.tag("edges", static_cast<int64_t>(C.Edges.size()));
     }
   } else {
+#ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic) num_threads(NT)
+#endif
     for (size_t I = 0; I < Chunks.size(); ++I)
       RunChunk(Chunks[I]);
   }

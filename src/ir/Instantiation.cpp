@@ -49,6 +49,7 @@ void enumerateInstances(
                         InstantiationStats &Stats,
                         std::set<std::string> &Seen,
                         std::vector<AssertionInstance> &Out) {
+  std::map<std::string, Expr> Map; // reused across instances
   for (const UniversalAssertion &A : Assertions) {
     size_t N = A.QVars.size();
     // Odometer over E^N.
@@ -59,7 +60,7 @@ void enumerateInstances(
       if (Stats.Generated >= Opts.MaxInstances)
         return;
       ++Stats.Generated;
-      std::map<std::string, Expr> Map;
+      Map.clear();
       for (size_t I = 0; I < N; ++I)
         Map.emplace(A.QVars[I], E[Idx[I]]);
       AssertionInstance Inst;
@@ -167,10 +168,11 @@ instantiatePhase1(const Conjunction &C,
     AugFlat = flatten(Aug, {});
   };
   RefreshCalls();
+  std::vector<Atom> CallScratch; // reused across probes
   auto CallsPresent = [&](const Constraint &P) {
-    std::vector<Atom> Calls;
-    P.E.collectCalls(Calls);
-    for (const Atom &A : Calls)
+    CallScratch.clear();
+    P.E.collectCalls(CallScratch);
+    for (const Atom &A : CallScratch)
       if (!AugCallKeys.count(A.str()))
         return false;
     return true;

@@ -11,7 +11,11 @@
 #include "sds/support/MathExtras.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cassert>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <set>
 #include <unordered_map>
@@ -151,18 +155,19 @@ public:
       Row[S.numVars()] = F;
       Left.addInequality(std::move(Row));
     }
-    BasicSet Right = S; // x >= floor(v) + 1
+    // Right branch (x >= floor(v) + 1) reuses S itself: the left branch
+    // already holds its own copy, so the node needs one clone, not two.
     {
       std::vector<int64_t> Row(S.numVars() + 1, 0);
       Row[FracVar] = 1;
       Row[S.numVars()] = -(F + 1);
-      Right.addInequality(std::move(Row));
+      S.addInequality(std::move(Row));
     }
 
     Ternary A = run(std::move(Left), Point);
     if (A == Ternary::False)
       return Ternary::False;
-    Ternary B = run(std::move(Right), Point);
+    Ternary B = run(std::move(S), Point);
     if (B == Ternary::False)
       return Ternary::False;
     if (A == Ternary::True && B == Ternary::True)
@@ -180,35 +185,56 @@ private:
 
 /// Process-wide canonical-system -> verdict cache. Definitive verdicts are
 /// mathematical facts about the (budget, constraint-system) pair, so there
-/// is no invalidation; the map is simply bounded.
+/// is no invalidation; each shard's map is simply bounded.
+///
+/// The map is split into independently-locked shards selected by the
+/// key's hash so concurrent queries from the task-parallel pipeline do
+/// not serialize on one mutex; hit/miss tallies are relaxed atomics
+/// bumped outside any lock.
 struct QueryCache {
-  static constexpr size_t MaxEntries = 1u << 20;
+  static constexpr size_t ShardBits = 4;
+  static constexpr size_t NumShards = size_t(1) << ShardBits;
+  static constexpr size_t MaxEntriesPerShard = (size_t(1) << 20) >> ShardBits;
 
-  std::mutex M;
-  std::unordered_map<std::string, Ternary> Map;
-  uint64_t Hits = 0, Misses = 0;
+  struct alignas(64) Shard {
+    std::mutex M;
+    std::unordered_map<std::string, Ternary> Map;
+  };
+  std::array<Shard, NumShards> Shards;
+  std::atomic<uint64_t> Hits{0}, Misses{0};
+
+  Shard &shardFor(const std::string &Key) {
+    return Shards[std::hash<std::string>{}(Key) & (NumShards - 1)];
+  }
 
   std::optional<Ternary> lookup(const std::string &Key) {
     static obs::Counter &HitCtr = obs::counter("basicset.cache_hits");
     static obs::Counter &MissCtr = obs::counter("basicset.cache_misses");
-    std::lock_guard<std::mutex> Lock(M);
-    auto It = Map.find(Key);
-    if (It != Map.end()) {
-      ++Hits;
-      HitCtr.add();
-      return It->second;
+    Shard &S = shardFor(Key);
+    std::optional<Ternary> Out;
+    {
+      std::lock_guard<std::mutex> Lock(S.M);
+      auto It = S.Map.find(Key);
+      if (It != S.Map.end())
+        Out = It->second;
     }
-    ++Misses;
-    MissCtr.add();
-    return std::nullopt;
+    if (Out) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      HitCtr.add();
+    } else {
+      Misses.fetch_add(1, std::memory_order_relaxed);
+      MissCtr.add();
+    }
+    return Out;
   }
 
   void store(const std::string &Key, Ternary V) {
     if (V == Ternary::Unknown)
       return; // budget-dependent; another query may still resolve it
-    std::lock_guard<std::mutex> Lock(M);
-    if (Map.size() < MaxEntries)
-      Map.emplace(Key, V);
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.M);
+    if (S.Map.size() < MaxEntriesPerShard)
+      S.Map.emplace(Key, V);
   }
 };
 
@@ -217,23 +243,228 @@ QueryCache &queryCache() {
   return C;
 }
 
+//===----------------------------------------------------------------------===//
+// Prefilter ladder
+//===----------------------------------------------------------------------===//
+
+/// Always-on prefilter tallies (obs counters mirror them when tracing is
+/// enabled, under the basicset.prefilter_* names).
+struct PrefilterCounters {
+  std::atomic<uint64_t> Gcd{0}, EqConflict{0}, Interval{0}, SynSubset{0},
+      Miss{0};
+
+  void reset() {
+    Gcd = EqConflict = Interval = SynSubset = Miss = 0;
+  }
+};
+
+PrefilterCounters &prefilterCounters() {
+  static PrefilterCounters C;
+  return C;
+}
+
+void countGcdReject() {
+  static obs::Counter &Ctr = obs::counter("basicset.prefilter_gcd");
+  Ctr.add();
+  prefilterCounters().Gcd.fetch_add(1, std::memory_order_relaxed);
+}
+
+void countEqConflictReject() {
+  static obs::Counter &Ctr = obs::counter("basicset.prefilter_eq_conflict");
+  Ctr.add();
+  prefilterCounters().EqConflict.fetch_add(1, std::memory_order_relaxed);
+}
+
+void countIntervalReject() {
+  static obs::Counter &Ctr = obs::counter("basicset.prefilter_interval");
+  Ctr.add();
+  prefilterCounters().Interval.fetch_add(1, std::memory_order_relaxed);
+}
+
+void countSyntacticSubset() {
+  static obs::Counter &Ctr =
+      obs::counter("basicset.prefilter_subset_syntactic");
+  Ctr.add();
+  prefilterCounters().SynSubset.fetch_add(1, std::memory_order_relaxed);
+}
+
+void countPrefilterMiss() {
+  static obs::Counter &Ctr = obs::counter("basicset.prefilter_miss");
+  Ctr.add();
+  prefilterCounters().Miss.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Two equalities with an identical variable part but different constants
+/// are contradictory. normalize() GCD-reduces rows and canonicalizes the
+/// sign of each equality's leading coefficient, so identical variable
+/// parts compare bitwise-equal here.
+bool hasConflictingEqualities(const BasicSet &N) {
+  const auto &Eqs = N.equalities();
+  if (Eqs.size() < 2)
+    return false;
+  unsigned NumVars = N.numVars();
+  std::vector<const std::vector<int64_t> *> Sorted;
+  Sorted.reserve(Eqs.size());
+  for (const auto &R : Eqs)
+    Sorted.push_back(&R);
+  auto VarPartLess = [NumVars](const std::vector<int64_t> *A,
+                               const std::vector<int64_t> *B) {
+    return std::lexicographical_compare(A->begin(), A->begin() + NumVars,
+                                        B->begin(), B->begin() + NumVars);
+  };
+  std::sort(Sorted.begin(), Sorted.end(), VarPartLess);
+  for (size_t I = 1; I < Sorted.size(); ++I) {
+    const auto &A = *Sorted[I - 1], &B = *Sorted[I];
+    if (std::equal(A.begin(), A.begin() + NumVars, B.begin()) &&
+        A[NumVars] != B[NumVars])
+      return true;
+  }
+  return false;
+}
+
+/// Bounded single-variable interval propagation with conflict detection.
+/// Derives [lo, hi] bounds per variable from rows whose other terms are
+/// already bounded, and rejects when some row cannot reach its required
+/// sign or a variable's interval empties. Sound: every deduction is a
+/// consequence of the constraint system over the integers; `true` means
+/// proven empty. All arithmetic is overflow-checked 128-bit; anything
+/// that overflows is treated as unbounded.
+bool intervalConflict(const BasicSet &N) {
+  unsigned NumVars = N.numVars();
+  struct Bound {
+    bool HasLo = false, HasHi = false;
+    Int128 Lo = 0, Hi = 0;
+  };
+  std::vector<Bound> B(NumVars);
+
+  // One scan target per inequality, plus both directions of equalities.
+  struct RowRef {
+    const std::vector<int64_t> *Row;
+    bool Negate;
+  };
+  std::vector<RowRef> Rows;
+  Rows.reserve(N.inequalities().size() + 2 * N.equalities().size());
+  for (const auto &R : N.inequalities())
+    Rows.push_back({&R, false});
+  for (const auto &R : N.equalities()) {
+    Rows.push_back({&R, false});
+    Rows.push_back({&R, true});
+  }
+
+  auto Coeff = [&](const RowRef &RR, unsigned J) {
+    int64_t C = (*RR.Row)[J];
+    return RR.Negate ? -C : C;
+  };
+
+  // max over the interval of a*x, as a checked 128-bit value; false when
+  // unbounded (missing bound) or overflowing.
+  auto MaxTerm = [&](int64_t A, const Bound &Bd, Int128 &Out) {
+    if (A > 0) {
+      if (!Bd.HasHi)
+        return false;
+      return !mulOverflow128(Int128(A), Bd.Hi, Out);
+    }
+    if (!Bd.HasLo)
+      return false;
+    return !mulOverflow128(Int128(A), Bd.Lo, Out);
+  };
+
+  const unsigned MaxRounds = 4;
+  for (unsigned Round = 0; Round < MaxRounds; ++Round) {
+    bool Changed = false;
+    for (const RowRef &RR : Rows) {
+      // Row means sum_j a_j x_j + c >= 0 (after optional negation).
+      Int128 C = Coeff(RR, NumVars);
+      // Try to tighten each variable with a nonzero coefficient, using the
+      // maximum the *other* terms can contribute.
+      for (unsigned J = 0; J < NumVars; ++J) {
+        int64_t AJ = Coeff(RR, J);
+        if (AJ == 0)
+          continue;
+        Int128 MaxRest = C;
+        bool RestBounded = true;
+        for (unsigned K = 0; K < NumVars && RestBounded; ++K) {
+          if (K == J)
+            continue;
+          int64_t AK = Coeff(RR, K);
+          if (AK == 0)
+            continue;
+          Int128 T;
+          RestBounded = MaxTerm(AK, B[K], T) &&
+                        !addOverflow128(MaxRest, T, MaxRest);
+        }
+        if (!RestBounded)
+          continue;
+        // a_j * x_j >= -MaxRest.
+        Bound &Bd = B[J];
+        if (AJ > 0) {
+          Int128 Lo = ceilDiv128(-MaxRest, AJ);
+          if (!Bd.HasLo || Lo > Bd.Lo) {
+            Bd.HasLo = true;
+            Bd.Lo = Lo;
+            Changed = true;
+          }
+        } else {
+          Int128 Hi = floorDiv128(-MaxRest, AJ);
+          if (!Bd.HasHi || Hi < Bd.Hi) {
+            Bd.HasHi = true;
+            Bd.Hi = Hi;
+            Changed = true;
+          }
+        }
+        if (Bd.HasLo && Bd.HasHi && Bd.Lo > Bd.Hi)
+          return true; // empty interval
+      }
+      // Whole-row reachability: if every term is bounded above and the row
+      // maximum is still negative, the constraint is unsatisfiable.
+      Int128 RowMax = C;
+      bool AllBounded = true;
+      for (unsigned J = 0; J < NumVars && AllBounded; ++J) {
+        int64_t AJ = Coeff(RR, J);
+        if (AJ == 0)
+          continue;
+        Int128 T;
+        AllBounded = MaxTerm(AJ, B[J], T) &&
+                     !addOverflow128(RowMax, T, RowMax);
+      }
+      if (AllBounded && RowMax < 0)
+        return true;
+    }
+    if (!Changed)
+      break;
+  }
+  return false;
+}
+
+/// The emptiness prefilter ladder over an already-normalized set. Counts
+/// each rung's hits; does NOT count misses (callers decide whether a miss
+/// proceeds to the full solver).
+Ternary prefilterNormalized(const BasicSet &N) {
+  if (hasConflictingEqualities(N)) {
+    countEqConflictReject();
+    return Ternary::True;
+  }
+  if (intervalConflict(N)) {
+    countIntervalReject();
+    return Ternary::True;
+  }
+  return Ternary::Unknown;
+}
+
 void appendInt(std::string &Out, int64_t V) {
   for (int B = 0; B < 8; ++B)
     Out.push_back(static_cast<char>((static_cast<uint64_t>(V) >> (8 * B)) &
                                     0xff));
 }
 
-/// Canonical byte string of one set: normalized rows in sorted order. Two
-/// syntactically different but normalize-identical systems share a key;
-/// semantically equal systems with different normal forms simply miss (the
-/// cache stays sound either way).
-void appendCanonical(std::string &Out, const BasicSet &S) {
-  BasicSet N = S;
-  bool Feasible = N.normalize();
-  appendInt(Out, static_cast<int64_t>(S.numVars()));
-  appendInt(Out, Feasible ? 1 : 0);
-  if (!Feasible)
-    return; // all trivially-unsat systems of one width share a key
+/// Canonical byte string of one *already-normalized* set: rows in sorted
+/// order. Two syntactically different but normalize-identical systems
+/// share a key; semantically equal systems with different normal forms
+/// simply miss (the cache stays sound either way). Callers normalize once
+/// and reuse the result for the prefilters, the key, and the solve.
+void appendCanonicalNormalized(std::string &Out, const BasicSet &N) {
+  appendInt(Out, static_cast<int64_t>(N.numVars()));
+  appendInt(Out, 1); // feasible-after-normalize marker (key-format compat)
   auto Rows = [&Out](std::vector<std::vector<int64_t>> Rs, int64_t Tag) {
     std::sort(Rs.begin(), Rs.end());
     appendInt(Out, Tag);
@@ -250,29 +481,68 @@ void appendCanonical(std::string &Out, const BasicSet &S) {
 
 QueryCacheStats queryCacheStats() {
   QueryCache &C = queryCache();
-  std::lock_guard<std::mutex> Lock(C.M);
-  return {C.Hits, C.Misses, C.Map.size()};
+  uint64_t Entries = 0;
+  for (QueryCache::Shard &S : C.Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    Entries += S.Map.size();
+  }
+  return {C.Hits.load(std::memory_order_relaxed),
+          C.Misses.load(std::memory_order_relaxed), Entries};
 }
 
 void clearQueryCache() {
   QueryCache &C = queryCache();
-  std::lock_guard<std::mutex> Lock(C.M);
-  C.Map.clear();
-  C.Hits = C.Misses = 0;
+  for (QueryCache::Shard &S : C.Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Map.clear();
+  }
+  C.Hits.store(0, std::memory_order_relaxed);
+  C.Misses.store(0, std::memory_order_relaxed);
+  prefilterCounters().reset();
+}
+
+PrefilterStats prefilterStats() {
+  PrefilterCounters &C = prefilterCounters();
+  PrefilterStats Out;
+  Out.GcdRejects = C.Gcd.load(std::memory_order_relaxed);
+  Out.EqConflictRejects = C.EqConflict.load(std::memory_order_relaxed);
+  Out.IntervalRejects = C.Interval.load(std::memory_order_relaxed);
+  Out.SyntacticSubsetHits = C.SynSubset.load(std::memory_order_relaxed);
+  Out.Misses = C.Miss.load(std::memory_order_relaxed);
+  return Out;
+}
+
+Ternary prefilterEmptiness(const BasicSet &S) {
+  BasicSet N = S;
+  if (!N.normalize()) {
+    countGcdReject();
+    return Ternary::True;
+  }
+  return prefilterNormalized(N);
 }
 
 Ternary BasicSet::isEmpty(unsigned NodeBudget) const {
   static obs::Counter &Checks = obs::counter("basicset.emptiness_checks");
   Checks.add();
+  // Normalize once; the prefilter ladder, the cache key, and the solver
+  // all reuse the result.
+  BasicSet N = *this;
+  if (!N.normalize()) {
+    countGcdReject();
+    return Ternary::True;
+  }
+  if (prefilterNormalized(N) == Ternary::True)
+    return Ternary::True;
+  countPrefilterMiss();
   std::string Key;
-  Key.reserve(16 + (numConstraints() + 2) * (NumVars + 2) * 8);
+  Key.reserve(32 + (N.numConstraints() + 2) * (NumVars + 2) * 8);
   Key.push_back('E');
   appendInt(Key, NodeBudget);
-  appendCanonical(Key, *this);
+  appendCanonicalNormalized(Key, N);
   if (std::optional<Ternary> Hit = queryCache().lookup(Key))
     return *Hit;
   std::vector<int64_t> Ignored;
-  Ternary R = EmptinessCheckerImpl(NodeBudget).run(*this, Ignored);
+  Ternary R = EmptinessCheckerImpl(NodeBudget).run(std::move(N), Ignored);
   queryCache().store(Key, R);
   return R;
 }
@@ -356,33 +626,98 @@ BasicSet BasicSet::insertVars(unsigned Pos, unsigned Count) const {
   return Out;
 }
 
+/// Is every normalized row of `Sub` syntactically implied by a row of
+/// `Super`? (Both must be normalized.) Equalities need an exact match;
+/// an inequality a.x + c >= 0 is implied by a same-variable-part
+/// inequality with a smaller-or-equal constant, or by an equality pinning
+/// the variable part to a compatible value. Purely structural: no solver,
+/// no allocation beyond two index tables.
+static bool syntacticallyContains(const BasicSet &Super, const BasicSet &Sub) {
+  unsigned NumVars = Super.numVars();
+  auto VarPart = [NumVars](const std::vector<int64_t> &R) {
+    return std::vector<int64_t>(R.begin(), R.begin() + NumVars);
+  };
+  // Super's equalities by variable part, and its minimum inequality
+  // constant by variable part.
+  std::map<std::vector<int64_t>, int64_t> EqConst;
+  for (const auto &R : Super.equalities())
+    EqConst.emplace(VarPart(R), R[NumVars]);
+  std::map<std::vector<int64_t>, int64_t> IneqMinConst;
+  for (const auto &R : Super.inequalities()) {
+    auto [It, New] = IneqMinConst.emplace(VarPart(R), R[NumVars]);
+    if (!New && R[NumVars] < It->second)
+      It->second = R[NumVars];
+  }
+  for (const auto &R : Sub.equalities()) {
+    auto It = EqConst.find(VarPart(R));
+    if (It == EqConst.end() || It->second != R[NumVars])
+      return false;
+  }
+  for (const auto &R : Sub.inequalities()) {
+    std::vector<int64_t> VP = VarPart(R);
+    auto It = IneqMinConst.find(VP);
+    if (It != IneqMinConst.end() && It->second <= R[NumVars])
+      continue;
+    // An equality a.x == -c0 implies a.x + c >= 0 iff c >= c0; check both
+    // sign orientations since equalities are sign-canonicalized.
+    auto EqIt = EqConst.find(VP);
+    if (EqIt != EqConst.end() && R[NumVars] >= EqIt->second)
+      continue;
+    for (auto &V : VP)
+      V = -V;
+    EqIt = EqConst.find(VP);
+    if (EqIt != EqConst.end() && R[NumVars] >= -EqIt->second)
+      continue;
+    return false;
+  }
+  return true;
+}
+
 Ternary BasicSet::isSubsetOf(const BasicSet &Other,
                              unsigned NodeBudget) const {
   static obs::Counter &Tests = obs::counter("basicset.subset_tests");
   Tests.add();
   assert(NumVars == Other.NumVars && "dimension mismatch");
+  // Prefilters: a proven-empty left side is contained in anything; a
+  // trivially-unsat right side reduces the test to emptiness of the left;
+  // and syntactic row containment proves the subset without any solver.
+  BasicSet NThis = *this;
+  if (!NThis.normalize()) {
+    countGcdReject();
+    return Ternary::True;
+  }
+  BasicSet NOther = Other;
+  if (!NOther.normalize())
+    return isEmpty(NodeBudget);
+  if (syntacticallyContains(NThis, NOther)) {
+    countSyntacticSubset();
+    return Ternary::True;
+  }
   // Memoized on (canonical this, canonical other, budget); the per-
   // halfspace emptiness probes below additionally hit the emptiness cache.
   std::string Key;
   Key.reserve(32 +
-              (numConstraints() + Other.numConstraints() + 4) *
+              (NThis.numConstraints() + NOther.numConstraints() + 4) *
                   (NumVars + 2) * 8);
   Key.push_back('S');
   appendInt(Key, NodeBudget);
-  appendCanonical(Key, *this);
-  appendCanonical(Key, Other);
+  appendCanonicalNormalized(Key, NThis);
+  appendCanonicalNormalized(Key, NOther);
   if (std::optional<Ternary> Hit = queryCache().lookup(Key))
     return *Hit;
   Ternary Verdict = [&] {
-  // this ⊆ {row >= 0}  iff  this ∧ (row <= -1) is empty.
+  // this ⊆ {row >= 0}  iff  this ∧ (row <= -1) is empty. One probe set
+  // is reused across all halfspaces: push the negated row, query, pop.
+  BasicSet Probe = *this;
   auto ContainedInHalfspace = [&](const std::vector<int64_t> &Row) {
-    BasicSet Probe = *this;
     std::vector<int64_t> Neg(NumVars + 1);
     for (unsigned J = 0; J <= NumVars; ++J)
       Neg[J] = -Row[J];
     Neg[NumVars] -= 1;
     Probe.addInequality(std::move(Neg));
-    return Probe.isEmpty(NodeBudget);
+    Ternary T = Probe.isEmpty(NodeBudget);
+    Probe.Ineqs.pop_back();
+    return T;
   };
   bool SawUnknown = false;
   for (const auto &Row : Other.Ineqs) {

@@ -15,12 +15,12 @@ namespace presburger {
 
 void Simplex::addInequality(const std::vector<int64_t> &Row) {
   assert(Row.size() == NumVars + 1 && "bad row width");
-  Rows.push_back({Row, /*IsEq=*/false});
+  Rows.push_back({SmallVector<int64_t, 16>(Row), /*IsEq=*/false});
 }
 
 void Simplex::addEquality(const std::vector<int64_t> &Row) {
   assert(Row.size() == NumVars + 1 && "bad row width");
-  Rows.push_back({Row, /*IsEq=*/true});
+  Rows.push_back({SmallVector<int64_t, 16>(Row), /*IsEq=*/true});
 }
 
 LPStatus Simplex::checkFeasible() {
@@ -36,23 +36,65 @@ LPStatus Simplex::minimize(const std::vector<int64_t> &Obj,
 
 namespace {
 
-/// Dense simplex tableau with an explicit reduced-cost row.
+/// Backing storage for one tableau, kept per-thread so the thousands of
+/// short-lived solves issued by the emptiness test reuse one grown-to-fit
+/// allocation instead of paying three heap allocations per solve. The
+/// InUse flag guards against (currently nonexistent) reentrant solves:
+/// branch-and-bound recursion happens strictly after each solve returns,
+/// but if a nested solve ever appears it falls back to owned storage
+/// rather than corrupting the borrowed buffers.
+struct TableauScratch {
+  std::vector<Fraction> Cells;
+  std::vector<Fraction> ObjRow;
+  std::vector<unsigned> Basis;
+  bool InUse = false;
+};
+
+TableauScratch &tableauScratch() {
+  thread_local TableauScratch S;
+  return S;
+}
+
+/// Dense simplex tableau with an explicit reduced-cost row. Storage is
+/// borrowed from the thread-local scratch when available.
 class Tableau {
 public:
   Tableau(unsigned NumRows, unsigned NumCols)
-      : NumRows(NumRows), NumCols(NumCols),
-        Cells(static_cast<size_t>(NumRows) * (NumCols + 1)),
-        ObjRow(NumCols + 1), Basis(NumRows, ~0u) {}
+      : NumRows(NumRows), NumCols(NumCols) {
+    TableauScratch &S = tableauScratch();
+    if (!S.InUse) {
+      S.InUse = true;
+      Scratch = &S;
+      CellsP = &S.Cells;
+      ObjRowP = &S.ObjRow;
+      BasisP = &S.Basis;
+    } else {
+      CellsP = &OwnedCells;
+      ObjRowP = &OwnedObjRow;
+      BasisP = &OwnedBasis;
+    }
+    CellsP->assign(static_cast<size_t>(NumRows) * (NumCols + 1), Fraction());
+    ObjRowP->assign(NumCols + 1, Fraction());
+    BasisP->assign(NumRows, ~0u);
+  }
+
+  Tableau(const Tableau &) = delete;
+  Tableau &operator=(const Tableau &) = delete;
+
+  ~Tableau() {
+    if (Scratch)
+      Scratch->InUse = false;
+  }
 
   Fraction &at(unsigned R, unsigned C) {
-    return Cells[static_cast<size_t>(R) * (NumCols + 1) + C];
+    return (*CellsP)[static_cast<size_t>(R) * (NumCols + 1) + C];
   }
   Fraction &rhs(unsigned R) { return at(R, NumCols); }
-  Fraction &obj(unsigned C) { return ObjRow[C]; }
-  Fraction &objVal() { return ObjRow[NumCols]; }
+  Fraction &obj(unsigned C) { return (*ObjRowP)[C]; }
+  Fraction &objVal() { return (*ObjRowP)[NumCols]; }
 
-  unsigned basis(unsigned R) const { return Basis[R]; }
-  void setBasis(unsigned R, unsigned C) { Basis[R] = C; }
+  unsigned basis(unsigned R) const { return (*BasisP)[R]; }
+  void setBasis(unsigned R, unsigned C) { (*BasisP)[R] = C; }
 
   bool overflowed() const { return Overflow; }
 
@@ -80,11 +122,11 @@ public:
     Fraction F = obj(C);
     if (!F.isZero()) {
       for (unsigned J = 0; J <= NumCols; ++J) {
-        ObjRow[J] = ObjRow[J] - F * at(R, J);
-        Overflow |= ObjRow[J].overflowed();
+        obj(J) = obj(J) - F * at(R, J);
+        Overflow |= obj(J).overflowed();
       }
     }
-    Basis[R] = C;
+    setBasis(R, C);
   }
 
   /// Run simplex until optimal/unbounded/overflow: Dantzig's rule (most
@@ -139,9 +181,13 @@ public:
   unsigned NumRows, NumCols;
 
 private:
-  std::vector<Fraction> Cells;
-  std::vector<Fraction> ObjRow;
-  std::vector<unsigned> Basis;
+  TableauScratch *Scratch = nullptr;
+  std::vector<Fraction> *CellsP = nullptr;
+  std::vector<Fraction> *ObjRowP = nullptr;
+  std::vector<unsigned> *BasisP = nullptr;
+  std::vector<Fraction> OwnedCells;
+  std::vector<Fraction> OwnedObjRow;
+  std::vector<unsigned> OwnedBasis;
   bool Overflow = false;
 };
 

@@ -12,7 +12,7 @@
 #include <cmath>
 #include <optional>
 
-#include <omp.h>
+#include "sds/support/OMP.h"
 
 namespace sds {
 namespace rt {
@@ -102,7 +102,9 @@ void ic0Column(CSCMatrix &L, int I) {
       if (RowK == RowL) {
         double Delta = LMI * L.Val[static_cast<size_t>(LPos)];
         if (Atomic) {
+#ifdef _OPENMP
 #pragma omp atomic
+#endif
           L.Val[static_cast<size_t>(K)] -= Delta;
         } else {
           L.Val[static_cast<size_t>(K)] -= Delta;
@@ -256,16 +258,23 @@ void runSchedule(const WavefrontSchedule &S, Fn &&Body) {
   obs::Span Total("wavefront.execute", "rt");
   Total.tag("waves", static_cast<int64_t>(S.Waves.size()));
   Total.tag("threads", static_cast<int64_t>(NumThreads));
+#ifdef _OPENMP
 #pragma omp parallel num_threads(NumThreads)
+#endif
   {
     int T = omp_get_thread_num();
+    // Strided so a smaller team (notably the serial one-thread team of an
+    // OpenMP-off build) still covers every partition of the wave.
+    size_t Team = static_cast<size_t>(omp_get_num_threads());
     for (size_t W = 0; W < S.Waves.size(); ++W) {
       const auto &Wave = S.Waves[W];
       std::optional<obs::Span> Sp = waveSpan(T, W, Wave);
-      if (T < static_cast<int>(Wave.size()))
-        for (int Node : Wave[static_cast<size_t>(T)])
+      for (size_t P = static_cast<size_t>(T); P < Wave.size(); P += Team)
+        for (int Node : Wave[P])
           Body(Node);
+#ifdef _OPENMP
 #pragma omp barrier
+#endif
     }
   }
 }
@@ -299,7 +308,9 @@ void forwardSolveCSCWavefront(const CSCMatrix &L, const std::vector<double> &B,
       double Delta = L.Val[static_cast<size_t>(P)] * XJ;
       // Updates to later rows may race with other columns in this wave;
       // they commute, so an atomic subtraction suffices.
+#ifdef _OPENMP
 #pragma omp atomic
+#endif
       XP[L.RowIdx[static_cast<size_t>(P)]] -= Delta;
     }
   });
@@ -340,16 +351,23 @@ void leftCholeskyCSCWavefront(CSCMatrix &L, const WavefrontSchedule &S) {
   std::vector<std::vector<double>> W(
       static_cast<size_t>(NumThreads),
       std::vector<double>(static_cast<size_t>(L.N), 0.0));
+#ifdef _OPENMP
 #pragma omp parallel num_threads(NumThreads)
+#endif
   {
     int T = omp_get_thread_num();
+    // Strided like runSchedule: a one-thread team (OpenMP-off build)
+    // walks every partition; the gather buffer is per *executing* thread.
+    size_t Team = static_cast<size_t>(omp_get_num_threads());
     for (size_t WaveI = 0; WaveI < S.Waves.size(); ++WaveI) {
       const auto &Wave = S.Waves[WaveI];
       std::optional<obs::Span> Sp = waveSpan(T, WaveI, Wave);
-      if (T < static_cast<int>(Wave.size()))
-        for (int J : Wave[static_cast<size_t>(T)])
+      for (size_t P = static_cast<size_t>(T); P < Wave.size(); P += Team)
+        for (int J : Wave[P])
           leftCholColumn(L, AVal, Rows, J, W[static_cast<size_t>(T)]);
+#ifdef _OPENMP
 #pragma omp barrier
+#endif
     }
   }
 }

@@ -9,7 +9,7 @@
 #include "sds/obs/Trace.h"
 
 #include <gtest/gtest.h>
-#include <omp.h>
+#include "sds/support/OMP.h"
 
 #include <thread>
 
@@ -45,11 +45,17 @@ TEST_F(ObsTest, CounterAtomicityUnderOpenMP) {
   obs::Counter &C = obs::counter("test.atomic");
   const int Iters = 20000;
   int Threads = 0;
+#ifdef _OPENMP
 #pragma omp parallel
+#endif
   {
+#ifdef _OPENMP
 #pragma omp single
+#endif
     Threads = omp_get_num_threads();
+#ifdef _OPENMP
 #pragma omp for
+#endif
     for (int I = 0; I < Iters; ++I)
       C.add();
   }

@@ -430,13 +430,16 @@ TEST(QueryCache, PermutedConstraintOrderSharesEntry) {
 }
 
 TEST(QueryCache, SubsetQueriesCachedSeparatelyFromEmptiness) {
+  // The containment must need actual reasoning: row-wise implied pairs are
+  // answered by the syntactic prefilter before the cache is consulted.
   clearQueryCache();
-  BasicSet Small(1);
-  Small.addInequality(row({1, -2}));  // x >= 2
-  Small.addInequality(row({-1, 4}));  // x <= 4
-  BasicSet Big(1);
-  Big.addInequality(row({1, 0}));     // x >= 0
-  Big.addInequality(row({-1, 10}));   // x <= 10
+  BasicSet Small(2);
+  Small.addInequality(row({1, 0, 0}));   // x >= 0
+  Small.addInequality(row({0, 1, 0}));   // y >= 0
+  Small.addInequality(row({-1, 0, 2}));  // x <= 2
+  Small.addInequality(row({0, -1, 2}));  // y <= 2
+  BasicSet Big(2);
+  Big.addInequality(row({-1, -1, 10})); // x + y <= 10
   Ternary V1 = Small.isSubsetOf(Big);
   EXPECT_EQ(V1, Ternary::True);
   QueryCacheStats Mid = queryCacheStats();

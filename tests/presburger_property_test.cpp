@@ -201,3 +201,124 @@ TEST(BasicSetEdge, LargeCoefficientsNormalize) {
   ASSERT_TRUE(S.normalize());
   EXPECT_EQ(S.inequalities()[0], (std::vector<int64_t>{1, -3}));
 }
+
+//===----------------------------------------------------------------------===//
+// Prefilter ladder differential tests
+//===----------------------------------------------------------------------===//
+//
+// The emptiness prefilters (GCD row rejection, conflicting equalities,
+// interval propagation) may only ever strengthen Unknown into a *proven*
+// True; a single over-eager rejection would silently drop a real
+// dependence. Cross-validate ~1k random systems three ways: prefilter
+// verdict vs the full solver vs brute-force box enumeration.
+
+namespace {
+
+BasicSet randomMixedSet(std::mt19937 &Rng, unsigned NumVars) {
+  // Wider generation than randomBoxedSet: scaled rows (GCD fodder),
+  // duplicate-lhs equalities (conflict fodder), and plain random rows
+  // whose single-variable bounds often cross (interval fodder).
+  std::uniform_int_distribution<int> Coef(-3, 3);
+  std::uniform_int_distribution<int> Cst(-6, 6);
+  std::uniform_int_distribution<int> Scale(1, 3);
+  std::uniform_int_distribution<int> NumRows(2, 6);
+  std::uniform_int_distribution<int> Kind(0, 5);
+  BasicSet S(NumVars);
+  int Rows = NumRows(Rng);
+  std::vector<int64_t> Prev;
+  for (int R = 0; R < Rows; ++R) {
+    std::vector<int64_t> Row(NumVars + 1);
+    for (unsigned J = 0; J <= NumVars; ++J)
+      Row[J] = Coef(Rng);
+    Row[NumVars] = Cst(Rng);
+    int K = Kind(Rng);
+    if (K == 0) {
+      // Scaled copy with an off-lattice constant: GCD-infeasible iff the
+      // variable part is nonzero and the constant misses the lattice.
+      int64_t M = Scale(Rng) + 1;
+      for (unsigned J = 0; J < NumVars; ++J)
+        Row[J] *= M;
+      S.addEquality(Row);
+    } else if (K == 1 && !Prev.empty()) {
+      // Same variable part as an earlier equality, different constant.
+      std::vector<int64_t> Dup = Prev;
+      Dup[NumVars] = Cst(Rng);
+      S.addEquality(Dup);
+    } else if (K == 2) {
+      S.addEquality(Row);
+      Prev = Row;
+    } else {
+      S.addInequality(Row);
+    }
+  }
+  return S;
+}
+
+} // namespace
+
+TEST(Prefilter, NeverReturnsFalse) {
+  std::mt19937 Rng(97);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    BasicSet S = randomMixedSet(Rng, 3);
+    EXPECT_NE(prefilterEmptiness(S), Ternary::False);
+  }
+}
+
+TEST(Prefilter, RejectionsAgreeWithFullSolver) {
+  // ~1k systems: whenever the ladder says True (proven empty), the full
+  // Simplex/branch-and-bound pipeline must agree.
+  std::mt19937 Rng(1234);
+  unsigned Rejected = 0;
+  for (int Trial = 0; Trial < 1000; ++Trial) {
+    BasicSet S = randomMixedSet(Rng, 3);
+    Ternary PF = prefilterEmptiness(S);
+    if (PF != Ternary::True)
+      continue;
+    ++Rejected;
+    clearQueryCache(); // force a fresh full solve
+    EXPECT_EQ(S.isEmpty(/*NodeBudget=*/256), Ternary::True)
+        << "prefilter wrongly rejected " << S.str();
+  }
+  // The generator is tuned so a meaningful share actually exercises the
+  // ladder; if this drops to ~0 the test is vacuously green.
+  EXPECT_GE(Rejected, 50u);
+}
+
+TEST(Prefilter, RejectionsAgreeWithBruteForce) {
+  // Bounded sets: a prefilter-True system must contain no lattice point
+  // in the enumeration box (which covers the whole set, being boxed).
+  std::mt19937 Rng(5678);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    BasicSet S = randomBoxedSet(Rng, 3, 2, 4);
+    if (prefilterEmptiness(S) != Ternary::True)
+      continue;
+    EXPECT_TRUE(enumerateBox(S, 2).empty())
+        << "prefilter wrongly rejected " << S.str();
+  }
+}
+
+TEST(Prefilter, CountersAttributeRejections) {
+  clearQueryCache();
+  PrefilterStats Z = prefilterStats();
+  EXPECT_EQ(Z.rejects(), 0u);
+  // GCD: 2x == 1 has no integer solution.
+  BasicSet G(1);
+  G.addEquality({2, -1});
+  EXPECT_EQ(G.isEmpty(), Ternary::True);
+  // Equality conflict: x == 1 and x == 2.
+  BasicSet E(1);
+  E.addEquality({1, -1});
+  E.addEquality({1, -2});
+  EXPECT_EQ(E.isEmpty(), Ternary::True);
+  // Interval conflict: x >= 3 and x <= 1.
+  BasicSet I(1);
+  I.addInequality({1, -3});
+  I.addInequality({-1, 1});
+  EXPECT_EQ(I.isEmpty(), Ternary::True);
+  PrefilterStats St = prefilterStats();
+  EXPECT_GE(St.GcdRejects, 1u);
+  EXPECT_GE(St.EqConflictRejects + St.IntervalRejects, 2u);
+  EXPECT_EQ(St.rejects(), 3u);
+  clearQueryCache();
+  EXPECT_EQ(prefilterStats().rejects(), 0u);
+}
