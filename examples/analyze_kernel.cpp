@@ -26,6 +26,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sds/driver/Driver.h"
+#include "sds/guard/Guarded.h"
 #include "sds/obs/Export.h"
 #include "sds/obs/Trace.h"
 #include "sds/support/JSON.h"
@@ -58,8 +59,13 @@ std::map<std::string, kernels::Kernel> kernelsByKey() {
 /// contains inspector and wavefront-execution spans, not just the
 /// compile-time pipeline. Which arrays get bound and which executor runs
 /// depends on the kernel's storage format.
+struct GuardFlags {
+  guard::GuardMode Mode = guard::GuardMode::Off;
+  bool Validate = false;
+};
+
 void runTraced(const std::string &Key, const deps::PipelineResult &R, int N,
-               int Threads) {
+               int Threads, const GuardFlags &GF) {
   rt::CSRMatrix A = rt::generateSPDLike({N, 6, 12, 21});
 
   codegen::UFEnvironment Env;
@@ -85,9 +91,21 @@ void runTraced(const std::string &Key, const deps::PipelineResult &R, int N,
     return;
   }
 
-  driver::InspectorOptions IOpts;
-  IOpts.NumThreads = Threads;
-  driver::InspectionResult Insp = driver::runInspectors(R, Env, A.N, IOpts);
+  if (GF.Validate) {
+    guard::ValidationReport VR =
+        guard::validateProperties(R.Kernel.Properties, Env);
+    std::printf("validation (%.3f ms): %s\n%s", VR.Seconds * 1e3,
+                VR.summary().c_str(), VR.str().c_str());
+  }
+
+  guard::GuardedOptions GOpts;
+  GOpts.Mode = GF.Mode;
+  GOpts.Inspect.NumThreads = Threads;
+  guard::GuardedResult G =
+      guard::runGuarded(R, R.Kernel.Properties, Env, A.N, GOpts);
+  if (GF.Mode != guard::GuardMode::Off)
+    std::printf("%s\n", G.summary().c_str());
+  const driver::InspectionResult &Insp = G.Inspection;
   std::printf("inspection: %u inspectors, %llu visits, %llu edges, %.3f ms\n",
               Insp.NumInspectors,
               static_cast<unsigned long long>(Insp.InspectorVisits),
@@ -119,10 +137,11 @@ void runTraced(const std::string &Key, const deps::PipelineResult &R, int N,
 }
 
 void analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
-                int N, int Threads) {
+                int N, int Threads, double BudgetMs, const GuardFlags &GF) {
   std::printf("=== %s ===\n%s\n", K.Name.c_str(), K.str().c_str());
   deps::PipelineOptions POpts;
   POpts.NumThreads = Threads; // same flag drives analysis and inspectors
+  POpts.AnalysisBudgetMs = BudgetMs;
   deps::PipelineResult R = deps::analyzeKernel(K, POpts);
   std::printf("%s\n", R.summary().c_str());
   for (const deps::AnalyzedDependence &D : R.Deps) {
@@ -132,7 +151,7 @@ void analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
                 D.Plan.emitC("inspect").c_str());
   }
   if (Traced)
-    runTraced(Key, R, N, Threads);
+    runTraced(Key, R, N, Threads, GF);
 }
 
 } // namespace
@@ -142,6 +161,8 @@ int main(int argc, char **argv) {
   bool Stats = false;
   int N = 200;
   int Threads = omp_get_max_threads();
+  double BudgetMs = 0;
+  GuardFlags GF;
   std::vector<std::string> Positional;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -149,6 +170,21 @@ int main(int argc, char **argv) {
       TracePath = argv[++I];
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--validate") {
+      GF.Validate = true;
+    } else if (Arg.rfind("--guard=", 0) == 0) {
+      auto M = guard::parseGuardMode(Arg.substr(8));
+      if (!M) {
+        std::fprintf(stderr, "--guard expects off|warn|fallback\n");
+        return 1;
+      }
+      GF.Mode = *M;
+    } else if (Arg == "--budget-ms" && I + 1 < argc) {
+      BudgetMs = std::atof(argv[++I]);
+      if (BudgetMs < 0) {
+        std::fprintf(stderr, "--budget-ms must be >= 0\n");
+        return 1;
+      }
     } else if (Arg == "--n" && I + 1 < argc) {
       N = std::atoi(argv[++I]);
       if (N < 4) {
@@ -170,6 +206,7 @@ int main(int argc, char **argv) {
   if (Positional.empty()) {
     std::printf(
         "usage: %s [--trace out.json] [--stats] [--n N] [--threads N] "
+        "[--validate] [--guard=off|warn|fallback] [--budget-ms MS] "
         "<kernel|all> [properties.json]\nkernels:\n",
         argv[0]);
     for (const auto &[Key, K] : Kernels)
@@ -177,14 +214,17 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  bool Traced = !TracePath.empty() || Stats;
-  if (Traced)
+  // --validate and --guard need bound arrays, so they imply the runtime
+  // (traced) half; guard decisions then show up in --stats counters.
+  bool Traced = !TracePath.empty() || Stats || GF.Validate ||
+                GF.Mode != guard::GuardMode::Off;
+  if (!TracePath.empty() || Stats)
     obs::setEnabled(true);
 
   std::string Which = Positional[0];
   if (Which == "all") {
     for (auto &[Key, K] : Kernels)
-      analyzeOne(Key, K, Traced, N, Threads);
+      analyzeOne(Key, K, Traced, N, Threads, BudgetMs, GF);
   } else {
     auto It = Kernels.find(Which);
     if (It == Kernels.end()) {
@@ -220,7 +260,7 @@ int main(int argc, char **argv) {
       std::printf("(using index-array properties from %s)\n", Path.c_str());
     }
 
-    analyzeOne(Which, K, Traced, N, Threads);
+    analyzeOne(Which, K, Traced, N, Threads, BudgetMs, GF);
   }
 
   if (Stats)

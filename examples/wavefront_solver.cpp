@@ -11,13 +11,21 @@
 //   wavefront_solver path/to/A.mtx    # your matrix (general or symmetric)
 //   SDS_THREADS=8 wavefront_solver    # executor thread count
 //
+// Robustness flags (sds::guard):
+//   --validate            print the property-validation report
+//   --guard=off|warn|fallback   what to do when validation fails
+//                         (default fallback: run unsimplified inspectors)
+//   --budget-ms MS        wall-clock budget for the compile-time analysis
+//
 //===----------------------------------------------------------------------===//
 
 #include "sds/driver/Driver.h"
+#include "sds/guard/Guarded.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "sds/support/OMP.h"
 
@@ -35,15 +43,45 @@ double now() {
 } // namespace
 
 int main(int argc, char **argv) {
+  guard::GuardMode Mode = guard::GuardMode::Fallback;
+  bool Validate = false;
+  double BudgetMs = 0;
+  std::string MtxPath;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--validate") {
+      Validate = true;
+    } else if (Arg.rfind("--guard=", 0) == 0) {
+      auto M = guard::parseGuardMode(Arg.substr(8));
+      if (!M) {
+        std::fprintf(stderr, "--guard expects off|warn|fallback\n");
+        return 1;
+      }
+      Mode = *M;
+    } else if (Arg == "--budget-ms" && I + 1 < argc) {
+      BudgetMs = std::atof(argv[++I]);
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--validate] [--guard=off|warn|fallback] "
+                   "[--budget-ms MS] [A.mtx]\n",
+                   argv[0]);
+      return 1;
+    } else {
+      MtxPath = Arg;
+    }
+  }
+
   // -- Input matrix. -------------------------------------------------------
   CSRMatrix Full;
-  if (argc > 1) {
-    std::string Error;
-    if (!readMatrixMarket(argv[1], Full, Error)) {
-      std::fprintf(stderr, "%s: %s\n", argv[1], Error.c_str());
+  if (!MtxPath.empty()) {
+    support::Status St = loadMatrixMarket(MtxPath, Full);
+    if (!St.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   St.withContext("load '" + MtxPath + "'").str().c_str());
       return 1;
     }
-    std::printf("Loaded %s: n=%d nnz=%d\n", argv[1], Full.N, Full.nnz());
+    std::printf("Loaded %s: n=%d nnz=%d\n", MtxPath.c_str(), Full.N,
+                Full.nnz());
   } else {
     Full = generateFromProfile(table4Profiles()[0], /*Scale=*/0.02);
     std::printf("Synthetic af_shell3 profile: n=%d nnz=%d\n", Full.N,
@@ -60,15 +98,28 @@ int main(int argc, char **argv) {
 
   // -- Compile-time analysis (once per kernel, matrix-independent). --------
   double T0 = now();
-  deps::PipelineResult Analysis =
-      deps::analyzeKernel(kernels::forwardSolveCSC());
+  kernels::Kernel K = kernels::forwardSolveCSC();
+  deps::PipelineOptions POpts;
+  POpts.AnalysisBudgetMs = BudgetMs;
+  deps::PipelineResult Analysis = deps::analyzeKernel(K, POpts);
   std::printf("analysis: %.2fs, %u runtime check(s)\n", now() - T0,
               Analysis.count(deps::DepStatus::Runtime));
 
-  // -- Inspector (once per matrix). ----------------------------------------
+  // -- Inspector (once per matrix), guarded by property validation. --------
   codegen::UFEnvironment Env = driver::bindCSC(L);
+  if (Validate) {
+    guard::ValidationReport VR = guard::validateProperties(K.Properties, Env);
+    std::printf("validation (%.3f ms): %s\n%s", VR.Seconds * 1e3,
+                VR.summary().c_str(), VR.str().c_str());
+  }
   T0 = now();
-  driver::InspectionResult Insp = driver::runInspectors(Analysis, Env, L.N);
+  guard::GuardedOptions GOpts;
+  GOpts.Mode = Mode;
+  guard::GuardedResult G = guard::runGuarded(Analysis, K.Properties, Env,
+                                             L.N, GOpts);
+  if (Mode != guard::GuardMode::Off)
+    std::printf("%s\n", G.summary().c_str());
+  const driver::InspectionResult &Insp = G.Inspection;
   LBCConfig C;
   C.NumThreads = Threads;
   C.MinWorkPerThread = 256;

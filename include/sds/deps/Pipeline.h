@@ -67,6 +67,16 @@ struct PipelineOptions {
   /// still costlier than the kernel down to the kernel's own complexity
   /// (its inspector then reports a superset of the true dependences).
   bool ApproximateExpensive = false;
+  /// Per-kernel wall-clock budget for the whole analysis, in
+  /// milliseconds; 0 disables. Past the deadline every undecided
+  /// Presburger query answers Unknown and the remaining proof stages are
+  /// skipped, so each still-open dependence is *kept* with a runtime
+  /// inspector (provenance stage "budget-exhausted"). Exhaustion is
+  /// strictly conservative — a dependence can gain an inspector it did
+  /// not need, never lose one it did — but which dependences are affected
+  /// depends on timing, so the bit-identical determinism guarantees above
+  /// hold only with the budget disabled (the default).
+  double AnalysisBudgetMs = 0;
   /// Worker threads for the per-dependence fan-out (affine/property
   /// refutation and equality discovery run concurrently across
   /// dependences; extraction, subsumption, and codegen stay ordered

@@ -1,0 +1,115 @@
+//===- FaultInjection.h - Index-array corruption harness --------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Deliberately corrupts the index arrays of a bound environment and checks
+// the guard's end-to-end contract: every corruption is either *detected*
+// by property validation or *harmless* (the schedule derived from the
+// simplified inspectors still respects the baseline dependence graph of
+// the corrupted input). A trial where neither holds is a silent wrong
+// schedule — the failure class this subsystem exists to rule out.
+//
+// Corruptions are deterministic (seed-derived positions, no global RNG)
+// so any failing trial replays exactly. Injected out-of-range values are
+// always *positive*: a huge negative value in a pointer array would turn
+// inspector loop lower bounds into ~-2^60 and the trial into an effective
+// hang rather than a verdict.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_GUARD_FAULT_INJECTION_H
+#define SDS_GUARD_FAULT_INJECTION_H
+
+#include "sds/guard/Guarded.h"
+
+#include <string>
+#include <vector>
+
+namespace sds {
+namespace guard {
+
+/// The corruption classes applied to one array.
+enum class FaultKind {
+  SwapAdjacent,  ///< swap two adjacent entries (breaks sortedness)
+  SwapDistant,   ///< swap two entries far apart
+  DuplicateEntry,///< overwrite an entry with its neighbour's value
+  OffByOne,      ///< increment one entry
+  OutOfRange,    ///< set one entry to a large positive out-of-range value
+  Truncate,      ///< drop the trailing entries (short read / bad nnz)
+};
+
+const char *faultKindName(FaultKind K);
+
+/// All kinds, in declaration order (the campaign iterates this).
+std::vector<FaultKind> allFaultKinds();
+
+/// One planned corruption: which array, what kind, and a seed that
+/// deterministically picks the position(s).
+struct FaultSpec {
+  std::string Array;
+  FaultKind Kind;
+  uint64_t Seed = 0;
+};
+
+/// Apply `S` to a copy of `Env`. `Desc` receives a human-readable record
+/// of what changed (e.g. "col[17] 3 -> 9"). Returns false when the fault
+/// could not change the data (array too small, swap of equal values...);
+/// the environment copy is then unchanged.
+bool injectFault(const codegen::UFEnvironment &Env, const FaultSpec &S,
+                 codegen::UFEnvironment &Out, std::string &Desc);
+
+/// Outcome of one injected-fault trial.
+struct FaultTrial {
+  FaultSpec Spec;
+  std::string Description; ///< what was corrupted
+  bool Injected = false;   ///< the fault actually altered data
+  bool Detected = false;   ///< validation reported non-trusted
+  bool StillCorrect = false; ///< simplified-graph schedule respects baseline
+  double Seconds = 0;
+
+  /// The contract violation: data changed, validation passed, and the
+  /// schedule breaks real dependences.
+  bool silentWrong() const { return Injected && !Detected && !StillCorrect; }
+
+  std::string str() const;
+};
+
+/// Run one trial: inject, validate, and — when undetected — cross-check
+/// the simplified inspectors' schedule against the baseline inspectors on
+/// the corrupted arrays. `N` is the outer iteration count (as for
+/// runInspectors); `Threads` sizes both inspector runs and the schedule.
+FaultTrial runFaultTrial(const deps::PipelineResult &Analysis,
+                         const ir::PropertySet &PS,
+                         const codegen::UFEnvironment &Env, int N,
+                         const FaultSpec &S, int Threads = 1);
+
+/// Enumerate the full campaign for an environment: every bound span array
+/// crossed with every fault kind, `SeedsPerPair` seeds each.
+std::vector<FaultSpec> faultCampaign(const codegen::UFEnvironment &Env,
+                                     unsigned SeedsPerPair = 1);
+
+/// Aggregate of a campaign run.
+struct CampaignResult {
+  std::vector<FaultTrial> Trials;
+
+  unsigned injected() const;
+  unsigned detected() const;
+  unsigned tolerated() const; ///< injected, undetected, but still correct
+  unsigned silentWrong() const;
+
+  std::string summary() const;
+};
+
+/// Run every spec of a campaign against one analyzed kernel.
+CampaignResult runCampaign(const deps::PipelineResult &Analysis,
+                           const ir::PropertySet &PS,
+                           const codegen::UFEnvironment &Env, int N,
+                           const std::vector<FaultSpec> &Specs,
+                           int Threads = 1);
+
+} // namespace guard
+} // namespace sds
+
+#endif // SDS_GUARD_FAULT_INJECTION_H

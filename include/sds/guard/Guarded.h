@@ -1,0 +1,107 @@
+//===- Guarded.h - Validated inspector execution with fallback --*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The fail-safe execution wrapper around the inspector-executor flow. The
+// simplified inspectors are only as sound as the index-array properties
+// they were derived from, so before trusting them on a concrete matrix:
+//
+//   1. validate every declared property against the bound arrays
+//      (Validate.h — O(n + nnz) direct checks);
+//   2. if validation does not fully pass, either warn or fall back to the
+//      *unsimplified* baseline inspectors, which are correct by
+//      construction: each is generated from the original dependence
+//      relation and uses no property knowledge (affine-unsat refutations
+//      stay excluded — they hold for arbitrary array contents);
+//   3. optionally cross-check (verify mode) the wavefront schedule built
+//      from the graph in use against the baseline dependence graph.
+//
+// The contract: with guarding on, a corrupted matrix yields either a
+// detected violation or a schedule identical in safety to the baseline —
+// never a silently wrong parallel execution. Decisions are recorded in
+// sds::obs counters ("guard.*") so stats/trace exports show what happened.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_GUARD_GUARDED_H
+#define SDS_GUARD_GUARDED_H
+
+#include "sds/driver/Driver.h"
+#include "sds/guard/Validate.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sds {
+namespace guard {
+
+/// What the guard does when validation does not fully pass.
+enum class GuardMode {
+  Off,      ///< no validation; trust the simplified inspectors blindly
+  Warn,     ///< validate and report, but still run simplified inspectors
+  Fallback, ///< validate; on any non-Pass check run baseline inspectors
+};
+
+const char *guardModeName(GuardMode M);
+/// Parse "off" / "warn" / "fallback" (the --guard= flag values).
+std::optional<GuardMode> parseGuardMode(std::string_view S);
+
+/// Knobs for one guarded inspection.
+struct GuardedOptions {
+  GuardMode Mode = GuardMode::Fallback;
+  driver::InspectorOptions Inspect; ///< thread count for the inspector fleet
+  /// Cross-check the schedule derived from the graph in use against the
+  /// baseline (unsimplified) dependence graph. Costs a full baseline
+  /// inspection, so it is gated on N <= VerifyMaxN.
+  bool Verify = false;
+  int VerifyMaxN = 1 << 14;
+  /// Threads assumed when building the verification schedule.
+  int VerifyThreads = 4;
+};
+
+/// Outcome of one guarded inspection. `Inspection` holds the graph the
+/// caller should use (simplified or baseline, per the guard's decision).
+struct GuardedResult {
+  explicit GuardedResult(int N) : Inspection(N) {}
+
+  ValidationReport Report; ///< empty when Mode == Off
+  bool Validated = false;  ///< validation ran
+  bool Trusted = false;    ///< every check passed (or Mode == Off)
+  bool UsedFallback = false;
+
+  driver::InspectionResult Inspection;
+
+  bool Verified = false;     ///< the cross-check ran
+  bool VerifyPassed = true;  ///< schedule respects the baseline graph
+  std::string VerifyDetail;
+
+  double Seconds = 0;
+
+  /// One-line outcome, e.g. "guard: 7 checks, 1 fail
+  /// (periodic_monotonic(col)) -> baseline fallback (verify: pass)".
+  std::string summary() const;
+};
+
+/// Rebuild the analysis with every simplification undone: each dependence
+/// that reached a runtime test — or was discarded by property knowledge or
+/// subsumption — gets an inspector plan generated from its *original*
+/// relation. Only affine-unsat refutations survive, since they hold for
+/// arbitrary index-array contents. This is the correct-by-construction
+/// reference the guard falls back to and verifies against.
+deps::PipelineResult baselineAnalysis(const deps::PipelineResult &Analysis);
+
+/// Run inspectors with validation, fallback, and optional verification as
+/// configured. `PS` must be the property set the analysis was performed
+/// with (kernels::Kernel::Properties); `Env`/`N` as for runInspectors.
+GuardedResult runGuarded(const deps::PipelineResult &Analysis,
+                         const ir::PropertySet &PS,
+                         const codegen::UFEnvironment &Env, int N,
+                         const GuardedOptions &Opts = {});
+
+} // namespace guard
+} // namespace sds
+
+#endif // SDS_GUARD_GUARDED_H

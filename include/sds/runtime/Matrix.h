@@ -19,6 +19,8 @@
 #ifndef SDS_RUNTIME_MATRIX_H
 #define SDS_RUNTIME_MATRIX_H
 
+#include "sds/support/Status.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -103,12 +105,20 @@ CSRMatrix generateFromProfile(const MatrixProfile &P, double Scale,
 // Matrix Market I/O
 //===----------------------------------------------------------------------===//
 
-/// Read a (general or symmetric) real MatrixMarket coordinate file into
-/// CSR. Returns false and fills `Error` on malformed input.
-bool readMatrixMarket(const std::string &Path, CSRMatrix &Out,
-                      std::string &Error);
+/// Read a (general or symmetric) real/integer/pattern MatrixMarket
+/// coordinate file into CSR. Rejects — with a line-numbered message —
+/// out-of-range and duplicate coordinates, truncated entry lists, entry
+/// counts that overflow the int-based storage, non-square shapes, and
+/// malformed banners; handles CRLF endings and banner case variants.
+support::Status loadMatrixMarket(const std::string &Path, CSRMatrix &Out);
 
 /// Write CSR as a general real coordinate MatrixMarket file.
+support::Status saveMatrixMarket(const std::string &Path,
+                                 const CSRMatrix &A);
+
+/// Legacy `bool + Error&` wrappers around the Status entry points.
+bool readMatrixMarket(const std::string &Path, CSRMatrix &Out,
+                      std::string &Error);
 bool writeMatrixMarket(const std::string &Path, const CSRMatrix &A,
                        std::string &Error);
 

@@ -21,9 +21,17 @@
 //
 // Out-of-range array probes are possible by construction: a guard may
 // index one past a segment while a *sibling* guard of the same conjunction
-// is false. Span probes bounds-check inline and yield the OutOfRange
-// sentinel, the evaluator turns it into "poison", and poisoned
-// guards/bounds simply fail.
+// is false, and equality discovery composes functions past their declared
+// domains (colptr(k) for an nnz-scale k, say). Span probes bounds-check
+// inline and yield the OutOfRange sentinel, which the evaluator turns
+// into "poison". Poison semantics are asymmetric by soundness direction:
+// a poisoned *guard* PASSES — the constraint is unevaluable, and pruning
+// on it would under-approximate the dependence graph (a missing edge is a
+// wrong schedule, an extra edge is merely a slower one); the instance
+// survives to be pruned by its evaluable sibling constraints. Poisoned
+// *bounds* and *solved variables* skip the subtree — there is no value to
+// iterate or substitute, and loop positions come from the relation's own
+// range constraints, which in-domain data keeps evaluable.
 //
 //===----------------------------------------------------------------------===//
 
@@ -248,7 +256,9 @@ private:
     for (const CGuard &G : V.Guards) {
       bool Poison = false;
       int64_t X = eval(S, G.ExprIdx, Poison);
-      if (Poison || (G.IsEq ? (X != 0) : (X < 0)))
+      if (Poison)
+        continue; // unevaluable guard: keep the instance (see file header)
+      if (G.IsEq ? (X != 0) : (X < 0))
         return false;
     }
     return true;

@@ -9,6 +9,7 @@
 #include "sds/codegen/Approximate.h"
 #include "sds/ir/SubsetDetection.h"
 #include "sds/obs/Trace.h"
+#include "sds/presburger/Budget.h"
 #include "sds/support/JSON.h"
 #include "sds/support/OMP.h"
 
@@ -71,7 +72,24 @@ std::vector<std::string> dedupeLabels(const std::vector<std::string> &In) {
 /// `Seconds` (the caller merges per-dependence maps in relation order).
 void analyzeOneDependence(AnalyzedDependence &AD, const kernels::Kernel &K,
                           const PipelineOptions &Opts,
-                          std::map<std::string, double> &Seconds) {
+                          std::map<std::string, double> &Seconds,
+                          uint64_t DeadlineNs) {
+  // Install the per-kernel analysis deadline on this worker thread: every
+  // Presburger query below answers Unknown once it passes, which keeps
+  // the dependence. notedBudget marks the provenance once.
+  presburger::ScopedDeadline Deadline(DeadlineNs);
+  static obs::Counter &BudgetHits = obs::counter("pipeline.budget_exhausted");
+  bool BudgetNoted = false;
+  auto BudgetExpired = [&] {
+    if (!presburger::deadlineExpired())
+      return false;
+    if (!BudgetNoted) {
+      BudgetNoted = true;
+      BudgetHits.add();
+      AD.Prov.addEvidence("analysis budget exhausted; kept conservatively");
+    }
+    return true;
+  };
   // Step 2: affine consistency (no domain knowledge).
   {
     StageScope Sc(Seconds, "affine_unsat");
@@ -90,7 +108,8 @@ void analyzeOneDependence(AnalyzedDependence &AD, const kernels::Kernel &K,
   // Step 3: property-based unsatisfiability (§2.2/§4.2). Syntactic
   // phase-1 instantiation plus phase-2 disjunctions suffice here;
   // semantic entailment probes only pay off for equality discovery.
-  if (Opts.UseProperties) {
+  // Skipped entirely once the budget is gone: unprovable == kept.
+  if (Opts.UseProperties && !BudgetExpired()) {
     StageScope Sc(Seconds, "property_unsat");
     Sc.span().tag("dep", AD.Dep.label());
     ir::SimplifyOptions UnsatOpts = Opts.Simp;
@@ -110,7 +129,7 @@ void analyzeOneDependence(AnalyzedDependence &AD, const kernels::Kernel &K,
     Sc.span().tag("dep", AD.Dep.label());
     AD.Simplified = AD.Dep.Rel;
     AD.CostBefore = codegen::buildInspectorPlan(AD.Dep.Rel).Cost;
-    if (Opts.UseEqualities) {
+    if (Opts.UseEqualities && !BudgetExpired()) {
       // Equality discovery is where the semantic probes earn their keep;
       // give them a generous budget.
       ir::SimplifyOptions EqOpts = Opts.Simp;
@@ -127,7 +146,7 @@ void analyzeOneDependence(AnalyzedDependence &AD, const kernels::Kernel &K,
     AD.CostAfter = codegen::buildInspectorPlan(AD.Simplified).Cost;
     AD.Status = DepStatus::Runtime;
     if (AD.Prov.Stage.empty())
-      AD.Prov.Stage = "runtime";
+      AD.Prov.Stage = BudgetNoted ? "budget-exhausted" : "runtime";
     AD.Prov.Seconds = Sc.seconds();
   }
 }
@@ -277,16 +296,22 @@ PipelineResult analyzeKernel(const kernels::Kernel &K,
   if (static_cast<size_t>(NT) > Res.Deps.size())
     NT = static_cast<int>(std::max<size_t>(1, Res.Deps.size()));
   Total.tag("threads", static_cast<int64_t>(NT));
+  // One absolute deadline shared by every stage and worker thread; 0
+  // disables. Each analysis task re-installs it thread-locally.
+  uint64_t DeadlineNs =
+      Opts.AnalysisBudgetMs > 0
+          ? presburger::ScopedDeadline::fromNow(Opts.AnalysisBudgetMs * 1e-3)
+          : 0;
   if (NT <= 1) {
     for (AnalyzedDependence &AD : Res.Deps)
-      analyzeOneDependence(AD, K, Opts, Res.StageSeconds);
+      analyzeOneDependence(AD, K, Opts, Res.StageSeconds, DeadlineNs);
   } else {
     std::vector<std::map<std::string, double>> DepSeconds(Res.Deps.size());
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic) num_threads(NT)
 #endif
     for (size_t I = 0; I < Res.Deps.size(); ++I)
-      analyzeOneDependence(Res.Deps[I], K, Opts, DepSeconds[I]);
+      analyzeOneDependence(Res.Deps[I], K, Opts, DepSeconds[I], DeadlineNs);
     for (const auto &M : DepSeconds)
       for (const auto &[Stage, Seconds] : M)
         Res.StageSeconds[Stage] += Seconds;
@@ -300,6 +325,9 @@ PipelineResult analyzeKernel(const kernels::Kernel &K,
   // reproduced output.
   if (Opts.UseSubsets) {
     StageScope Sc(Res.StageSeconds, "subsumption");
+    // The sweep honors the same deadline: stopping early keeps more
+    // runtime checks alive, which is the conservative direction.
+    presburger::ScopedDeadline Deadline(DeadlineNs);
     static obs::Counter &SigPruned =
         obs::counter("pipeline.subsume_sig_prune");
     // Pairs whose relations differ in input tuple or first output
@@ -314,7 +342,7 @@ PipelineResult analyzeKernel(const kernels::Kernel &K,
     }
     unsigned Discarded = 0;
     bool Changed = true;
-    while (Changed) {
+    while (Changed && !presburger::deadlineExpired()) {
       Changed = false;
       for (size_t CI = 0; CI < Res.Deps.size(); ++CI) {
         AnalyzedDependence &Cand = Res.Deps[CI];
@@ -370,6 +398,21 @@ PipelineResult analyzeKernel(const kernels::Kernel &K,
         }
       }
       AD.Plan = codegen::buildInspectorPlan(AD.Simplified);
+      if (!AD.Plan.Valid) {
+        // Graceful fallback: a runtime dependence must never lose its
+        // inspector to an unschedulable simplified relation — that would
+        // silently drop edges. Plan the original relation instead and
+        // keep its (worse) cost honest in the report.
+        static obs::Counter &PlanFallbacks =
+            obs::counter("pipeline.plan_fallback_original");
+        PlanFallbacks.add(1);
+        AD.Prov.addEvidence("simplified relation unschedulable (" +
+                            AD.Plan.WhyInvalid +
+                            "); inspector planned from original relation");
+        AD.Plan = codegen::buildInspectorPlan(AD.Dep.Rel);
+        AD.CostAfter = AD.Plan.Valid ? AD.Plan.Cost
+                                     : codegen::Complexity{127, 127};
+      }
     }
   }
 

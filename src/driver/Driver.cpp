@@ -76,8 +76,18 @@ InspectionResult runInspectors(const deps::PipelineResult &Analysis,
   std::vector<const deps::AnalyzedDependence *> Deps;
   std::vector<codegen::CompiledInspector> Compiled;
   for (const deps::AnalyzedDependence &D : Analysis.Deps) {
-    if (D.Status != deps::DepStatus::Runtime || !D.Plan.Valid)
+    if (D.Status != deps::DepStatus::Runtime)
       continue;
+    if (!D.Plan.Valid) {
+      // The pipeline falls back to planning the original relation, so an
+      // invalid plan here means even that was unschedulable. Count it —
+      // a dependence without an inspector is a soundness hole, not a
+      // detail to drop on the floor.
+      static obs::Counter &Skipped =
+          obs::counter("driver.invalid_plan_skipped");
+      Skipped.add(1);
+      continue;
+    }
     Deps.push_back(&D);
     Compiled.emplace_back(D.Plan, Env);
   }

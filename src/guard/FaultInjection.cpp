@@ -1,0 +1,265 @@
+//===- FaultInjection.cpp - Index-array corruption harness ----------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/guard/FaultInjection.h"
+
+#include "sds/obs/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sds {
+namespace guard {
+
+const char *faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::SwapAdjacent:
+    return "swap_adjacent";
+  case FaultKind::SwapDistant:
+    return "swap_distant";
+  case FaultKind::DuplicateEntry:
+    return "duplicate_entry";
+  case FaultKind::OffByOne:
+    return "off_by_one";
+  case FaultKind::OutOfRange:
+    return "out_of_range";
+  case FaultKind::Truncate:
+    return "truncate";
+  }
+  return "?";
+}
+
+std::vector<FaultKind> allFaultKinds() {
+  return {FaultKind::SwapAdjacent,   FaultKind::SwapDistant,
+          FaultKind::DuplicateEntry, FaultKind::OffByOne,
+          FaultKind::OutOfRange,     FaultKind::Truncate};
+}
+
+namespace {
+
+/// SplitMix64 step — deterministic position picking without any global
+/// RNG state.
+uint64_t mix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+std::string at(const std::string &A, int64_t I) {
+  return A + "[" + std::to_string(I) + "]";
+}
+
+} // namespace
+
+bool injectFault(const codegen::UFEnvironment &Env, const FaultSpec &S,
+                 codegen::UFEnvironment &Out, std::string &Desc) {
+  auto It = Env.Spans.find(S.Array);
+  if (It == Env.Spans.end() || !It->second)
+    return false;
+  std::vector<int> Data = *It->second;
+  const int64_t Size = static_cast<int64_t>(Data.size());
+  if (Size < 2)
+    return false;
+
+  uint64_t H = mix(S.Seed + 1);
+  // Probe a few seed-derived positions so a fault that happens to be a
+  // no-op at the first position (equal values to swap, etc.) still lands.
+  auto Pick = [&](int64_t Span) {
+    H = mix(H);
+    return static_cast<int64_t>(H % static_cast<uint64_t>(Span));
+  };
+
+  switch (S.Kind) {
+  case FaultKind::SwapAdjacent:
+    for (int Try = 0; Try < 16; ++Try) {
+      int64_t I = Pick(Size - 1);
+      if (Data[I] != Data[I + 1]) {
+        std::swap(Data[I], Data[I + 1]);
+        Desc = "swap " + at(S.Array, I) + " <-> " + at(S.Array, I + 1);
+        Out = Env;
+        Out.bindArray(S.Array, std::move(Data));
+        return true;
+      }
+    }
+    return false;
+  case FaultKind::SwapDistant:
+    for (int Try = 0; Try < 16; ++Try) {
+      int64_t I = Pick(Size), J = Pick(Size);
+      if (I != J && Data[I] != Data[J]) {
+        std::swap(Data[I], Data[J]);
+        Desc = "swap " + at(S.Array, I) + " <-> " + at(S.Array, J);
+        Out = Env;
+        Out.bindArray(S.Array, std::move(Data));
+        return true;
+      }
+    }
+    return false;
+  case FaultKind::DuplicateEntry:
+    for (int Try = 0; Try < 16; ++Try) {
+      int64_t I = Pick(Size - 1);
+      if (Data[I] != Data[I + 1]) {
+        Desc = at(S.Array, I) + " " + std::to_string(Data[I]) + " -> " +
+               std::to_string(Data[I + 1]) + " (duplicate)";
+        Data[I] = Data[I + 1];
+        Out = Env;
+        Out.bindArray(S.Array, std::move(Data));
+        return true;
+      }
+    }
+    return false;
+  case FaultKind::OffByOne: {
+    int64_t I = Pick(Size);
+    Desc = at(S.Array, I) + " " + std::to_string(Data[I]) + " -> " +
+           std::to_string(Data[I] + 1);
+    Data[I] += 1;
+    Out = Env;
+    Out.bindArray(S.Array, std::move(Data));
+    return true;
+  }
+  case FaultKind::OutOfRange: {
+    // Positive and clearly past any plausible extent, but far from
+    // INT_MAX so inspector arithmetic (v+1, ptr(v)-1) cannot overflow.
+    int64_t I = Pick(Size);
+    int Bad = static_cast<int>(
+        std::min<int64_t>(2 * Size + 13, INT32_MAX / 4));
+    if (Data[I] == Bad)
+      return false;
+    Desc = at(S.Array, I) + " " + std::to_string(Data[I]) + " -> " +
+           std::to_string(Bad) + " (out of range)";
+    Data[I] = Bad;
+    Out = Env;
+    Out.bindArray(S.Array, std::move(Data));
+    return true;
+  }
+  case FaultKind::Truncate: {
+    int64_t Drop = 1 + Pick(std::max<int64_t>(1, Size / 8));
+    Desc = S.Array + ": drop last " + std::to_string(Drop) + " of " +
+           std::to_string(Size) + " entries";
+    Data.resize(static_cast<size_t>(Size - Drop));
+    Out = Env;
+    Out.bindArray(S.Array, std::move(Data));
+    return true;
+  }
+  }
+  return false;
+}
+
+std::string FaultTrial::str() const {
+  std::string Out = std::string(faultKindName(Spec.Kind)) + "(" + Spec.Array +
+                    ", seed=" + std::to_string(Spec.Seed) + "): ";
+  if (!Injected)
+    return Out + "no-op";
+  Out += Description + " — ";
+  if (Detected)
+    Out += "detected";
+  else if (StillCorrect)
+    Out += "undetected, schedule still correct";
+  else
+    Out += "SILENT WRONG SCHEDULE";
+  return Out;
+}
+
+FaultTrial runFaultTrial(const deps::PipelineResult &Analysis,
+                         const ir::PropertySet &PS,
+                         const codegen::UFEnvironment &Env, int N,
+                         const FaultSpec &S, int Threads) {
+  static obs::Counter &Trials = obs::counter("guard.fault_trials");
+  static obs::Counter &Silent = obs::counter("guard.fault_silent_wrong");
+  Trials.add();
+  auto T0 = std::chrono::steady_clock::now();
+
+  FaultTrial T;
+  T.Spec = S;
+
+  codegen::UFEnvironment Bad;
+  T.Injected = injectFault(Env, S, Bad, T.Description);
+  if (T.Injected) {
+    // Validate-then-cross-check, exactly the guard's own decision path:
+    // warn mode surfaces the validation verdict while still running the
+    // simplified inspectors, and verify mode compares their schedule
+    // against the baseline graph over the same corrupted arrays.
+    GuardedOptions GO;
+    GO.Mode = GuardMode::Warn;
+    GO.Verify = true;
+    GO.VerifyMaxN = INT32_MAX;
+    GO.VerifyThreads = std::max(2, Threads);
+    GO.Inspect.NumThreads = Threads;
+    GuardedResult R = runGuarded(Analysis, PS, Bad, N, GO);
+    T.Detected = !R.Trusted;
+    T.StillCorrect = R.Verified && R.VerifyPassed;
+    if (T.silentWrong())
+      Silent.add();
+  }
+  T.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  return T;
+}
+
+std::vector<FaultSpec> faultCampaign(const codegen::UFEnvironment &Env,
+                                     unsigned SeedsPerPair) {
+  std::vector<FaultSpec> Specs;
+  for (const auto &[Name, Span] : Env.Spans) {
+    if (!Span || Span->size() < 2)
+      continue;
+    for (FaultKind K : allFaultKinds())
+      for (unsigned Seed = 0; Seed < SeedsPerPair; ++Seed)
+        Specs.push_back({Name, K, Seed});
+  }
+  return Specs;
+}
+
+unsigned CampaignResult::injected() const {
+  unsigned N = 0;
+  for (const FaultTrial &T : Trials)
+    N += T.Injected ? 1 : 0;
+  return N;
+}
+
+unsigned CampaignResult::detected() const {
+  unsigned N = 0;
+  for (const FaultTrial &T : Trials)
+    N += T.Injected && T.Detected ? 1 : 0;
+  return N;
+}
+
+unsigned CampaignResult::tolerated() const {
+  unsigned N = 0;
+  for (const FaultTrial &T : Trials)
+    N += T.Injected && !T.Detected && T.StillCorrect ? 1 : 0;
+  return N;
+}
+
+unsigned CampaignResult::silentWrong() const {
+  unsigned N = 0;
+  for (const FaultTrial &T : Trials)
+    N += T.silentWrong() ? 1 : 0;
+  return N;
+}
+
+std::string CampaignResult::summary() const {
+  return std::to_string(Trials.size()) + " trials: " +
+         std::to_string(injected()) + " injected, " +
+         std::to_string(detected()) + " detected, " +
+         std::to_string(tolerated()) + " tolerated, " +
+         std::to_string(silentWrong()) + " silent-wrong";
+}
+
+CampaignResult runCampaign(const deps::PipelineResult &Analysis,
+                           const ir::PropertySet &PS,
+                           const codegen::UFEnvironment &Env, int N,
+                           const std::vector<FaultSpec> &Specs,
+                           int Threads) {
+  CampaignResult R;
+  R.Trials.reserve(Specs.size());
+  for (const FaultSpec &S : Specs)
+    R.Trials.push_back(runFaultTrial(Analysis, PS, Env, N, S, Threads));
+  return R;
+}
+
+} // namespace guard
+} // namespace sds

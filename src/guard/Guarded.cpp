@@ -1,0 +1,144 @@
+//===- Guarded.cpp - Validated inspector execution with fallback ----------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/guard/Guarded.h"
+
+#include "sds/obs/Trace.h"
+
+#include <chrono>
+
+namespace sds {
+namespace guard {
+
+const char *guardModeName(GuardMode M) {
+  switch (M) {
+  case GuardMode::Off:
+    return "off";
+  case GuardMode::Warn:
+    return "warn";
+  case GuardMode::Fallback:
+    return "fallback";
+  }
+  return "?";
+}
+
+std::optional<GuardMode> parseGuardMode(std::string_view S) {
+  if (S == "off")
+    return GuardMode::Off;
+  if (S == "warn")
+    return GuardMode::Warn;
+  if (S == "fallback")
+    return GuardMode::Fallback;
+  return std::nullopt;
+}
+
+deps::PipelineResult baselineAnalysis(const deps::PipelineResult &Analysis) {
+  deps::PipelineResult Base = Analysis;
+  for (deps::AnalyzedDependence &D : Base.Deps) {
+    if (D.Status == deps::DepStatus::AffineUnsat)
+      continue; // refuted with no index-array knowledge — stays sound
+    D.Status = deps::DepStatus::Runtime;
+    D.Simplified = D.Dep.Rel;
+    D.NewEqualities = 0;
+    D.SubsumedBy.clear();
+    D.Plan = codegen::buildInspectorPlan(D.Dep.Rel);
+    D.Approximated = false;
+    D.Prov.Stage = "guard-baseline";
+    D.Prov.Evidence = {"simplifications revoked: property assumptions are "
+                       "not trusted on this input"};
+  }
+  return Base;
+}
+
+std::string GuardedResult::summary() const {
+  std::string Out = "guard: ";
+  if (!Validated)
+    Out += "validation off";
+  else
+    Out += Report.summary();
+  Out += UsedFallback ? " -> baseline fallback" : " -> simplified inspectors";
+  if (Verified)
+    Out += VerifyPassed ? " (verify: pass)"
+                        : " (verify: FAIL — " + VerifyDetail + ")";
+  return Out;
+}
+
+GuardedResult runGuarded(const deps::PipelineResult &Analysis,
+                         const ir::PropertySet &PS,
+                         const codegen::UFEnvironment &Env, int N,
+                         const GuardedOptions &Opts) {
+  static obs::Counter &Runs = obs::counter("guard.runs");
+  static obs::Counter &TrustedRuns = obs::counter("guard.trusted");
+  static obs::Counter &Fallbacks = obs::counter("guard.fallbacks");
+  static obs::Counter &Warned = obs::counter("guard.warned_untrusted");
+  static obs::Counter &VerifyFails = obs::counter("guard.verify_failures");
+  Runs.add();
+  obs::Span Sp("guard.run_guarded", "guard");
+  Sp.tag("kernel", Analysis.Kernel.Name);
+  Sp.tag("mode", guardModeName(Opts.Mode));
+  auto T0 = std::chrono::steady_clock::now();
+
+  GuardedResult R(N);
+
+  if (Opts.Mode != GuardMode::Off) {
+    R.Validated = true;
+    R.Report = validateProperties(PS, Env);
+    R.Trusted = R.Report.trusted();
+    if (R.Trusted)
+      TrustedRuns.add();
+    else if (Opts.Mode == GuardMode::Warn)
+      Warned.add();
+  } else {
+    R.Trusted = true; // blind trust by request
+  }
+
+  // Anything short of a full pass revokes trust: a Failed check is a
+  // concrete counterexample, a Skipped/Exhausted one means the property
+  // was never confirmed.
+  R.UsedFallback = Opts.Mode == GuardMode::Fallback && !R.Trusted;
+
+  std::optional<deps::PipelineResult> Base;
+  if (R.UsedFallback || Opts.Verify)
+    Base.emplace(baselineAnalysis(Analysis));
+
+  if (R.UsedFallback) {
+    Fallbacks.add();
+    R.Inspection = driver::runInspectors(*Base, Env, N, Opts.Inspect);
+  } else {
+    R.Inspection = driver::runInspectors(Analysis, Env, N, Opts.Inspect);
+  }
+
+  if (Opts.Verify && N <= Opts.VerifyMaxN) {
+    R.Verified = true;
+    // Ground truth: the baseline graph over the same bound arrays. The
+    // schedule the executor would follow — built from the graph actually
+    // in use — must respect every baseline dependence.
+    driver::InspectionResult BaseRun =
+        R.UsedFallback ? R.Inspection
+                       : driver::runInspectors(*Base, Env, N, Opts.Inspect);
+    rt::WavefrontSchedule Sched = rt::scheduleLevelSets(
+        R.Inspection.Graph, std::max(1, Opts.VerifyThreads));
+    R.VerifyPassed = Sched.respects(BaseRun.Graph);
+    if (!R.VerifyPassed) {
+      VerifyFails.add();
+      R.VerifyDetail = "schedule from the " +
+                       std::string(R.UsedFallback ? "baseline" : "simplified") +
+                       " graph (" + std::to_string(R.Inspection.Graph.numEdges()) +
+                       " edges) violates the baseline graph (" +
+                       std::to_string(BaseRun.Graph.numEdges()) + " edges)";
+    }
+  }
+
+  R.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  Sp.tag("trusted", static_cast<int64_t>(R.Trusted));
+  Sp.tag("fallback", static_cast<int64_t>(R.UsedFallback));
+  return R;
+}
+
+} // namespace guard
+} // namespace sds

@@ -7,6 +7,7 @@
 #include "sds/presburger/BasicSet.h"
 
 #include "sds/obs/Trace.h"
+#include "sds/presburger/Budget.h"
 #include "sds/presburger/Simplex.h"
 #include "sds/support/MathExtras.h"
 
@@ -104,6 +105,12 @@ public:
   Ternary run(BasicSet S, std::vector<int64_t> &Point) {
     static obs::Counter &Nodes = obs::counter("basicset.bnb_nodes");
     Nodes.add();
+    // Wall-clock deadline (Budget.h): one clock read per node. Unknown is
+    // the conservative answer — the caller keeps the dependence.
+    if (deadlineExpired()) {
+      noteDeadlineExhaustion();
+      return Ternary::Unknown;
+    }
     if (!S.normalize())
       return Ternary::True;
 
@@ -499,6 +506,7 @@ void clearQueryCache() {
   C.Hits.store(0, std::memory_order_relaxed);
   C.Misses.store(0, std::memory_order_relaxed);
   prefilterCounters().reset();
+  resetBudgetCounters();
 }
 
 PrefilterStats prefilterStats() {
@@ -541,6 +549,12 @@ Ternary BasicSet::isEmpty(unsigned NodeBudget) const {
   appendCanonicalNormalized(Key, N);
   if (std::optional<Ternary> Hit = queryCache().lookup(Key))
     return *Hit;
+  // Past the analysis deadline, skip the solver outright (the cache may
+  // still serve proven facts above — they stay valid forever).
+  if (deadlineExpired()) {
+    noteDeadlineExhaustion();
+    return Ternary::Unknown;
+  }
   std::vector<int64_t> Ignored;
   Ternary R = EmptinessCheckerImpl(NodeBudget).run(std::move(N), Ignored);
   queryCache().store(Key, R);

@@ -7,6 +7,7 @@
 #include "sds/presburger/Simplex.h"
 
 #include "sds/obs/Trace.h"
+#include "sds/presburger/Budget.h"
 
 #include <cassert>
 
@@ -131,16 +132,26 @@ public:
 
   /// Run simplex until optimal/unbounded/overflow: Dantzig's rule (most
   /// negative reduced cost) for speed, switching to Bland's rule after a
-  /// pivot budget to guarantee termination on degenerate cycles.
+  /// fixed pivot count to guarantee termination on degenerate cycles.
+  /// Past the per-solve pivot budget (Budget.h) the solve gives up with
+  /// LPStatus::Error — callers degrade to a conservative Unknown, so the
+  /// budget bounds latency without ever flipping a verdict.
   /// `Allowed` masks which columns may enter the basis (may be null).
   LPStatus iterate(const std::vector<bool> *Allowed) {
     static obs::Counter &PivotCount = obs::counter("simplex.pivots");
+    static obs::Counter &BudgetHits = obs::counter("simplex.budget_exhausted");
     unsigned Pivots = 0;
     const unsigned BlandAfter = 500;
+    const uint64_t MaxPivots = pivotBudget();
     while (true) {
       if (Overflow)
         return LPStatus::Error;
       PivotCount.add();
+      if (Pivots >= MaxPivots) {
+        BudgetHits.add();
+        notePivotBudgetExhaustion();
+        return LPStatus::Error;
+      }
       bool Bland = ++Pivots > BlandAfter;
       unsigned Enter = NumCols;
       Fraction Zero(0);

@@ -3,11 +3,21 @@
 // Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
 //
 //===----------------------------------------------------------------------===//
+//
+// Hardened coordinate reader: every malformed shape a downloaded .mtx file
+// shows up with in practice — CRLF line endings, banner case variants,
+// truncated entry lists, out-of-range or duplicate coordinates, size lines
+// whose product overflows the int-based CSR storage — is rejected with a
+// line-numbered Status instead of producing a quietly broken matrix that
+// the analysis layers would then "prove" properties about.
+//
+//===----------------------------------------------------------------------===//
 
 #include "sds/runtime/Matrix.h"
 
 #include <algorithm>
 #include <cctype>
+#include <climits>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -15,82 +25,122 @@
 namespace sds {
 namespace rt {
 
-bool readMatrixMarket(const std::string &Path, CSRMatrix &Out,
-                      std::string &Error) {
+using support::Status;
+
+namespace {
+
+void stripCR(std::string &Line) {
+  while (!Line.empty() && (Line.back() == '\r' || Line.back() == '\n'))
+    Line.pop_back();
+}
+
+std::string lowered(std::string S) {
+  std::transform(S.begin(), S.end(), S.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  return S;
+}
+
+std::string lineRef(long LineNo, const std::string &Line) {
+  return "line " + std::to_string(LineNo) + " ('" + Line + "')";
+}
+
+} // namespace
+
+Status loadMatrixMarket(const std::string &Path, CSRMatrix &Out) {
   std::ifstream In(Path);
-  if (!In) {
-    Error = "cannot open '" + Path + "'";
-    return false;
-  }
+  if (!In)
+    return support::ioError("cannot open '" + Path + "'");
   std::string Line;
-  if (!std::getline(In, Line)) {
-    Error = "empty file";
-    return false;
-  }
+  long LineNo = 1;
+  if (!std::getline(In, Line))
+    return support::parseError("empty file");
+  stripCR(Line);
   // Banner: %%MatrixMarket matrix coordinate real|integer|pattern
-  //         general|symmetric
+  //         general|symmetric   (keywords are case-insensitive)
   std::istringstream Banner(Line);
   std::string Tag, Object, Format, Field, Symmetry;
   Banner >> Tag >> Object >> Format >> Field >> Symmetry;
-  std::transform(Field.begin(), Field.end(), Field.begin(), ::tolower);
-  std::transform(Symmetry.begin(), Symmetry.end(), Symmetry.begin(),
-                 ::tolower);
-  if (Tag.substr(0, 2) != "%%" || Object != "matrix" ||
-      Format != "coordinate") {
-    Error = "unsupported MatrixMarket banner: " + Line;
-    return false;
-  }
+  if (lowered(Tag) != "%%matrixmarket" || lowered(Object) != "matrix" ||
+      lowered(Format) != "coordinate")
+    return support::parseError("unsupported MatrixMarket banner: " + Line);
+  Field = lowered(Field);
+  Symmetry = lowered(Symmetry);
   bool Pattern = Field == "pattern";
-  if (!Pattern && Field != "real" && Field != "integer") {
-    Error = "unsupported field type: " + Field;
-    return false;
-  }
+  if (!Pattern && Field != "real" && Field != "integer")
+    return support::parseError("unsupported field type '" + Field + "'");
   bool Symmetric = Symmetry == "symmetric";
-  if (!Symmetric && Symmetry != "general") {
-    Error = "unsupported symmetry: " + Symmetry;
-    return false;
-  }
+  if (!Symmetric && Symmetry != "general")
+    return support::parseError("unsupported symmetry '" + Symmetry + "'");
 
-  // Skip comments, read the size line.
-  long Rows = 0, Cols = 0, Entries = 0;
+  // Skip comments and blank lines, then read the size line.
+  long long Rows = 0, Cols = 0, Entries = -1;
   while (std::getline(In, Line)) {
-    if (!Line.empty() && Line[0] == '%')
+    ++LineNo;
+    stripCR(Line);
+    if (Line.empty() || Line[0] == '%')
       continue;
     std::istringstream Size(Line);
-    if (!(Size >> Rows >> Cols >> Entries)) {
-      Error = "malformed size line: " + Line;
-      return false;
-    }
+    if (!(Size >> Rows >> Cols >> Entries))
+      return support::parseError("malformed size line at " +
+                                 lineRef(LineNo, Line));
     break;
   }
-  if (Rows <= 0 || Rows != Cols) {
-    Error = "only square matrices are supported";
-    return false;
-  }
+  if (Entries < 0)
+    return support::parseError("missing size line");
+  if (Rows <= 0 || Cols <= 0)
+    return support::invalidArgument("non-positive dimensions " +
+                                    std::to_string(Rows) + " x " +
+                                    std::to_string(Cols));
+  if (Rows != Cols)
+    return support::invalidArgument(
+        "only square matrices are supported (got " + std::to_string(Rows) +
+        " x " + std::to_string(Cols) + ")");
+  // The CSR storage indexes rows and nnz with int; a symmetric file can
+  // double its entry count on expansion. Reject anything that cannot fit
+  // before allocating, and entry counts no square matrix of this size can
+  // hold (Entries > Rows*Cols, checked divide-first to dodge overflow).
+  if (Rows >= INT_MAX)
+    return support::overflowError("dimension " + std::to_string(Rows) +
+                                  " exceeds int storage");
+  if (Entries / Rows > Cols ||
+      (Entries / Rows == Cols && Entries % Rows != 0))
+    return support::overflowError(
+        "entry count " + std::to_string(Entries) + " exceeds " +
+        std::to_string(Rows) + " x " + std::to_string(Cols));
+  long long MaxStored = Symmetric ? 2 * Entries : Entries; // fits: < 2^63
+  if (MaxStored >= INT_MAX)
+    return support::overflowError("entry count " + std::to_string(Entries) +
+                                  " exceeds int storage");
 
   struct Entry {
     int R, C;
     double V;
   };
   std::vector<Entry> Es;
-  Es.reserve(static_cast<size_t>(Entries) * (Symmetric ? 2 : 1));
-  for (long T = 0; T < Entries; ++T) {
-    if (!std::getline(In, Line)) {
-      Error = "unexpected end of file after " + std::to_string(T) +
-              " entries";
-      return false;
-    }
+  Es.reserve(static_cast<size_t>(MaxStored));
+  for (long long T = 0; T < Entries; ++T) {
+    if (!std::getline(In, Line))
+      return support::parseError("unexpected end of file: " +
+                                 std::to_string(T) + " of " +
+                                 std::to_string(Entries) + " entries read");
+    ++LineNo;
+    stripCR(Line);
     std::istringstream Row(Line);
-    long R, C;
+    long long R, C;
     double V = 1.0;
-    if (!(Row >> R >> C) || (!Pattern && !(Row >> V))) {
-      Error = "malformed entry: " + Line;
-      return false;
-    }
-    if (R < 1 || R > Rows || C < 1 || C > Cols) {
-      Error = "entry out of range: " + Line;
-      return false;
-    }
+    if (!(Row >> R >> C) || (!Pattern && !(Row >> V)))
+      return support::parseError("malformed entry at " +
+                                 lineRef(LineNo, Line));
+    if (R < 1 || R > Rows || C < 1 || C > Cols)
+      return support::outOfRange("coordinate (" + std::to_string(R) + ", " +
+                                 std::to_string(C) + ") outside " +
+                                 std::to_string(Rows) + " x " +
+                                 std::to_string(Cols) + " at " +
+                                 lineRef(LineNo, Line));
+    if (Symmetric && C > R)
+      return support::parseError(
+          "upper-triangle coordinate in a symmetric file at " +
+          lineRef(LineNo, Line));
     Es.push_back({static_cast<int>(R - 1), static_cast<int>(C - 1), V});
     if (Symmetric && R != C)
       Es.push_back({static_cast<int>(C - 1), static_cast<int>(R - 1), V});
@@ -99,38 +149,32 @@ bool readMatrixMarket(const std::string &Path, CSRMatrix &Out,
   std::sort(Es.begin(), Es.end(), [](const Entry &A, const Entry &B) {
     return A.R != B.R ? A.R < B.R : A.C < B.C;
   });
-  // Coalesce duplicates (sum values, MatrixMarket convention).
-  std::vector<Entry> Unique;
-  for (const Entry &E : Es) {
-    if (!Unique.empty() && Unique.back().R == E.R && Unique.back().C == E.C)
-      Unique.back().V += E.V;
-    else
-      Unique.push_back(E);
-  }
+  for (size_t I = 1; I < Es.size(); ++I)
+    if (Es[I].R == Es[I - 1].R && Es[I].C == Es[I - 1].C)
+      return support::invalidArgument(
+          "duplicate coordinate (" + std::to_string(Es[I].R + 1) + ", " +
+          std::to_string(Es[I].C + 1) + ")");
 
   Out = CSRMatrix();
   Out.N = static_cast<int>(Rows);
   Out.RowPtr.assign(Out.N + 1, 0);
-  for (const Entry &E : Unique)
+  for (const Entry &E : Es)
     ++Out.RowPtr[E.R + 1];
   for (int I = 0; I < Out.N; ++I)
     Out.RowPtr[I + 1] += Out.RowPtr[I];
-  Out.Col.reserve(Unique.size());
-  Out.Val.reserve(Unique.size());
-  for (const Entry &E : Unique) {
+  Out.Col.reserve(Es.size());
+  Out.Val.reserve(Es.size());
+  for (const Entry &E : Es) {
     Out.Col.push_back(E.C);
     Out.Val.push_back(E.V);
   }
-  return true;
+  return {};
 }
 
-bool writeMatrixMarket(const std::string &Path, const CSRMatrix &A,
-                       std::string &Error) {
+Status saveMatrixMarket(const std::string &Path, const CSRMatrix &A) {
   std::ofstream OutFile(Path);
-  if (!OutFile) {
-    Error = "cannot open '" + Path + "' for writing";
-    return false;
-  }
+  if (!OutFile)
+    return support::ioError("cannot open '" + Path + "' for writing");
   OutFile << "%%MatrixMarket matrix coordinate real general\n";
   OutFile << A.N << " " << A.N << " " << A.nnz() << "\n";
   char Buf[64];
@@ -140,11 +184,25 @@ bool writeMatrixMarket(const std::string &Path, const CSRMatrix &A,
                     A.Val[K]);
       OutFile << Buf;
     }
-  if (!OutFile) {
-    Error = "write failure on '" + Path + "'";
-    return false;
-  }
-  return true;
+  if (!OutFile)
+    return support::ioError("write failure on '" + Path + "'");
+  return {};
+}
+
+bool readMatrixMarket(const std::string &Path, CSRMatrix &Out,
+                      std::string &Error) {
+  Status S = loadMatrixMarket(Path, Out);
+  if (!S.ok())
+    Error = S.message();
+  return S.ok();
+}
+
+bool writeMatrixMarket(const std::string &Path, const CSRMatrix &A,
+                       std::string &Error) {
+  Status S = saveMatrixMarket(Path, A);
+  if (!S.ok())
+    Error = S.message();
+  return S.ok();
 }
 
 } // namespace rt

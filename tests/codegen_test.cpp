@@ -189,6 +189,63 @@ TEST(RunInspector, EmptyLoopRanges) {
   EXPECT_EQ(Count, 0u);
 }
 
+TEST(RunInspector, PoisonedGuardPassesInsteadOfPruning) {
+  // Equality discovery composes functions past their declared domains:
+  // p(f(i)) probes p (2 entries) at f(i) = 5, so the guard is
+  // unevaluable. Pruning on it would drop real dependence edges — the
+  // exact failure the IC0 fault campaign exposed — so a poisoned guard
+  // must pass and leave pruning to evaluable sibling constraints.
+  ir::SparseRelation R =
+      parse("{ [i] -> [i'] : 0 <= i < n && i' = i && p(f(i)) <= p(g(i)) }");
+  InspectorPlan P = buildInspectorPlan(R);
+  ASSERT_TRUE(P.Valid) << P.WhyInvalid;
+  UFEnvironment Env;
+  Env.bindArray("f", {5, 5, 5, 5});
+  Env.bindArray("g", {5, 5, 5, 5});
+  Env.bindArray("p", {0, 1});
+  Env.Params["n"] = 4;
+  unsigned Count = 0;
+  runInspector(P, Env, [&](int64_t, int64_t) { ++Count; });
+  EXPECT_EQ(Count, 4u);
+}
+
+TEST(RunInspector, EvaluableSiblingGuardsStillPrune) {
+  // A poisoned guard must not resurrect instances that an evaluable
+  // sibling guard of the same conjunction rejects.
+  ir::SparseRelation R =
+      parse("{ [i] -> [i'] : 0 <= i < n && i' = i && sel(i) = 1 && "
+            "p(f(i)) = p(g(i)) }");
+  InspectorPlan P = buildInspectorPlan(R);
+  ASSERT_TRUE(P.Valid) << P.WhyInvalid;
+  UFEnvironment Env;
+  Env.bindArray("sel", {1, 0, 1, 0});
+  Env.bindArray("f", {9, 9, 9, 9});
+  Env.bindArray("g", {9, 9, 9, 9});
+  Env.bindArray("p", {0, 1});
+  Env.Params["n"] = 4;
+  std::set<std::pair<int64_t, int64_t>> Edges;
+  runInspector(P, Env, [&](int64_t S, int64_t D) { Edges.insert({S, D}); });
+  std::set<std::pair<int64_t, int64_t>> Expected = {{0, 0}, {2, 2}};
+  EXPECT_EQ(Edges, Expected);
+}
+
+TEST(RunInspector, PoisonedBoundsStillSkipSubtree) {
+  // Loop bounds come from the relation's own range constraints; a
+  // poisoned bound has no value to iterate with and skips the subtree.
+  // q has 3 entries, so q(i+1) poisons at i = 2 and only the first two
+  // segments (one position each) are visited.
+  ir::SparseRelation R =
+      parse("{ [i, k] : 0 <= i < n && q(i) <= k < q(i + 1) }");
+  InspectorPlan P = buildInspectorPlan(R);
+  ASSERT_TRUE(P.Valid) << P.WhyInvalid;
+  UFEnvironment Env;
+  Env.bindArray("q", {0, 1, 2});
+  Env.Params["n"] = 3;
+  unsigned Count = 0;
+  runInspector(P, Env, [&](int64_t, int64_t) { ++Count; });
+  EXPECT_EQ(Count, 2u);
+}
+
 TEST(DomainComplexity, KernelShapes) {
   // for i in [0,n): for k in [rowptr(i), rowptr(i+1)) is O(nnz).
   auto R = parse("{ [i, k] : 0 <= i < n && rowptr(i) <= k < rowptr(i+1) }");

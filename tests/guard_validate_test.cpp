@@ -1,0 +1,306 @@
+//===- guard_validate_test.cpp - Property validator tests -----------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// One test per PropertyKind: the validator must pass on conforming arrays,
+// report the first violating indices on corrupted ones, skip what it
+// cannot check, and exhaust (not hang) on pointer arrays corrupted into
+// quadratic window overlap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/guard/Validate.h"
+
+#include "sds/driver/Driver.h"
+#include "sds/kernels/Kernels.h"
+#include "sds/runtime/Matrix.h"
+
+#include <gtest/gtest.h>
+
+using namespace sds;
+using namespace sds::guard;
+using ir::Expr;
+using ir::PropertyKind;
+using ir::PropertySet;
+
+namespace {
+
+codegen::UFEnvironment envWith(
+    std::initializer_list<std::pair<std::string, std::vector<int>>> Arrays,
+    std::initializer_list<std::pair<std::string, int64_t>> Params = {}) {
+  codegen::UFEnvironment Env;
+  for (const auto &[Name, Data] : Arrays)
+    Env.bindArray(Name, Data);
+  for (const auto &[Name, V] : Params)
+    Env.Params[Name] = V;
+  return Env;
+}
+
+const PropertyCheck &only(const ValidationReport &R) {
+  EXPECT_EQ(R.Checks.size(), 1u);
+  return R.Checks.front();
+}
+
+} // namespace
+
+TEST(Validate, StrictMonotonicIncreasing) {
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "rowptr");
+
+  auto Good = envWith({{"rowptr", {0, 2, 4, 7}}});
+  EXPECT_TRUE(validateProperties(PS, Good).trusted());
+
+  auto Bad = envWith({{"rowptr", {0, 4, 4, 7}}});
+  ValidationReport R = validateProperties(PS, Bad);
+  EXPECT_TRUE(R.violated());
+  EXPECT_EQ(only(R).Outcome, CheckOutcome::Fail);
+  EXPECT_EQ(only(R).Index, 1);
+  EXPECT_EQ(only(R).Index2, 2);
+}
+
+TEST(Validate, MonotonicAndDecreasingKinds) {
+  PropertySet PS;
+  PS.add(PropertyKind::MonotonicIncreasing, "a");
+  EXPECT_TRUE(
+      validateProperties(PS, envWith({{"a", {1, 1, 3}}})).trusted());
+  EXPECT_TRUE(
+      validateProperties(PS, envWith({{"a", {3, 1, 1}}})).violated());
+
+  PropertySet PD;
+  PD.add(PropertyKind::StrictMonotonicDecreasing, "a");
+  EXPECT_TRUE(
+      validateProperties(PD, envWith({{"a", {5, 3, 1}}})).trusted());
+  EXPECT_TRUE(
+      validateProperties(PD, envWith({{"a", {5, 5, 1}}})).violated());
+}
+
+TEST(Validate, Injective) {
+  PropertySet PS;
+  PS.add(PropertyKind::Injective, "perm");
+  EXPECT_TRUE(
+      validateProperties(PS, envWith({{"perm", {2, 0, 1, 3}}})).trusted());
+
+  ValidationReport R =
+      validateProperties(PS, envWith({{"perm", {2, 0, 2, 3}}}));
+  EXPECT_TRUE(R.violated());
+  EXPECT_EQ(only(R).Index, 0);
+  EXPECT_EQ(only(R).Index2, 2);
+}
+
+TEST(Validate, PeriodicMonotonic) {
+  PropertySet PS;
+  PS.add(PropertyKind::PeriodicMonotonic, "col", "rowptr");
+
+  // Sorted within each rowptr window.
+  auto Good = envWith({{"col", {0, 2, 1, 3, 0, 4}},
+                       {"rowptr", {0, 2, 4, 6}}});
+  EXPECT_TRUE(validateProperties(PS, Good).trusted());
+
+  // Row 1's window {3, 1} is out of order.
+  auto Bad = envWith({{"col", {0, 2, 3, 1, 0, 4}},
+                      {"rowptr", {0, 2, 4, 6}}});
+  ValidationReport R = validateProperties(PS, Bad);
+  EXPECT_TRUE(R.violated());
+  EXPECT_EQ(only(R).Index, 2);
+  EXPECT_EQ(only(R).Index2, 3);
+
+  // A window leaving the array is itself a violation.
+  auto Overrun = envWith({{"col", {0, 2, 3}},
+                          {"rowptr", {0, 2, 9}}});
+  EXPECT_TRUE(validateProperties(PS, Overrun).violated());
+}
+
+TEST(Validate, CoMonotonic) {
+  PropertySet PS;
+  PS.add(PropertyKind::CoMonotonic, "lo", "hi");
+  EXPECT_TRUE(validateProperties(
+                  PS, envWith({{"lo", {0, 1, 2}}, {"hi", {0, 2, 5}}}))
+                  .trusted());
+  EXPECT_TRUE(validateProperties(
+                  PS, envWith({{"lo", {0, 3, 2}}, {"hi", {0, 2, 5}}}))
+                  .violated());
+  // `hi` shorter than `lo` cannot confirm the property.
+  EXPECT_TRUE(validateProperties(
+                  PS, envWith({{"lo", {0, 1, 2}}, {"hi", {0, 2}}}))
+                  .violated());
+}
+
+TEST(Validate, Triangular) {
+  PropertySet PS;
+  PS.add(PropertyKind::Triangular, "f", "other");
+  // f(x0) < x1 => x0 < other(x1) with f = identity, other = identity + 1.
+  EXPECT_TRUE(validateProperties(
+                  PS, envWith({{"f", {0, 1, 2, 3}}, {"other", {1, 2, 3, 4}}}))
+                  .trusted());
+  // other(3) = 0 exposes x0 = 2 (f(2) = 2 < 3 but 2 >= 0).
+  ValidationReport R = validateProperties(
+      PS, envWith({{"f", {0, 1, 2, 3}}, {"other", {1, 2, 3, 0}}}));
+  EXPECT_TRUE(R.violated());
+  EXPECT_EQ(only(R).Index2, 3);
+}
+
+TEST(Validate, TriangularEntriesKinds) {
+  // CSR of a lower-triangular matrix: entries of row x are <= x.
+  PropertySet LE;
+  LE.add(PropertyKind::TriangularEntriesLE, "col", "rowptr");
+  auto Good = envWith({{"col", {0, 0, 1, 1, 2}},
+                       {"rowptr", {0, 1, 3, 5}}});
+  EXPECT_TRUE(validateProperties(LE, Good).trusted());
+
+  auto Bad = envWith({{"col", {0, 0, 2, 1, 2}},
+                      {"rowptr", {0, 1, 3, 5}}});
+  ValidationReport R = validateProperties(LE, Bad);
+  EXPECT_TRUE(R.violated());
+  EXPECT_EQ(only(R).Index, 1);  // segment (row)
+  EXPECT_EQ(only(R).Index2, 2); // entry position
+
+  PropertySet LT;
+  LT.add(PropertyKind::TriangularEntriesLT, "pruneset", "pruneptr");
+  EXPECT_TRUE(validateProperties(LT, envWith({{"pruneset", {0, 0, 1}},
+                                              {"pruneptr", {0, 0, 1, 3}}}))
+                  .trusted());
+  EXPECT_TRUE(validateProperties(LT, envWith({{"pruneset", {0, 2, 1}},
+                                              {"pruneptr", {0, 0, 1, 3}}}))
+                  .violated());
+
+  PropertySet GE;
+  GE.add(PropertyKind::TriangularEntriesGE, "rowidx", "colptr");
+  EXPECT_TRUE(validateProperties(GE, envWith({{"rowidx", {0, 1, 1, 2}},
+                                              {"colptr", {0, 2, 3, 4}}}))
+                  .trusted());
+  EXPECT_TRUE(validateProperties(GE, envWith({{"rowidx", {0, 1, 0, 2}},
+                                              {"colptr", {0, 2, 3, 4}}}))
+                  .violated());
+
+  // A pointer segment reaching outside the entry array is a violation.
+  EXPECT_TRUE(validateProperties(LE, envWith({{"col", {0, 0}},
+                                              {"rowptr", {0, 1, 7}}}))
+                  .violated());
+}
+
+TEST(Validate, SegmentPointer) {
+  PropertySet PS;
+  PS.add(PropertyKind::SegmentPointer, "diag", "rowptr");
+  EXPECT_TRUE(validateProperties(PS, envWith({{"diag", {0, 2, 4}},
+                                              {"rowptr", {0, 2, 4, 5}}}))
+                  .trusted());
+  // diag(1) = 4 lies outside [rowptr(1), rowptr(2)) = [2, 4).
+  ValidationReport R = validateProperties(
+      PS, envWith({{"diag", {0, 4, 4}}, {"rowptr", {0, 2, 4, 5}}}));
+  EXPECT_TRUE(R.violated());
+  EXPECT_EQ(only(R).Index, 1);
+}
+
+TEST(Validate, SegmentStartIdentity) {
+  PropertySet PS;
+  PS.add(PropertyKind::SegmentStartIdentity, "rowidx", "colptr", Expr(0),
+         Expr::var("n"));
+  // First entry of each column indexes the column itself.
+  auto Good = envWith({{"rowidx", {0, 1, 1, 2, 2}},
+                       {"colptr", {0, 2, 3, 5}}},
+                      {{"n", 3}});
+  EXPECT_TRUE(validateProperties(PS, Good).trusted());
+
+  auto Bad = envWith({{"rowidx", {0, 1, 2, 2, 2}},
+                      {"colptr", {0, 2, 3, 5}}},
+                     {{"n", 3}});
+  ValidationReport R = validateProperties(PS, Bad);
+  EXPECT_TRUE(R.violated());
+  EXPECT_EQ(only(R).Index, 1); // column 1's first entry is 2, not 1
+
+  // Unevaluable guard (unbound parameter) -> Skipped, not trusted.
+  auto NoParam = envWith({{"rowidx", {0, 1, 1, 2, 2}},
+                          {"colptr", {0, 2, 3, 5}}});
+  ValidationReport R2 = validateProperties(PS, NoParam);
+  EXPECT_FALSE(R2.violated());
+  EXPECT_FALSE(R2.trusted());
+  EXPECT_EQ(only(R2).Outcome, CheckOutcome::Skipped);
+}
+
+TEST(Validate, DomainRange) {
+  PropertySet PS;
+  PS.addDomainRange(
+      {"rowptr", Expr(0), Expr::var("n"), Expr(0), Expr::var("nnz")});
+  auto Good = envWith({{"rowptr", {0, 2, 4, 5}}}, {{"n", 3}, {"nnz", 5}});
+  EXPECT_TRUE(validateProperties(PS, Good).trusted());
+
+  // Value above the declared range.
+  auto Bad = envWith({{"rowptr", {0, 2, 9, 5}}}, {{"n", 3}, {"nnz", 5}});
+  ValidationReport R = validateProperties(PS, Bad);
+  EXPECT_TRUE(R.violated());
+  EXPECT_EQ(only(R).Index, 2);
+
+  // Declared domain exceeding the bound array extent.
+  auto Short = envWith({{"rowptr", {0, 2}}}, {{"n", 3}, {"nnz", 5}});
+  EXPECT_TRUE(validateProperties(PS, Short).violated());
+}
+
+TEST(Validate, UnboundArraySkips) {
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "ghost");
+  ValidationReport R = validateProperties(PS, envWith({}));
+  EXPECT_EQ(only(R).Outcome, CheckOutcome::Skipped);
+  EXPECT_FALSE(R.trusted());
+  EXPECT_FALSE(R.violated());
+}
+
+TEST(Validate, EmptyPropertySetIsVacuouslyTrusted) {
+  ValidationReport R = validateProperties(PropertySet(), envWith({}));
+  EXPECT_TRUE(R.trusted());
+  EXPECT_EQ(R.failures(), 0u);
+  EXPECT_EQ(R.firstViolation(), nullptr);
+}
+
+TEST(Validate, WorkCapExhaustsInsteadOfHanging) {
+  // Alternating 0/4096 segment pointers make every other window span the
+  // whole 4096-entry array: ~130k positions against a ~34k cap.
+  std::vector<int> F(4096);
+  for (int I = 0; I < 4096; ++I)
+    F[static_cast<size_t>(I)] = I;
+  std::vector<int> Seg;
+  for (int I = 0; I < 64; ++I)
+    Seg.push_back(I % 2 ? 4096 : 0);
+  PropertySet PS;
+  PS.add(PropertyKind::PeriodicMonotonic, "f", "seg");
+  ValidationReport R =
+      validateProperties(PS, envWith({{"f", F}, {"seg", Seg}}));
+  EXPECT_EQ(only(R).Outcome, CheckOutcome::Exhausted);
+  EXPECT_FALSE(R.trusted()); // exhausted == not trusted
+  EXPECT_FALSE(R.violated());
+}
+
+TEST(Validate, RealKernelPropertiesPassOnHonestMatrix) {
+  rt::CSRMatrix A = rt::generateSPDLike({80, 6, 12, 21});
+  kernels::Kernel K = kernels::gaussSeidelCSR();
+  codegen::UFEnvironment Env = driver::bindCSR(A, A.diagonalPositions());
+  ValidationReport R = validateProperties(K.Properties, Env);
+  EXPECT_TRUE(R.trusted()) << R.str();
+
+  // Breaking one row's col sortedness is caught. Swap inside a row window
+  // (entries there are strictly increasing, so any swap inverts a pair).
+  std::vector<int> Col = *Env.Spans.at("col");
+  const std::vector<int> &Rowptr = *Env.Spans.at("rowptr");
+  bool Swapped = false;
+  for (size_t X = 0; X + 1 < Rowptr.size() && !Swapped; ++X) {
+    if (Rowptr[X + 1] - Rowptr[X] >= 2) {
+      std::swap(Col[static_cast<size_t>(Rowptr[X])],
+                Col[static_cast<size_t>(Rowptr[X]) + 1]);
+      Swapped = true;
+    }
+  }
+  ASSERT_TRUE(Swapped);
+  Env.bindArray("col", Col);
+  EXPECT_FALSE(validateProperties(K.Properties, Env).trusted());
+}
+
+TEST(Validate, ReportRendering) {
+  PropertySet PS;
+  PS.add(PropertyKind::StrictMonotonicIncreasing, "rowptr");
+  ValidationReport R =
+      validateProperties(PS, envWith({{"rowptr", {0, 4, 4}}}));
+  EXPECT_NE(R.str().find("FAIL"), std::string::npos);
+  EXPECT_NE(R.summary().find("1 fail"), std::string::npos);
+  EXPECT_NE(only(R).str().find("rowptr"), std::string::npos);
+}

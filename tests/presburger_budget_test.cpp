@@ -1,0 +1,156 @@
+//===- presburger_budget_test.cpp - Solver budget / deadline tests --------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The budget contract of the robustness layer: pivot caps and deadlines
+// must always degrade to the conservative answer — LPStatus::Error from
+// the Simplex, Ternary::Unknown from the emptiness checker, kept
+// dependences from the pipeline — and never hang, never flip a verdict,
+// and never pollute the query cache with non-verdicts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/deps/Pipeline.h"
+#include "sds/kernels/Kernels.h"
+#include "sds/presburger/BasicSet.h"
+#include "sds/presburger/Budget.h"
+#include "sds/presburger/Simplex.h"
+
+#include <gtest/gtest.h>
+
+using namespace sds;
+using namespace sds::presburger;
+
+namespace {
+
+std::vector<int64_t> row(std::initializer_list<int64_t> L) { return L; }
+
+/// RAII restore of the global pivot budget around a test.
+struct PivotBudgetGuard {
+  ~PivotBudgetGuard() { setPivotBudget(0); } // 0 restores the default
+};
+
+} // namespace
+
+TEST(PivotBudget, ExhaustionReturnsErrorNotWrongVerdict) {
+  PivotBudgetGuard Restore;
+  // Two violated constraints force at least two phase-1 pivots.
+  auto Build = [] {
+    Simplex S(2);
+    S.addInequality(row({1, 0, -5})); // x >= 5
+    S.addInequality(row({0, 1, -7})); // y >= 7
+    return S;
+  };
+  setPivotBudget(1);
+  uint64_t Before = pivotBudgetExhaustions();
+  Simplex Capped = Build();
+  EXPECT_EQ(Capped.checkFeasible(), LPStatus::Error);
+  EXPECT_GT(pivotBudgetExhaustions(), Before);
+
+  setPivotBudget(0); // back to the 1M default
+  Simplex Free = Build();
+  EXPECT_EQ(Free.checkFeasible(), LPStatus::Optimal);
+}
+
+TEST(PivotBudget, EmptinessDegradesToUnknown) {
+  PivotBudgetGuard Restore;
+  clearQueryCache();
+  auto Build = [] {
+    // Feasible box needing a few pivots to sample.
+    BasicSet S(2);
+    S.addInequality(row({1, 0, -5}));  // x >= 5
+    S.addInequality(row({0, 1, -7}));  // y >= 7
+    S.addInequality(row({-1, 0, 20})); // x <= 20
+    S.addInequality(row({0, -1, 20})); // y <= 20
+    return S;
+  };
+  setPivotBudget(1);
+  EXPECT_EQ(Build().isEmpty(), Ternary::Unknown);
+
+  // The Unknown must not have been cached: with the budget restored the
+  // same set gets its real verdict.
+  setPivotBudget(0);
+  EXPECT_EQ(Build().isEmpty(), Ternary::False);
+}
+
+TEST(Deadline, ExpiredDeadlineMakesEmptinessUnknown) {
+  clearQueryCache();
+  auto Build = [] {
+    BasicSet S(1);
+    S.addInequality(row({1, 0}));   // x >= 0
+    S.addInequality(row({-1, 10})); // x <= 10
+    return S;
+  };
+  {
+    ScopedDeadline D(ScopedDeadline::fromNow(0)); // already expired
+    EXPECT_TRUE(deadlineExpired());
+    uint64_t Before = deadlineExhaustions();
+    EXPECT_EQ(Build().isEmpty(), Ternary::Unknown);
+    EXPECT_GT(deadlineExhaustions(), Before);
+  }
+  // Scope closed: no deadline, and the Unknown was not cached.
+  EXPECT_FALSE(deadlineExpired());
+  EXPECT_EQ(Build().isEmpty(), Ternary::False);
+}
+
+TEST(Deadline, InnerScopeCannotExtendOuter) {
+  ScopedDeadline Outer(ScopedDeadline::fromNow(0)); // expired now
+  EXPECT_TRUE(deadlineExpired());
+  {
+    ScopedDeadline Inner(ScopedDeadline::fromNow(3600.0)); // generous
+    // The outer (tighter) deadline must still govern.
+    EXPECT_TRUE(deadlineExpired());
+  }
+  EXPECT_TRUE(deadlineExpired());
+}
+
+TEST(Deadline, NoDeadlineByDefault) {
+  EXPECT_EQ(currentDeadlineNs(), 0u);
+  EXPECT_FALSE(deadlineExpired());
+}
+
+TEST(PipelineBudget, ExhaustionKeepsDependencesConservatively) {
+  using deps::DepStatus;
+  kernels::Kernel K = kernels::forwardSolveCSR();
+
+  deps::PipelineOptions Tight;
+  Tight.AnalysisBudgetMs = 1e-6; // expires before any query can finish
+  deps::PipelineResult Budgeted = deps::analyzeKernel(K, Tight);
+
+  deps::PipelineResult Unbudgeted = deps::analyzeKernel(K);
+
+  // Nothing is ever dropped under budget pressure: no property proofs, no
+  // subsumption, every dependence held as a runtime check.
+  EXPECT_EQ(Budgeted.count(DepStatus::PropertyUnsat), 0u);
+  EXPECT_EQ(Budgeted.count(DepStatus::Subsumed), 0u);
+  EXPECT_GE(Budgeted.count(DepStatus::Runtime),
+            Unbudgeted.count(DepStatus::Runtime));
+  EXPECT_EQ(Budgeted.Deps.size(), Unbudgeted.Deps.size());
+
+  // The exhaustion is visible in provenance.
+  bool SawBudgetStage = false;
+  for (const deps::AnalyzedDependence &D : Budgeted.Deps)
+    if (D.Prov.Stage == "budget-exhausted")
+      SawBudgetStage = true;
+  EXPECT_TRUE(SawBudgetStage);
+
+  // The unbudgeted run afterwards is unaffected (no cached Unknowns):
+  // forward solve CSR still gets its Table-3 refutations.
+  EXPECT_GE(Unbudgeted.count(DepStatus::PropertyUnsat), 1u);
+  EXPECT_EQ(Unbudgeted.count(DepStatus::Runtime), 1u);
+}
+
+TEST(PipelineBudget, GenerousBudgetChangesNothing) {
+  using deps::DepStatus;
+  kernels::Kernel K = kernels::forwardSolveCSC();
+  deps::PipelineOptions Roomy;
+  Roomy.AnalysisBudgetMs = 60 * 1000.0;
+  deps::PipelineResult R = deps::analyzeKernel(K, Roomy);
+  deps::PipelineResult Ref = deps::analyzeKernel(K);
+  EXPECT_EQ(R.count(DepStatus::Runtime), Ref.count(DepStatus::Runtime));
+  EXPECT_EQ(R.count(DepStatus::PropertyUnsat),
+            Ref.count(DepStatus::PropertyUnsat));
+  EXPECT_EQ(R.count(DepStatus::Subsumed), Ref.count(DepStatus::Subsumed));
+}

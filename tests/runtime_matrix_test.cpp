@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 using namespace sds::rt;
 
@@ -170,5 +171,115 @@ TEST(MatrixMarket, Errors) {
               "2 2 2\n1 1 1.0\n"); // truncated
   WriteAndTry("%%MatrixMarket matrix coordinate real general\n"
               "2 2 1\n5 1 1.0\n"); // out of range
+  std::remove(Path.c_str());
+}
+
+namespace {
+
+/// Write `Content` to a temp file and load it through the Status API.
+sds::support::Status statusFor(const std::string &Content,
+                               CSRMatrix *Out = nullptr) {
+  std::string Path = ::testing::TempDir() + "/sds_mm_corpus.mtx";
+  {
+    std::ofstream F(Path);
+    F << Content;
+  }
+  CSRMatrix Local;
+  sds::support::Status S = loadMatrixMarket(Path, Out ? *Out : Local);
+  std::remove(Path.c_str());
+  return S;
+}
+
+} // namespace
+
+TEST(MatrixMarket, MalformedCorpusStatusCodes) {
+  using sds::support::StatusCode;
+  const char *Banner = "%%MatrixMarket matrix coordinate real general\n";
+
+  // Duplicate coordinates are rejected, not coalesced: a file that lists
+  // (2,1) twice disagrees with itself about the matrix.
+  EXPECT_EQ(statusFor(std::string(Banner) +
+                      "2 2 3\n1 1 1.0\n2 1 5.0\n2 1 6.0\n")
+                .code(),
+            StatusCode::InvalidArgument);
+
+  // Entry counts no square matrix of this size can hold — including ones
+  // whose doubling (symmetric expansion) would overflow long long.
+  EXPECT_EQ(statusFor(std::string(Banner) + "2 2 99999999999999\n").code(),
+            StatusCode::Overflow);
+  EXPECT_EQ(statusFor("%%MatrixMarket matrix coordinate real symmetric\n"
+                      "100000 100000 1500000000\n")
+                .code(),
+            StatusCode::Overflow);
+
+  // Dimensions past int storage.
+  EXPECT_EQ(statusFor(std::string(Banner) + "3000000000 3000000000 1\n"
+                                            "1 1 1.0\n")
+                .code(),
+            StatusCode::Overflow);
+
+  // Non-positive dimensions.
+  EXPECT_EQ(statusFor(std::string(Banner) + "0 0 0\n").code(),
+            StatusCode::InvalidArgument);
+
+  // A banner with nothing after it.
+  EXPECT_EQ(statusFor(Banner).code(), StatusCode::ParseError);
+  EXPECT_NE(statusFor(Banner).message().find("missing size line"),
+            std::string::npos);
+
+  // Upper-triangle coordinate in a symmetric file.
+  EXPECT_EQ(statusFor("%%MatrixMarket matrix coordinate real symmetric\n"
+                      "2 2 1\n1 2 1.0\n")
+                .code(),
+            StatusCode::ParseError);
+
+  // Garbage where an entry should be, with the line quoted back.
+  sds::support::Status S =
+      statusFor(std::string(Banner) + "2 2 1\nnot numbers\n");
+  EXPECT_EQ(S.code(), StatusCode::ParseError);
+  EXPECT_NE(S.message().find("not numbers"), std::string::npos);
+
+  // Missing file keeps its IOError code through the Status API.
+  CSRMatrix M;
+  EXPECT_EQ(loadMatrixMarket("/nonexistent/x.mtx", M).code(),
+            StatusCode::IOError);
+}
+
+TEST(MatrixMarket, TolerantOfRealWorldFormatting) {
+  // CRLF line endings, banner keyword case variants, blank lines and
+  // comments before the size line, and pattern files (no values).
+  CSRMatrix A;
+  sds::support::Status S =
+      statusFor("%%matrixmarket MATRIX Coordinate REAL General\r\n"
+                "% a comment\r\n"
+                "\r\n"
+                "2 2 3\r\n"
+                "1 1 1.5\r\n2 1 2.5\r\n2 2 3.5\r\n",
+                &A);
+  ASSERT_TRUE(S.ok()) << S.str();
+  EXPECT_EQ(A.N, 2);
+  EXPECT_EQ(A.nnz(), 3);
+  EXPECT_EQ(A.Val, (std::vector<double>{1.5, 2.5, 3.5}));
+
+  CSRMatrix B;
+  sds::support::Status SP =
+      statusFor("%%MatrixMarket matrix coordinate pattern symmetric\n"
+                "3 3 3\n1 1\n2 2\n3 1\n",
+                &B);
+  ASSERT_TRUE(SP.ok()) << SP.str();
+  EXPECT_EQ(B.nnz(), 4); // mirror of (3,1) added, value defaults to 1
+  EXPECT_TRUE(B.isWellFormed());
+}
+
+TEST(MatrixMarket, SaveLoadStatusRoundTrip) {
+  CSRMatrix A = figure1Matrix();
+  std::string Path = ::testing::TempDir() + "/sds_mm_status_rt.mtx";
+  ASSERT_TRUE(saveMatrixMarket(Path, A).ok());
+  CSRMatrix B;
+  sds::support::Status S = loadMatrixMarket(Path, B);
+  ASSERT_TRUE(S.ok()) << S.str();
+  EXPECT_EQ(B.RowPtr, A.RowPtr);
+  EXPECT_EQ(B.Col, A.Col);
+  EXPECT_EQ(B.Val, A.Val);
   std::remove(Path.c_str());
 }

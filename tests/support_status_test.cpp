@@ -1,0 +1,65 @@
+//===- support_status_test.cpp - Status error-currency tests --------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/support/Status.h"
+
+#include <gtest/gtest.h>
+
+using namespace sds::support;
+
+TEST(Status, DefaultIsOk) {
+  Status S;
+  EXPECT_TRUE(S.ok());
+  EXPECT_EQ(S.code(), StatusCode::Ok);
+  EXPECT_TRUE(S.message().empty());
+  EXPECT_EQ(S.str(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(invalidArgument("x").code(), StatusCode::InvalidArgument);
+  EXPECT_EQ(parseError("x").code(), StatusCode::ParseError);
+  EXPECT_EQ(outOfRange("x").code(), StatusCode::OutOfRange);
+  EXPECT_EQ(overflowError("x").code(), StatusCode::Overflow);
+  EXPECT_EQ(ioError("x").code(), StatusCode::IOError);
+  EXPECT_EQ(validationFailed("x").code(), StatusCode::ValidationFailed);
+  EXPECT_EQ(resourceExhausted("x").code(), StatusCode::ResourceExhausted);
+  EXPECT_EQ(internalError("x").code(), StatusCode::Internal);
+
+  Status S = parseError("bad banner");
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.message(), "bad banner");
+  EXPECT_EQ(S.str(), "parse-error: bad banner");
+}
+
+TEST(Status, ContextChainsOutsideIn) {
+  Status S = outOfRange("column 12 out of range")
+                 .withContext("entry 17")
+                 .withContext("load 'A.mtx'");
+  EXPECT_EQ(S.message(), "load 'A.mtx': entry 17: column 12 out of range");
+  EXPECT_EQ(S.code(), StatusCode::OutOfRange);
+}
+
+TEST(Status, ContextIsNoOpOnOk) {
+  Status S = Status().withContext("load");
+  EXPECT_TRUE(S.ok());
+  EXPECT_TRUE(S.message().empty());
+}
+
+TEST(Status, ConstRefContextDoesNotMutateOriginal) {
+  const Status S = ioError("disk gone");
+  Status T = S.withContext("save");
+  EXPECT_EQ(S.message(), "disk gone");
+  EXPECT_EQ(T.message(), "save: disk gone");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (StatusCode C :
+       {StatusCode::Ok, StatusCode::InvalidArgument, StatusCode::ParseError,
+        StatusCode::OutOfRange, StatusCode::Overflow, StatusCode::IOError,
+        StatusCode::ValidationFailed, StatusCode::ResourceExhausted,
+        StatusCode::Internal})
+    EXPECT_STRNE(statusCodeName(C), "?");
+}
