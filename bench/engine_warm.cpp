@@ -1,0 +1,178 @@
+//===- engine_warm.cpp - Compile-once/run-many amortization ----------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// Measures what the artifact/engine layer buys: for each Table-2 kernel,
+// the cost of a cold Figure-3 analysis vs loading a previously saved
+// CompiledKernel vs an in-process warm hit on the Engine's kernel tier —
+// plus the matrix tier (inspect + schedule vs cached plan) on one binding.
+// The load path issues zero Presburger queries, so its speedup over cold
+// analysis is the paper's inspector-amortization argument applied to the
+// compiler itself.
+//
+//   engine_warm                    # full suite, table + BENCH_engine.json
+//   engine_warm --n 150           # matrix dimension for the plan tier
+//   engine_warm --kernel fs       # only kernels whose key contains "fs"
+//   SDS_HEAVY=0 engine_warm       # skip the minutes-long IC0/ILU0 analyses
+//
+// Fails (exit 1) if any kernel's artifact load is not at least 5x faster
+// than its cold analysis — the amortization headline this layer promises.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "sds/engine/Engine.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace sds;
+using namespace sds::rt;
+
+namespace {
+
+struct EngineTarget {
+  std::string Key;
+  bool Heavy = false;
+  kernels::Kernel Kernel;
+};
+
+std::vector<EngineTarget> engineTargets(bool Heavy) {
+  std::vector<EngineTarget> Out;
+  auto Add = [&](std::string Key, bool IsHeavy, kernels::Kernel K) {
+    if (IsHeavy && !Heavy)
+      return;
+    Out.push_back({std::move(Key), IsHeavy, std::move(K)});
+  };
+  Add("gs_csr", false, kernels::gaussSeidelCSR());
+  Add("ilu0_csr", true, kernels::incompleteLU0CSR());
+  Add("ic0_csc", true, kernels::incompleteCholeskyCSC());
+  Add("fs_csc", false, kernels::forwardSolveCSC());
+  Add("fs_csr", false, kernels::forwardSolveCSR());
+  Add("spmv_csr", false, kernels::spmvCSR());
+  Add("lchol_csc", false, kernels::leftCholeskyCSC());
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bench::ObsSession Obs;
+  int N = 150;
+  std::string KernelFilter;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--n") && I + 1 < argc)
+      N = std::atoi(argv[++I]);
+    else if (!std::strcmp(argv[I], "--kernel") && I + 1 < argc)
+      KernelFilter = argv[++I];
+  }
+  if (N < 8) {
+    std::fprintf(stderr, "--n must be >= 8\n");
+    return 1;
+  }
+  int Threads = bench::parseThreads(argc, argv);
+  bool Heavy = bench::envHeavy();
+
+  std::printf("Compile-once/run-many amortization (threads=%d%s)\n\n",
+              Threads, Heavy ? "" : ", heavy kernels skipped");
+  std::printf("%-10s %12s %12s %12s %10s %8s\n", "Kernel", "cold (ms)",
+              "load (ms)", "warm (us)", "speedup", "bytes");
+
+  bench::BenchReport Report("engine");
+  Report.set("threads", Threads);
+  double MinSpeedup = 1e300;
+  unsigned Kernels = 0;
+  for (EngineTarget &T : engineTargets(Heavy)) {
+    if (!KernelFilter.empty() && T.Key.find(KernelFilter) == std::string::npos)
+      continue;
+    std::fprintf(stderr, "[engine] analyzing %s...\n", T.Key.c_str());
+
+    // Cold: the full Figure-3 pipeline. Measured once — it dominates by
+    // orders of magnitude, so run-to-run noise cannot flip the verdict.
+    artifact::CompiledKernel CK;
+    double ColdS = bench::timeOf([&] { CK = artifact::compile(T.Kernel); });
+
+    std::string Blob = artifact::serialize(CK);
+    std::string Path = "engine_warm." + T.Key + ".artifact.json";
+    if (support::Status S = artifact::save(CK, Path); !S.ok()) {
+      std::fprintf(stderr, "%s\n", S.str().c_str());
+      return 1;
+    }
+
+    // Load: parse + validate + structural decode, zero Presburger queries.
+    double LoadS = bench::medianTimeOf([&] {
+      artifact::CompiledKernel L;
+      if (support::Status S = artifact::load(Path, L); !S.ok()) {
+        std::fprintf(stderr, "%s\n", S.str().c_str());
+        std::exit(1);
+      }
+    });
+
+    // Warm: the Engine's in-memory kernel tier (shared_ptr handout).
+    engine::Engine E;
+    if (support::Status S = E.loadArtifact(Path); !S.ok()) {
+      std::fprintf(stderr, "%s\n", S.str().c_str());
+      return 1;
+    }
+    double WarmS = bench::timeOf([&] {
+                     for (int I = 0; I < 1000; ++I)
+                       (void)E.compiled(T.Kernel);
+                   }) /
+                   1000.0;
+
+    double Speedup = LoadS > 0 ? ColdS / LoadS : 0;
+    MinSpeedup = std::min(MinSpeedup, Speedup);
+    ++Kernels;
+    std::printf("%-10s %12.2f %12.3f %12.2f %9.0fx %8zu\n", T.Key.c_str(),
+                ColdS * 1e3, LoadS * 1e3, WarmS * 1e6, Speedup, Blob.size());
+    Report.set(T.Key + "_cold_s", ColdS);
+    Report.set(T.Key + "_load_s", LoadS);
+    Report.set(T.Key + "_warm_s", WarmS);
+    Report.set(T.Key + "_load_speedup", Speedup);
+    Report.set(T.Key + "_blob_bytes", static_cast<uint64_t>(Blob.size()));
+    std::remove(Path.c_str());
+  }
+
+  // Matrix tier on one representative binding: a cached plan vs running
+  // the inspectors + scheduler again.
+  {
+    kernels::Kernel K = kernels::forwardSolveCSC();
+    CSCMatrix L = toCSC(lowerTriangle(generateSPDLike({N, 6, 12, 21})));
+    codegen::UFEnvironment Env = driver::bindCSC(L);
+    engine::EngineOptions EOpts;
+    EOpts.ScheduleThreads = Threads;
+    engine::Engine E(EOpts);
+    double PlanColdS = bench::timeOf([&] { (void)E.plan(K, Env, L.N); });
+    double PlanWarmS = bench::timeOf([&] {
+                         for (int I = 0; I < 1000; ++I)
+                           (void)E.plan(K, Env, L.N);
+                       }) /
+                       1000.0;
+    std::printf("\nplan tier (fs_csc, n=%d): cold %.3f ms, warm hit "
+                "%.2f us\n",
+                L.N, PlanColdS * 1e3, PlanWarmS * 1e6);
+    Report.set("plan_cold_s", PlanColdS);
+    Report.set("plan_warm_s", PlanWarmS);
+    engine::EngineStats ES = E.stats();
+    Report.set("plan_matrix_warm", static_cast<uint64_t>(ES.MatrixWarm));
+  }
+
+  Report.set("kernels", static_cast<uint64_t>(Kernels));
+  Report.set("min_load_speedup", MinSpeedup);
+  Report.write();
+
+  if (!Kernels) {
+    std::fprintf(stderr, "no kernels matched '%s'\n", KernelFilter.c_str());
+    return 1;
+  }
+  if (MinSpeedup < 5) {
+    std::printf("\nFAIL: slowest artifact load is only %.1fx faster than "
+                "cold analysis (want >= 5x)\n",
+                MinSpeedup);
+    return 1;
+  }
+  std::printf("\nOK: artifact load is >= %.0fx faster than cold analysis "
+              "across %u kernels\n",
+              MinSpeedup, Kernels);
+  return 0;
+}

@@ -10,9 +10,16 @@
 // simplified inspectors still respects the baseline dependence graph of
 // the corrupted input). Any "silent wrong schedule" outcome fails the run.
 //
+// The same adversary is then pointed at the storage layer: each kernel's
+// serialized CompiledKernel blob is corrupted byte-wise (bit flips, byte
+// edits, insert/delete, truncation) and artifact::deserialize must either
+// reject the mutant or decode it bit-identically. Any "silent accept"
+// fails the run.
+//
 //   fault_injection                 # full campaign, table + verdict
 //   fault_injection --n 150        # matrix dimension (default 120)
 //   fault_injection --seeds 2      # corruption seeds per (array, kind)
+//   fault_injection --blob-seeds 32   # blob mutants per corruption class
 //   fault_injection --kernel ic0   # only kernels whose key contains "ic0"
 //   fault_injection -v             # print every trial
 //   SDS_HEAVY=0 fault_injection    # skip the minutes-long IC0/ILU0 analyses
@@ -20,6 +27,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "sds/artifact/Artifact.h"
 #include "sds/guard/FaultInjection.h"
 
 #include <cstdio>
@@ -73,6 +81,7 @@ int main(int argc, char **argv) {
   bench::ObsSession Obs;
   int N = 120;
   unsigned Seeds = 1;
+  unsigned BlobSeeds = 8;
   bool Verbose = false;
   std::string KernelFilter;
   for (int I = 1; I < argc; ++I) {
@@ -80,13 +89,15 @@ int main(int argc, char **argv) {
       N = std::atoi(argv[++I]);
     else if (!std::strcmp(argv[I], "--seeds") && I + 1 < argc)
       Seeds = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--blob-seeds") && I + 1 < argc)
+      BlobSeeds = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "--kernel") && I + 1 < argc)
       KernelFilter = argv[++I];
     else if (!std::strcmp(argv[I], "-v"))
       Verbose = true;
   }
-  if (N < 8 || Seeds < 1) {
-    std::fprintf(stderr, "--n must be >= 8, --seeds >= 1\n");
+  if (N < 8 || Seeds < 1 || BlobSeeds < 1) {
+    std::fprintf(stderr, "--n must be >= 8, --seeds and --blob-seeds >= 1\n");
     return 1;
   }
   int Threads = bench::parseThreads(argc, argv);
@@ -99,6 +110,8 @@ int main(int argc, char **argv) {
 
   bench::BenchReport Report("fault_injection");
   unsigned TotalTrials = 0, TotalSilent = 0;
+  unsigned BlobTrials = 0, BlobSilent = 0;
+  std::string BlobTable;
   for (FaultTarget &T : faultTargets(N, Heavy)) {
     if (!KernelFilter.empty() && T.Key.find(KernelFilter) == std::string::npos)
       continue;
@@ -119,20 +132,47 @@ int main(int argc, char **argv) {
                static_cast<uint64_t>(R.silentWrong()));
     TotalTrials += static_cast<unsigned>(R.Trials.size());
     TotalSilent += R.silentWrong();
+
+    // Same adversary, storage layer: mutate this kernel's serialized
+    // artifact and demand reject-or-bit-identical from the loader.
+    guard::BlobCampaignResult B = guard::runBlobCampaign(
+        artifact::fromAnalysis(Analysis), BlobSeeds);
+    if (Verbose)
+      for (const guard::BlobTrial &Trial : B.Trials)
+        std::printf("  [blob] %s\n", Trial.str().c_str());
+    char Line[128];
+    std::snprintf(Line, sizeof(Line), "%-10s %8zu %9u %9u %10u %12u\n",
+                  T.Key.c_str(), B.Trials.size(), B.mutated(), B.rejected(),
+                  B.tolerated(), B.silentAccepts());
+    BlobTable += Line;
+    Report.set(T.Key + "_blob_trials", static_cast<uint64_t>(B.Trials.size()));
+    Report.set(T.Key + "_blob_rejected", static_cast<uint64_t>(B.rejected()));
+    Report.set(T.Key + "_blob_silent_accept",
+               static_cast<uint64_t>(B.silentAccepts()));
+    BlobTrials += static_cast<unsigned>(B.Trials.size());
+    BlobSilent += B.silentAccepts();
   }
+
+  std::printf("\nSerialized-artifact corruption (%u mutants per class)\n\n",
+              BlobSeeds);
+  std::printf("%-10s %8s %9s %9s %10s %12s\n%s", "Kernel", "trials",
+              "mutated", "rejected", "tolerated", "silent-accept",
+              BlobTable.c_str());
 
   Report.set("total_trials", static_cast<uint64_t>(TotalTrials));
   Report.set("total_silent_wrong", static_cast<uint64_t>(TotalSilent));
+  Report.set("total_blob_trials", static_cast<uint64_t>(BlobTrials));
+  Report.set("total_blob_silent_accept", static_cast<uint64_t>(BlobSilent));
   Report.write();
 
-  if (TotalSilent) {
-    std::printf("\nFAIL: %u silent wrong-schedule outcome(s) — the guard "
-                "contract is broken\n",
-                TotalSilent);
+  if (TotalSilent || BlobSilent) {
+    std::printf("\nFAIL: %u silent wrong-schedule and %u silent-accept "
+                "outcome(s) — the guard contract is broken\n",
+                TotalSilent, BlobSilent);
     return 1;
   }
   std::printf("\nOK: every injected fault was detected or tolerated "
-              "(%u trials)\n",
-              TotalTrials);
+              "(%u array trials, %u blob trials)\n",
+              TotalTrials, BlobTrials);
   return 0;
 }

@@ -16,6 +16,10 @@
 //                                           #   Chrome trace-event JSON
 //   analyze_kernel --stats fs_csr           # + aggregate span/counter report
 //   analyze_kernel --n 500 --trace t.json gs_csr   # bigger traced matrix
+//   analyze_kernel --emit-artifact=fs.ck.json fs_csc   # compile once...
+//   analyze_kernel --load-artifact=fs.ck.json fs_csc   # ...run many: skip
+//                                           #   the Presburger pipeline and
+//                                           #   print warm-vs-cold timing
 //
 // With --trace or --stats the tool also runs the full inspector-executor
 // flow on a generated SPD-like matrix (inspectors -> dependence graph ->
@@ -25,12 +29,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "sds/artifact/Artifact.h"
 #include "sds/driver/Driver.h"
 #include "sds/guard/Guarded.h"
 #include "sds/obs/Export.h"
 #include "sds/obs/Trace.h"
 #include "sds/support/JSON.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -64,8 +70,8 @@ struct GuardFlags {
   bool Validate = false;
 };
 
-void runTraced(const std::string &Key, const deps::PipelineResult &R, int N,
-               int Threads, const GuardFlags &GF) {
+void runTraced(const std::string &Key, const artifact::CompiledKernel &CK,
+               int N, int Threads, const GuardFlags &GF) {
   rt::CSRMatrix A = rt::generateSPDLike({N, 6, 12, 21});
 
   codegen::UFEnvironment Env;
@@ -93,7 +99,7 @@ void runTraced(const std::string &Key, const deps::PipelineResult &R, int N,
 
   if (GF.Validate) {
     guard::ValidationReport VR =
-        guard::validateProperties(R.Kernel.Properties, Env);
+        guard::validateProperties(CK.Properties, Env);
     std::printf("validation (%.3f ms): %s\n%s", VR.Seconds * 1e3,
                 VR.summary().c_str(), VR.str().c_str());
   }
@@ -101,8 +107,7 @@ void runTraced(const std::string &Key, const deps::PipelineResult &R, int N,
   guard::GuardedOptions GOpts;
   GOpts.Mode = GF.Mode;
   GOpts.Inspect.NumThreads = Threads;
-  guard::GuardedResult G =
-      guard::runGuarded(R, R.Kernel.Properties, Env, A.N, GOpts);
+  guard::GuardedResult G = guard::runGuarded(CK, Env, A.N, GOpts);
   if (GF.Mode != guard::GuardMode::Off)
     std::printf("%s\n", G.summary().c_str());
   const driver::InspectionResult &Insp = G.Inspection;
@@ -136,22 +141,72 @@ void runTraced(const std::string &Key, const deps::PipelineResult &R, int N,
                 Key.c_str());
 }
 
-void analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
-                int N, int Threads, double BudgetMs, const GuardFlags &GF) {
+/// Compile-once/run-many paths through one kernel. Empty strings mean
+/// "analyze fresh"; LoadPath skips the Presburger pipeline entirely and
+/// EmitPath persists the result for a later --load-artifact run.
+struct ArtifactFlags {
+  std::string EmitPath;
+  std::string LoadPath;
+};
+
+int analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
+               int N, int Threads, double BudgetMs, const GuardFlags &GF,
+               const ArtifactFlags &AF) {
   std::printf("=== %s ===\n%s\n", K.Name.c_str(), K.str().c_str());
-  deps::PipelineOptions POpts;
-  POpts.NumThreads = Threads; // same flag drives analysis and inspectors
-  POpts.AnalysisBudgetMs = BudgetMs;
-  deps::PipelineResult R = deps::analyzeKernel(K, POpts);
-  std::printf("%s\n", R.summary().c_str());
-  for (const deps::AnalyzedDependence &D : R.Deps) {
+  artifact::CompiledKernel CK;
+  if (!AF.LoadPath.empty()) {
+    auto T0 = std::chrono::steady_clock::now();
+    support::Status S = artifact::load(AF.LoadPath, CK);
+    double WarmS = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+    if (!S.ok()) {
+      std::fprintf(stderr, "%s\n", S.str().c_str());
+      return 1;
+    }
+    if (CK.KernelName != K.Name) {
+      std::fprintf(stderr,
+                   "artifact '%s' was compiled for kernel '%s', not '%s'\n",
+                   AF.LoadPath.c_str(), CK.KernelName.c_str(), K.Name.c_str());
+      return 1;
+    }
+    std::printf("%s\n", CK.summary().c_str());
+    double ColdS = CK.analysisSeconds();
+    std::printf("artifact load: %.3f ms (recorded cold analysis %.3f ms",
+                WarmS * 1e3, ColdS * 1e3);
+    if (WarmS > 0 && ColdS > 0)
+      std::printf(", %.0fx faster", ColdS / WarmS);
+    std::printf(")\n");
+  } else {
+    deps::PipelineOptions POpts;
+    POpts.NumThreads = Threads; // same flag drives analysis and inspectors
+    POpts.AnalysisBudgetMs = BudgetMs;
+    auto T0 = std::chrono::steady_clock::now();
+    deps::PipelineResult R = deps::analyzeKernel(K, POpts);
+    double ColdS = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+    std::printf("%s\n", R.summary().c_str());
+    std::printf("cold analysis: %.3f ms\n", ColdS * 1e3);
+    CK = artifact::fromAnalysis(std::move(R), POpts);
+  }
+  for (const deps::AnalyzedDependence &D : CK.Deps) {
     if (D.Status != deps::DepStatus::Runtime)
       continue;
     std::printf("--- inspector for %s ---\n%s\n", D.Dep.label().c_str(),
                 D.Plan.emitC("inspect").c_str());
   }
+  if (!AF.EmitPath.empty()) {
+    if (support::Status S = artifact::save(CK, AF.EmitPath); !S.ok()) {
+      std::fprintf(stderr, "%s\n", S.str().c_str());
+      return 1;
+    }
+    std::printf("artifact written to %s (reload with --load-artifact=%s)\n",
+                AF.EmitPath.c_str(), AF.EmitPath.c_str());
+  }
   if (Traced)
-    runTraced(Key, R, N, Threads, GF);
+    runTraced(Key, CK, N, Threads, GF);
+  return 0;
 }
 
 } // namespace
@@ -163,6 +218,7 @@ int main(int argc, char **argv) {
   int Threads = omp_get_max_threads();
   double BudgetMs = 0;
   GuardFlags GF;
+  ArtifactFlags AF;
   std::vector<std::string> Positional;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -179,6 +235,10 @@ int main(int argc, char **argv) {
         return 1;
       }
       GF.Mode = *M;
+    } else if (Arg.rfind("--emit-artifact=", 0) == 0) {
+      AF.EmitPath = Arg.substr(16);
+    } else if (Arg.rfind("--load-artifact=", 0) == 0) {
+      AF.LoadPath = Arg.substr(16);
     } else if (Arg == "--budget-ms" && I + 1 < argc) {
       BudgetMs = std::atof(argv[++I]);
       if (BudgetMs < 0) {
@@ -207,6 +267,7 @@ int main(int argc, char **argv) {
     std::printf(
         "usage: %s [--trace out.json] [--stats] [--n N] [--threads N] "
         "[--validate] [--guard=off|warn|fallback] [--budget-ms MS] "
+        "[--emit-artifact=PATH] [--load-artifact=PATH] "
         "<kernel|all> [properties.json]\nkernels:\n",
         argv[0]);
     for (const auto &[Key, K] : Kernels)
@@ -223,8 +284,15 @@ int main(int argc, char **argv) {
 
   std::string Which = Positional[0];
   if (Which == "all") {
+    if (!AF.EmitPath.empty() || !AF.LoadPath.empty()) {
+      std::fprintf(stderr,
+                   "--emit-artifact/--load-artifact need a single kernel, "
+                   "not 'all'\n");
+      return 1;
+    }
     for (auto &[Key, K] : Kernels)
-      analyzeOne(Key, K, Traced, N, Threads, BudgetMs, GF);
+      if (int RC = analyzeOne(Key, K, Traced, N, Threads, BudgetMs, GF, {}))
+        return RC;
   } else {
     auto It = Kernels.find(Which);
     if (It == Kernels.end()) {
@@ -260,7 +328,8 @@ int main(int argc, char **argv) {
       std::printf("(using index-array properties from %s)\n", Path.c_str());
     }
 
-    analyzeOne(Which, K, Traced, N, Threads, BudgetMs, GF);
+    if (int RC = analyzeOne(Which, K, Traced, N, Threads, BudgetMs, GF, AF))
+      return RC;
   }
 
   if (Stats)

@@ -17,8 +17,14 @@
 //                         (default fallback: run unsimplified inspectors)
 //   --budget-ms MS        wall-clock budget for the compile-time analysis
 //
+// Compile-once/run-many (sds::artifact):
+//   --emit-artifact=PATH  save the compiled kernel after analysis
+//   --load-artifact=PATH  skip analysis; load a previously saved artifact
+//                         and report warm-vs-cold timing
+//
 //===----------------------------------------------------------------------===//
 
+#include "sds/artifact/Artifact.h"
 #include "sds/driver/Driver.h"
 #include "sds/guard/Guarded.h"
 
@@ -46,7 +52,7 @@ int main(int argc, char **argv) {
   guard::GuardMode Mode = guard::GuardMode::Fallback;
   bool Validate = false;
   double BudgetMs = 0;
-  std::string MtxPath;
+  std::string MtxPath, EmitPath, LoadPath;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--validate") {
@@ -60,10 +66,15 @@ int main(int argc, char **argv) {
       Mode = *M;
     } else if (Arg == "--budget-ms" && I + 1 < argc) {
       BudgetMs = std::atof(argv[++I]);
+    } else if (Arg.rfind("--emit-artifact=", 0) == 0) {
+      EmitPath = Arg.substr(16);
+    } else if (Arg.rfind("--load-artifact=", 0) == 0) {
+      LoadPath = Arg.substr(16);
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr,
                    "usage: %s [--validate] [--guard=off|warn|fallback] "
-                   "[--budget-ms MS] [A.mtx]\n",
+                   "[--budget-ms MS] [--emit-artifact=PATH] "
+                   "[--load-artifact=PATH] [A.mtx]\n",
                    argv[0]);
       return 1;
     } else {
@@ -96,27 +107,56 @@ int main(int argc, char **argv) {
   const char *TEnv = std::getenv("SDS_THREADS");
   int Threads = TEnv ? std::atoi(TEnv) : omp_get_max_threads();
 
-  // -- Compile-time analysis (once per kernel, matrix-independent). --------
+  // -- Compile-time analysis (once per kernel, matrix-independent), or a
+  // -- previously saved artifact (once per deployment, ever). --------------
   double T0 = now();
   kernels::Kernel K = kernels::forwardSolveCSC();
-  deps::PipelineOptions POpts;
-  POpts.AnalysisBudgetMs = BudgetMs;
-  deps::PipelineResult Analysis = deps::analyzeKernel(K, POpts);
-  std::printf("analysis: %.2fs, %u runtime check(s)\n", now() - T0,
-              Analysis.count(deps::DepStatus::Runtime));
+  artifact::CompiledKernel CK;
+  if (!LoadPath.empty()) {
+    support::Status St = artifact::load(LoadPath, CK);
+    if (!St.ok()) {
+      std::fprintf(stderr, "%s\n", St.str().c_str());
+      return 1;
+    }
+    if (CK.KernelName != K.Name) {
+      std::fprintf(stderr, "artifact '%s' is for kernel '%s', not '%s'\n",
+                   LoadPath.c_str(), CK.KernelName.c_str(), K.Name.c_str());
+      return 1;
+    }
+    double WarmT = now() - T0;
+    std::printf("artifact load: %.4fs, %u runtime check(s) "
+                "(recorded cold analysis %.2fs",
+                WarmT, CK.count(deps::DepStatus::Runtime),
+                CK.analysisSeconds());
+    if (WarmT > 0 && CK.analysisSeconds() > 0)
+      std::printf(", %.0fx faster", CK.analysisSeconds() / WarmT);
+    std::printf(")\n");
+  } else {
+    deps::PipelineOptions POpts;
+    POpts.AnalysisBudgetMs = BudgetMs;
+    CK = artifact::compile(K, POpts);
+    std::printf("analysis: %.2fs, %u runtime check(s)\n", now() - T0,
+                CK.count(deps::DepStatus::Runtime));
+  }
+  if (!EmitPath.empty()) {
+    if (support::Status St = artifact::save(CK, EmitPath); !St.ok()) {
+      std::fprintf(stderr, "%s\n", St.str().c_str());
+      return 1;
+    }
+    std::printf("artifact written to %s\n", EmitPath.c_str());
+  }
 
   // -- Inspector (once per matrix), guarded by property validation. --------
   codegen::UFEnvironment Env = driver::bindCSC(L);
   if (Validate) {
-    guard::ValidationReport VR = guard::validateProperties(K.Properties, Env);
+    guard::ValidationReport VR = guard::validateProperties(CK.Properties, Env);
     std::printf("validation (%.3f ms): %s\n%s", VR.Seconds * 1e3,
                 VR.summary().c_str(), VR.str().c_str());
   }
   T0 = now();
   guard::GuardedOptions GOpts;
   GOpts.Mode = Mode;
-  guard::GuardedResult G = guard::runGuarded(Analysis, K.Properties, Env,
-                                             L.N, GOpts);
+  guard::GuardedResult G = guard::runGuarded(CK, Env, L.N, GOpts);
   if (Mode != guard::GuardMode::Off)
     std::printf("%s\n", G.summary().c_str());
   const driver::InspectionResult &Insp = G.Inspection;

@@ -1,0 +1,153 @@
+//===- Artifact.h - Versioned compile-once/run-many artifacts ---*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The compile-once/run-many split. The Figure-3 analysis (Presburger
+// refutation, equality discovery, subsumption, inspector synthesis) is
+// expensive and matrix-independent; everything the serving path needs —
+// per-dependence fates, simplified relations, inspector plans, the
+// property assumptions the guard re-validates at bind time, decision
+// provenance, and costs — fits in one self-contained, versioned
+// CompiledKernel value that serializes over sds::json.
+//
+//   compile time (once per kernel):   compile() -> save()
+//   serve time (every process start): load() -> driver::runInspectors()
+//                                              / guard::runGuarded()
+//
+// The load path issues *zero* Presburger queries: relations and plans are
+// decoded structurally, never re-derived, and a loaded artifact reproduces
+// the bit-identical dependence graph and wavefront schedule of a fresh
+// analysis (artifact_roundtrip_test asserts both, suite-wide).
+//
+// Blob format: a JSON envelope
+//
+//   { "magic": "sds.compiled_kernel", "schema_version": N,
+//     "abi": "<enum/table fingerprint>", "checksum": "<fnv1a64 hex>",
+//     "payload": { ... } }
+//
+// Corrupt, truncated, version-skewed, or ABI-mismatched blobs are rejected
+// with a contextful support::Status and no partial state: the output
+// artifact is only written on full success. The checksum covers the
+// canonical payload text, so any content-altering bit flip is detected
+// even when the mutated text still parses as JSON (the fault-injection
+// campaign corrupts blobs and asserts detect-or-reject).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_ARTIFACT_ARTIFACT_H
+#define SDS_ARTIFACT_ARTIFACT_H
+
+#include "sds/deps/Pipeline.h"
+#include "sds/support/Schema.h"
+#include "sds/support/Status.h"
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sds {
+namespace artifact {
+
+/// The analysis switches baked into an artifact. Thread count and budget
+/// are excluded on purpose: they never change the analysis result (the
+/// pipeline's determinism contract), so artifacts produced at different
+/// parallelism are interchangeable; these four switches do change it and
+/// are part of the engine's cache key.
+struct AnalysisOptions {
+  bool UseProperties = true;
+  bool UseEqualities = true;
+  bool UseSubsets = true;
+  bool ApproximateExpensive = false;
+
+  static AnalysisOptions of(const deps::PipelineOptions &Opts) {
+    return {Opts.UseProperties, Opts.UseEqualities, Opts.UseSubsets,
+            Opts.ApproximateExpensive};
+  }
+  /// Compact cache-key form, e.g. "PES-" (capital = on, dash = off).
+  std::string key() const;
+  bool operator==(const AnalysisOptions &O) const {
+    return UseProperties == O.UseProperties &&
+           UseEqualities == O.UseEqualities && UseSubsets == O.UseSubsets &&
+           ApproximateExpensive == O.ApproximateExpensive;
+  }
+};
+
+/// Everything the serving path needs from one kernel's compile-time
+/// analysis. Self-contained: no pointer back into the kernel IR, no
+/// statement bodies — just the dependences, their plans, and the property
+/// assumptions those plans are conditional on.
+struct CompiledKernel {
+  std::string KernelName; ///< e.g. "Forward Solve CSC"
+  std::string Format;     ///< "CSR" or "CSC"
+  std::string Source;     ///< provenance note (library the kernel is from)
+  codegen::Complexity KernelCost;
+  AnalysisOptions Options;
+  /// The assumptions the analysis leaned on; guard::runGuarded re-checks
+  /// exactly these against the bound arrays at bind time.
+  ir::PropertySet Properties;
+  std::vector<deps::AnalyzedDependence> Deps;
+  /// Analysis cost provenance: wall seconds per Figure-3 stage, with the
+  /// stable keys of schema::kStageKeys.
+  std::map<std::string, double> StageSeconds;
+
+  unsigned count(deps::DepStatus S) const {
+    unsigned N = 0;
+    for (const deps::AnalyzedDependence &D : Deps)
+      N += D.Status == S ? 1 : 0;
+    return N;
+  }
+  /// Total analysis seconds across stages (the "cold" cost this artifact
+  /// amortizes away).
+  double analysisSeconds() const {
+    double T = 0;
+    for (const auto &[Stage, Seconds] : StageSeconds)
+      T += Seconds;
+    return T;
+  }
+  /// One-line description, e.g.
+  /// "Forward Solve CSC [PES-]: 5 deps (1 runtime), analyzed in 0.42s".
+  std::string summary() const;
+};
+
+/// The analyze→construct split: run the Figure-3 pipeline, then package
+/// the result as an artifact. Equivalent to
+/// fromAnalysis(deps::analyzeKernel(K, Opts), Opts).
+CompiledKernel compile(const kernels::Kernel &K,
+                       const deps::PipelineOptions &Opts = {});
+
+/// Package an existing analysis (moves the dependence records out of it).
+/// `Opts` must be the options the analysis ran with.
+CompiledKernel fromAnalysis(deps::PipelineResult Analysis,
+                            const deps::PipelineOptions &Opts = {});
+
+/// Fingerprint of every enum/table the codec depends on (property kinds,
+/// dependence fates, plan-variable kinds, stage keys). A blob whose "abi"
+/// differs was produced by an incompatible build and is rejected — adding
+/// an enum value changes the fingerprint.
+std::string abiFingerprint();
+
+/// Serialize to the versioned envelope text. Deterministic: the same
+/// artifact always yields the same bytes (keys sorted, no timestamps).
+std::string serialize(const CompiledKernel &CK);
+
+/// Parse and validate an envelope. On any failure `Out` is untouched and
+/// the Status carries the failing field's path; success fully replaces
+/// `Out`. Never issues a Presburger query.
+[[nodiscard]] support::Status deserialize(std::string_view Text,
+                                          CompiledKernel &Out);
+
+/// serialize() to a file. IOError on open/write failure.
+[[nodiscard]] support::Status save(const CompiledKernel &CK,
+                                   const std::string &Path);
+
+/// Read and deserialize() a file; same no-partial-state contract.
+[[nodiscard]] support::Status load(const std::string &Path,
+                                   CompiledKernel &Out);
+
+} // namespace artifact
+} // namespace sds
+
+#endif // SDS_ARTIFACT_ARTIFACT_H

@@ -14,6 +14,7 @@
 #ifndef SDS_DRIVER_DRIVER_H
 #define SDS_DRIVER_DRIVER_H
 
+#include "sds/artifact/Artifact.h"
 #include "sds/codegen/Inspector.h"
 #include "sds/deps/Pipeline.h"
 #include "sds/runtime/Kernels.h"
@@ -65,11 +66,27 @@ struct InspectorOptions {
   int NumThreads = 1;
 };
 
-/// Run every surviving runtime inspector of `Analysis` against the bound
-/// arrays, accumulating edges into one dependence graph over N iterations.
-/// Each inspector plan is compiled exactly once regardless of thread
-/// count.
+/// Core entry point: run every surviving runtime inspector among `Deps`
+/// against the bound arrays, accumulating edges into one dependence graph
+/// over N iterations. Each inspector plan is compiled exactly once
+/// regardless of thread count. `KernelName` is used for tracing only.
+/// Consumes analyzed dependences directly, so a freshly analyzed
+/// PipelineResult and a deserialized artifact::CompiledKernel drive the
+/// identical code path — the compile-once/run-many split changes where the
+/// plans come from, never what runs.
+InspectionResult runInspectors(const std::string &KernelName,
+                               const std::vector<deps::AnalyzedDependence> &Deps,
+                               const codegen::UFEnvironment &Env, int N,
+                               const InspectorOptions &Opts = {});
+
+/// Convenience overload for a fresh in-process analysis.
 InspectionResult runInspectors(const deps::PipelineResult &Analysis,
+                               const codegen::UFEnvironment &Env, int N,
+                               const InspectorOptions &Opts = {});
+
+/// Convenience overload for a compiled artifact (fresh or loaded). Issues
+/// zero Presburger queries: the plans inside `CK` are executed as decoded.
+InspectionResult runInspectors(const artifact::CompiledKernel &CK,
                                const codegen::UFEnvironment &Env, int N,
                                const InspectorOptions &Opts = {});
 

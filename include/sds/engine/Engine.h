@@ -1,0 +1,132 @@
+//===- Engine.h - In-process compile-once/run-many facade -------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving-shaped front door over the compile-once/run-many split. An
+// Engine memoizes two tiers of expensive work:
+//
+//   kernel tier   CompiledKernel artifacts, keyed by kernel name plus the
+//                 analysis switches (artifact::AnalysisOptions::key()).
+//                 Filled by compiling cold, or warm-started from blobs via
+//                 loadArtifact(). One Presburger pipeline run per distinct
+//                 (kernel, options) for the life of the process.
+//
+//   matrix tier   dependence graph + wavefront schedule per bound matrix,
+//                 keyed by (kernel key, environment fingerprint, schedule
+//                 threads). The fingerprint hashes every bound span and
+//                 parameter, so two binds of the same matrix hit the same
+//                 entry and a changed matrix can never alias a stale plan.
+//
+// Every hit and miss is visible twice: in the always-on EngineStats local
+// counters (tests assert on these) and through sds::obs counters
+// ("engine.kernel_warm/cold/loaded", "engine.matrix_warm/cold") when
+// tracing is enabled.
+//
+// Thread safety: all public members are safe to call concurrently; lookups
+// take a mutex, cold fills run outside it and the first finisher wins
+// (duplicated work under a race, never a wrong or torn result).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_ENGINE_ENGINE_H
+#define SDS_ENGINE_ENGINE_H
+
+#include "sds/artifact/Artifact.h"
+#include "sds/driver/Driver.h"
+#include "sds/guard/Guarded.h"
+#include "sds/runtime/Wavefront.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sds {
+namespace engine {
+
+/// Engine-wide knobs, fixed at construction.
+struct EngineOptions {
+  deps::PipelineOptions Analysis;   ///< used when a kernel compiles cold
+  driver::InspectorOptions Inspect; ///< inspector fleet width
+  /// Threads the memoized wavefront schedule is built for (part of the
+  /// matrix cache key — a schedule for 4 workers is useless to 8).
+  int ScheduleThreads = 4;
+  /// Matrix-tier capacity; the oldest entry is evicted past this. The
+  /// kernel tier is unbounded (7 kernels x a handful of option sets).
+  size_t MaxMatrixPlans = 64;
+};
+
+/// Always-on hit/miss accounting (obs counters require tracing; these do
+/// not).
+struct EngineStats {
+  uint64_t KernelWarm = 0;   ///< compiled() served from cache
+  uint64_t KernelCold = 0;   ///< compiled() ran the analysis pipeline
+  uint64_t KernelLoaded = 0; ///< artifacts installed via loadArtifact()
+  uint64_t MatrixWarm = 0;   ///< plan() served from cache
+  uint64_t MatrixCold = 0;   ///< plan() ran inspectors + scheduler
+  uint64_t MatrixEvicted = 0;
+};
+
+/// A memoized per-matrix serving plan: the inspected dependence graph and
+/// the wavefront schedule built from it.
+struct MatrixPlan {
+  driver::InspectionResult Inspection;
+  rt::WavefrontSchedule Schedule;
+
+  explicit MatrixPlan(int N) : Inspection(N) {}
+};
+
+/// Deterministic fingerprint of a runtime binding: hashes every span's
+/// name, length, and contents plus every parameter, FNV-1a 64, in the
+/// maps' sorted order.
+/// Function-only bindings (no span) are hashed by name alone — binding
+/// arbitrary lambdas is a test-only affordance the cache cannot see
+/// through, so such environments should not be memoized across changes.
+uint64_t fingerprintEnvironment(const codegen::UFEnvironment &Env);
+
+class Engine {
+public:
+  explicit Engine(EngineOptions Opts = {});
+  ~Engine();
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// The kernel tier: return the memoized artifact for `K` under this
+  /// engine's analysis options, compiling it (cold) on first use.
+  std::shared_ptr<const artifact::CompiledKernel>
+  compiled(const kernels::Kernel &K);
+
+  /// Warm-start the kernel tier from a serialized blob. Rejected blobs
+  /// (corrupt/version/ABI) leave the cache untouched and return the
+  /// decoder's Status. A loaded artifact replaces any cached entry for
+  /// the same (kernel, options) key.
+  [[nodiscard]] support::Status loadArtifact(const std::string &Path);
+
+  /// Serialize the cached artifact for `K` (compiling it first if
+  /// needed) to `Path`.
+  [[nodiscard]] support::Status saveArtifact(const kernels::Kernel &K,
+                                             const std::string &Path);
+
+  /// The matrix tier: dependence graph + wavefront schedule for `K`
+  /// bound to `Env` over `N` iterations. Warm hits return the cached
+  /// plan; cold fills run the (artifact-driven) inspectors and the
+  /// level-set scheduler.
+  std::shared_ptr<const MatrixPlan>
+  plan(const kernels::Kernel &K, const codegen::UFEnvironment &Env, int N);
+
+  EngineStats stats() const;
+  /// Drop both tiers (stats survive).
+  void clear();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace engine
+} // namespace sds
+
+#endif // SDS_ENGINE_ENGINE_H

@@ -109,6 +109,70 @@ CampaignResult runCampaign(const deps::PipelineResult &Analysis,
                            const std::vector<FaultSpec> &Specs,
                            int Threads = 1);
 
+//===----------------------------------------------------------------------===//
+// Serialized-artifact corruption (the storage analogue of the index-array
+// campaign above). A compiled kernel that sits on disk between compile and
+// serve time can rot: bit flips, short reads, concatenated writes, stray
+// edits. The contract mirrors the guard's: every mutation of the blob text
+// is either *rejected* by artifact::deserialize, or *harmless* — the
+// accepted artifact re-serializes to exactly the pristine blob, i.e. the
+// mutation did not change a single decoded bit. A "silent accept" (blob
+// changed, load succeeded, contents differ) would poison every run-many
+// process started from that file.
+//===----------------------------------------------------------------------===//
+
+/// The byte-level corruption classes applied to a serialized blob.
+enum class BlobFaultKind {
+  FlipBit,    ///< flip one bit of one byte
+  SetByte,    ///< overwrite one byte with a seed-derived printable char
+  DeleteByte, ///< remove one byte (shifts the rest)
+  InsertByte, ///< insert one printable byte
+  Truncate,   ///< keep only a prefix (short read / partial write)
+};
+
+const char *blobFaultKindName(BlobFaultKind K);
+std::vector<BlobFaultKind> allBlobFaultKinds();
+
+/// Mutate `Blob` per (Kind, Seed); deterministic. Returns the mutated text
+/// and describes the edit in `Desc`. Guaranteed to differ from the input
+/// for any blob of >= 2 bytes.
+std::string mutateBlob(const std::string &Blob, BlobFaultKind Kind,
+                       uint64_t Seed, std::string &Desc);
+
+/// Outcome of one blob-corruption trial.
+struct BlobTrial {
+  BlobFaultKind Kind = BlobFaultKind::FlipBit;
+  uint64_t Seed = 0;
+  std::string Description; ///< what byte(s) changed
+  bool Mutated = false;    ///< the text actually changed
+  bool Rejected = false;   ///< deserialize returned a non-OK Status
+  bool Identical = false;  ///< accepted AND re-serializes to the pristine blob
+  std::string Error;       ///< the rejection Status text, when rejected
+
+  /// The contract violation: text changed, load succeeded, decoded
+  /// contents differ from the pristine artifact.
+  bool silentAccept() const { return Mutated && !Rejected && !Identical; }
+
+  std::string str() const;
+};
+
+/// Aggregate of a blob campaign.
+struct BlobCampaignResult {
+  std::vector<BlobTrial> Trials;
+
+  unsigned mutated() const;
+  unsigned rejected() const;
+  unsigned tolerated() const; ///< accepted but decoded bit-identical
+  unsigned silentAccepts() const;
+
+  std::string summary() const;
+};
+
+/// Corrupt serialize(CK) `SeedsPerKind` times per fault kind and check the
+/// detect-or-reject contract on every mutant.
+BlobCampaignResult runBlobCampaign(const artifact::CompiledKernel &CK,
+                                   unsigned SeedsPerKind = 8);
+
 } // namespace guard
 } // namespace sds
 

@@ -85,19 +85,41 @@ struct GuardedResult {
   std::string summary() const;
 };
 
-/// Rebuild the analysis with every simplification undone: each dependence
-/// that reached a runtime test — or was discarded by property knowledge or
-/// subsumption — gets an inspector plan generated from its *original*
-/// relation. Only affine-unsat refutations survive, since they hold for
-/// arbitrary index-array contents. This is the correct-by-construction
-/// reference the guard falls back to and verifies against.
+/// Rebuild analyzed dependences with every simplification undone: each
+/// dependence that reached a runtime test — or was discarded by property
+/// knowledge or subsumption — gets an inspector plan generated from its
+/// *original* relation. Only affine-unsat refutations survive, since they
+/// hold for arbitrary index-array contents. This is the
+/// correct-by-construction reference the guard falls back to and verifies
+/// against. Works identically on fresh and artifact-loaded dependences.
+std::vector<deps::AnalyzedDependence>
+baselineDeps(const std::vector<deps::AnalyzedDependence> &Deps);
+
+/// PipelineResult convenience wrapper around baselineDeps.
 deps::PipelineResult baselineAnalysis(const deps::PipelineResult &Analysis);
 
-/// Run inspectors with validation, fallback, and optional verification as
-/// configured. `PS` must be the property set the analysis was performed
-/// with (kernels::Kernel::Properties); `Env`/`N` as for runInspectors.
+/// Core entry point: run inspectors with validation, fallback, and
+/// optional verification as configured. `PS` must be the property set the
+/// analysis was performed with; `Env`/`N` as for runInspectors.
+GuardedResult runGuarded(const std::string &KernelName,
+                         const std::vector<deps::AnalyzedDependence> &Deps,
+                         const ir::PropertySet &PS,
+                         const codegen::UFEnvironment &Env, int N,
+                         const GuardedOptions &Opts = {});
+
+/// Convenience overload for a fresh in-process analysis.
 GuardedResult runGuarded(const deps::PipelineResult &Analysis,
                          const ir::PropertySet &PS,
+                         const codegen::UFEnvironment &Env, int N,
+                         const GuardedOptions &Opts = {});
+
+/// Convenience overload for a compiled artifact (fresh or loaded): the
+/// guard re-validates the artifact-carried property assumptions against
+/// the bound arrays at bind time, exactly as it would for a fresh
+/// analysis. The baseline fallback is re-planned from the original
+/// relations embedded in the artifact — the only place the serving path
+/// pays plan construction, and still Presburger-free in the happy path.
+GuardedResult runGuarded(const artifact::CompiledKernel &CK,
                          const codegen::UFEnvironment &Env, int N,
                          const GuardedOptions &Opts = {});
 

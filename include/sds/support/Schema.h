@@ -1,0 +1,51 @@
+//===- Schema.h - Shared export-schema constants ----------------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// One source of truth for the machine-readable exports: the pipeline's
+// analysis report (PipelineResult::toJSON), the obs stats export, and the
+// serialized CompiledKernel artifact all stamp the same schema version and
+// spell per-stage timings with the same keys. Bump kVersion whenever a
+// field is renamed, removed, or changes meaning; purely additive fields do
+// not require a bump (readers must ignore unknown keys).
+//
+// Version history:
+//   1  (implicit) PR 1-4 exports: no version field
+//   2  this header introduced; stage_seconds keys frozen; CompiledKernel
+//      artifact format added
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_SUPPORT_SCHEMA_H
+#define SDS_SUPPORT_SCHEMA_H
+
+#include <cstdint>
+
+namespace sds {
+namespace schema {
+
+/// Schema version shared by PipelineResult::toJSON, obs::statsJSON, and
+/// the sds::artifact blob format.
+inline constexpr int64_t kVersion = 2;
+
+/// The frozen per-stage timing keys of the Figure-3 pipeline, in stage
+/// order. Every export that carries a stage-seconds map emits exactly
+/// these keys (zero-filled when a stage did not run), so downstream
+/// dashboards can index them without existence checks.
+inline constexpr const char *kStageKeys[] = {
+    "extraction",         // step 1: dependence extraction
+    "affine_unsat",       // step 2: affine-only refutation
+    "property_unsat",     // step 3: property-based refutation
+    "equality_discovery", // step 4: §4 equality discovery
+    "subsumption",        // step 5: §5 subset subsumption
+    "codegen",            // step 6: inspector synthesis
+};
+inline constexpr size_t kNumStageKeys =
+    sizeof(kStageKeys) / sizeof(kStageKeys[0]);
+
+} // namespace schema
+} // namespace sds
+
+#endif // SDS_SUPPORT_SCHEMA_H

@@ -12,6 +12,7 @@
 #include "sds/presburger/Budget.h"
 #include "sds/support/JSON.h"
 #include "sds/support/OMP.h"
+#include "sds/support/Schema.h"
 
 #include <algorithm>
 #include <chrono>
@@ -226,6 +227,7 @@ std::string PipelineResult::toJSON() const {
   using json::Object;
   using json::Value;
   Object Root;
+  Root.emplace("schema_version", Value(schema::kVersion));
   Root.emplace("kernel", Value(Kernel.Name));
   Root.emplace("format", Value(Kernel.Format));
   Root.emplace("kernel_complexity", Value(KernelCost.str()));
@@ -252,9 +254,16 @@ std::string PipelineResult::toJSON() const {
     DepList.push_back(Value(std::move(DepObj)));
   }
   Root.emplace("dependences", Value(std::move(DepList)));
+  // The frozen schema::kStageKeys, zero-filled when a stage did not run,
+  // so this export and the artifact blob spell timings identically.
   Object Stages;
+  for (size_t I = 0; I < schema::kNumStageKeys; ++I) {
+    auto It = StageSeconds.find(schema::kStageKeys[I]);
+    Stages.emplace(schema::kStageKeys[I],
+                   Value(It == StageSeconds.end() ? 0.0 : It->second));
+  }
   for (const auto &[Stage, Seconds] : StageSeconds)
-    Stages.emplace(Stage, Value(Seconds));
+    Stages.emplace(Stage, Value(Seconds)); // no-op for standard keys
   Root.emplace("stage_seconds", Value(std::move(Stages)));
   return Value(std::move(Root)).str();
 }

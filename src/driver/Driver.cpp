@@ -59,7 +59,8 @@ struct InspectorChunk {
 
 } // namespace
 
-InspectionResult runInspectors(const deps::PipelineResult &Analysis,
+InspectionResult runInspectors(const std::string &KernelName,
+                               const std::vector<deps::AnalyzedDependence> &Analyzed,
                                const codegen::UFEnvironment &Env, int N,
                                const InspectorOptions &Opts) {
   static obs::Counter &TotalVisits = obs::counter("driver.inspector_visits");
@@ -67,7 +68,7 @@ InspectionResult runInspectors(const deps::PipelineResult &Analysis,
   using Clock = std::chrono::steady_clock;
   auto T0 = Clock::now();
   obs::Span All("driver.run_inspectors", "driver");
-  All.tag("kernel", Analysis.Kernel.Name);
+  All.tag("kernel", KernelName);
 
   InspectionResult Res(N);
 
@@ -75,7 +76,7 @@ InspectionResult runInspectors(const deps::PipelineResult &Analysis,
   // region; threads share the immutable compiled programs.
   std::vector<const deps::AnalyzedDependence *> Deps;
   std::vector<codegen::CompiledInspector> Compiled;
-  for (const deps::AnalyzedDependence &D : Analysis.Deps) {
+  for (const deps::AnalyzedDependence &D : Analyzed) {
     if (D.Status != deps::DepStatus::Runtime)
       continue;
     if (!D.Plan.Valid) {
@@ -173,6 +174,18 @@ InspectionResult runInspectors(const deps::PipelineResult &Analysis,
   Res.Graph.finalize();
   Res.Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
   return Res;
+}
+
+InspectionResult runInspectors(const deps::PipelineResult &Analysis,
+                               const codegen::UFEnvironment &Env, int N,
+                               const InspectorOptions &Opts) {
+  return runInspectors(Analysis.Kernel.Name, Analysis.Deps, Env, N, Opts);
+}
+
+InspectionResult runInspectors(const artifact::CompiledKernel &CK,
+                               const codegen::UFEnvironment &Env, int N,
+                               const InspectorOptions &Opts) {
+  return runInspectors(CK.KernelName, CK.Deps, Env, N, Opts);
 }
 
 } // namespace driver

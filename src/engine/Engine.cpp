@@ -1,0 +1,187 @@
+//===- Engine.cpp - In-process compile-once/run-many facade ---------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/engine/Engine.h"
+
+#include "sds/obs/Trace.h"
+
+#include <deque>
+#include <map>
+#include <tuple>
+
+namespace sds {
+namespace engine {
+
+namespace {
+
+inline void fnvBytes(uint64_t &H, const void *Data, size_t Len) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+}
+
+inline void fnvStr(uint64_t &H, const std::string &S) {
+  fnvBytes(H, S.data(), S.size());
+  fnvBytes(H, "\0", 1); // terminator so "ab","c" != "a","bc"
+}
+
+inline void fnvInt(uint64_t &H, int64_t V) { fnvBytes(H, &V, sizeof(V)); }
+
+} // namespace
+
+uint64_t fingerprintEnvironment(const codegen::UFEnvironment &Env) {
+  uint64_t H = 1469598103934665603ull;
+  for (const auto &[Name, Span] : Env.Spans) {
+    fnvStr(H, Name);
+    fnvInt(H, static_cast<int64_t>(Span->size()));
+    if (!Span->empty())
+      fnvBytes(H, Span->data(), Span->size() * sizeof((*Span)[0]));
+  }
+  for (const auto &[Name, Fn] : Env.Arrays) {
+    (void)Fn;
+    // Function-only bindings (no span) contribute their name; the closure
+    // itself is opaque to the cache.
+    if (!Env.Spans.count(Name))
+      fnvStr(H, Name);
+  }
+  for (const auto &[Name, V] : Env.Params) {
+    fnvStr(H, Name);
+    fnvInt(H, V);
+  }
+  return H;
+}
+
+struct Engine::Impl {
+  using MatrixKey = std::tuple<std::string, uint64_t, int64_t>;
+
+  EngineOptions Opts;
+  std::string OptionsKey; ///< AnalysisOptions::key() of Opts.Analysis
+
+  mutable std::mutex Mu;
+  std::map<std::string, std::shared_ptr<const artifact::CompiledKernel>>
+      Kernels;
+  std::map<MatrixKey, std::shared_ptr<const MatrixPlan>> Plans;
+  std::deque<MatrixKey> PlanOrder; ///< insertion order, for eviction
+  EngineStats Stats;
+
+  std::string kernelKey(const std::string &Name) const {
+    return Name + "|" + OptionsKey;
+  }
+};
+
+Engine::Engine(EngineOptions Opts) : I(std::make_unique<Impl>()) {
+  I->Opts = std::move(Opts);
+  I->OptionsKey = artifact::AnalysisOptions::of(I->Opts.Analysis).key();
+}
+
+Engine::~Engine() = default;
+
+std::shared_ptr<const artifact::CompiledKernel>
+Engine::compiled(const kernels::Kernel &K) {
+  static obs::Counter &Warm = obs::counter("engine.kernel_warm");
+  static obs::Counter &Cold = obs::counter("engine.kernel_cold");
+  std::string Key = I->kernelKey(K.Name);
+  {
+    std::lock_guard<std::mutex> Lock(I->Mu);
+    auto It = I->Kernels.find(Key);
+    if (It != I->Kernels.end()) {
+      ++I->Stats.KernelWarm;
+      Warm.add();
+      return It->second;
+    }
+  }
+  // Cold fill outside the lock: the pipeline can take seconds and other
+  // kernels' lookups must not stall behind it. First finisher wins.
+  obs::Span Sp("engine.compile_kernel", "engine");
+  Sp.tag("kernel", K.Name);
+  auto CK = std::make_shared<const artifact::CompiledKernel>(
+      artifact::compile(K, I->Opts.Analysis));
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  auto [It, Inserted] = I->Kernels.emplace(Key, CK);
+  if (!Inserted)
+    return It->second; // a racing fill beat us; use the shared entry
+  ++I->Stats.KernelCold;
+  Cold.add();
+  return CK;
+}
+
+support::Status Engine::loadArtifact(const std::string &Path) {
+  static obs::Counter &Loaded = obs::counter("engine.kernel_loaded");
+  artifact::CompiledKernel CK;
+  if (support::Status S = artifact::load(Path, CK); !S.ok())
+    return S;
+  std::string Key = CK.KernelName + "|" + CK.Options.key();
+  auto Shared =
+      std::make_shared<const artifact::CompiledKernel>(std::move(CK));
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  I->Kernels[Key] = std::move(Shared);
+  ++I->Stats.KernelLoaded;
+  Loaded.add();
+  return {};
+}
+
+support::Status Engine::saveArtifact(const kernels::Kernel &K,
+                                     const std::string &Path) {
+  return artifact::save(*compiled(K), Path);
+}
+
+std::shared_ptr<const MatrixPlan>
+Engine::plan(const kernels::Kernel &K, const codegen::UFEnvironment &Env,
+             int N) {
+  static obs::Counter &Warm = obs::counter("engine.matrix_warm");
+  static obs::Counter &Cold = obs::counter("engine.matrix_cold");
+  std::shared_ptr<const artifact::CompiledKernel> CK = compiled(K);
+  // N is folded into the key through the fingerprint's parameter hash
+  // only when bound; hash it explicitly so truncated runs never alias.
+  Impl::MatrixKey Key{I->kernelKey(K.Name), fingerprintEnvironment(Env),
+                      static_cast<int64_t>(N)};
+  {
+    std::lock_guard<std::mutex> Lock(I->Mu);
+    auto It = I->Plans.find(Key);
+    if (It != I->Plans.end()) {
+      ++I->Stats.MatrixWarm;
+      Warm.add();
+      return It->second;
+    }
+  }
+  obs::Span Sp("engine.build_plan", "engine");
+  Sp.tag("kernel", K.Name);
+  auto MP = std::make_shared<MatrixPlan>(N);
+  MP->Inspection = driver::runInspectors(*CK, Env, N, I->Opts.Inspect);
+  MP->Schedule = rt::scheduleLevelSets(MP->Inspection.Graph,
+                                       std::max(1, I->Opts.ScheduleThreads));
+  std::shared_ptr<const MatrixPlan> Shared = std::move(MP);
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  auto [It, Inserted] = I->Plans.emplace(Key, Shared);
+  if (!Inserted)
+    return It->second;
+  ++I->Stats.MatrixCold;
+  Cold.add();
+  I->PlanOrder.push_back(Key);
+  while (I->Plans.size() > I->Opts.MaxMatrixPlans && !I->PlanOrder.empty()) {
+    I->Plans.erase(I->PlanOrder.front());
+    I->PlanOrder.pop_front();
+    ++I->Stats.MatrixEvicted;
+  }
+  return Shared;
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  return I->Stats;
+}
+
+void Engine::clear() {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  I->Kernels.clear();
+  I->Plans.clear();
+  I->PlanOrder.clear();
+}
+
+} // namespace engine
+} // namespace sds

@@ -261,5 +261,176 @@ CampaignResult runCampaign(const deps::PipelineResult &Analysis,
   return R;
 }
 
+//===----------------------------------------------------------------------===//
+// Serialized-artifact corruption.
+//===----------------------------------------------------------------------===//
+
+const char *blobFaultKindName(BlobFaultKind K) {
+  switch (K) {
+  case BlobFaultKind::FlipBit:
+    return "flip_bit";
+  case BlobFaultKind::SetByte:
+    return "set_byte";
+  case BlobFaultKind::DeleteByte:
+    return "delete_byte";
+  case BlobFaultKind::InsertByte:
+    return "insert_byte";
+  case BlobFaultKind::Truncate:
+    return "truncate";
+  }
+  return "?";
+}
+
+std::vector<BlobFaultKind> allBlobFaultKinds() {
+  return {BlobFaultKind::FlipBit, BlobFaultKind::SetByte,
+          BlobFaultKind::DeleteByte, BlobFaultKind::InsertByte,
+          BlobFaultKind::Truncate};
+}
+
+std::string mutateBlob(const std::string &Blob, BlobFaultKind Kind,
+                       uint64_t Seed, std::string &Desc) {
+  std::string Out = Blob;
+  if (Out.size() < 2) {
+    Desc = "blob too small";
+    return Out;
+  }
+  uint64_t H = mix(Seed + 0x517cc1b727220a95ULL +
+                   static_cast<uint64_t>(Kind) * 0x2545f4914f6cdd1dULL);
+  auto Pick = [&](size_t Span) {
+    H = mix(H);
+    return static_cast<size_t>(H % static_cast<uint64_t>(Span));
+  };
+  // Printable, never equal to the byte it replaces or neighbours' quotes.
+  auto PrintableChar = [&](char Avoid) {
+    for (;;) {
+      char C = static_cast<char>('0' + Pick(75)); // '0'..'z'
+      if (C != Avoid)
+        return C;
+    }
+  };
+
+  switch (Kind) {
+  case BlobFaultKind::FlipBit: {
+    size_t I = Pick(Out.size());
+    unsigned Bit = static_cast<unsigned>(Pick(8));
+    Out[I] = static_cast<char>(Out[I] ^ (1u << Bit));
+    Desc = "flip bit " + std::to_string(Bit) + " of byte " +
+           std::to_string(I);
+    break;
+  }
+  case BlobFaultKind::SetByte: {
+    size_t I = Pick(Out.size());
+    char C = PrintableChar(Out[I]);
+    Desc = std::string("byte ") + std::to_string(I) + " '" + Out[I] +
+           "' -> '" + C + "'";
+    Out[I] = C;
+    break;
+  }
+  case BlobFaultKind::DeleteByte: {
+    size_t I = Pick(Out.size());
+    Desc = std::string("delete byte ") + std::to_string(I) + " ('" +
+           Out[I] + "')";
+    Out.erase(I, 1);
+    break;
+  }
+  case BlobFaultKind::InsertByte: {
+    size_t I = Pick(Out.size() + 1);
+    char C = PrintableChar('\0');
+    Out.insert(Out.begin() + static_cast<ptrdiff_t>(I), C);
+    Desc = std::string("insert '") + C + "' at byte " + std::to_string(I);
+    break;
+  }
+  case BlobFaultKind::Truncate: {
+    size_t Keep = Pick(Out.size()); // 0 .. size-1: always drops something
+    Desc = "truncate to " + std::to_string(Keep) + " of " +
+           std::to_string(Out.size()) + " bytes";
+    Out.resize(Keep);
+    break;
+  }
+  }
+  return Out;
+}
+
+std::string BlobTrial::str() const {
+  std::string Out = std::string(blobFaultKindName(Kind)) +
+                    "(seed=" + std::to_string(Seed) + "): " + Description +
+                    " — ";
+  if (!Mutated)
+    return Out + "no-op";
+  if (Rejected)
+    return Out + "rejected (" + Error + ")";
+  if (Identical)
+    return Out + "accepted, decoded bit-identical";
+  return Out + "SILENT ACCEPT";
+}
+
+unsigned BlobCampaignResult::mutated() const {
+  unsigned N = 0;
+  for (const BlobTrial &T : Trials)
+    N += T.Mutated ? 1 : 0;
+  return N;
+}
+
+unsigned BlobCampaignResult::rejected() const {
+  unsigned N = 0;
+  for (const BlobTrial &T : Trials)
+    N += T.Mutated && T.Rejected ? 1 : 0;
+  return N;
+}
+
+unsigned BlobCampaignResult::tolerated() const {
+  unsigned N = 0;
+  for (const BlobTrial &T : Trials)
+    N += T.Mutated && !T.Rejected && T.Identical ? 1 : 0;
+  return N;
+}
+
+unsigned BlobCampaignResult::silentAccepts() const {
+  unsigned N = 0;
+  for (const BlobTrial &T : Trials)
+    N += T.silentAccept() ? 1 : 0;
+  return N;
+}
+
+std::string BlobCampaignResult::summary() const {
+  return std::to_string(Trials.size()) + " trials: " +
+         std::to_string(mutated()) + " mutated, " +
+         std::to_string(rejected()) + " rejected, " +
+         std::to_string(tolerated()) + " tolerated, " +
+         std::to_string(silentAccepts()) + " silent-accept";
+}
+
+BlobCampaignResult runBlobCampaign(const artifact::CompiledKernel &CK,
+                                   unsigned SeedsPerKind) {
+  static obs::Counter &Trials = obs::counter("guard.blob_trials");
+  static obs::Counter &Silent = obs::counter("guard.blob_silent_accept");
+  const std::string Pristine = artifact::serialize(CK);
+
+  BlobCampaignResult R;
+  for (BlobFaultKind K : allBlobFaultKinds()) {
+    for (unsigned Seed = 0; Seed < SeedsPerKind; ++Seed) {
+      Trials.add();
+      BlobTrial T;
+      T.Kind = K;
+      T.Seed = Seed;
+      std::string Mutant = mutateBlob(Pristine, K, Seed, T.Description);
+      T.Mutated = Mutant != Pristine;
+      if (T.Mutated) {
+        artifact::CompiledKernel Decoded;
+        support::Status S = artifact::deserialize(Mutant, Decoded);
+        T.Rejected = !S.ok();
+        if (T.Rejected)
+          T.Error = S.str();
+        else
+          T.Identical = artifact::serialize(Decoded) == Pristine;
+        if (T.silentAccept())
+          Silent.add();
+      }
+      R.Trials.push_back(std::move(T));
+    }
+  }
+  return R;
+}
+
 } // namespace guard
 } // namespace sds

@@ -35,9 +35,10 @@ std::optional<GuardMode> parseGuardMode(std::string_view S) {
   return std::nullopt;
 }
 
-deps::PipelineResult baselineAnalysis(const deps::PipelineResult &Analysis) {
-  deps::PipelineResult Base = Analysis;
-  for (deps::AnalyzedDependence &D : Base.Deps) {
+std::vector<deps::AnalyzedDependence>
+baselineDeps(const std::vector<deps::AnalyzedDependence> &Deps) {
+  std::vector<deps::AnalyzedDependence> Base = Deps;
+  for (deps::AnalyzedDependence &D : Base) {
     if (D.Status == deps::DepStatus::AffineUnsat)
       continue; // refuted with no index-array knowledge — stays sound
     D.Status = deps::DepStatus::Runtime;
@@ -50,6 +51,12 @@ deps::PipelineResult baselineAnalysis(const deps::PipelineResult &Analysis) {
     D.Prov.Evidence = {"simplifications revoked: property assumptions are "
                        "not trusted on this input"};
   }
+  return Base;
+}
+
+deps::PipelineResult baselineAnalysis(const deps::PipelineResult &Analysis) {
+  deps::PipelineResult Base = Analysis;
+  Base.Deps = baselineDeps(Analysis.Deps);
   return Base;
 }
 
@@ -66,7 +73,8 @@ std::string GuardedResult::summary() const {
   return Out;
 }
 
-GuardedResult runGuarded(const deps::PipelineResult &Analysis,
+GuardedResult runGuarded(const std::string &KernelName,
+                         const std::vector<deps::AnalyzedDependence> &Deps,
                          const ir::PropertySet &PS,
                          const codegen::UFEnvironment &Env, int N,
                          const GuardedOptions &Opts) {
@@ -77,7 +85,7 @@ GuardedResult runGuarded(const deps::PipelineResult &Analysis,
   static obs::Counter &VerifyFails = obs::counter("guard.verify_failures");
   Runs.add();
   obs::Span Sp("guard.run_guarded", "guard");
-  Sp.tag("kernel", Analysis.Kernel.Name);
+  Sp.tag("kernel", KernelName);
   Sp.tag("mode", guardModeName(Opts.Mode));
   auto T0 = std::chrono::steady_clock::now();
 
@@ -100,15 +108,17 @@ GuardedResult runGuarded(const deps::PipelineResult &Analysis,
   // was never confirmed.
   R.UsedFallback = Opts.Mode == GuardMode::Fallback && !R.Trusted;
 
-  std::optional<deps::PipelineResult> Base;
+  std::optional<std::vector<deps::AnalyzedDependence>> Base;
   if (R.UsedFallback || Opts.Verify)
-    Base.emplace(baselineAnalysis(Analysis));
+    Base.emplace(baselineDeps(Deps));
 
   if (R.UsedFallback) {
     Fallbacks.add();
-    R.Inspection = driver::runInspectors(*Base, Env, N, Opts.Inspect);
+    R.Inspection = driver::runInspectors(KernelName, *Base, Env, N,
+                                         Opts.Inspect);
   } else {
-    R.Inspection = driver::runInspectors(Analysis, Env, N, Opts.Inspect);
+    R.Inspection = driver::runInspectors(KernelName, Deps, Env, N,
+                                         Opts.Inspect);
   }
 
   if (Opts.Verify && N <= Opts.VerifyMaxN) {
@@ -118,7 +128,8 @@ GuardedResult runGuarded(const deps::PipelineResult &Analysis,
     // in use — must respect every baseline dependence.
     driver::InspectionResult BaseRun =
         R.UsedFallback ? R.Inspection
-                       : driver::runInspectors(*Base, Env, N, Opts.Inspect);
+                       : driver::runInspectors(KernelName, *Base, Env, N,
+                                               Opts.Inspect);
     rt::WavefrontSchedule Sched = rt::scheduleLevelSets(
         R.Inspection.Graph, std::max(1, Opts.VerifyThreads));
     R.VerifyPassed = Sched.respects(BaseRun.Graph);
@@ -138,6 +149,19 @@ GuardedResult runGuarded(const deps::PipelineResult &Analysis,
   Sp.tag("trusted", static_cast<int64_t>(R.Trusted));
   Sp.tag("fallback", static_cast<int64_t>(R.UsedFallback));
   return R;
+}
+
+GuardedResult runGuarded(const deps::PipelineResult &Analysis,
+                         const ir::PropertySet &PS,
+                         const codegen::UFEnvironment &Env, int N,
+                         const GuardedOptions &Opts) {
+  return runGuarded(Analysis.Kernel.Name, Analysis.Deps, PS, Env, N, Opts);
+}
+
+GuardedResult runGuarded(const artifact::CompiledKernel &CK,
+                         const codegen::UFEnvironment &Env, int N,
+                         const GuardedOptions &Opts) {
+  return runGuarded(CK.KernelName, CK.Deps, CK.Properties, Env, N, Opts);
 }
 
 } // namespace guard

@@ -7,6 +7,7 @@
 #include "sds/obs/Export.h"
 
 #include "sds/obs/Trace.h"
+#include "sds/support/Schema.h"
 
 #include <algorithm>
 #include <fstream>
@@ -89,6 +90,7 @@ json::Value statsReport() {
     Spans.emplace(Name, json::Value(std::move(S)));
   }
   json::Object Root;
+  Root.emplace("schema_version", json::Value(schema::kVersion));
   Root.emplace("spans", json::Value(std::move(Spans)));
   Root.emplace("counters", countersObject());
   Root.emplace("dropped_events",
