@@ -15,6 +15,9 @@
 //                JSON of the whole bench run there at exit
 //   SDS_STATS    path (or "-" for stdout): enable obs and write the
 //                aggregate span/counter stats JSON there at exit
+//   SDS_METRICS  path (or "-" for stdout): enable the metrics registry and
+//                write its snapshot there at exit (a .prom suffix selects
+//                Prometheus text exposition, anything else JSON)
 //
 // Benches additionally write BENCH_<name>.json into the working directory
 // (see BenchReport): a small flat object with the run's headline numbers
@@ -28,6 +31,7 @@
 
 #include "sds/driver/Driver.h"
 #include "sds/obs/Export.h"
+#include "sds/obs/Metrics.h"
 #include "sds/obs/Trace.h"
 #include "sds/presburger/BasicSet.h"
 
@@ -70,6 +74,17 @@ inline int parseThreads(int argc, char **argv) {
         return V;
     }
   return envThreads();
+}
+
+/// Reset every piece of process-global measurement state the benches
+/// report on: the Presburger verdict cache and prefilter/budget counters,
+/// the metrics registry (counters, gauges, histograms, flight recorder),
+/// and the obs trace events/counters. Call between configurations of one
+/// bench binary so each configuration's numbers are independent of what
+/// ran before it; ObsSession calls it once at startup.
+inline void resetMeasurementState() {
+  sds::presburger::clearQueryCache();
+  sds::obs::resetMetrics(); // also clears trace events + span counters
 }
 
 /// Machine-readable per-bench metrics: accumulates flat key -> number (or
@@ -133,21 +148,31 @@ private:
 class ObsSession {
 public:
   ObsSession() {
-    // Every bench starts from a cold Presburger verdict cache and zeroed
-    // prefilter counters, so the cache/prefilter figures in
-    // BENCH_<name>.json are reproducible run-to-run regardless of what
-    // (or in which order) a wrapper script ran before.
-    sds::presburger::clearQueryCache();
+    // Every bench starts from a clean measurement slate (cold Presburger
+    // verdict cache, zeroed prefilter counters, empty metrics registry),
+    // so the figures in BENCH_<name>.json are reproducible run-to-run
+    // regardless of what (or in which order) a wrapper script ran before.
+    resetMeasurementState();
     const char *T = std::getenv("SDS_TRACE");
     const char *S = std::getenv("SDS_STATS");
+    const char *M = std::getenv("SDS_METRICS");
     TracePath = T ? T : "";
     StatsPath = S ? S : "";
-    if (!TracePath.empty() || !StatsPath.empty()) {
-      sds::obs::clear();
+    MetricsPath = M ? M : "";
+    if (!TracePath.empty() || !StatsPath.empty())
       sds::obs::setEnabled(true);
-    }
+    if (!MetricsPath.empty())
+      sds::obs::setMetricsEnabled(true);
   }
   ~ObsSession() {
+    if (!MetricsPath.empty()) {
+      if (sds::obs::writeMetrics(MetricsPath))
+        std::fprintf(stderr, "# metrics snapshot written to %s\n",
+                     MetricsPath.c_str());
+      else
+        std::fprintf(stderr, "# cannot write metrics to %s\n",
+                     MetricsPath.c_str());
+    }
     if (!StatsPath.empty()) {
       if (StatsPath == "-") {
         std::printf("%s\n", sds::obs::statsJSON().c_str());
@@ -169,7 +194,7 @@ public:
   ObsSession &operator=(const ObsSession &) = delete;
 
 private:
-  std::string TracePath, StatsPath;
+  std::string TracePath, StatsPath, MetricsPath;
 };
 
 /// Wall-clock seconds of one call.

@@ -1,0 +1,187 @@
+//===- bench_report.cpp - Run the fast benches, aggregate one summary -----===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// The continuous-bench entry point: runs the fast-tier evaluation benches
+// (SDS_HEAVY=0, so IC0/ILU0 analyses are skipped and the whole sweep stays
+// CI-friendly), each with SDS_METRICS pointed at a per-bench snapshot
+// file, then folds every BENCH_<name>.json and BENCH_<name>_metrics.json
+// in the working directory into one schema-versioned BENCH_summary.json:
+//
+//   { schema_version, kind: "bench_summary",
+//     runs:    { <name>: <exit code> },
+//     benches: { <name>: { ...flat BenchReport fields... } },
+//     metrics: { <name>: { ...metrics_snapshot document... } } }
+//
+// tools/bench_gate compares the "benches" section against a checked-in
+// baseline (bench/baseline.json) and fails on regressions.
+//
+//   bench_report                 # run fast tier + aggregate
+//   bench_report --no-run        # aggregate whatever BENCH_*.json exists
+//   bench_report --bin-dir DIR   # where the bench binaries live
+//                                # (default: this binary's directory)
+//   bench_report --out PATH      # summary path (default BENCH_summary.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/support/JSON.h"
+#include "sds/support/Schema.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using sds::json::Object;
+using sds::json::Value;
+
+namespace {
+
+/// The benches worth running on every commit: seconds each under
+/// SDS_HEAVY=0 at the default SDS_SCALE, and together they cover the
+/// compile-time pipeline, the refutation ladder, the inspector/executor
+/// half, and the artifact/engine amortization story.
+const char *kFastTier[] = {
+    "table2_suite", "fig7_unsat",    "pipeline_analysis",
+    "engine_warm",  "fig9_speedup",  "fig10_breakeven",
+};
+
+/// Parse one JSON file; returns false (with a message) on I/O or syntax
+/// errors so a truncated bench artifact can't silently vanish from the
+/// summary.
+bool parseFile(const fs::path &Path, Value &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n",
+                 Path.string().c_str());
+    return false;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  sds::json::ParseResult P = sds::json::parse(SS.str());
+  if (!P.Ok) {
+    std::fprintf(stderr, "bench_report: %s:%u:%u: %s\n",
+                 Path.string().c_str(), P.Line, P.Col, P.Error.c_str());
+    return false;
+  }
+  Out = std::move(P.Val);
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Run = true;
+  fs::path BinDir;
+  std::string OutPath = "BENCH_summary.json";
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--no-run") {
+      Run = false;
+    } else if (Arg == "--bin-dir" && I + 1 < argc) {
+      BinDir = argv[++I];
+    } else if (Arg == "--out" && I + 1 < argc) {
+      OutPath = argv[++I];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--no-run] [--bin-dir DIR] [--out PATH]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (BinDir.empty()) {
+    std::error_code EC;
+    BinDir = fs::absolute(fs::path(argv[0]), EC).parent_path();
+  }
+
+  // -- Run the fast tier. --------------------------------------------------
+  Object Runs;
+  bool AnyRunFailed = false;
+  if (Run) {
+    for (const char *Name : kFastTier) {
+      fs::path Bin = BinDir / Name;
+      std::error_code EC;
+      if (!fs::exists(Bin, EC)) {
+        std::fprintf(stderr, "bench_report: %s not found; skipping\n",
+                     Bin.string().c_str());
+        Runs.emplace(Name, Value(std::string("missing")));
+        AnyRunFailed = true;
+        continue;
+      }
+      // SDS_HEAVY=0 keeps the sweep fast; the per-bench metrics snapshot
+      // rides into the summary's "metrics" section. Stdout/stderr go to a
+      // log file so CI artifacts keep the human-readable tables too.
+      std::string Cmd = "SDS_HEAVY=0 SDS_METRICS=BENCH_" +
+                        std::string(Name) + "_metrics.json '" +
+                        Bin.string() + "' > BENCH_" + Name + ".log 2>&1";
+      std::printf("running %s ...\n", Name);
+      std::fflush(stdout);
+      int RC = std::system(Cmd.c_str());
+      int Exit = RC < 0 ? RC : (RC & 0x7f) ? 128 + (RC & 0x7f) : (RC >> 8);
+      Runs.emplace(Name, Value(static_cast<int64_t>(Exit)));
+      if (Exit != 0) {
+        std::fprintf(stderr, "bench_report: %s exited with %d (see BENCH_%s"
+                             ".log)\n",
+                     Name, Exit, Name);
+        AnyRunFailed = true;
+      }
+    }
+  }
+
+  // -- Aggregate every BENCH_*.json in the working directory. --------------
+  Object Benches, Metrics;
+  std::vector<fs::path> Files;
+  std::error_code EC;
+  for (const fs::directory_entry &E : fs::directory_iterator(".", EC)) {
+    std::string File = E.path().filename().string();
+    if (File.rfind("BENCH_", 0) == 0 && File.size() > 11 &&
+        File.compare(File.size() - 5, 5, ".json") == 0 &&
+        File != "BENCH_summary.json")
+      Files.push_back(E.path());
+  }
+  std::sort(Files.begin(), Files.end());
+  for (const fs::path &Path : Files) {
+    std::string Stem = Path.filename().string();
+    Stem = Stem.substr(6, Stem.size() - 11); // strip BENCH_ and .json
+    Value V;
+    if (!parseFile(Path, V))
+      return 1;
+    constexpr const char *Suffix = "_metrics";
+    if (Stem.size() > 8 && Stem.compare(Stem.size() - 8, 8, Suffix) == 0)
+      Metrics.emplace(Stem.substr(0, Stem.size() - 8), std::move(V));
+    else
+      Benches.emplace(Stem, std::move(V));
+  }
+  if (Benches.empty()) {
+    std::fprintf(stderr, "bench_report: no BENCH_*.json found in %s\n",
+                 fs::current_path().string().c_str());
+    return 1;
+  }
+
+  Object Root;
+  Root.emplace("schema_version", Value(sds::schema::kVersion));
+  Root.emplace("kind", Value(std::string("bench_summary")));
+  Root.emplace("runs", Value(std::move(Runs)));
+  Root.emplace("benches", Value(std::move(Benches)));
+  Root.emplace("metrics", Value(std::move(Metrics)));
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  Out << Value(std::move(Root)).str() << "\n";
+  Out.flush();
+  if (!Out) {
+    std::fprintf(stderr, "bench_report: write to %s failed\n",
+                 OutPath.c_str());
+    return 1;
+  }
+  std::printf("summary written to %s\n", OutPath.c_str());
+  return AnyRunFailed ? 1 : 0;
+}

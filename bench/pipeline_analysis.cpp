@@ -73,7 +73,10 @@ int main(int argc, char **argv) {
   double SerialSeconds = 0;
   std::string SerialPrint;
   for (int NT : Ladder) {
-    presburger::clearQueryCache(); // cold cache per configuration
+    // Cold cache and zeroed metrics per configuration: each thread
+    // count's cache/prefilter/histogram figures describe exactly one
+    // full-suite pass, independent of the configurations before it.
+    bench::resetMeasurementState();
     PipelineOptions Opts;
     Opts.NumThreads = NT;
     std::map<std::string, double> Stage;

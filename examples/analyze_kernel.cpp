@@ -31,8 +31,10 @@
 
 #include "sds/artifact/Artifact.h"
 #include "sds/driver/Driver.h"
+#include "sds/engine/Engine.h"
 #include "sds/guard/Guarded.h"
 #include "sds/obs/Export.h"
+#include "sds/obs/Metrics.h"
 #include "sds/obs/Trace.h"
 #include "sds/support/JSON.h"
 
@@ -41,6 +43,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 
 #include "sds/support/OMP.h"
@@ -70,8 +73,9 @@ struct GuardFlags {
   bool Validate = false;
 };
 
-void runTraced(const std::string &Key, const artifact::CompiledKernel &CK,
-               int N, int Threads, const GuardFlags &GF) {
+void runTraced(const std::string &Key, const kernels::Kernel &K,
+               const artifact::CompiledKernel &CK, int N, int Threads,
+               const GuardFlags &GF, engine::Engine *Eng) {
   rt::CSRMatrix A = rt::generateSPDLike({N, 6, 12, 21});
 
   codegen::UFEnvironment Env;
@@ -95,6 +99,14 @@ void runTraced(const std::string &Key, const artifact::CompiledKernel &CK,
     std::printf("(no runtime dependences for %s; nothing to inspect)\n",
                 Key.c_str());
     return;
+  }
+
+  if (Eng) {
+    // Exercise both matrix-tier paths (cold fill, then warm hit) so the
+    // engine.plan.* latency histograms and matrix_warm/cold gauges in the
+    // --metrics snapshot carry real samples for this matrix.
+    (void)Eng->plan(K, Env, A.N);
+    (void)Eng->plan(K, Env, A.N);
   }
 
   if (GF.Validate) {
@@ -154,6 +166,7 @@ int analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
                const ArtifactFlags &AF) {
   std::printf("=== %s ===\n%s\n", K.Name.c_str(), K.str().c_str());
   artifact::CompiledKernel CK;
+  std::optional<engine::Engine> Eng;
   if (!AF.LoadPath.empty()) {
     auto T0 = std::chrono::steady_clock::now();
     support::Status S = artifact::load(AF.LoadPath, CK);
@@ -177,6 +190,26 @@ int analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
     if (WarmS > 0 && ColdS > 0)
       std::printf(", %.0fx faster", ColdS / WarmS);
     std::printf(")\n");
+  } else if (obs::metricsEnabled()) {
+    // --metrics routes the compile through an Engine so the snapshot's
+    // engine.kernel.* histograms and warm/cold gauges carry samples:
+    // first call fills cold, second hits the kernel tier warm.
+    engine::EngineOptions EOpts;
+    EOpts.Analysis.NumThreads = Threads;
+    EOpts.Analysis.AnalysisBudgetMs = BudgetMs;
+    EOpts.Inspect.NumThreads = Threads;
+    EOpts.ScheduleThreads = Threads;
+    Eng.emplace(std::move(EOpts));
+    auto T0 = std::chrono::steady_clock::now();
+    std::shared_ptr<const artifact::CompiledKernel> Shared =
+        Eng->compiled(K);
+    double ColdS = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+    (void)Eng->compiled(K); // warm hit
+    CK = *Shared;
+    std::printf("%s\n", CK.summary().c_str());
+    std::printf("cold analysis (engine): %.3f ms\n", ColdS * 1e3);
   } else {
     deps::PipelineOptions POpts;
     POpts.NumThreads = Threads; // same flag drives analysis and inspectors
@@ -205,7 +238,7 @@ int analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
                 AF.EmitPath.c_str(), AF.EmitPath.c_str());
   }
   if (Traced)
-    runTraced(Key, CK, N, Threads, GF);
+    runTraced(Key, K, CK, N, Threads, GF, Eng ? &*Eng : nullptr);
   return 0;
 }
 
@@ -213,6 +246,8 @@ int analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
 
 int main(int argc, char **argv) {
   std::string TracePath;
+  std::string MetricsPath;
+  bool Metrics = false;
   bool Stats = false;
   int N = 200;
   int Threads = omp_get_max_threads();
@@ -226,6 +261,12 @@ int main(int argc, char **argv) {
       TracePath = argv[++I];
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--metrics") {
+      Metrics = true;
+      MetricsPath = "-";
+    } else if (Arg.rfind("--metrics=", 0) == 0) {
+      Metrics = true;
+      MetricsPath = Arg.substr(10);
     } else if (Arg == "--validate") {
       GF.Validate = true;
     } else if (Arg.rfind("--guard=", 0) == 0) {
@@ -265,10 +306,15 @@ int main(int argc, char **argv) {
   auto Kernels = kernelsByKey();
   if (Positional.empty()) {
     std::printf(
-        "usage: %s [--trace out.json] [--stats] [--n N] [--threads N] "
+        "usage: %s [--trace out.json] [--stats] [--metrics[=PATH]] "
+        "[--n N] [--threads N] "
         "[--validate] [--guard=off|warn|fallback] [--budget-ms MS] "
         "[--emit-artifact=PATH] [--load-artifact=PATH] "
-        "<kernel|all> [properties.json]\nkernels:\n",
+        "<kernel|all> [properties.json]\n"
+        "--metrics writes the metrics-registry snapshot (counters, gauges, "
+        "latency histograms,\nper-stage seconds, flight recorder) as JSON; "
+        "a PATH ending in .prom selects Prometheus\ntext exposition, '-' "
+        "or no PATH prints JSON to stdout.\nkernels:\n",
         argv[0]);
     for (const auto &[Key, K] : Kernels)
       std::printf("  %-10s %s\n", Key.c_str(), K.Name.c_str());
@@ -277,10 +323,14 @@ int main(int argc, char **argv) {
 
   // --validate and --guard need bound arrays, so they imply the runtime
   // (traced) half; guard decisions then show up in --stats counters.
-  bool Traced = !TracePath.empty() || Stats || GF.Validate ||
+  // --metrics implies it too: the wave/inspector/engine histograms only
+  // fill when the inspector-executor half actually runs.
+  bool Traced = !TracePath.empty() || Stats || Metrics || GF.Validate ||
                 GF.Mode != guard::GuardMode::Off;
   if (!TracePath.empty() || Stats)
     obs::setEnabled(true);
+  if (Metrics)
+    obs::setMetricsEnabled(true);
 
   std::string Which = Positional[0];
   if (Which == "all") {
@@ -334,6 +384,15 @@ int main(int argc, char **argv) {
 
   if (Stats)
     std::printf("%s\n", obs::statsJSON().c_str());
+  if (Metrics) {
+    if (!obs::writeMetrics(MetricsPath)) {
+      std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                   MetricsPath.c_str());
+      return 1;
+    }
+    if (MetricsPath != "-")
+      std::printf("metrics written to %s\n", MetricsPath.c_str());
+  }
   if (!TracePath.empty()) {
     if (!obs::writeChromeTrace(TracePath)) {
       std::fprintf(stderr, "cannot write trace to '%s'\n", TracePath.c_str());

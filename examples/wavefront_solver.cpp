@@ -27,6 +27,7 @@
 #include "sds/artifact/Artifact.h"
 #include "sds/driver/Driver.h"
 #include "sds/guard/Guarded.h"
+#include "sds/obs/Metrics.h"
 
 #include <chrono>
 #include <cstdio>
@@ -51,12 +52,22 @@ double now() {
 int main(int argc, char **argv) {
   guard::GuardMode Mode = guard::GuardMode::Fallback;
   bool Validate = false;
+  bool Metrics = false;
   double BudgetMs = 0;
-  std::string MtxPath, EmitPath, LoadPath;
+  std::string MtxPath, EmitPath, LoadPath, MetricsPath;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--validate") {
       Validate = true;
+    } else if (Arg == "--metrics") {
+      Metrics = true;
+      // Assign through a std::string temporary: GCC 12 miscompiles the
+      // diagnostics for the const char* overload here (-Wrestrict false
+      // positive, PR105329).
+      MetricsPath = std::string("-");
+    } else if (Arg.rfind("--metrics=", 0) == 0) {
+      Metrics = true;
+      MetricsPath = Arg.substr(10);
     } else if (Arg.rfind("--guard=", 0) == 0) {
       auto M = guard::parseGuardMode(Arg.substr(8));
       if (!M) {
@@ -73,7 +84,8 @@ int main(int argc, char **argv) {
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr,
                    "usage: %s [--validate] [--guard=off|warn|fallback] "
-                   "[--budget-ms MS] [--emit-artifact=PATH] "
+                   "[--budget-ms MS] [--metrics[=PATH]] "
+                   "[--emit-artifact=PATH] "
                    "[--load-artifact=PATH] [A.mtx]\n",
                    argv[0]);
       return 1;
@@ -81,6 +93,8 @@ int main(int argc, char **argv) {
       MtxPath = Arg;
     }
   }
+  if (Metrics)
+    obs::setMetricsEnabled(true);
 
   // -- Input matrix. -------------------------------------------------------
   CSRMatrix Full;
@@ -197,5 +211,14 @@ int main(int argc, char **argv) {
     std::printf("no parallel gain on this machine/thread count; the "
                 "inspector costs %.1f serial solves\n",
                 InspT / SerialT);
+  if (Metrics) {
+    if (!obs::writeMetrics(MetricsPath)) {
+      std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                   MetricsPath.c_str());
+      return 1;
+    }
+    if (MetricsPath != "-")
+      std::printf("metrics written to %s\n", MetricsPath.c_str());
+  }
   return Diff < 1e-9 ? 0 : 1;
 }

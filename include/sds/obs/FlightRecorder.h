@@ -1,0 +1,84 @@
+//===- FlightRecorder.h - Bounded ring of structured events -----*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// A black box for the rare-but-load-bearing events: guard trips and
+// fallbacks, analysis-budget exhaustion, artifact rejects, engine plan
+// evictions, skipped inspector plans. The recorder keeps the last N
+// events (default 256) in a fixed ring — always on, because these paths
+// fire at most a handful of times per run — so when a fault-campaign
+// trial or a Status error path fails, the report carries the context
+// that led up to it instead of just the final message.
+//
+// Events are globally sequence-numbered; the snapshot returns them
+// oldest-to-newest with the count of overwritten (lost) events, so a
+// reader can tell "ring wrapped" from "quiet run".
+//
+//   obs::flightRecord(obs::FlightSeverity::Warn, "guard",
+//                     "validation failed; falling back",
+//                     {{"kernel", K.Name}, {"violations", "3"}});
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_OBS_FLIGHTRECORDER_H
+#define SDS_OBS_FLIGHTRECORDER_H
+
+#include "sds/support/JSON.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sds {
+namespace obs {
+
+enum class FlightSeverity { Info, Warn, Error };
+
+const char *flightSeverityName(FlightSeverity S);
+
+struct FlightEvent {
+  uint64_t Seq = 0;    ///< global order, starts at 0, never reused
+  uint64_t TimeNs = 0; ///< nanoseconds since the obs trace epoch
+  FlightSeverity Severity = FlightSeverity::Info;
+  std::string Category; ///< subsystem: "guard", "engine", "artifact", ...
+  std::string Message;
+  std::vector<std::pair<std::string, std::string>> Fields;
+};
+
+/// Append one event to the ring (thread-safe; overwrites the oldest past
+/// capacity).
+void flightRecord(
+    FlightSeverity Severity, std::string_view Category,
+    std::string_view Message,
+    std::vector<std::pair<std::string, std::string>> Fields = {});
+
+/// Resize the ring (default 256). Shrinking keeps the newest events.
+void setFlightCapacity(size_t Capacity);
+
+/// Events currently held, oldest first.
+std::vector<FlightEvent> snapshotFlight();
+
+/// How many events have been overwritten since the last clear.
+uint64_t flightLostEvents();
+
+/// Drop all events (sequence numbers keep counting up).
+void clearFlight();
+
+/// { kind:"flight_recorder", lost_events, events:[{seq, t_ms, severity,
+///   category, message, fields{}}] } — also embedded in metricsReport().
+json::Value flightJSON();
+
+/// Human-readable dump (one line per event) to `Out`, for Status error
+/// paths: "fault trial X failed" plus the last-N-events context. Prints
+/// nothing when the ring is empty.
+void dumpFlight(std::FILE *Out);
+
+} // namespace obs
+} // namespace sds
+
+#endif // SDS_OBS_FLIGHTRECORDER_H

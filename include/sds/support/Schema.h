@@ -15,6 +15,9 @@
 //   1  (implicit) PR 1-4 exports: no version field
 //   2  this header introduced; stage_seconds keys frozen; CompiledKernel
 //      artifact format added
+//   3  obs v2: metrics_snapshot and flight_recorder documents added;
+//      statsJSON gains "gauges"; bench_summary / bench_baseline formats
+//      (bench_report, tools/bench_gate) stamp the same version
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,9 +29,10 @@
 namespace sds {
 namespace schema {
 
-/// Schema version shared by PipelineResult::toJSON, obs::statsJSON, and
-/// the sds::artifact blob format.
-inline constexpr int64_t kVersion = 2;
+/// Schema version shared by PipelineResult::toJSON, obs::statsJSON,
+/// obs::metricsJSON, the sds::artifact blob format, and the
+/// BENCH_summary.json / bench baseline documents.
+inline constexpr int64_t kVersion = 3;
 
 /// The frozen per-stage timing keys of the Figure-3 pipeline, in stage
 /// order. Every export that carries a stage-seconds map emits exactly

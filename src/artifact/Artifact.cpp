@@ -17,6 +17,8 @@
 #include "sds/artifact/Artifact.h"
 
 #include "sds/ir/Properties.h"
+#include "sds/obs/FlightRecorder.h"
+#include "sds/obs/Metrics.h"
 #include "sds/support/JSON.h"
 
 #include <cstdio>
@@ -942,6 +944,8 @@ Status deserialize(std::string_view Text, CompiledKernel &Out) {
 }
 
 Status save(const CompiledKernel &CK, const std::string &Path) {
+  static obs::Histogram &SaveNs = obs::histogram("artifact.save_ns");
+  obs::ScopedLatency Lat(SaveNs);
   std::ofstream File(Path, std::ios::binary);
   if (!File)
     return support::ioError("cannot open for writing").withContext(
@@ -955,16 +959,27 @@ Status save(const CompiledKernel &CK, const std::string &Path) {
 }
 
 Status load(const std::string &Path, CompiledKernel &Out) {
+  static obs::Histogram &LoadNs = obs::histogram("artifact.load_ns");
+  obs::ScopedLatency Lat(LoadNs);
+  auto Reject = [&](Status S) {
+    obs::flightRecord(obs::FlightSeverity::Error, "artifact",
+                      "artifact rejected",
+                      {{"path", Path}, {"status", S.message()}});
+    return S;
+  };
   std::ifstream File(Path, std::ios::binary);
   if (!File)
-    return support::ioError("cannot open").withContext("load '" + Path +
-                                                       "'");
+    return Reject(
+        support::ioError("cannot open").withContext("load '" + Path + "'"));
   std::stringstream SS;
   SS << File.rdbuf();
   if (File.bad())
-    return support::ioError("read failed").withContext("load '" + Path +
-                                                       "'");
-  return deserialize(SS.str(), Out).withContext("load '" + Path + "'");
+    return Reject(
+        support::ioError("read failed").withContext("load '" + Path + "'"));
+  Status S = deserialize(SS.str(), Out).withContext("load '" + Path + "'");
+  if (!S.ok())
+    return Reject(std::move(S));
+  return S;
 }
 
 } // namespace artifact

@@ -8,6 +8,8 @@
 
 #include "sds/codegen/Approximate.h"
 #include "sds/ir/SubsetDetection.h"
+#include "sds/obs/FlightRecorder.h"
+#include "sds/obs/Metrics.h"
 #include "sds/obs/Trace.h"
 #include "sds/presburger/Budget.h"
 #include "sds/support/JSON.h"
@@ -37,7 +39,16 @@ public:
       : Seconds(Seconds), Stage(Stage),
         Sp(std::string("pipeline.") + Stage, "deps"),
         T0(std::chrono::steady_clock::now()) {}
-  ~StageScope() { Seconds[Stage] += seconds(); }
+  ~StageScope() {
+    double S = seconds();
+    Seconds[Stage] += S;
+    // Mirror the interval into the metrics registry so the Figure-3
+    // per-stage view (metricsReport's stage_seconds) and the stage
+    // latency quantiles come for free.
+    if (obs::metricsEnabled())
+      obs::histogram(std::string("pipeline.stage.") + Stage)
+          .record(static_cast<uint64_t>(S * 1e9));
+  }
 
   double seconds() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -88,6 +99,9 @@ void analyzeOneDependence(AnalyzedDependence &AD, const kernels::Kernel &K,
       BudgetNoted = true;
       BudgetHits.add();
       AD.Prov.addEvidence("analysis budget exhausted; kept conservatively");
+      obs::flightRecord(obs::FlightSeverity::Warn, "pipeline",
+                        "analysis budget exhausted; kept conservatively",
+                        {{"dep", AD.Dep.label()}});
     }
     return true;
   };
@@ -415,6 +429,12 @@ PipelineResult analyzeKernel(const kernels::Kernel &K,
         static obs::Counter &PlanFallbacks =
             obs::counter("pipeline.plan_fallback_original");
         PlanFallbacks.add(1);
+        obs::flightRecord(obs::FlightSeverity::Warn, "pipeline",
+                          "simplified relation unschedulable; inspector "
+                          "planned from original relation",
+                          {{"kernel", K.Name},
+                           {"dep", AD.Dep.label()},
+                           {"why", AD.Plan.WhyInvalid}});
         AD.Prov.addEvidence("simplified relation unschedulable (" +
                             AD.Plan.WhyInvalid +
                             "); inspector planned from original relation");

@@ -6,6 +6,8 @@
 
 #include "sds/driver/Driver.h"
 
+#include "sds/obs/FlightRecorder.h"
+#include "sds/obs/Metrics.h"
 #include "sds/obs/Trace.h"
 
 #include <algorithm>
@@ -87,6 +89,9 @@ InspectionResult runInspectors(const std::string &KernelName,
       static obs::Counter &Skipped =
           obs::counter("driver.invalid_plan_skipped");
       Skipped.add(1);
+      obs::flightRecord(obs::FlightSeverity::Error, "driver",
+                        "dependence has no schedulable inspector; skipped",
+                        {{"kernel", KernelName}, {"dep", D.Dep.label()}});
       continue;
     }
     Deps.push_back(&D);
@@ -115,23 +120,26 @@ InspectionResult runInspectors(const std::string &KernelName,
     }
   }
 
+  // Each chunk carries its own span, created on the thread that runs it —
+  // under OpenMP the span's tid is the real omp_get_thread_num(), so
+  // Chrome traces lay the inspector fleet out on its actual worker lanes.
+  static obs::Histogram &ChunkNs = obs::histogram("driver.inspector_chunk_ns");
   auto RunChunk = [&](InspectorChunk &C) {
+    obs::Span Sp("driver.inspector", "driver");
+    Sp.tag("dep", Res.Runs[C.Insp].Label);
+    obs::ScopedLatency Lat(ChunkNs);
     auto TI = Clock::now();
     C.Visits = C.Full ? Compiled[C.Insp].run(C.Edges)
                       : Compiled[C.Insp].runRange(C.Lo, C.Hi, C.Edges);
     C.Seconds = std::chrono::duration<double>(Clock::now() - TI).count();
+    Lat.stop();
+    Sp.tag("visits", static_cast<int64_t>(C.Visits));
+    Sp.tag("edges", static_cast<int64_t>(C.Edges.size()));
   };
 
   if (NT <= 1) {
-    // Serial: keep the per-inspector span wrapping actual execution so
-    // `driver.inspector` aggregates stay meaningful.
-    for (InspectorChunk &C : Chunks) {
-      obs::Span Sp("driver.inspector", "driver");
-      Sp.tag("dep", Res.Runs[C.Insp].Label);
+    for (InspectorChunk &C : Chunks)
       RunChunk(C);
-      Sp.tag("visits", static_cast<int64_t>(C.Visits));
-      Sp.tag("edges", static_cast<int64_t>(C.Edges.size()));
-    }
   } else {
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic) num_threads(NT)
@@ -155,16 +163,6 @@ InspectionResult runInspectors(const std::string &KernelName,
       }
     Run.Visits += C.Visits;
     Run.Seconds += C.Seconds;
-  }
-  if (NT > 1) {
-    // Parallel runs record the per-inspector span post-hoc (tags only;
-    // wall time lives in driver.run_inspectors).
-    for (const InspectorRun &Run : Res.Runs) {
-      obs::Span Sp("driver.inspector", "driver");
-      Sp.tag("dep", Run.Label);
-      Sp.tag("visits", static_cast<int64_t>(Run.Visits));
-      Sp.tag("edges", static_cast<int64_t>(Run.Edges));
-    }
   }
   for (const InspectorRun &Run : Res.Runs) {
     TotalVisits.add(Run.Visits);

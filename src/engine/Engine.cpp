@@ -6,6 +6,8 @@
 
 #include "sds/engine/Engine.h"
 
+#include "sds/obs/FlightRecorder.h"
+#include "sds/obs/Metrics.h"
 #include "sds/obs/Trace.h"
 
 #include <deque>
@@ -68,35 +70,66 @@ struct Engine::Impl {
   std::map<MatrixKey, std::shared_ptr<const MatrixPlan>> Plans;
   std::deque<MatrixKey> PlanOrder; ///< insertion order, for eviction
   EngineStats Stats;
+  std::vector<uint64_t> GaugeHandles; ///< live EngineStats gauge sources
 
   std::string kernelKey(const std::string &Name) const {
     return Name + "|" + OptionsKey;
+  }
+
+  uint64_t statField(uint64_t EngineStats::*F) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Stats.*F;
   }
 };
 
 Engine::Engine(EngineOptions Opts) : I(std::make_unique<Impl>()) {
   I->Opts = std::move(Opts);
   I->OptionsKey = artifact::AnalysisOptions::of(I->Opts.Analysis).key();
+  // Surface this engine's always-on EngineStats as live gauges; same-name
+  // sources from multiple engines sum in the snapshot.
+  const std::pair<const char *, uint64_t EngineStats::*> Fields[] = {
+      {"engine.kernel_warm", &EngineStats::KernelWarm},
+      {"engine.kernel_cold", &EngineStats::KernelCold},
+      {"engine.kernel_loaded", &EngineStats::KernelLoaded},
+      {"engine.matrix_warm", &EngineStats::MatrixWarm},
+      {"engine.matrix_cold", &EngineStats::MatrixCold},
+      {"engine.matrix_evicted", &EngineStats::MatrixEvicted},
+  };
+  Impl *Raw = I.get();
+  for (const auto &[Name, Field] : Fields)
+    I->GaugeHandles.push_back(obs::registerGaugeSource(
+        Name, [Raw, F = Field] {
+          return static_cast<double>(Raw->statField(F));
+        }));
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  for (uint64_t H : I->GaugeHandles)
+    obs::unregisterGaugeSource(H);
+}
 
 std::shared_ptr<const artifact::CompiledKernel>
 Engine::compiled(const kernels::Kernel &K) {
   static obs::Counter &Warm = obs::counter("engine.kernel_warm");
   static obs::Counter &Cold = obs::counter("engine.kernel_cold");
+  static obs::Histogram &HitNs = obs::histogram("engine.kernel.hit_ns");
+  static obs::Histogram &FillNs = obs::histogram("engine.kernel.cold_fill_ns");
   std::string Key = I->kernelKey(K.Name);
   {
+    uint64_t T0 = obs::metricsEnabled() ? obs::nowNs() : 0;
     std::lock_guard<std::mutex> Lock(I->Mu);
     auto It = I->Kernels.find(Key);
     if (It != I->Kernels.end()) {
       ++I->Stats.KernelWarm;
       Warm.add();
+      if (T0)
+        HitNs.record(obs::nowNs() - T0);
       return It->second;
     }
   }
   // Cold fill outside the lock: the pipeline can take seconds and other
   // kernels' lookups must not stall behind it. First finisher wins.
+  obs::ScopedLatency Fill(FillNs);
   obs::Span Sp("engine.compile_kernel", "engine");
   Sp.tag("kernel", K.Name);
   auto CK = std::make_shared<const artifact::CompiledKernel>(
@@ -113,6 +146,8 @@ Engine::compiled(const kernels::Kernel &K) {
 support::Status Engine::loadArtifact(const std::string &Path) {
   static obs::Counter &Loaded = obs::counter("engine.kernel_loaded");
   artifact::CompiledKernel CK;
+  // A rejected artifact flight-records inside artifact::load; the kernel
+  // cache is left untouched.
   if (support::Status S = artifact::load(Path, CK); !S.ok())
     return S;
   std::string Key = CK.KernelName + "|" + CK.Options.key();
@@ -135,20 +170,26 @@ Engine::plan(const kernels::Kernel &K, const codegen::UFEnvironment &Env,
              int N) {
   static obs::Counter &Warm = obs::counter("engine.matrix_warm");
   static obs::Counter &Cold = obs::counter("engine.matrix_cold");
+  static obs::Histogram &HitNs = obs::histogram("engine.plan.hit_ns");
+  static obs::Histogram &FillNs = obs::histogram("engine.plan.cold_fill_ns");
   std::shared_ptr<const artifact::CompiledKernel> CK = compiled(K);
   // N is folded into the key through the fingerprint's parameter hash
   // only when bound; hash it explicitly so truncated runs never alias.
   Impl::MatrixKey Key{I->kernelKey(K.Name), fingerprintEnvironment(Env),
                       static_cast<int64_t>(N)};
   {
+    uint64_t T0 = obs::metricsEnabled() ? obs::nowNs() : 0;
     std::lock_guard<std::mutex> Lock(I->Mu);
     auto It = I->Plans.find(Key);
     if (It != I->Plans.end()) {
       ++I->Stats.MatrixWarm;
       Warm.add();
+      if (T0)
+        HitNs.record(obs::nowNs() - T0);
       return It->second;
     }
   }
+  obs::ScopedLatency Fill(FillNs);
   obs::Span Sp("engine.build_plan", "engine");
   Sp.tag("kernel", K.Name);
   auto MP = std::make_shared<MatrixPlan>(N);
@@ -164,7 +205,12 @@ Engine::plan(const kernels::Kernel &K, const codegen::UFEnvironment &Env,
   Cold.add();
   I->PlanOrder.push_back(Key);
   while (I->Plans.size() > I->Opts.MaxMatrixPlans && !I->PlanOrder.empty()) {
-    I->Plans.erase(I->PlanOrder.front());
+    const Impl::MatrixKey &Victim = I->PlanOrder.front();
+    obs::flightRecord(obs::FlightSeverity::Info, "engine",
+                      "matrix plan evicted (FIFO capacity)",
+                      {{"kernel", std::get<0>(Victim)},
+                       {"capacity", std::to_string(I->Opts.MaxMatrixPlans)}});
+    I->Plans.erase(Victim);
     I->PlanOrder.pop_front();
     ++I->Stats.MatrixEvicted;
   }

@@ -6,6 +6,8 @@
 
 #include "sds/guard/Guarded.h"
 
+#include "sds/obs/FlightRecorder.h"
+#include "sds/obs/Metrics.h"
 #include "sds/obs/Trace.h"
 
 #include <chrono>
@@ -83,7 +85,9 @@ GuardedResult runGuarded(const std::string &KernelName,
   static obs::Counter &Fallbacks = obs::counter("guard.fallbacks");
   static obs::Counter &Warned = obs::counter("guard.warned_untrusted");
   static obs::Counter &VerifyFails = obs::counter("guard.verify_failures");
+  static obs::Histogram &RunNs = obs::histogram("guard.run_ns");
   Runs.add();
+  obs::ScopedLatency RunLat(RunNs);
   obs::Span Sp("guard.run_guarded", "guard");
   Sp.tag("kernel", KernelName);
   Sp.tag("mode", guardModeName(Opts.Mode));
@@ -99,6 +103,12 @@ GuardedResult runGuarded(const std::string &KernelName,
       TrustedRuns.add();
     else if (Opts.Mode == GuardMode::Warn)
       Warned.add();
+    if (!R.Trusted)
+      obs::flightRecord(obs::FlightSeverity::Warn, "guard",
+                        "property validation revoked trust",
+                        {{"kernel", KernelName},
+                         {"mode", guardModeName(Opts.Mode)},
+                         {"report", R.Report.summary()}});
   } else {
     R.Trusted = true; // blind trust by request
   }
@@ -114,6 +124,9 @@ GuardedResult runGuarded(const std::string &KernelName,
 
   if (R.UsedFallback) {
     Fallbacks.add();
+    obs::flightRecord(obs::FlightSeverity::Warn, "guard",
+                      "falling back to baseline inspectors",
+                      {{"kernel", KernelName}});
     R.Inspection = driver::runInspectors(KernelName, *Base, Env, N,
                                          Opts.Inspect);
   } else {
@@ -135,6 +148,10 @@ GuardedResult runGuarded(const std::string &KernelName,
     R.VerifyPassed = Sched.respects(BaseRun.Graph);
     if (!R.VerifyPassed) {
       VerifyFails.add();
+      obs::flightRecord(obs::FlightSeverity::Error, "guard",
+                        "verification failed: schedule violates baseline "
+                        "dependence graph",
+                        {{"kernel", KernelName}});
       R.VerifyDetail = "schedule from the " +
                        std::string(R.UsedFallback ? "baseline" : "simplified") +
                        " graph (" + std::to_string(R.Inspection.Graph.numEdges()) +

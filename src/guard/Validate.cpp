@@ -6,6 +6,8 @@
 
 #include "sds/guard/Validate.h"
 
+#include "sds/obs/FlightRecorder.h"
+#include "sds/obs/Metrics.h"
 #include "sds/obs/Trace.h"
 
 #include <algorithm>
@@ -549,7 +551,9 @@ ValidationReport validateProperties(const ir::PropertySet &PS,
                                     const codegen::UFEnvironment &Env) {
   static obs::Counter &Validations = obs::counter("guard.validations");
   static obs::Counter &Violations = obs::counter("guard.violations");
+  static obs::Histogram &ValidateNs = obs::histogram("guard.validate_ns");
   Validations.add();
+  obs::ScopedLatency Lat(ValidateNs);
   obs::Span Sp("guard.validate", "guard");
   auto T0 = std::chrono::steady_clock::now();
 
@@ -562,6 +566,11 @@ ValidationReport validateProperties(const ir::PropertySet &PS,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
           .count();
   Violations.add(R.failures());
+  for (const PropertyCheck &C : R.Checks)
+    if (C.Outcome == CheckOutcome::Fail)
+      obs::flightRecord(obs::FlightSeverity::Error, "guard",
+                        "property violated on this input",
+                        {{"property", C.Property}, {"detail", C.Detail}});
   Sp.tag("checks", static_cast<int64_t>(R.Checks.size()));
   Sp.tag("failures", static_cast<int64_t>(R.failures()));
   return R;

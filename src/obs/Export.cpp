@@ -6,6 +6,7 @@
 
 #include "sds/obs/Export.h"
 
+#include "sds/obs/Metrics.h"
 #include "sds/obs/Trace.h"
 #include "sds/support/Schema.h"
 
@@ -89,10 +90,17 @@ json::Value statsReport() {
     S.emplace("max_ms", json::Value(static_cast<double>(A.MaxNs) / 1e6));
     Spans.emplace(Name, json::Value(std::move(S)));
   }
+  // Live gauges (registry gauges + polled sources: presburger cache,
+  // prefilter ladder, engine stats) ride along so one stats dump carries
+  // the pull-only structs too.
+  json::Object Gauges;
+  for (const auto &[Name, V] : snapshotMetrics().Gauges)
+    Gauges.emplace(Name, json::Value(V));
   json::Object Root;
   Root.emplace("schema_version", json::Value(schema::kVersion));
   Root.emplace("spans", json::Value(std::move(Spans)));
   Root.emplace("counters", countersObject());
+  Root.emplace("gauges", json::Value(std::move(Gauges)));
   Root.emplace("dropped_events",
                json::Value(static_cast<int64_t>(droppedEvents())));
   return json::Value(std::move(Root));

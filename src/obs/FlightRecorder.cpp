@@ -1,0 +1,167 @@
+//===- FlightRecorder.cpp - Bounded ring of structured events -------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/obs/FlightRecorder.h"
+
+#include "sds/obs/Trace.h"
+
+#include <mutex>
+
+namespace sds {
+namespace obs {
+
+const char *flightSeverityName(FlightSeverity S) {
+  switch (S) {
+  case FlightSeverity::Info:
+    return "info";
+  case FlightSeverity::Warn:
+    return "warn";
+  case FlightSeverity::Error:
+    return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Fixed ring under one mutex. The recorder only sees rare control-path
+/// events (fallbacks, rejects, evictions), so contention is a
+/// non-concern; a mutex keeps wraparound and capacity changes simple and
+/// the event order globally consistent.
+struct Recorder {
+  std::mutex Mu;
+  std::vector<FlightEvent> Ring; ///< capacity-sized once first used
+  size_t Capacity = 256;
+  size_t Head = 0;    ///< index of the oldest event
+  size_t Size = 0;    ///< events currently held
+  uint64_t NextSeq = 0;
+  uint64_t Lost = 0;  ///< overwritten since the last clear
+};
+
+Recorder &recorder() {
+  static Recorder *R = new Recorder();
+  return *R;
+}
+
+} // namespace
+
+void flightRecord(FlightSeverity Severity, std::string_view Category,
+                  std::string_view Message,
+                  std::vector<std::pair<std::string, std::string>> Fields) {
+  FlightEvent E;
+  E.TimeNs = nowNs();
+  E.Severity = Severity;
+  E.Category = Category;
+  E.Message = Message;
+  E.Fields = std::move(Fields);
+
+  Recorder &R = recorder();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  if (R.Capacity == 0)
+    return;
+  if (R.Ring.size() != R.Capacity)
+    R.Ring.resize(R.Capacity);
+  E.Seq = R.NextSeq++;
+  if (R.Size < R.Capacity) {
+    R.Ring[(R.Head + R.Size) % R.Capacity] = std::move(E);
+    ++R.Size;
+  } else {
+    R.Ring[R.Head] = std::move(E);
+    R.Head = (R.Head + 1) % R.Capacity;
+    ++R.Lost;
+  }
+}
+
+void setFlightCapacity(size_t Capacity) {
+  Recorder &R = recorder();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  // Keep the newest events, oldest-first, in a fresh ring.
+  std::vector<FlightEvent> Keep;
+  size_t N = std::min(R.Size, Capacity);
+  Keep.reserve(N);
+  for (size_t I = R.Size - N; I < R.Size; ++I)
+    Keep.push_back(std::move(R.Ring[(R.Head + I) % R.Ring.size()]));
+  R.Lost += R.Size - N;
+  R.Capacity = Capacity;
+  R.Ring.assign(Capacity, FlightEvent{});
+  for (size_t I = 0; I < Keep.size(); ++I)
+    R.Ring[I] = std::move(Keep[I]);
+  R.Head = 0;
+  R.Size = N;
+}
+
+std::vector<FlightEvent> snapshotFlight() {
+  Recorder &R = recorder();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  std::vector<FlightEvent> Out;
+  Out.reserve(R.Size);
+  for (size_t I = 0; I < R.Size; ++I)
+    Out.push_back(R.Ring[(R.Head + I) % R.Ring.size()]);
+  return Out;
+}
+
+uint64_t flightLostEvents() {
+  Recorder &R = recorder();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  return R.Lost;
+}
+
+void clearFlight() {
+  Recorder &R = recorder();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Head = R.Size = 0;
+  R.Lost = 0;
+}
+
+json::Value flightJSON() {
+  json::Array Events;
+  for (const FlightEvent &E : snapshotFlight()) {
+    json::Object O;
+    O.emplace("seq", json::Value(static_cast<int64_t>(E.Seq)));
+    O.emplace("t_ms", json::Value(static_cast<double>(E.TimeNs) / 1e6));
+    O.emplace("severity",
+              json::Value(std::string(flightSeverityName(E.Severity))));
+    O.emplace("category", json::Value(E.Category));
+    O.emplace("message", json::Value(E.Message));
+    if (!E.Fields.empty()) {
+      json::Object F;
+      for (const auto &[K, V] : E.Fields)
+        F.emplace(K, json::Value(V));
+      O.emplace("fields", json::Value(std::move(F)));
+    }
+    Events.push_back(json::Value(std::move(O)));
+  }
+  json::Object Root;
+  Root.emplace("kind", json::Value(std::string("flight_recorder")));
+  Root.emplace("lost_events",
+               json::Value(static_cast<int64_t>(flightLostEvents())));
+  Root.emplace("events", json::Value(std::move(Events)));
+  return json::Value(std::move(Root));
+}
+
+void dumpFlight(std::FILE *Out) {
+  std::vector<FlightEvent> Events = snapshotFlight();
+  if (Events.empty())
+    return;
+  std::fprintf(Out, "--- flight recorder (last %zu event%s", Events.size(),
+               Events.size() == 1 ? "" : "s");
+  if (uint64_t L = flightLostEvents())
+    std::fprintf(Out, ", %llu older lost", static_cast<unsigned long long>(L));
+  std::fprintf(Out, ") ---\n");
+  for (const FlightEvent &E : Events) {
+    std::fprintf(Out, "[%6llu %9.3fms %-5s] %s: %s",
+                 static_cast<unsigned long long>(E.Seq),
+                 static_cast<double>(E.TimeNs) / 1e6,
+                 flightSeverityName(E.Severity), E.Category.c_str(),
+                 E.Message.c_str());
+    for (const auto &[K, V] : E.Fields)
+      std::fprintf(Out, " %s=%s", K.c_str(), V.c_str());
+    std::fprintf(Out, "\n");
+  }
+}
+
+} // namespace obs
+} // namespace sds

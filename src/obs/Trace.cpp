@@ -11,6 +11,8 @@
 #include <memory>
 #include <mutex>
 
+#include "sds/support/OMP.h"
+
 namespace sds {
 namespace obs {
 
@@ -40,6 +42,16 @@ Registry &registry() {
 }
 
 uint32_t threadId() {
+  // Inside an OpenMP parallel region, use the real omp_get_thread_num()
+  // so Chrome traces of the inspector fleet and wavefront teams lay spans
+  // out on their actual worker lanes (the master's lane 0 coincides with
+  // the serial id 0, so serial and parallel spans of the main thread
+  // share a row). Outside parallel regions, fall back to a stable
+  // process-unique registration id.
+#ifdef _OPENMP
+  if (omp_in_parallel())
+    return static_cast<uint32_t>(omp_get_thread_num());
+#endif
   thread_local uint32_t Id =
       registry().NextThreadId.fetch_add(1, std::memory_order_relaxed);
   return Id;

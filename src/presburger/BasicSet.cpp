@@ -6,6 +6,7 @@
 
 #include "sds/presburger/BasicSet.h"
 
+#include "sds/obs/Metrics.h"
 #include "sds/obs/Trace.h"
 #include "sds/presburger/Budget.h"
 #include "sds/presburger/Simplex.h"
@@ -249,6 +250,31 @@ QueryCache &queryCache() {
   static QueryCache C;
   return C;
 }
+
+/// The always-on verdict-cache and prefilter tallies as live gauges,
+/// registered once at static-init time (both registries are leaked
+/// singletons, so no lifetime ordering to respect). Polled only at
+/// snapshot time; costs nothing on the query path.
+[[maybe_unused]] const bool RegisteredCacheGauges = [] {
+  auto Reg = [](const char *Name, double (*Fn)()) {
+    obs::registerGaugeSource(Name, Fn);
+  };
+  Reg("presburger.query_cache.hits",
+      [] { return static_cast<double>(queryCacheStats().Hits); });
+  Reg("presburger.query_cache.misses",
+      [] { return static_cast<double>(queryCacheStats().Misses); });
+  Reg("presburger.query_cache.entries",
+      [] { return static_cast<double>(queryCacheStats().Entries); });
+  Reg("presburger.query_cache.hit_rate",
+      [] { return queryCacheStats().hitRate(); });
+  Reg("presburger.prefilter.rejects",
+      [] { return static_cast<double>(prefilterStats().rejects()); });
+  Reg("presburger.prefilter.syntactic_subset",
+      [] { return static_cast<double>(prefilterStats().SyntacticSubsetHits); });
+  Reg("presburger.prefilter.misses",
+      [] { return static_cast<double>(prefilterStats().Misses); });
+  return true;
+}();
 
 //===----------------------------------------------------------------------===//
 // Prefilter ladder

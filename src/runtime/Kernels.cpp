@@ -6,6 +6,7 @@
 
 #include "sds/runtime/Kernels.h"
 
+#include "sds/obs/Metrics.h"
 #include "sds/obs/Trace.h"
 
 #include <cassert>
@@ -235,6 +236,13 @@ namespace {
 /// the barrier, so its duration includes the imbalance wait — exactly the
 /// per-level execution time behind Figure 9. Inert (no clock reads, no
 /// allocation) when tracing is off.
+/// The per-wave latency distribution (ns, barrier wait included), fed by
+/// thread 0 of every wavefront executor. One shared registry entry.
+obs::Histogram &waveHistogram() {
+  static obs::Histogram &H = obs::histogram("rt.wave_ns");
+  return H;
+}
+
 std::optional<obs::Span> waveSpan(int Thread, size_t Wave,
                                   const std::vector<std::vector<int>> &Parts) {
   if (Thread != 0 || !obs::enabled())
@@ -269,12 +277,15 @@ void runSchedule(const WavefrontSchedule &S, Fn &&Body) {
     for (size_t W = 0; W < S.Waves.size(); ++W) {
       const auto &Wave = S.Waves[W];
       std::optional<obs::Span> Sp = waveSpan(T, W, Wave);
+      uint64_t WT0 = (T == 0 && obs::metricsEnabled()) ? obs::nowNs() : 0;
       for (size_t P = static_cast<size_t>(T); P < Wave.size(); P += Team)
         for (int Node : Wave[P])
           Body(Node);
 #ifdef _OPENMP
 #pragma omp barrier
 #endif
+      if (WT0)
+        waveHistogram().record(obs::nowNs() - WT0);
     }
   }
 }
@@ -362,12 +373,15 @@ void leftCholeskyCSCWavefront(CSCMatrix &L, const WavefrontSchedule &S) {
     for (size_t WaveI = 0; WaveI < S.Waves.size(); ++WaveI) {
       const auto &Wave = S.Waves[WaveI];
       std::optional<obs::Span> Sp = waveSpan(T, WaveI, Wave);
+      uint64_t WT0 = (T == 0 && obs::metricsEnabled()) ? obs::nowNs() : 0;
       for (size_t P = static_cast<size_t>(T); P < Wave.size(); P += Team)
         for (int J : Wave[P])
           leftCholColumn(L, AVal, Rows, J, W[static_cast<size_t>(T)]);
 #ifdef _OPENMP
 #pragma omp barrier
 #endif
+      if (WT0)
+        waveHistogram().record(obs::nowNs() - WT0);
     }
   }
 }

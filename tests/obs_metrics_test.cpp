@@ -1,0 +1,324 @@
+//===- obs_metrics_test.cpp - Metrics registry + flight recorder tests ----===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// Covers the sds::obs v2 quantitative layer: histogram bucket geometry
+// and quantile interpolation against an exact reference, sharded-counter
+// exactness under concurrent OpenMP increments, gauge sources, the
+// Prometheus/JSON exporters (schema round-trip through sds::json), and
+// flight-recorder wraparound/ordering semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/obs/FlightRecorder.h"
+#include "sds/obs/Metrics.h"
+#include "sds/support/Schema.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sds/support/OMP.h"
+
+using namespace sds;
+using obs::Histogram;
+
+namespace {
+
+/// Every test starts with metrics on and the registry zeroed; tests that
+/// need the disabled behavior flip the flag themselves.
+class MetricsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    obs::setMetricsEnabled(true);
+    obs::resetMetrics();
+  }
+  void TearDown() override {
+    obs::resetMetrics();
+    obs::setMetricsEnabled(false);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Histogram bucket geometry
+//===----------------------------------------------------------------------===//
+
+TEST_F(MetricsTest, BucketOfIsMonotoneAndInvertsThroughBucketLo) {
+  // Exact region: values below 2*kSub each get their own bucket.
+  for (uint64_t V = 0; V < 2 * Histogram::kSub; ++V) {
+    EXPECT_EQ(Histogram::bucketOf(V), V);
+    EXPECT_EQ(Histogram::bucketLo(static_cast<unsigned>(V)), V);
+  }
+  // bucketLo(bucketOf(V)) <= V < bucketLo(bucketOf(V)+1), across octaves.
+  std::mt19937_64 Rng(7);
+  for (int I = 0; I < 20000; ++I) {
+    uint64_t V = Rng() >> (Rng() % 64);
+    unsigned B = Histogram::bucketOf(V);
+    ASSERT_LT(B, Histogram::kBuckets);
+    EXPECT_LE(Histogram::bucketLo(B), V);
+    if (B + 1 < Histogram::kBuckets) {
+      EXPECT_LT(V, Histogram::bucketLo(B + 1));
+    }
+  }
+  // Monotone: larger values never land in earlier buckets.
+  unsigned Prev = 0;
+  for (uint64_t V = 0; V < 4096; ++V) {
+    unsigned B = Histogram::bucketOf(V);
+    EXPECT_GE(B, Prev);
+    Prev = B;
+  }
+  EXPECT_EQ(Histogram::bucketOf(UINT64_MAX), Histogram::kBuckets - 1);
+}
+
+TEST_F(MetricsTest, BucketRelativeWidthAtMost12Point5Percent) {
+  // Above the exact region every bucket [lo, hi) satisfies
+  // (hi - lo) / lo <= 1/8.
+  for (unsigned B = 2 * Histogram::kSub; B + 1 < Histogram::kBuckets; ++B) {
+    uint64_t Lo = Histogram::bucketLo(B), Hi = Histogram::bucketLo(B + 1);
+    ASSERT_GT(Hi, Lo);
+    EXPECT_LE(static_cast<double>(Hi - Lo) / static_cast<double>(Lo),
+              0.125 + 1e-12);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Quantiles vs an exact reference
+//===----------------------------------------------------------------------===//
+
+TEST_F(MetricsTest, QuantilesTrackExactReferenceWithinBucketWidth) {
+  Histogram &H = obs::histogram("test.quantiles");
+  std::mt19937_64 Rng(42);
+  std::vector<uint64_t> Samples;
+  // Log-uniform latencies spanning ~100ns..100ms, the realistic range.
+  for (int I = 0; I < 50000; ++I) {
+    double E = 2.0 + 6.0 * std::uniform_real_distribution<>(0, 1)(Rng);
+    Samples.push_back(static_cast<uint64_t>(std::pow(10.0, E)));
+  }
+  for (uint64_t S : Samples)
+    H.record(S);
+  std::sort(Samples.begin(), Samples.end());
+
+  EXPECT_EQ(H.count(), Samples.size());
+  EXPECT_EQ(H.min(), Samples.front());
+  EXPECT_EQ(H.max(), Samples.back());
+  for (double Q : {0.5, 0.95, 0.99}) {
+    double Exact = static_cast<double>(
+        Samples[static_cast<size_t>(Q * (Samples.size() - 1))]);
+    double Est = H.quantile(Q);
+    // The estimate must land within one bucket (12.5% relative) of truth.
+    EXPECT_NEAR(Est, Exact, Exact * 0.125)
+        << "q=" << Q << " exact=" << Exact << " est=" << Est;
+  }
+  // Quantiles are clamped into [min, max].
+  EXPECT_GE(H.quantile(0.0), static_cast<double>(H.min()));
+  EXPECT_LE(H.quantile(1.0), static_cast<double>(H.max()));
+}
+
+TEST_F(MetricsTest, SingleSampleQuantilesCollapseToIt) {
+  Histogram &H = obs::histogram("test.single");
+  H.record(777);
+  EXPECT_EQ(H.count(), 1u);
+  for (double Q : {0.0, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(H.quantile(Q), 777.0);
+}
+
+TEST_F(MetricsTest, RecordIsInertWhenDisabled) {
+  Histogram &H = obs::histogram("test.disabled");
+  obs::setMetricsEnabled(false);
+  H.record(123);
+  obs::metricCounter("test.disabled_counter").add(5);
+  obs::gauge("test.disabled_gauge").set(9.0);
+  obs::setMetricsEnabled(true);
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(obs::metricCounter("test.disabled_counter").value(), 0u);
+  EXPECT_EQ(obs::gauge("test.disabled_gauge").value(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded counters under concurrency
+//===----------------------------------------------------------------------===//
+
+TEST_F(MetricsTest, ConcurrentCounterIncrementsBitMatchSerial) {
+  // The serial truth: one thread adding K times N values.
+  const int Threads = std::max(2, std::min(8, omp_get_max_threads()));
+  const int PerThread = 20000;
+  obs::MetricCounter &Serial = obs::metricCounter("test.counter_serial");
+  for (int T = 0; T < Threads; ++T)
+    for (int I = 0; I < PerThread; ++I)
+      Serial.add(static_cast<uint64_t>(I % 7 + 1));
+
+  obs::MetricCounter &Par = obs::metricCounter("test.counter_parallel");
+  obs::Histogram &HPar = obs::histogram("test.hist_parallel");
+#pragma omp parallel num_threads(Threads)
+  {
+#pragma omp for
+    for (int T = 0; T < Threads; ++T)
+      for (int I = 0; I < PerThread; ++I) {
+        Par.add(static_cast<uint64_t>(I % 7 + 1));
+        HPar.record(static_cast<uint64_t>(I + 1));
+      }
+  }
+  EXPECT_EQ(Par.value(), Serial.value());
+  EXPECT_EQ(HPar.count(), static_cast<uint64_t>(Threads) * PerThread);
+  // Histogram sum is also exact (relaxed fetch_adds never lose updates).
+  uint64_t WantSum = 0;
+  for (int I = 0; I < PerThread; ++I)
+    WantSum += static_cast<uint64_t>(I + 1);
+  EXPECT_EQ(HPar.sum(), WantSum * Threads);
+}
+
+//===----------------------------------------------------------------------===//
+// Gauges and gauge sources
+//===----------------------------------------------------------------------===//
+
+TEST_F(MetricsTest, GaugeSourcesSumAcrossRegistrationsAndUnregister) {
+  double A = 1.5, B = 2.25;
+  uint64_t H1 = obs::registerGaugeSource("test.source", [&] { return A; });
+  uint64_t H2 = obs::registerGaugeSource("test.source", [&] { return B; });
+  auto Find = [](const obs::MetricsSnapshot &S, const std::string &Name) {
+    for (const auto &[N, V] : S.Gauges)
+      if (N == Name)
+        return V;
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(Find(obs::snapshotMetrics(), "test.source"), 3.75);
+  obs::unregisterGaugeSource(H1);
+  EXPECT_DOUBLE_EQ(Find(obs::snapshotMetrics(), "test.source"), 2.25);
+  obs::unregisterGaugeSource(H2);
+  EXPECT_DOUBLE_EQ(Find(obs::snapshotMetrics(), "test.source"), -1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
+TEST_F(MetricsTest, JsonSnapshotRoundTripsThroughParser) {
+  obs::metricCounter("test.rt_counter").add(3);
+  obs::gauge("test.rt_gauge").set(0.5);
+  Histogram &H = obs::histogram("pipeline.stage.extraction");
+  for (uint64_t V = 1; V <= 100; ++V)
+    H.record(V * 1000);
+
+  json::ParseResult P = json::parse(obs::metricsJSON());
+  ASSERT_TRUE(P.Ok) << P.Error;
+  const json::Value &Root = P.Val;
+  ASSERT_TRUE(Root.isObject());
+  EXPECT_EQ(Root.get("schema_version")->asInt(), schema::kVersion);
+  EXPECT_EQ(Root.get("kind")->asString(), "metrics_snapshot");
+  EXPECT_EQ(Root.get("counters")->get("test.rt_counter")->asInt(), 3);
+  EXPECT_DOUBLE_EQ(Root.get("gauges")->get("test.rt_gauge")->asDouble(), 0.5);
+
+  const json::Value *HJ =
+      Root.get("histograms")->get("pipeline.stage.extraction");
+  ASSERT_NE(HJ, nullptr);
+  EXPECT_EQ(HJ->get("count")->asInt(), 100);
+  double P50 = HJ->get("p50_ms")->asDouble();
+  EXPECT_GT(P50, 0.0);
+  EXPECT_NEAR(P50, 0.050, 0.050 * 0.125); // 50us median, ms units
+  ASSERT_NE(HJ->get("p95_ms"), nullptr);
+  ASSERT_NE(HJ->get("p99_ms"), nullptr);
+
+  // stage_seconds is zero-filled over the schema's stage keys, and the
+  // stage we recorded shows up converted to seconds.
+  const json::Value *Stages = Root.get("stage_seconds");
+  ASSERT_NE(Stages, nullptr);
+  for (const char *Key : schema::kStageKeys)
+    ASSERT_NE(Stages->get(Key), nullptr) << Key;
+  EXPECT_NEAR(Stages->get("extraction")->asDouble(), 5050.0 * 1000 / 1e9,
+              1e-12);
+}
+
+TEST_F(MetricsTest, PrometheusTextEscapingAndShape) {
+  obs::metricCounter("engine.kernel.hits").add(2);
+  obs::metricCounter("weird name-100%").add(5);
+  obs::gauge("presburger.query_cache.hit_rate").set(0.75);
+  obs::histogram("guard.run_ns").record(1000);
+  std::string Text = obs::prometheusText();
+
+  // Counter: sanitized name, _total suffix, sds_ prefix.
+  EXPECT_NE(Text.find("sds_engine_kernel_hits_total 2"), std::string::npos)
+      << Text;
+  // Every non-[a-zA-Z0-9_] byte maps to '_': no spec-illegal name chars
+  // may leak into the exposition.
+  EXPECT_NE(Text.find("sds_weird_name_100__total 5"), std::string::npos)
+      << Text;
+  EXPECT_EQ(Text.find("weird name"), std::string::npos);
+  EXPECT_NE(Text.find("sds_presburger_query_cache_hit_rate 0.75"),
+            std::string::npos)
+      << Text;
+  // Histogram: summary with quantile labels + _count/_sum, seconds units.
+  EXPECT_NE(Text.find("sds_guard_run_ns{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(Text.find("sds_guard_run_ns{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(Text.find("sds_guard_run_ns_count 1"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE sds_guard_run_ns summary"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Flight recorder
+//===----------------------------------------------------------------------===//
+
+TEST_F(MetricsTest, FlightRingKeepsNewestInOrderAndCountsLost) {
+  obs::setFlightCapacity(8);
+  for (int I = 0; I < 20; ++I)
+    obs::flightRecord(obs::FlightSeverity::Info, "test",
+                      "event " + std::to_string(I),
+                      {{"i", std::to_string(I)}});
+  std::vector<obs::FlightEvent> Events = obs::snapshotFlight();
+  ASSERT_EQ(Events.size(), 8u);
+  EXPECT_EQ(obs::flightLostEvents(), 12u);
+  // Oldest-first, contiguous sequence numbers, newest event last.
+  for (size_t I = 1; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I].Seq, Events[I - 1].Seq + 1);
+  EXPECT_EQ(Events.back().Message, "event 19");
+  EXPECT_EQ(Events.front().Message, "event 12");
+  ASSERT_EQ(Events.back().Fields.size(), 1u);
+  EXPECT_EQ(Events.back().Fields[0].second, "19");
+
+  // clearFlight drops events but sequence numbers keep counting.
+  obs::clearFlight();
+  EXPECT_TRUE(obs::snapshotFlight().empty());
+  EXPECT_EQ(obs::flightLostEvents(), 0u);
+  obs::flightRecord(obs::FlightSeverity::Error, "test", "after clear");
+  std::vector<obs::FlightEvent> After = obs::snapshotFlight();
+  ASSERT_EQ(After.size(), 1u);
+  EXPECT_GE(After[0].Seq, 20u);
+  EXPECT_EQ(After[0].Severity, obs::FlightSeverity::Error);
+  obs::setFlightCapacity(256); // restore the default for other tests
+}
+
+TEST_F(MetricsTest, FlightJsonEmbedsInMetricsReport) {
+  obs::flightRecord(obs::FlightSeverity::Warn, "artifact",
+                    "artifact rejected", {{"path", "x.sdsk"}});
+  json::ParseResult P = json::parse(obs::metricsJSON());
+  ASSERT_TRUE(P.Ok) << P.Error;
+  const json::Value *Flight = P.Val.get("flight_recorder");
+  ASSERT_NE(Flight, nullptr);
+  const json::Value *Events = Flight->get("events");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  ASSERT_EQ(Events->asArray().size(), 1u);
+  const json::Value &E = Events->asArray()[0];
+  EXPECT_EQ(E.get("severity")->asString(), "warn");
+  EXPECT_EQ(E.get("category")->asString(), "artifact");
+  EXPECT_EQ(E.get("fields")->get("path")->asString(), "x.sdsk");
+}
+
+TEST_F(MetricsTest, ResetMetricsZeroesEverything) {
+  obs::metricCounter("test.reset_c").add(4);
+  obs::gauge("test.reset_g").set(2.0);
+  obs::histogram("test.reset_h").record(100);
+  obs::flightRecord(obs::FlightSeverity::Info, "test", "x");
+  obs::resetMetrics();
+  EXPECT_EQ(obs::metricCounter("test.reset_c").value(), 0u);
+  EXPECT_EQ(obs::gauge("test.reset_g").value(), 0.0);
+  EXPECT_EQ(obs::histogram("test.reset_h").count(), 0u);
+  EXPECT_TRUE(obs::snapshotFlight().empty());
+}
+
+} // namespace

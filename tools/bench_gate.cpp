@@ -1,0 +1,168 @@
+//===- bench_gate.cpp - Compare a bench summary against a baseline --------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// The regression half of the continuous-bench loop: bench/bench_report
+// produces BENCH_summary.json; this tool compares its "benches" section
+// against a checked-in baseline and exits nonzero when a gated metric
+// regressed beyond tolerance.
+//
+//   bench_gate [--warn-only] baseline.json BENCH_summary.json
+//
+// Baseline format (bench/baseline.json):
+//
+//   { "schema_version": N, "kind": "bench_baseline",
+//     "default_tolerance_pct": 10,
+//     "metrics": {
+//       "<bench>.<field>": { "value": V,
+//                            "direction": "min" | "max" | "eq",
+//                            "tolerance_pct": T }   // optional, else default
+//     } }
+//
+// direction=min: actual must be >= value * (1 - tol).  (throughput-like)
+// direction=max: actual must be <= value * (1 + tol).  (cost-like)
+// direction=eq:  |actual - value| <= |value| * tol.    (exactness probes;
+//                tolerance_pct 0 demands bit-equality, e.g. tN_identical)
+//
+// The committed baseline deliberately gates only machine-independent
+// metrics (visit/edge counts, refutation tallies, cache hit rates,
+// determinism bits, amortization ratios) — wall-clock seconds vary too
+// much across CI machines to gate hard. --warn-only reports FAILs but
+// exits 0, for first landings and baseline refreshes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/support/JSON.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using sds::json::Value;
+
+namespace {
+
+bool parseFile(const std::string &Path, Value &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "bench_gate: cannot open %s\n", Path.c_str());
+    return false;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  sds::json::ParseResult P = sds::json::parse(SS.str());
+  if (!P.Ok) {
+    std::fprintf(stderr, "bench_gate: %s:%u:%u: %s\n", Path.c_str(), P.Line,
+                 P.Col, P.Error.c_str());
+    return false;
+  }
+  Out = std::move(P.Val);
+  return true;
+}
+
+/// Resolve "<bench>.<field>" inside the summary's "benches" object.
+/// Bench names never contain dots, so the first dot is the separator.
+const Value *lookup(const Value &Summary, const std::string &Key) {
+  const Value *Benches = Summary.get("benches");
+  if (!Benches)
+    return nullptr;
+  size_t Dot = Key.find('.');
+  if (Dot == std::string::npos)
+    return nullptr;
+  const Value *Bench = Benches->get(Key.substr(0, Dot));
+  return Bench ? Bench->get(Key.substr(Dot + 1)) : nullptr;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool WarnOnly = false;
+  std::string BaselinePath, SummaryPath;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--warn-only")
+      WarnOnly = true;
+    else if (BaselinePath.empty())
+      BaselinePath = Arg;
+    else if (SummaryPath.empty())
+      SummaryPath = Arg;
+    else
+      BaselinePath.clear(); // force the usage message
+  }
+  if (BaselinePath.empty() || SummaryPath.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--warn-only] baseline.json summary.json\n",
+                 argv[0]);
+    return 2;
+  }
+
+  Value Baseline, Summary;
+  if (!parseFile(BaselinePath, Baseline) || !parseFile(SummaryPath, Summary))
+    return 2;
+  const Value *Kind = Baseline.get("kind");
+  if (!Kind || !Kind->isString() || Kind->asString() != "bench_baseline") {
+    std::fprintf(stderr, "bench_gate: %s is not a bench_baseline document\n",
+                 BaselinePath.c_str());
+    return 2;
+  }
+  double DefaultTol = 10;
+  if (const Value *T = Baseline.get("default_tolerance_pct"))
+    DefaultTol = T->asDouble();
+  const Value *Gated = Baseline.get("metrics");
+  if (!Gated || !Gated->isObject()) {
+    std::fprintf(stderr, "bench_gate: %s has no \"metrics\" object\n",
+                 BaselinePath.c_str());
+    return 2;
+  }
+
+  int Checked = 0, Failed = 0;
+  for (const auto &[Key, Spec] : Gated->asObject()) {
+    ++Checked;
+    const Value *VV = Spec.get("value");
+    const Value *DV = Spec.get("direction");
+    if (!VV || !VV->isNumber() || !DV || !DV->isString()) {
+      std::printf("FAIL %-44s malformed baseline entry\n", Key.c_str());
+      ++Failed;
+      continue;
+    }
+    double Want = VV->asDouble();
+    std::string Dir = DV->asString();
+    double Tol = DefaultTol;
+    if (const Value *T = Spec.get("tolerance_pct"))
+      Tol = T->asDouble();
+
+    const Value *AV = lookup(Summary, Key);
+    if (!AV || !AV->isNumber()) {
+      std::printf("FAIL %-44s missing from summary\n", Key.c_str());
+      ++Failed;
+      continue;
+    }
+    double Got = AV->asDouble();
+
+    bool Ok;
+    if (Dir == "min")
+      Ok = Got >= Want * (1.0 - Tol / 100.0);
+    else if (Dir == "max")
+      Ok = Got <= Want * (1.0 + Tol / 100.0);
+    else if (Dir == "eq")
+      Ok = std::abs(Got - Want) <= std::abs(Want) * (Tol / 100.0);
+    else {
+      std::printf("FAIL %-44s unknown direction \"%s\"\n", Key.c_str(),
+                  Dir.c_str());
+      ++Failed;
+      continue;
+    }
+    std::printf("%s %-44s %s %g (baseline %g, tol %g%%)\n",
+                Ok ? "ok  " : "FAIL", Key.c_str(), Dir.c_str(), Got, Want,
+                Tol);
+    if (!Ok)
+      ++Failed;
+  }
+
+  std::printf("bench_gate: %d/%d gated metrics within tolerance%s\n",
+              Checked - Failed, Checked,
+              Failed && WarnOnly ? " (warn-only: not failing the build)" : "");
+  return Failed && !WarnOnly ? 1 : 0;
+}
