@@ -16,7 +16,9 @@
 
 #include "BenchCommon.h"
 #include "sds/runtime/Kernels.h"
+#include "sds/runtime/Schedule.h"
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 
@@ -25,6 +27,10 @@ namespace bench {
 struct WiredKernel {
   std::string Name;
   bool Heavy = false; ///< analysis takes minutes (IC0)
+  /// Pull-based kernels (each value produced by exactly one node in serial
+  /// accumulation order) are bit-identical under any schedule shape; the
+  /// push-based ones use commutative atomic updates and match to 1e-9.
+  bool PullBased = false;
   sds::deps::PipelineResult Analysis;
   /// Per matrix: (bindings, serial body, wavefront body).
   struct Instance {
@@ -32,6 +38,14 @@ struct WiredKernel {
     int N = 0;
     std::function<void()> Serial;
     std::function<void(const sds::rt::WavefrontSchedule &)> Wavefront;
+    /// Compiled-schedule executor (post-pass framework shapes).
+    std::function<void(const sds::rt::CompiledSchedule &)> Scheduled;
+    /// Reset mutable state a run consumes (e.g. Gauss-Seidel's x); empty
+    /// when runs are naturally idempotent.
+    std::function<void()> Reset;
+    /// Snapshot of the kernel's numeric result after a run, for
+    /// bit-identity / tolerance comparisons across schedule shapes.
+    std::function<std::vector<double>()> Output;
     /// Node costs for load balancing (work per outer iteration).
     std::vector<double> NodeCost;
   };
@@ -63,6 +77,10 @@ inline std::vector<WiredKernel> wiredKernels(bool IncludeHeavy = true) {
       I.Wavefront = [=](const WavefrontSchedule &S) {
         forwardSolveCSCWavefront(*L, *B, *X, S);
       };
+      I.Scheduled = [=](const CompiledSchedule &S) {
+        forwardSolveCSCScheduled(*L, *B, *X, S);
+      };
+      I.Output = [=] { return *X; };
       for (int J = 0; J < L->N; ++J)
         I.NodeCost.push_back(L->ColPtr[J + 1] - L->ColPtr[J]);
       return I;
@@ -72,6 +90,7 @@ inline std::vector<WiredKernel> wiredKernels(bool IncludeHeavy = true) {
   {
     WiredKernel W;
     W.Name = "FS CSR";
+    W.PullBased = true;
     W.Analysis = deps::analyzeKernel(kernels::forwardSolveCSR());
     W.Wire = [](const BenchMatrix &M) {
       WiredKernel::Instance I;
@@ -85,6 +104,10 @@ inline std::vector<WiredKernel> wiredKernels(bool IncludeHeavy = true) {
       I.Wavefront = [=](const WavefrontSchedule &S) {
         forwardSolveCSRWavefront(*L, *B, *X, S);
       };
+      I.Scheduled = [=](const CompiledSchedule &S) {
+        forwardSolveCSRScheduled(*L, *B, *X, S);
+      };
+      I.Output = [=] { return *X; };
       for (int J = 0; J < L->N; ++J)
         I.NodeCost.push_back(L->RowPtr[J + 1] - L->RowPtr[J]);
       return I;
@@ -94,6 +117,7 @@ inline std::vector<WiredKernel> wiredKernels(bool IncludeHeavy = true) {
   {
     WiredKernel W;
     W.Name = "GS CSR";
+    W.PullBased = true;
     W.Analysis = deps::analyzeKernel(kernels::gaussSeidelCSR());
     W.Wire = [](const BenchMatrix &M) {
       WiredKernel::Instance I;
@@ -108,6 +132,11 @@ inline std::vector<WiredKernel> wiredKernels(bool IncludeHeavy = true) {
       I.Wavefront = [=](const WavefrontSchedule &S) {
         gaussSeidelCSRWavefront(*A, *B, *X, S);
       };
+      I.Scheduled = [=](const CompiledSchedule &S) {
+        gaussSeidelCSRScheduled(*A, *B, *X, S);
+      };
+      I.Reset = [=] { std::fill(X->begin(), X->end(), 0.0); };
+      I.Output = [=] { return *X; };
       for (int J = 0; J < A->N; ++J)
         I.NodeCost.push_back(A->RowPtr[J + 1] - A->RowPtr[J]);
       return I;
@@ -133,6 +162,11 @@ inline std::vector<WiredKernel> wiredKernels(bool IncludeHeavy = true) {
         L->Val = *Original;
         incompleteCholeskyCSCWavefront(*L, S);
       };
+      I.Scheduled = [=](const CompiledSchedule &S) {
+        L->Val = *Original;
+        incompleteCholeskyCSCScheduled(*L, S);
+      };
+      I.Output = [=] { return L->Val; };
       // Column cost ~ nnz of the column times its density window.
       for (int J = 0; J < L->N; ++J) {
         double C = L->ColPtr[J + 1] - L->ColPtr[J];
@@ -145,6 +179,7 @@ inline std::vector<WiredKernel> wiredKernels(bool IncludeHeavy = true) {
   {
     WiredKernel W;
     W.Name = "L. Chol.";
+    W.PullBased = true;
     W.Analysis = deps::analyzeKernel(kernels::leftCholeskyCSC());
     W.Wire = [](const BenchMatrix &M) {
       WiredKernel::Instance I;
@@ -161,6 +196,11 @@ inline std::vector<WiredKernel> wiredKernels(bool IncludeHeavy = true) {
         L->Val = *Original;
         leftCholeskyCSCWavefront(*L, S);
       };
+      I.Scheduled = [=](const CompiledSchedule &S) {
+        L->Val = *Original;
+        leftCholeskyCSCScheduled(*L, S);
+      };
+      I.Output = [=] { return L->Val; };
       for (int J = 0; J < L->N; ++J) {
         double C = L->ColPtr[J + 1] - L->ColPtr[J];
         double U = Prune->Ptr[static_cast<size_t>(J) + 1] -

@@ -140,7 +140,7 @@ int main(int argc, char **argv) {
     CSCMatrix L = toCSC(lowerTriangle(generateSPDLike({N, 6, 12, 21})));
     codegen::UFEnvironment Env = driver::bindCSC(L);
     engine::EngineOptions EOpts;
-    EOpts.ScheduleThreads = Threads;
+    EOpts.Schedule.NumThreads = Threads;
     engine::Engine E(EOpts);
     double PlanColdS = bench::timeOf([&] { (void)E.plan(K, Env, L.N); });
     double PlanWarmS = bench::timeOf([&] {

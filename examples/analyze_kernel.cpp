@@ -38,6 +38,7 @@
 #include "sds/obs/Trace.h"
 #include "sds/support/JSON.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -75,7 +76,8 @@ struct GuardFlags {
 
 void runTraced(const std::string &Key, const kernels::Kernel &K,
                const artifact::CompiledKernel &CK, int N, int Threads,
-               const GuardFlags &GF, engine::Engine *Eng) {
+               const rt::ScheduleConfig &SC, const GuardFlags &GF,
+               engine::Engine *Eng) {
   rt::CSRMatrix A = rt::generateSPDLike({N, 6, 12, 21});
 
   codegen::UFEnvironment Env;
@@ -129,25 +131,51 @@ void runTraced(const std::string &Key, const kernels::Kernel &K,
               static_cast<unsigned long long>(Insp.Graph.numEdges()),
               Insp.Seconds * 1e3);
 
-  rt::WavefrontSchedule S =
-      rt::scheduleLevelSets(Insp.Graph, Threads);
-  rt::ScheduleStats SS = rt::describeSchedule(S);
-  std::printf("schedule: %d waves over %llu nodes, parallelism %.2f\n",
-              SS.NumWaves, static_cast<unsigned long long>(SS.TotalNodes),
-              SS.achievedParallelism());
+  rt::CompiledSchedule CS = rt::buildSchedule(Insp.Graph, SC);
+  rt::CompiledScheduleStats SS = rt::describeSchedule(CS);
+  std::printf("schedule [%s]: %d waves / %llu chunks over %llu nodes, "
+              "critical work %llu, parallelism %.2f%s\n",
+              rt::scheduleKindName(SC.Kind), SS.Base.NumWaves,
+              static_cast<unsigned long long>(SS.NumChunks),
+              static_cast<unsigned long long>(SS.Base.TotalNodes),
+              static_cast<unsigned long long>(SS.Base.CriticalWork),
+              SS.Base.achievedParallelism(),
+              SS.P2P ? " (barrier-free P2P)" : "");
+  if (!SS.Base.WaveSizes.empty()) {
+    uint64_t MinWave = SS.Base.WaveSizes.front();
+    for (uint64_t W : SS.Base.WaveSizes)
+      MinWave = std::min(MinWave, W);
+    std::printf("wave sizes: min %llu / max %llu",
+                static_cast<unsigned long long>(MinWave),
+                static_cast<unsigned long long>(SS.Base.MaxWaveSize));
+    std::printf(", first [");
+    for (size_t W = 0; W < SS.Base.WaveSizes.size() && W < 8; ++W)
+      std::printf("%s%llu", W ? " " : "",
+                  static_cast<unsigned long long>(SS.Base.WaveSizes[W]));
+    std::printf("%s]\n", SS.Base.WaveSizes.size() > 8 ? " ..." : "");
+  }
+  if (SC.Kind == rt::ScheduleKind::Vector)
+    std::printf("vector runs: %llu runs cover %llu nodes (%.1f%%)\n",
+                static_cast<unsigned long long>(SS.VectorRuns),
+                static_cast<unsigned long long>(SS.VectorNodes),
+                100.0 * SS.vectorCoverage());
+  if (!rt::certifySchedule(Insp.Graph, CS)) {
+    std::printf("schedule FAILED certification\n");
+    return;
+  }
 
   std::vector<double> B(static_cast<size_t>(A.N), 1.0);
   std::vector<double> X(static_cast<size_t>(A.N), 0.0);
   if (Key == "fs_csr")
-    rt::forwardSolveCSRWavefront(Lower, B, X, S);
+    rt::forwardSolveCSRScheduled(Lower, B, X, CS);
   else if (Key == "fs_csc")
-    rt::forwardSolveCSCWavefront(L, B, X, S);
+    rt::forwardSolveCSCScheduled(L, B, X, CS);
   else if (Key == "gs_csr")
-    rt::gaussSeidelCSRWavefront(A, B, X, S);
+    rt::gaussSeidelCSRScheduled(A, B, X, CS);
   else if (Key == "ic0_csc")
-    rt::incompleteCholeskyCSCWavefront(L, S);
+    rt::incompleteCholeskyCSCScheduled(L, CS);
   else if (Key == "lchol_csc")
-    rt::leftCholeskyCSCWavefront(L, S);
+    rt::leftCholeskyCSCScheduled(L, CS);
   else
     std::printf("(no wavefront executor for %s; schedule only)\n",
                 Key.c_str());
@@ -162,8 +190,9 @@ struct ArtifactFlags {
 };
 
 int analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
-               int N, int Threads, double BudgetMs, const GuardFlags &GF,
-               const ArtifactFlags &AF) {
+               int N, int Threads, double BudgetMs,
+               std::optional<rt::ScheduleKind> ScheduleKind,
+               const GuardFlags &GF, const ArtifactFlags &AF) {
   std::printf("=== %s ===\n%s\n", K.Name.c_str(), K.str().c_str());
   artifact::CompiledKernel CK;
   std::optional<engine::Engine> Eng;
@@ -198,7 +227,9 @@ int analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
     EOpts.Analysis.NumThreads = Threads;
     EOpts.Analysis.AnalysisBudgetMs = BudgetMs;
     EOpts.Inspect.NumThreads = Threads;
-    EOpts.ScheduleThreads = Threads;
+    if (ScheduleKind)
+      EOpts.Schedule.Kind = *ScheduleKind;
+    EOpts.Schedule.NumThreads = Threads;
     Eng.emplace(std::move(EOpts));
     auto T0 = std::chrono::steady_clock::now();
     std::shared_ptr<const artifact::CompiledKernel> Shared =
@@ -229,6 +260,13 @@ int analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
     std::printf("--- inspector for %s ---\n%s\n", D.Dep.label().c_str(),
                 D.Plan.emitC("inspect").c_str());
   }
+  // The schedule spec rides inside the artifact: --schedule wins, a
+  // loaded artifact's recorded spec is next, the default config last.
+  rt::ScheduleConfig SC = CK.Schedule;
+  if (ScheduleKind)
+    SC.Kind = *ScheduleKind;
+  SC.NumThreads = Threads;
+  CK.Schedule = SC;
   if (!AF.EmitPath.empty()) {
     if (support::Status S = artifact::save(CK, AF.EmitPath); !S.ok()) {
       std::fprintf(stderr, "%s\n", S.str().c_str());
@@ -238,7 +276,7 @@ int analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
                 AF.EmitPath.c_str(), AF.EmitPath.c_str());
   }
   if (Traced)
-    runTraced(Key, K, CK, N, Threads, GF, Eng ? &*Eng : nullptr);
+    runTraced(Key, K, CK, N, Threads, SC, GF, Eng ? &*Eng : nullptr);
   return 0;
 }
 
@@ -252,6 +290,7 @@ int main(int argc, char **argv) {
   int N = 200;
   int Threads = omp_get_max_threads();
   double BudgetMs = 0;
+  std::optional<rt::ScheduleKind> ScheduleKind;
   GuardFlags GF;
   ArtifactFlags AF;
   std::vector<std::string> Positional;
@@ -280,6 +319,13 @@ int main(int argc, char **argv) {
       AF.EmitPath = Arg.substr(16);
     } else if (Arg.rfind("--load-artifact=", 0) == 0) {
       AF.LoadPath = Arg.substr(16);
+    } else if (Arg.rfind("--schedule=", 0) == 0) {
+      ScheduleKind = rt::parseScheduleKind(Arg.substr(11));
+      if (!ScheduleKind) {
+        std::fprintf(stderr,
+                     "--schedule expects levels|lbc|coalesced|p2p|vector\n");
+        return 1;
+      }
     } else if (Arg == "--budget-ms" && I + 1 < argc) {
       BudgetMs = std::atof(argv[++I]);
       if (BudgetMs < 0) {
@@ -308,6 +354,7 @@ int main(int argc, char **argv) {
     std::printf(
         "usage: %s [--trace out.json] [--stats] [--metrics[=PATH]] "
         "[--n N] [--threads N] "
+        "[--schedule=levels|lbc|coalesced|p2p|vector] "
         "[--validate] [--guard=off|warn|fallback] [--budget-ms MS] "
         "[--emit-artifact=PATH] [--load-artifact=PATH] "
         "<kernel|all> [properties.json]\n"
@@ -341,7 +388,8 @@ int main(int argc, char **argv) {
       return 1;
     }
     for (auto &[Key, K] : Kernels)
-      if (int RC = analyzeOne(Key, K, Traced, N, Threads, BudgetMs, GF, {}))
+      if (int RC = analyzeOne(Key, K, Traced, N, Threads, BudgetMs,
+                              ScheduleKind, GF, {}))
         return RC;
   } else {
     auto It = Kernels.find(Which);
@@ -378,7 +426,8 @@ int main(int argc, char **argv) {
       std::printf("(using index-array properties from %s)\n", Path.c_str());
     }
 
-    if (int RC = analyzeOne(Which, K, Traced, N, Threads, BudgetMs, GF, AF))
+    if (int RC = analyzeOne(Which, K, Traced, N, Threads, BudgetMs,
+                            ScheduleKind, GF, AF))
       return RC;
   }
 

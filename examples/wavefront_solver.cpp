@@ -11,6 +11,10 @@
 //   wavefront_solver path/to/A.mtx    # your matrix (general or symmetric)
 //   SDS_THREADS=8 wavefront_solver    # executor thread count
 //
+// Schedule shape (sds::rt schedule post-pass framework, DESIGN.md §14):
+//   --schedule=levels|lbc|coalesced|p2p|vector   executor schedule kind
+//                         (default: the artifact's recorded spec, else lbc)
+//
 // Robustness flags (sds::guard):
 //   --validate            print the property-validation report
 //   --guard=off|warn|fallback   what to do when validation fails
@@ -32,6 +36,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "sds/support/OMP.h"
@@ -54,6 +59,7 @@ int main(int argc, char **argv) {
   bool Validate = false;
   bool Metrics = false;
   double BudgetMs = 0;
+  std::optional<ScheduleKind> Kind;
   std::string MtxPath, EmitPath, LoadPath, MetricsPath;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -81,10 +87,18 @@ int main(int argc, char **argv) {
       EmitPath = Arg.substr(16);
     } else if (Arg.rfind("--load-artifact=", 0) == 0) {
       LoadPath = Arg.substr(16);
+    } else if (Arg.rfind("--schedule=", 0) == 0) {
+      Kind = parseScheduleKind(Arg.substr(11));
+      if (!Kind) {
+        std::fprintf(stderr,
+                     "--schedule expects levels|lbc|coalesced|p2p|vector\n");
+        return 1;
+      }
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr,
                    "usage: %s [--validate] [--guard=off|warn|fallback] "
                    "[--budget-ms MS] [--metrics[=PATH]] "
+                   "[--schedule=levels|lbc|coalesced|p2p|vector] "
                    "[--emit-artifact=PATH] "
                    "[--load-artifact=PATH] [A.mtx]\n",
                    argv[0]);
@@ -152,6 +166,14 @@ int main(int argc, char **argv) {
     std::printf("analysis: %.2fs, %u runtime check(s)\n", now() - T0,
                 CK.count(deps::DepStatus::Runtime));
   }
+  // --schedule wins over the artifact's recorded spec; whatever the
+  // choice, it is recorded into any emitted artifact.
+  ScheduleConfig SC = CK.Schedule;
+  if (Kind)
+    SC.Kind = *Kind;
+  SC.NumThreads = Threads;
+  SC.MinWorkPerThread = 256;
+  CK.Schedule = SC;
   if (!EmitPath.empty()) {
     if (support::Status St = artifact::save(CK, EmitPath); !St.ok()) {
       std::fprintf(stderr, "%s\n", St.str().c_str());
@@ -174,17 +196,31 @@ int main(int argc, char **argv) {
   if (Mode != guard::GuardMode::Off)
     std::printf("%s\n", G.summary().c_str());
   const driver::InspectionResult &Insp = G.Inspection;
-  LBCConfig C;
-  C.NumThreads = Threads;
-  C.MinWorkPerThread = 256;
   std::vector<double> Cost(static_cast<size_t>(L.N));
   for (int J = 0; J < L.N; ++J)
     Cost[J] = L.ColPtr[J + 1] - L.ColPtr[J];
-  WavefrontSchedule S = scheduleLBC(Insp.Graph, C, Cost);
+  CompiledSchedule S = buildSchedule(Insp.Graph, SC, Cost);
+  if (!certifySchedule(Insp.Graph, S)) {
+    std::fprintf(stderr, "schedule failed certification\n");
+    return 1;
+  }
   double InspT = now() - T0;
-  std::printf("inspector: %.4fs (%llu edges, %d waves, %d threads)\n",
-              InspT, static_cast<unsigned long long>(Insp.Graph.numEdges()),
-              S.numWaves(), Threads);
+  CompiledScheduleStats SS = describeSchedule(S);
+  std::printf("inspector: %.4fs (%llu edges, %d threads)\n", InspT,
+              static_cast<unsigned long long>(Insp.Graph.numEdges()),
+              Threads);
+  std::printf("schedule [%s]: %d waves / %llu chunks, critical work %llu, "
+              "parallelism %.2f%s\n",
+              scheduleKindName(SC.Kind), SS.Base.NumWaves,
+              static_cast<unsigned long long>(SS.NumChunks),
+              static_cast<unsigned long long>(SS.Base.CriticalWork),
+              SS.Base.achievedParallelism(),
+              SS.P2P ? " (barrier-free P2P)" : "");
+  if (SC.Kind == ScheduleKind::Vector)
+    std::printf("vector runs: %llu runs cover %llu nodes (%.1f%%)\n",
+                static_cast<unsigned long long>(SS.VectorRuns),
+                static_cast<unsigned long long>(SS.VectorNodes),
+                100.0 * SS.vectorCoverage());
 
   // -- Executor (hundreds of times in a real solver). ----------------------
   std::vector<double> B(static_cast<size_t>(L.N), 1.0), XS, XP;
@@ -194,7 +230,7 @@ int main(int argc, char **argv) {
     forwardSolveCSCSerial(L, B, XS);
     SerialT = std::min(SerialT, now() - T0);
     T0 = now();
-    forwardSolveCSCWavefront(L, B, XP, S);
+    forwardSolveCSCScheduled(L, B, XP, S);
     ExecT = std::min(ExecT, now() - T0);
   }
   double Diff = 0;

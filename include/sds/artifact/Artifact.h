@@ -40,6 +40,7 @@
 #define SDS_ARTIFACT_ARTIFACT_H
 
 #include "sds/deps/Pipeline.h"
+#include "sds/runtime/Schedule.h"
 #include "sds/support/Schema.h"
 #include "sds/support/Status.h"
 
@@ -92,6 +93,12 @@ struct CompiledKernel {
   /// Analysis cost provenance: wall seconds per Figure-3 stage, with the
   /// stable keys of schema::kStageKeys.
   std::map<std::string, double> StageSeconds;
+  /// The schedule shape this kernel's executors should run under (the
+  /// named plan dimension of DESIGN.md §14): kind + pass knobs. The
+  /// thread count is *not* serialized — it is a deployment property, and
+  /// decode leaves the in-memory default. Older blobs without the field
+  /// decode to the default config.
+  rt::ScheduleConfig Schedule;
 
   unsigned count(deps::DepStatus S) const {
     unsigned N = 0;

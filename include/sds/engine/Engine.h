@@ -13,9 +13,9 @@
 //                 loadArtifact(). One Presburger pipeline run per distinct
 //                 (kernel, options) for the life of the process.
 //
-//   matrix tier   dependence graph + wavefront schedule per bound matrix,
+//   matrix tier   dependence graph + compiled schedule per bound matrix,
 //                 keyed by (kernel key, environment fingerprint, schedule
-//                 threads). The fingerprint hashes every bound span and
+//                 config key). The fingerprint hashes every bound span and
 //                 parameter, so two binds of the same matrix hit the same
 //                 entry and a changed matrix can never alias a stale plan.
 //
@@ -36,6 +36,7 @@
 #include "sds/artifact/Artifact.h"
 #include "sds/driver/Driver.h"
 #include "sds/guard/Guarded.h"
+#include "sds/runtime/Schedule.h"
 #include "sds/runtime/Wavefront.h"
 
 #include <cstdint>
@@ -51,9 +52,11 @@ namespace engine {
 struct EngineOptions {
   deps::PipelineOptions Analysis;   ///< used when a kernel compiles cold
   driver::InspectorOptions Inspect; ///< inspector fleet width
-  /// Threads the memoized wavefront schedule is built for (part of the
-  /// matrix cache key — a schedule for 4 workers is useless to 8).
-  int ScheduleThreads = 4;
+  /// The schedule shape the matrix tier memoizes: kind + pass knobs +
+  /// thread count, all part of the matrix cache key (a coalesced
+  /// 4-thread schedule is useless to a P2P 8-thread executor). Defaults
+  /// to the pre-framework engine behavior: plain level sets, 4 threads.
+  rt::ScheduleConfig Schedule = {rt::ScheduleKind::Levels, /*NumThreads=*/4};
   /// Matrix-tier capacity; the oldest entry is evicted past this. The
   /// kernel tier is unbounded (7 kernels x a handful of option sets).
   size_t MaxMatrixPlans = 64;
@@ -71,10 +74,10 @@ struct EngineStats {
 };
 
 /// A memoized per-matrix serving plan: the inspected dependence graph and
-/// the wavefront schedule built from it.
+/// the compiled schedule (post-pass pipeline applied) built from it.
 struct MatrixPlan {
   driver::InspectionResult Inspection;
-  rt::WavefrontSchedule Schedule;
+  rt::CompiledSchedule Schedule;
 
   explicit MatrixPlan(int N) : Inspection(N) {}
 };

@@ -18,6 +18,7 @@
 #define SDS_RUNTIME_KERNELS_H
 
 #include "sds/runtime/Matrix.h"
+#include "sds/runtime/Schedule.h"
 #include "sds/runtime/Wavefront.h"
 
 #include <vector>
@@ -74,6 +75,31 @@ void gaussSeidelCSRWavefront(const CSRMatrix &A, const std::vector<double> &B,
                              const WavefrontSchedule &S);
 void incompleteCholeskyCSCWavefront(CSCMatrix &L, const WavefrontSchedule &S);
 void leftCholeskyCSCWavefront(CSCMatrix &L, const WavefrontSchedule &S);
+
+//===----------------------------------------------------------------------===//
+// Compiled-schedule executors
+//===----------------------------------------------------------------------===//
+//
+// The post-pass-framework counterparts (Schedule.h): run a
+// CompiledSchedule of any kind. Barrier kinds (levels/lbc/coalesced) use
+// the per-wave barrier loop; a P2P schedule runs barrier-free on atomic
+// remaining-predecessor counters; a Vector schedule executes long
+// consecutive-id runs as contiguous blocks. All five produce the same
+// results as their serial reference (bit-identical for the pull-based
+// kernels; last-ulp for the two that use commutative atomic updates —
+// DESIGN.md §14).
+
+void forwardSolveCSRScheduled(const CSRMatrix &L, const std::vector<double> &B,
+                              std::vector<double> &X,
+                              const CompiledSchedule &S);
+void forwardSolveCSCScheduled(const CSCMatrix &L, const std::vector<double> &B,
+                              std::vector<double> &X,
+                              const CompiledSchedule &S);
+void gaussSeidelCSRScheduled(const CSRMatrix &A, const std::vector<double> &B,
+                             std::vector<double> &X,
+                             const CompiledSchedule &S);
+void incompleteCholeskyCSCScheduled(CSCMatrix &L, const CompiledSchedule &S);
+void leftCholeskyCSCScheduled(CSCMatrix &L, const CompiledSchedule &S);
 
 //===----------------------------------------------------------------------===//
 // Static structures

@@ -41,9 +41,19 @@ public:
   /// (or via reserveEdges + per-thread ranges).
   void addEdge(int64_t Src, int64_t Dst);
 
-  /// Hint the staging buffer capacity (e.g. the summed size of the
-  /// thread-local edge buffers about to be merged).
-  void reserveEdges(size_t Count) { Staged.reserve(Staged.size() + Count); }
+  /// Hint the capacity for `Count` more edges: both the staging buffer
+  /// and the CSR destination array finalize() will fill (so the hint
+  /// covers the whole addEdge+finalize cycle, not just the staging half —
+  /// finalize() re-stages current CSR content, hence the +Edges term).
+  void reserveEdges(size_t Count) {
+    Staged.reserve(Staged.size() + Count);
+    EdgeDst.reserve(Staged.size() + Count + static_cast<size_t>(Edges));
+  }
+
+  /// Capacity of the CSR destination array (observability for the
+  /// reserveEdges contract: a finalize() after a covering reserveEdges
+  /// performs no further growth).
+  size_t edgeCapacity() const { return EdgeDst.capacity(); }
 
   /// Build the CSR arrays: count per source, prefix-sum, fill, and dedup
   /// (sort + unique per row, compacting in place). Idempotent; edges may

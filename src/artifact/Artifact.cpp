@@ -23,6 +23,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -285,6 +286,14 @@ Value payloadJSON(const CompiledKernel &CK) {
   for (const auto &[Stage, Seconds] : CK.StageSeconds)
     Stages.emplace(Stage, Value(Seconds)); // no-op for existing keys
   Root.emplace("stage_seconds", Value(std::move(Stages)));
+  Object Sched;
+  Sched.emplace("kind",
+                Value(std::string(rt::scheduleKindName(CK.Schedule.Kind))));
+  Sched.emplace("min_work_per_thread", Value(CK.Schedule.MinWorkPerThread));
+  Sched.emplace("coalesce_factor", Value(CK.Schedule.CoalesceFactor));
+  Sched.emplace("min_vector_run",
+                Value(static_cast<int64_t>(CK.Schedule.MinVectorRun)));
+  Root.emplace("schedule", Value(std::move(Sched)));
   return Value(std::move(Root));
 }
 
@@ -811,6 +820,35 @@ Status decodePayload(const Value &V, CompiledKernel &Out) {
                                  "']: expected number");
     CK.StageSeconds[Stage] = Seconds.asDouble();
   }
+  // Optional (additive in-version): blobs predating the schedule plan
+  // dimension decode to the default config.
+  if (const Value *SchedV = find(O, "schedule")) {
+    if (!SchedV->isObject())
+      return fieldError("schedule", "object");
+    const Object &Sched = SchedV->asObject();
+    std::string Kind;
+    if (Status S = reqStr(Sched, "kind", Kind); !S.ok())
+      return S.withContext("schedule");
+    std::optional<rt::ScheduleKind> K = rt::parseScheduleKind(Kind);
+    if (!K)
+      return support::parseError("schedule.kind: unknown kind '" + Kind +
+                                 "'");
+    CK.Schedule.Kind = *K;
+    if (Status S = reqNum(Sched, "min_work_per_thread",
+                          CK.Schedule.MinWorkPerThread);
+        !S.ok())
+      return S.withContext("schedule");
+    if (Status S =
+            reqNum(Sched, "coalesce_factor", CK.Schedule.CoalesceFactor);
+        !S.ok())
+      return S.withContext("schedule");
+    int64_t MinRun = 0;
+    if (Status S = reqInt(Sched, "min_vector_run", MinRun); !S.ok())
+      return S.withContext("schedule");
+    if (MinRun < 1)
+      return support::parseError("schedule.min_vector_run: expected >= 1");
+    CK.Schedule.MinVectorRun = static_cast<int>(MinRun);
+  }
   Out = std::move(CK);
   return {};
 }
@@ -875,6 +913,12 @@ std::string abiFingerprint() {
   for (size_t I = 0; I < schema::kNumStageKeys; ++I)
     Blob += std::string(schema::kStageKeys[I]) + ",";
   Blob += ";plan:loop,solved;constraint:eq,ge";
+  Blob += ";sched:";
+  for (rt::ScheduleKind K :
+       {rt::ScheduleKind::Levels, rt::ScheduleKind::LBC,
+        rt::ScheduleKind::Coalesced, rt::ScheduleKind::P2P,
+        rt::ScheduleKind::Vector})
+    Blob += std::string(rt::scheduleKindName(K)) + ",";
   return "v" + std::to_string(schema::kVersion) + "-" + fnv1aHex(Blob);
 }
 

@@ -175,8 +175,10 @@ Engine::plan(const kernels::Kernel &K, const codegen::UFEnvironment &Env,
   std::shared_ptr<const artifact::CompiledKernel> CK = compiled(K);
   // N is folded into the key through the fingerprint's parameter hash
   // only when bound; hash it explicitly so truncated runs never alias.
-  Impl::MatrixKey Key{I->kernelKey(K.Name), fingerprintEnvironment(Env),
-                      static_cast<int64_t>(N)};
+  // The schedule config key makes schedules a plan dimension: the same
+  // matrix under a different kind/knob set is a different plan.
+  Impl::MatrixKey Key{I->kernelKey(K.Name) + "|" + I->Opts.Schedule.key(),
+                      fingerprintEnvironment(Env), static_cast<int64_t>(N)};
   {
     uint64_t T0 = obs::metricsEnabled() ? obs::nowNs() : 0;
     std::lock_guard<std::mutex> Lock(I->Mu);
@@ -194,8 +196,9 @@ Engine::plan(const kernels::Kernel &K, const codegen::UFEnvironment &Env,
   Sp.tag("kernel", K.Name);
   auto MP = std::make_shared<MatrixPlan>(N);
   MP->Inspection = driver::runInspectors(*CK, Env, N, I->Opts.Inspect);
-  MP->Schedule = rt::scheduleLevelSets(MP->Inspection.Graph,
-                                       std::max(1, I->Opts.ScheduleThreads));
+  rt::ScheduleConfig SC = I->Opts.Schedule;
+  SC.NumThreads = std::max(1, SC.NumThreads);
+  MP->Schedule = rt::buildSchedule(MP->Inspection.Graph, SC);
   std::shared_ptr<const MatrixPlan> Shared = std::move(MP);
   std::lock_guard<std::mutex> Lock(I->Mu);
   auto [It, Inserted] = I->Plans.emplace(Key, Shared);

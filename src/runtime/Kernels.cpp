@@ -9,9 +9,12 @@
 #include "sds/obs/Metrics.h"
 #include "sds/obs/Trace.h"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <optional>
+#include <thread>
 
 #include "sds/support/OMP.h"
 
@@ -290,6 +293,170 @@ void runSchedule(const WavefrontSchedule &S, Fn &&Body) {
   }
 }
 
+/// Stall distributions (ns, per thread per executor run), recorded only
+/// when the metrics registry is on: time spent in the per-wave barrier
+/// (imbalance wait) vs time spent spinning on P2P ready counters. The
+/// barrier-vs-P2P comparison in BENCH_schedule.json reads these.
+obs::Histogram &barrierStallHistogram() {
+  static obs::Histogram &H = obs::histogram("rt.barrier_stall_ns");
+  return H;
+}
+
+obs::Histogram &p2pStallHistogram() {
+  static obs::Histogram &H = obs::histogram("rt.p2p_stall_ns");
+  return H;
+}
+
+/// Execute one chunk: node-by-node via `Body(Node, Thread)`, or — when
+/// the schedule carries runs — long consecutive-id runs as one
+/// `Block(Begin, End, Thread)` call (a contiguous loop with no
+/// dependences inside, the vectorizable case).
+template <typename BodyFn, typename BlockFn>
+void runChunk(const CompiledSchedule &CS, size_t W, size_t P, int T,
+              BodyFn &&Body, BlockFn &&Block) {
+  const std::vector<int> &Chunk = CS.Waves.Waves[W][P];
+  if (!CS.HasRuns) {
+    for (int Node : Chunk)
+      Body(Node, T);
+    return;
+  }
+  for (const VectorRun &R : CS.Runs[W][P]) {
+    int Begin = Chunk[static_cast<size_t>(R.Pos)];
+    if (R.Len >= CS.Config.MinVectorRun) {
+      Block(Begin, Begin + R.Len, T);
+    } else {
+      for (int K = 0; K < R.Len; ++K)
+        Body(Chunk[static_cast<size_t>(R.Pos + K)], T);
+    }
+  }
+}
+
+/// Barrier-mode compiled-schedule loop: runSchedule's shape, but with the
+/// run decomposition and a barrier-stall histogram.
+template <typename BodyFn, typename BlockFn>
+void runBarrierCompiled(const CompiledSchedule &CS, BodyFn &&Body,
+                        BlockFn &&Block) {
+  const WavefrontSchedule &S = CS.Waves;
+  int NumThreads =
+      S.Waves.empty() ? 1 : static_cast<int>(S.Waves[0].size());
+#ifdef _OPENMP
+#pragma omp parallel num_threads(NumThreads)
+#endif
+  {
+    int T = omp_get_thread_num();
+    size_t Team = static_cast<size_t>(omp_get_num_threads());
+    for (size_t W = 0; W < S.Waves.size(); ++W) {
+      const auto &Wave = S.Waves[W];
+      std::optional<obs::Span> Sp = waveSpan(T, W, Wave);
+      uint64_t WT0 = (T == 0 && obs::metricsEnabled()) ? obs::nowNs() : 0;
+      for (size_t P = static_cast<size_t>(T); P < Wave.size(); P += Team)
+        runChunk(CS, W, P, T, Body, Block);
+      uint64_t BT0 = obs::metricsEnabled() ? obs::nowNs() : 0;
+#ifdef _OPENMP
+#pragma omp barrier
+#endif
+      if (BT0)
+        barrierStallHistogram().record(obs::nowNs() - BT0);
+      if (WT0)
+        waveHistogram().record(obs::nowNs() - WT0);
+    }
+  }
+}
+
+/// P2P (barrier-free) compiled-schedule loop. Every thread walks its own
+/// chunks in (wave, partition) order — ascending in the schedule's global
+/// order — and gates each node on an atomic remaining-predecessor
+/// counter seeded from the graph's in-degrees. Executing a node
+/// fetch_sub(release)es each successor's counter; the consumer's
+/// load(acquire) makes the producer's plain stores visible. No thread
+/// ever waits at a wave boundary: it runs ahead as soon as its own next
+/// node's predecessors have retired.
+///
+/// Deadlock-freedom: among unexecuted nodes, take the minimal one v in
+/// (wave, partition, position) order. Schedule validity puts every
+/// predecessor of v strictly earlier in that order; each is owned by some
+/// thread and precedes that thread's first unexecuted node (>= v), so it
+/// has already executed — v's counter is zero and its owner proceeds.
+template <typename BodyFn, typename BlockFn>
+void runP2PCompiled(const CompiledSchedule &CS, BodyFn &&Body,
+                    BlockFn &&Block) {
+  const WavefrontSchedule &S = CS.Waves;
+  int NumThreads =
+      S.Waves.empty() ? 1 : static_cast<int>(S.Waves[0].size());
+  size_t N = CS.InDegree.size();
+  std::unique_ptr<std::atomic<int>[]> Remaining(new std::atomic<int>[N]);
+  for (size_t I = 0; I < N; ++I)
+    Remaining[I].store(CS.InDegree[I], std::memory_order_relaxed);
+#ifdef _OPENMP
+#pragma omp parallel num_threads(NumThreads)
+#endif
+  {
+    int T = omp_get_thread_num();
+    size_t Team = static_cast<size_t>(omp_get_num_threads());
+    uint64_t StallNs = 0;
+    auto Await = [&](int Node) {
+      if (Remaining[static_cast<size_t>(Node)].load(
+              std::memory_order_acquire) == 0)
+        return;
+      uint64_t T0 = obs::metricsEnabled() ? obs::nowNs() : 0;
+      int Spins = 0;
+      while (Remaining[static_cast<size_t>(Node)].load(
+                 std::memory_order_acquire) != 0)
+        if (++Spins == 1024) {
+          Spins = 0;
+          std::this_thread::yield();
+        }
+      if (T0)
+        StallNs += obs::nowNs() - T0;
+    };
+    auto Retire = [&](int Node) {
+      size_t B = CS.SuccPtr[static_cast<size_t>(Node)];
+      size_t E = CS.SuccPtr[static_cast<size_t>(Node) + 1];
+      for (size_t I = B; I < E; ++I)
+        Remaining[static_cast<size_t>(CS.SuccDst[I])].fetch_sub(
+            1, std::memory_order_release);
+    };
+    auto GatedBody = [&](int Node, int Thread) {
+      Await(Node);
+      Body(Node, Thread);
+      Retire(Node);
+    };
+    auto GatedBlock = [&](int Begin, int End, int Thread) {
+      for (int Node = Begin; Node < End; ++Node)
+        Await(Node);
+      Block(Begin, End, Thread);
+      for (int Node = Begin; Node < End; ++Node)
+        Retire(Node);
+    };
+    for (size_t W = 0; W < S.Waves.size(); ++W)
+      for (size_t P = static_cast<size_t>(T); P < S.Waves[W].size();
+           P += Team)
+        runChunk(CS, W, P, T, GatedBody, GatedBlock);
+    if (StallNs)
+      p2pStallHistogram().record(StallNs);
+  }
+}
+
+/// Entry point: dispatch a CompiledSchedule to the barrier or P2P loop.
+/// `Body(Node, Thread)` runs one iteration; `Block(Begin, End, Thread)`
+/// runs the contiguous iterations [Begin, End) (only called when the
+/// schedule has runs and the run clears Config.MinVectorRun).
+template <typename BodyFn, typename BlockFn>
+void runCompiledSchedule(const CompiledSchedule &CS, BodyFn &&Body,
+                         BlockFn &&Block) {
+  int NumThreads = CS.Waves.Waves.empty()
+                       ? 1
+                       : static_cast<int>(CS.Waves.Waves[0].size());
+  obs::Span Total("wavefront.execute", "rt");
+  Total.tag("waves", static_cast<int64_t>(CS.Waves.Waves.size()));
+  Total.tag("threads", static_cast<int64_t>(NumThreads));
+  Total.tag("kind", scheduleKindName(CS.Config.Kind));
+  if (CS.UsesP2P)
+    runP2PCompiled(CS, Body, Block);
+  else
+    runBarrierCompiled(CS, Body, Block);
+}
+
 } // namespace
 
 void forwardSolveCSRWavefront(const CSRMatrix &L, const std::vector<double> &B,
@@ -384,6 +551,112 @@ void leftCholeskyCSCWavefront(CSCMatrix &L, const WavefrontSchedule &S) {
         waveHistogram().record(obs::nowNs() - WT0);
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Compiled-schedule executors
+//===----------------------------------------------------------------------===//
+
+void forwardSolveCSRScheduled(const CSRMatrix &L, const std::vector<double> &B,
+                              std::vector<double> &X,
+                              const CompiledSchedule &S) {
+  X.assign(B.begin(), B.end());
+  double *XP = X.data();
+  auto Row = [&](int I) {
+    double Tmp = B[static_cast<size_t>(I)];
+    int End = L.RowPtr[I + 1] - 1;
+    for (int K = L.RowPtr[I]; K < End; ++K)
+      Tmp -= L.Val[static_cast<size_t>(K)] * XP[L.Col[static_cast<size_t>(K)]];
+    XP[I] = Tmp / L.Val[static_cast<size_t>(End)];
+  };
+  runCompiledSchedule(
+      S, [&](int I, int) { Row(I); },
+      [&](int Begin, int End, int) {
+        // No dependence inside the run: a straight contiguous row loop.
+        for (int I = Begin; I < End; ++I)
+          Row(I);
+      });
+}
+
+void forwardSolveCSCScheduled(const CSCMatrix &L, const std::vector<double> &B,
+                              std::vector<double> &X,
+                              const CompiledSchedule &S) {
+  X.assign(B.begin(), B.end());
+  double *XP = X.data();
+  auto Col = [&](int J) {
+    XP[J] /= L.Val[static_cast<size_t>(L.ColPtr[J])];
+    double XJ = XP[J];
+    for (int P = L.ColPtr[J] + 1; P < L.ColPtr[J + 1]; ++P) {
+      double Delta = L.Val[static_cast<size_t>(P)] * XJ;
+      // Cross-column updates commute; with P2P they may also overlap
+      // across wave boundaries, which the atomic covers equally.
+#ifdef _OPENMP
+#pragma omp atomic
+#endif
+      XP[L.RowIdx[static_cast<size_t>(P)]] -= Delta;
+    }
+  };
+  runCompiledSchedule(
+      S, [&](int J, int) { Col(J); },
+      [&](int Begin, int End, int) {
+        for (int J = Begin; J < End; ++J)
+          Col(J);
+      });
+}
+
+void gaussSeidelCSRScheduled(const CSRMatrix &A, const std::vector<double> &B,
+                             std::vector<double> &X,
+                             const CompiledSchedule &S) {
+  double *XP = X.data();
+  auto Row = [&](int I) {
+    double Sum = B[static_cast<size_t>(I)];
+    double Diag = 0;
+    for (int K = A.RowPtr[I]; K < A.RowPtr[I + 1]; ++K) {
+      int C = A.Col[static_cast<size_t>(K)];
+      if (C == I)
+        Diag = A.Val[static_cast<size_t>(K)];
+      else
+        Sum -= A.Val[static_cast<size_t>(K)] * XP[C];
+    }
+    XP[I] = Sum / Diag;
+  };
+  runCompiledSchedule(
+      S, [&](int I, int) { Row(I); },
+      [&](int Begin, int End, int) {
+        for (int I = Begin; I < End; ++I)
+          Row(I);
+      });
+}
+
+void incompleteCholeskyCSCScheduled(CSCMatrix &L, const CompiledSchedule &S) {
+  runCompiledSchedule(
+      S, [&](int I, int) { ic0Column<true>(L, I); },
+      [&](int Begin, int End, int) {
+        for (int I = Begin; I < End; ++I)
+          ic0Column<true>(L, I);
+      });
+}
+
+void leftCholeskyCSCScheduled(CSCMatrix &L, const CompiledSchedule &S) {
+  std::vector<double> AVal = L.Val;
+  PruneSets Rows = buildPruneSets(L);
+  int NumThreads = S.Waves.Waves.empty()
+                       ? 1
+                       : static_cast<int>(S.Waves.Waves[0].size());
+  // One dense gather buffer per executing thread (thread ids are always
+  // < the schedule's partition width).
+  std::vector<std::vector<double>> W(
+      static_cast<size_t>(NumThreads),
+      std::vector<double>(static_cast<size_t>(L.N), 0.0));
+  runCompiledSchedule(
+      S,
+      [&](int J, int T) {
+        leftCholColumn(L, AVal, Rows, J, W[static_cast<size_t>(T)]);
+      },
+      [&](int Begin, int End, int T) {
+        for (int J = Begin; J < End; ++J)
+          leftCholColumn(L, AVal, Rows, J, W[static_cast<size_t>(T)]);
+      });
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,471 @@
+//===- Schedule.cpp - Schedule post-pass framework ------------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/runtime/Schedule.h"
+
+#include "sds/obs/Metrics.h"
+#include "sds/obs/Trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <functional>
+#include <limits>
+
+namespace sds {
+namespace rt {
+
+//===----------------------------------------------------------------------===//
+// Kinds and configuration
+//===----------------------------------------------------------------------===//
+
+const char *scheduleKindName(ScheduleKind K) {
+  switch (K) {
+  case ScheduleKind::Levels:
+    return "levels";
+  case ScheduleKind::LBC:
+    return "lbc";
+  case ScheduleKind::Coalesced:
+    return "coalesced";
+  case ScheduleKind::P2P:
+    return "p2p";
+  case ScheduleKind::Vector:
+    return "vector";
+  }
+  return "?";
+}
+
+std::optional<ScheduleKind> parseScheduleKind(std::string_view Name) {
+  if (Name == "levels")
+    return ScheduleKind::Levels;
+  if (Name == "lbc")
+    return ScheduleKind::LBC;
+  if (Name == "coalesced")
+    return ScheduleKind::Coalesced;
+  if (Name == "p2p")
+    return ScheduleKind::P2P;
+  if (Name == "vector")
+    return ScheduleKind::Vector;
+  return std::nullopt;
+}
+
+std::string ScheduleConfig::key() const {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%s/w%g/c%g/v%d/t%d",
+                scheduleKindName(Kind), MinWorkPerThread, CoalesceFactor,
+                MinVectorRun, NumThreads);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// Coalescing pass
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+double costOf(int Node, const std::vector<double> &NodeCost) {
+  return NodeCost.empty() ? 1.0 : NodeCost[static_cast<size_t>(Node)];
+}
+
+/// How far the dominant dependence component may exceed a thread's fair
+/// share before a wave merge is rejected; matches LBC's 1.25x split
+/// tolerance.
+constexpr double kImbalanceTolerance = 1.25;
+
+/// A dependence-connected component of an induced subgraph, keyed by its
+/// minimal node id.
+struct Component {
+  int MinNode = std::numeric_limits<int>::max();
+  double Cost = 0;
+  std::vector<int> Nodes;
+};
+
+/// Connected components of the dependence subgraph induced on `Nodes`
+/// (must be sorted ascending), in ascending MinNode order.
+std::vector<Component>
+connectedComponents(const DependenceGraph &G, const std::vector<int> &Nodes,
+                    const std::vector<double> &NodeCost) {
+  auto IndexOf = [&](int Node) {
+    return static_cast<size_t>(
+        std::lower_bound(Nodes.begin(), Nodes.end(), Node) - Nodes.begin());
+  };
+  auto InSet = [&](int Node) {
+    auto It = std::lower_bound(Nodes.begin(), Nodes.end(), Node);
+    return It != Nodes.end() && *It == Node;
+  };
+
+  std::vector<int> Parent(Nodes.size());
+  for (size_t I = 0; I < Nodes.size(); ++I)
+    Parent[I] = static_cast<int>(I);
+  std::function<int(int)> Find = [&](int X) {
+    while (Parent[static_cast<size_t>(X)] != X)
+      X = Parent[static_cast<size_t>(X)] =
+          Parent[static_cast<size_t>(Parent[static_cast<size_t>(X)])];
+    return X;
+  };
+  for (int U : Nodes)
+    for (int V : G.successors(U))
+      if (InSet(V)) {
+        int A = Find(static_cast<int>(IndexOf(U)));
+        int B = Find(static_cast<int>(IndexOf(V)));
+        if (A != B)
+          Parent[static_cast<size_t>(B)] = A;
+      }
+
+  std::vector<Component> Comps(Nodes.size());
+  for (int Node : Nodes) {
+    Component &C =
+        Comps[static_cast<size_t>(Find(static_cast<int>(IndexOf(Node))))];
+    C.MinNode = std::min(C.MinNode, Node);
+    C.Cost += costOf(Node, NodeCost);
+    C.Nodes.push_back(Node);
+  }
+  Comps.erase(std::remove_if(Comps.begin(), Comps.end(),
+                             [](const Component &C) {
+                               return C.Nodes.empty();
+                             }),
+              Comps.end());
+  std::sort(Comps.begin(), Comps.end(),
+            [](const Component &A, const Component &B) {
+              return A.MinNode < B.MinNode;
+            });
+  return Comps;
+}
+
+/// Partition a merged node set into per-thread chunks: connected
+/// components of the induced dependence subgraph (so every intra-wave
+/// edge stays inside one chunk), ordered by their minimal node id and
+/// assigned to threads as contiguous cost-balanced groups — consecutive
+/// iteration ids land on the same thread, which is what makes the
+/// vector-run pass and the row-footprint locality work downstream. Each
+/// chunk is sorted ascending: dependence edges always point to larger
+/// iterations, so ascending order preserves intra-chunk dependence order.
+std::vector<std::vector<int>>
+packComponents(const DependenceGraph &G, std::vector<int> Nodes,
+               int NumThreads, const std::vector<double> &NodeCost) {
+  std::sort(Nodes.begin(), Nodes.end());
+  double Total = 0;
+  for (int Node : Nodes)
+    Total += costOf(Node, NodeCost);
+  std::vector<Component> Comps = connectedComponents(G, Nodes, NodeCost);
+
+  // Contiguous balanced assignment: fill thread t until it holds its fair
+  // share, then move on. Whole components never split.
+  std::vector<std::vector<int>> Bins(static_cast<size_t>(NumThreads));
+  double Fair = Total / NumThreads;
+  size_t T = 0;
+  double BinCost = 0;
+  for (Component &C : Comps) {
+    if (T + 1 < Bins.size() && BinCost >= Fair) {
+      ++T;
+      BinCost = 0;
+    }
+    Bins[T].insert(Bins[T].end(), C.Nodes.begin(), C.Nodes.end());
+    BinCost += C.Cost;
+  }
+  for (auto &Bin : Bins)
+    std::sort(Bin.begin(), Bin.end());
+  return Bins;
+}
+
+class CoalescePass : public SchedulePass {
+public:
+  const char *name() const override { return "coalesce-waves"; }
+
+  void run(const DependenceGraph &G, const std::vector<double> &NodeCost,
+           CompiledSchedule &S) override {
+    const ScheduleConfig &C = S.Config;
+    double Target =
+        std::max(1.0, C.CoalesceFactor * C.MinWorkPerThread * C.NumThreads);
+    std::vector<std::vector<std::vector<int>>> Out;
+    std::vector<int> Pending;
+    double PendingCost = 0;
+    auto Flush = [&] {
+      if (Pending.empty())
+        return;
+      Out.push_back(
+          packComponents(G, std::move(Pending), C.NumThreads, NodeCost));
+      Pending.clear();
+      PendingCost = 0;
+    };
+    // Merging waves can fuse their dependence components; a component
+    // larger than one thread's fair share would serialize the merged
+    // wave (components never split across chunks). The probe rejects a
+    // merge when the dominant merged component exceeds the imbalance
+    // tolerance — same spirit as LBC's adaptive window split — but a
+    // component below MinWorkPerThread is always acceptable: that is the
+    // per-thread work granularity anyway, and for waves that small the
+    // barrier being eliminated costs more than the imbalance.
+    auto Balanced = [&](const std::vector<int> &Merged, double Cost) {
+      if (C.NumThreads <= 1)
+        return true;
+      double MaxComp = 0;
+      for (const Component &Comp : connectedComponents(G, Merged, NodeCost))
+        MaxComp = std::max(MaxComp, Comp.Cost);
+      return MaxComp <= std::max(kImbalanceTolerance * Cost / C.NumThreads,
+                                 static_cast<double>(C.MinWorkPerThread));
+    };
+    for (const auto &Wave : S.Waves.Waves) {
+      double WaveCost = 0;
+      size_t WaveNodes = 0;
+      for (const auto &Part : Wave) {
+        WaveNodes += Part.size();
+        for (int Node : Part)
+          WaveCost += costOf(Node, NodeCost);
+      }
+      if (!Pending.empty() && PendingCost + WaveCost > Target) {
+        Flush();
+      } else if (!Pending.empty()) {
+        std::vector<int> Merged;
+        Merged.reserve(Pending.size() + WaveNodes);
+        Merged.insert(Merged.end(), Pending.begin(), Pending.end());
+        for (const auto &Part : Wave)
+          Merged.insert(Merged.end(), Part.begin(), Part.end());
+        std::sort(Merged.begin(), Merged.end());
+        if (!Balanced(Merged, PendingCost + WaveCost))
+          Flush();
+      }
+      Pending.reserve(Pending.size() + WaveNodes);
+      for (const auto &Part : Wave)
+        Pending.insert(Pending.end(), Part.begin(), Part.end());
+      PendingCost += WaveCost;
+    }
+    Flush();
+    S.Waves.Waves = std::move(Out);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Vector-run pass
+//===----------------------------------------------------------------------===//
+
+class VectorRunPass : public SchedulePass {
+public:
+  const char *name() const override { return "vector-runs"; }
+
+  void run(const DependenceGraph &G, const std::vector<double> &NodeCost,
+           CompiledSchedule &S) override {
+    (void)NodeCost;
+    constexpr int Inf = std::numeric_limits<int>::max();
+    auto FirstSucc = [&](int Node) {
+      std::span<const int> Succ = G.successors(Node);
+      return Succ.empty() ? Inf : Succ.front();
+    };
+    S.Runs.assign(S.Waves.Waves.size(), {});
+    for (size_t W = 0; W < S.Waves.Waves.size(); ++W) {
+      const auto &Wave = S.Waves.Waves[W];
+      S.Runs[W].resize(Wave.size());
+      for (size_t T = 0; T < Wave.size(); ++T) {
+        const std::vector<int> &Chunk = Wave[T];
+        std::vector<VectorRun> &Runs = S.Runs[W][T];
+        size_t I = 0;
+        while (I < Chunk.size()) {
+          // Grow [B, J): ids must stay consecutive and no successor of an
+          // earlier member may land on the id being added. Successors are
+          // sorted and forward-only, so tracking the minimum first
+          // successor of the members suffices: any in-run edge target
+          // would be <= the last id of the run.
+          size_t B = I;
+          int MinSucc = FirstSucc(Chunk[B]);
+          size_t J = I + 1;
+          while (J < Chunk.size() && Chunk[J] == Chunk[J - 1] + 1 &&
+                 MinSucc > Chunk[J]) {
+            MinSucc = std::min(MinSucc, FirstSucc(Chunk[J]));
+            ++J;
+          }
+          Runs.push_back({static_cast<int>(B), static_cast<int>(J - B)});
+          I = J;
+        }
+      }
+    }
+    S.HasRuns = true;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// P2P lowering pass
+//===----------------------------------------------------------------------===//
+
+class P2PLoweringPass : public SchedulePass {
+public:
+  const char *name() const override { return "p2p-lowering"; }
+
+  void run(const DependenceGraph &G, const std::vector<double> &NodeCost,
+           CompiledSchedule &S) override {
+    (void)NodeCost;
+    int N = G.numNodes();
+    S.InDegree.assign(static_cast<size_t>(N), 0);
+    S.SuccPtr.assign(static_cast<size_t>(N) + 1, 0);
+    S.SuccDst.clear();
+    S.SuccDst.reserve(static_cast<size_t>(G.numEdges()));
+    for (int U = 0; U < N; ++U) {
+      for (int V : G.successors(U)) {
+        ++S.InDegree[static_cast<size_t>(V)];
+        S.SuccDst.push_back(V);
+      }
+      S.SuccPtr[static_cast<size_t>(U) + 1] = S.SuccDst.size();
+    }
+    S.UsesP2P = true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<SchedulePass> createCoalescePass() {
+  return std::make_unique<CoalescePass>();
+}
+std::unique_ptr<SchedulePass> createVectorRunPass() {
+  return std::make_unique<VectorRunPass>();
+}
+std::unique_ptr<SchedulePass> createP2PLoweringPass() {
+  return std::make_unique<P2PLoweringPass>();
+}
+
+std::vector<std::unique_ptr<SchedulePass>>
+schedulePassesFor(const ScheduleConfig &C) {
+  std::vector<std::unique_ptr<SchedulePass>> Passes;
+  switch (C.Kind) {
+  case ScheduleKind::Levels:
+  case ScheduleKind::LBC:
+    break;
+  case ScheduleKind::Coalesced:
+    Passes.push_back(createCoalescePass());
+    break;
+  case ScheduleKind::P2P:
+    Passes.push_back(createCoalescePass());
+    Passes.push_back(createP2PLoweringPass());
+    break;
+  case ScheduleKind::Vector:
+    Passes.push_back(createCoalescePass());
+    Passes.push_back(createVectorRunPass());
+    break;
+  }
+  return Passes;
+}
+
+CompiledSchedule buildSchedule(const DependenceGraph &G,
+                               const ScheduleConfig &C,
+                               const std::vector<double> &NodeCost) {
+  assert(C.NumThreads >= 1);
+  obs::Span Sp("schedule.build", "rt");
+  Sp.tag("kind", scheduleKindName(C.Kind));
+  CompiledSchedule S;
+  S.Config = C;
+  if (C.Kind == ScheduleKind::Levels) {
+    S.Waves = scheduleLevelSets(G, C.NumThreads, NodeCost);
+  } else {
+    LBCConfig LC;
+    LC.NumThreads = C.NumThreads;
+    LC.MinWorkPerThread = C.MinWorkPerThread;
+    S.Waves = scheduleLBC(G, LC, NodeCost);
+  }
+  for (const auto &Pass : schedulePassesFor(C)) {
+    obs::Span PassSp("schedule.pass", "rt");
+    PassSp.tag("pass", Pass->name());
+    Pass->run(G, NodeCost, S);
+  }
+  CompiledScheduleStats St = describeSchedule(S);
+  Sp.tag("waves", static_cast<int64_t>(St.Base.NumWaves));
+  Sp.tag("chunks", static_cast<int64_t>(St.NumChunks));
+  if (obs::metricsEnabled()) {
+    obs::metricCounter("schedule.built").add(1);
+    obs::gauge("schedule.waves").set(St.Base.NumWaves);
+    obs::gauge("schedule.chunks").set(static_cast<double>(St.NumChunks));
+    obs::gauge("schedule.vector_coverage").set(St.vectorCoverage());
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Certification
+//===----------------------------------------------------------------------===//
+
+bool certifySchedule(const DependenceGraph &G, const WavefrontSchedule &S) {
+  return S.respects(G);
+}
+
+bool certifySchedule(const DependenceGraph &G, const CompiledSchedule &S) {
+  if (!S.Waves.respects(G))
+    return false;
+  if (S.HasRuns) {
+    if (S.Runs.size() != S.Waves.Waves.size())
+      return false;
+    for (size_t W = 0; W < S.Runs.size(); ++W) {
+      if (S.Runs[W].size() != S.Waves.Waves[W].size())
+        return false;
+      for (size_t T = 0; T < S.Runs[W].size(); ++T) {
+        const std::vector<int> &Chunk = S.Waves.Waves[W][T];
+        size_t Pos = 0;
+        for (const VectorRun &R : S.Runs[W][T]) {
+          // Runs tile the chunk in order...
+          if (R.Len < 1 || static_cast<size_t>(R.Pos) != Pos ||
+              Pos + static_cast<size_t>(R.Len) > Chunk.size())
+            return false;
+          int First = Chunk[Pos];
+          int Last = Chunk[Pos + static_cast<size_t>(R.Len) - 1];
+          // ...with consecutive ids...
+          if (Last - First + 1 != R.Len)
+            return false;
+          for (int K = 1; K < R.Len; ++K)
+            if (Chunk[Pos + static_cast<size_t>(K)] != First + K)
+              return false;
+          // ...and no dependence edge inside the run.
+          for (int K = 0; K < R.Len; ++K)
+            for (int V : G.successors(First + K))
+              if (V >= First && V <= Last)
+                return false;
+          Pos += static_cast<size_t>(R.Len);
+        }
+        if (Pos != Chunk.size())
+          return false;
+      }
+    }
+  }
+  if (S.UsesP2P) {
+    int N = G.numNodes();
+    if (static_cast<int>(S.InDegree.size()) != N ||
+        S.SuccPtr.size() != static_cast<size_t>(N) + 1)
+      return false;
+    std::vector<int> InDeg(static_cast<size_t>(N), 0);
+    for (int U = 0; U < N; ++U) {
+      std::span<const int> Succ = G.successors(U);
+      size_t B = S.SuccPtr[static_cast<size_t>(U)];
+      size_t E = S.SuccPtr[static_cast<size_t>(U) + 1];
+      if (E - B != Succ.size() || E > S.SuccDst.size())
+        return false;
+      for (size_t I = 0; I < Succ.size(); ++I) {
+        if (S.SuccDst[B + I] != Succ[I])
+          return false;
+        ++InDeg[static_cast<size_t>(Succ[I])];
+      }
+    }
+    if (InDeg != S.InDegree)
+      return false;
+  }
+  return true;
+}
+
+CompiledScheduleStats describeSchedule(const CompiledSchedule &S) {
+  CompiledScheduleStats St;
+  St.Base = describeSchedule(S.Waves);
+  St.P2P = S.UsesP2P;
+  for (const auto &Wave : S.Waves.Waves)
+    for (const auto &Chunk : Wave)
+      if (!Chunk.empty())
+        ++St.NumChunks;
+  if (S.HasRuns)
+    for (const auto &Wave : S.Runs)
+      for (const auto &Runs : Wave)
+        for (const VectorRun &R : Runs)
+          if (R.Len >= S.Config.MinVectorRun) {
+            ++St.VectorRuns;
+            St.VectorNodes += static_cast<uint64_t>(R.Len);
+          }
+  return St;
+}
+
+} // namespace rt
+} // namespace sds

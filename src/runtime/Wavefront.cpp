@@ -42,8 +42,10 @@ void DependenceGraph::finalize() {
     EdgePtr[I] += EdgePtr[I - 1];
 
   // Pass 2: fill row segments via per-row cursors, then dedup each row in
-  // place (sort + unique) while compacting the arrays left.
-  EdgeDst.assign(Staged.size(), 0);
+  // place (sort + unique) while compacting the arrays left. resize, not
+  // assign: every slot below Staged.size() is overwritten by the cursor
+  // fill, and a covering reserveEdges() call means no growth happens here.
+  EdgeDst.resize(Staged.size());
   std::vector<size_t> Cursor(EdgePtr.begin(), EdgePtr.end() - 1);
   for (const auto &[Src, Dst] : Staged)
     EdgeDst[Cursor[static_cast<size_t>(Src)]++] = Dst;

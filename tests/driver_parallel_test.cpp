@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sds/driver/Driver.h"
+#include "sds/runtime/Schedule.h"
 
 #include <gtest/gtest.h>
 
@@ -156,6 +157,48 @@ TEST(ParallelDeterminism, IncompleteCholeskyCSCNaive) {
 TEST(ParallelDeterminism, LeftCholeskyCSCNaive) {
   checkKernelDeterminism("lchol_csc", kernels::leftCholeskyCSC(),
                          reducedOptions(), 60);
+}
+
+TEST(ParallelDeterminism, EveryScheduleKindCertifiesOnEveryKernel) {
+  // The generic certificate (the brute-force DAG cover promoted into
+  // rt::certifySchedule) must hold for every pass combination the
+  // framework can produce, over the inspector graph of every kernel of
+  // the suite, at every thread count.
+  struct Entry {
+    const char *Key;
+    kernels::Kernel K;
+    deps::PipelineOptions Opts;
+    int N;
+  };
+  const Entry Suite[] = {
+      {"fs_csr", kernels::forwardSolveCSR(), {}, 120},
+      {"fs_csc", kernels::forwardSolveCSC(), {}, 120},
+      {"gs_csr", kernels::gaussSeidelCSR(), {}, 120},
+      {"spmv_csr", kernels::spmvCSR(), {}, 120},
+      {"ilu0_csr", kernels::incompleteLU0CSR(), reducedOptions(), 50},
+      {"ic0_csc", kernels::incompleteCholeskyCSC(), reducedOptions(), 50},
+      {"lchol_csc", kernels::leftCholeskyCSC(), reducedOptions(), 50},
+  };
+  const rt::ScheduleKind Kinds[] = {
+      rt::ScheduleKind::Levels, rt::ScheduleKind::LBC,
+      rt::ScheduleKind::Coalesced, rt::ScheduleKind::P2P,
+      rt::ScheduleKind::Vector};
+  for (const Entry &E : Suite) {
+    SuiteCase C = wire(E.Key, E.K, E.Opts, E.N, 47);
+    driver::InspectionResult Insp =
+        driver::runInspectors(C.Analysis, C.Env, C.N);
+    for (rt::ScheduleKind Kind : Kinds)
+      for (int Threads : {1, 2, 4, 8}) {
+        rt::ScheduleConfig SC;
+        SC.Kind = Kind;
+        SC.NumThreads = Threads;
+        SC.MinWorkPerThread = 8;
+        rt::CompiledSchedule S = rt::buildSchedule(Insp.Graph, SC);
+        EXPECT_TRUE(rt::certifySchedule(Insp.Graph, S))
+            << E.Key << " " << rt::scheduleKindName(Kind)
+            << " threads=" << Threads;
+      }
+  }
 }
 
 TEST(ParallelDeterminism, CoversBruteForceForwardSolveDAG) {

@@ -61,7 +61,7 @@ TEST(EngineMatrixTier, WarmHitSharesPlanColdMissDoesNot) {
   engine::EngineStats S = E.stats();
   EXPECT_EQ(S.MatrixCold, 1u);
   EXPECT_EQ(S.MatrixWarm, 1u);
-  EXPECT_TRUE(P1->Schedule.respects(P1->Inspection.Graph));
+  EXPECT_TRUE(rt::certifySchedule(P1->Inspection.Graph, P1->Schedule));
 
   // A different matrix of the same kernel is a different plan.
   codegen::UFEnvironment Env2 = lowerCSC(120, 8);
@@ -132,7 +132,7 @@ TEST(EngineArtifacts, LoadWarmStartsTheKernelTier) {
             LoadedPlan->Inspection.Graph.numNodes());
   EXPECT_EQ(FreshPlan->Inspection.Graph.numEdges(),
             LoadedPlan->Inspection.Graph.numEdges());
-  EXPECT_EQ(FreshPlan->Schedule.Waves, LoadedPlan->Schedule.Waves);
+  EXPECT_EQ(FreshPlan->Schedule.Waves.Waves, LoadedPlan->Schedule.Waves.Waves);
   std::remove(Path.c_str());
 }
 

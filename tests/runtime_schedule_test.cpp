@@ -1,0 +1,372 @@
+//===- runtime_schedule_test.cpp - Schedule post-pass framework tests ------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// Covers the pass framework of DESIGN.md §14: every schedule kind
+// certifies on arbitrary DAGs at every thread count, the coalescer only
+// removes waves, vector runs partition chunks into consecutive edge-free
+// blocks, the P2P lowering seeds exactly the graph's in-degrees, and the
+// compiled-schedule executors reproduce the serial kernels — bitwise for
+// the pull-based kernels, to 1e-9 for the atomic-update ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/runtime/Kernels.h"
+#include "sds/runtime/Schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+
+using namespace sds::rt;
+
+namespace {
+
+constexpr ScheduleKind kAllKinds[] = {ScheduleKind::Levels, ScheduleKind::LBC,
+                                      ScheduleKind::Coalesced,
+                                      ScheduleKind::P2P, ScheduleKind::Vector};
+
+DependenceGraph randomDAG(int N, int EdgesPerNode, uint64_t Seed) {
+  std::mt19937 Rng(static_cast<unsigned>(Seed));
+  DependenceGraph G(N);
+  std::uniform_int_distribution<int> NodeDist(0, N - 1);
+  for (int E = 0; E < N * EdgesPerNode; ++E) {
+    int A = NodeDist(Rng), B = NodeDist(Rng);
+    if (A < B)
+      G.addEdge(A, B);
+  }
+  G.finalize();
+  return G;
+}
+
+ScheduleConfig config(ScheduleKind Kind, int Threads,
+                      double MinWork = 8) {
+  ScheduleConfig C;
+  C.Kind = Kind;
+  C.NumThreads = Threads;
+  C.MinWorkPerThread = MinWork;
+  return C;
+}
+
+CSRMatrix makeLower(int N, int Nnz, int Band, uint64_t Seed) {
+  GeneratorConfig C;
+  C.N = N;
+  C.AvgNnzPerRow = Nnz;
+  C.Bandwidth = Band;
+  C.Seed = Seed;
+  return lowerTriangle(generateSPDLike(C));
+}
+
+std::vector<double> randomVector(int N, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::uniform_real_distribution<double> Dist(-1, 1);
+  std::vector<double> V(static_cast<size_t>(N));
+  for (double &X : V)
+    X = Dist(Rng);
+  return V;
+}
+
+double maxAbsDiff(const std::vector<double> &A, const std::vector<double> &B) {
+  double M = 0;
+  for (size_t I = 0; I < A.size(); ++I)
+    M = std::max(M, std::abs(A[I] - B[I]));
+  return M;
+}
+
+/// Bitwise equality, element by element (EXPECT_EQ on doubles conflates
+/// +0.0/-0.0; the bit-identity contract is about the representation).
+void expectBitIdentical(const std::vector<double> &A,
+                        const std::vector<double> &B,
+                        const std::string &Label) {
+  ASSERT_EQ(A.size(), B.size()) << Label;
+  for (size_t I = 0; I < A.size(); ++I)
+    ASSERT_EQ(std::memcmp(&A[I], &B[I], sizeof(double)), 0)
+        << Label << ": bit mismatch at " << I << " (" << A[I]
+        << " vs " << B[I] << ")";
+}
+
+/// Gauss-Seidel dependence graph (same construction as the wavefront
+/// executor tests): row I depends on every earlier column it reads.
+DependenceGraph gaussSeidelGraph(const CSRMatrix &A) {
+  DependenceGraph G(A.N);
+  for (int I = 0; I < A.N; ++I)
+    for (int K = A.RowPtr[I]; K < A.RowPtr[I + 1]; ++K) {
+      int C = A.Col[static_cast<size_t>(K)];
+      if (C < I)
+        G.addEdge(C, I);
+    }
+  G.finalize();
+  return G;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Config and kind plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(ScheduleConfig, KindNamesRoundTrip) {
+  for (ScheduleKind K : kAllKinds) {
+    auto Parsed = parseScheduleKind(scheduleKindName(K));
+    ASSERT_TRUE(Parsed.has_value()) << scheduleKindName(K);
+    EXPECT_EQ(*Parsed, K);
+  }
+  EXPECT_FALSE(parseScheduleKind("nonsense").has_value());
+  EXPECT_FALSE(parseScheduleKind("").has_value());
+}
+
+TEST(ScheduleConfig, KeySeparatesKindsAndKnobs) {
+  std::vector<std::string> Keys;
+  for (ScheduleKind K : kAllKinds)
+    Keys.push_back(config(K, 8).key());
+  std::sort(Keys.begin(), Keys.end());
+  EXPECT_EQ(std::unique(Keys.begin(), Keys.end()), Keys.end())
+      << "two kinds share a cache key";
+  // Thread count and knobs are part of the key too: a 4-thread plan must
+  // never serve an 8-thread executor.
+  EXPECT_NE(config(ScheduleKind::P2P, 4).key(),
+            config(ScheduleKind::P2P, 8).key());
+  ScheduleConfig A = config(ScheduleKind::Vector, 8);
+  ScheduleConfig B = A;
+  B.MinVectorRun = 16;
+  EXPECT_NE(A.key(), B.key());
+}
+
+//===----------------------------------------------------------------------===//
+// Certification over every kind x random graphs x thread counts
+//===----------------------------------------------------------------------===//
+
+class ScheduleRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleRandom, EveryKindCertifies) {
+  DependenceGraph G =
+      randomDAG(64 + GetParam() * 16, 3, static_cast<uint64_t>(GetParam()));
+  for (ScheduleKind Kind : kAllKinds)
+    for (int Threads : {1, 2, 4, 8}) {
+      CompiledSchedule S = buildSchedule(G, config(Kind, Threads));
+      std::string Label = std::string(scheduleKindName(Kind)) +
+                          " threads=" + std::to_string(Threads);
+      EXPECT_TRUE(certifySchedule(G, S)) << Label;
+      EXPECT_EQ(describeSchedule(S).Base.TotalNodes,
+                static_cast<uint64_t>(G.numNodes()))
+          << Label;
+      EXPECT_EQ(S.UsesP2P, Kind == ScheduleKind::P2P) << Label;
+      EXPECT_EQ(S.HasRuns, Kind == ScheduleKind::Vector) << Label;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleRandom, ::testing::Range(0, 10));
+
+TEST(SchedulePasses, CoalesceOnlyRemovesWaves) {
+  // Many short waves (parallel chains): coalescing must strictly help on
+  // this shape, and can never produce more waves than its input.
+  int N = 512;
+  DependenceGraph G(N);
+  for (int I = 0; I + 4 < N; I += 4)
+    G.addEdge(I, I + 4); // four independent chains of length N/4
+  G.finalize();
+  for (int Threads : {1, 2, 4}) {
+    CompiledSchedule Base = buildSchedule(G, config(ScheduleKind::LBC,
+                                                    Threads));
+    CompiledSchedule Co =
+        buildSchedule(G, config(ScheduleKind::Coalesced, Threads));
+    EXPECT_LE(Co.numWaves(), Base.numWaves()) << "threads=" << Threads;
+    EXPECT_TRUE(certifySchedule(G, Co));
+  }
+  // At one thread balance is moot: the chain collapses to very few waves.
+  CompiledSchedule One = buildSchedule(G, config(ScheduleKind::Coalesced, 1));
+  EXPECT_LT(One.numWaves(),
+            buildSchedule(G, config(ScheduleKind::Levels, 1)).numWaves() / 4);
+}
+
+TEST(SchedulePasses, CoalesceKeepsDominantComponentsBounded) {
+  // A single chain serializes entirely if merged greedily; the balance
+  // probe must cap the dominant component near MinWorkPerThread so other
+  // threads keep getting work at larger thread counts.
+  int N = 1024;
+  DependenceGraph G(N);
+  for (int I = 0; I + 1 < N; ++I)
+    if (I % 2 == 0)
+      G.addEdge(I, I + 1); // N/2 two-node chains: wide but shallow
+  G.finalize();
+  CompiledSchedule S = buildSchedule(G, config(ScheduleKind::Coalesced, 4));
+  ASSERT_TRUE(certifySchedule(G, S));
+  CompiledScheduleStats St = describeSchedule(S);
+  // Wide-shallow graphs stay parallel after coalescing.
+  EXPECT_GT(St.Base.achievedParallelism(), 1.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Vector runs
+//===----------------------------------------------------------------------===//
+
+TEST(VectorRuns, FullCoverageOnIndependentNodes) {
+  DependenceGraph G(256);
+  G.finalize(); // no edges: one wave, all runs maximal
+  CompiledSchedule S = buildSchedule(G, config(ScheduleKind::Vector, 1));
+  ASSERT_TRUE(certifySchedule(G, S));
+  EXPECT_DOUBLE_EQ(describeSchedule(S).vectorCoverage(), 1.0);
+}
+
+TEST(VectorRuns, ChainsAdmitNoRuns) {
+  // A full chain: consecutive ids always carry an edge, so no run may
+  // grow past length 1 and coverage is zero.
+  int N = 128;
+  DependenceGraph G(N);
+  for (int I = 0; I + 1 < N; ++I)
+    G.addEdge(I, I + 1);
+  G.finalize();
+  CompiledSchedule S = buildSchedule(G, config(ScheduleKind::Vector, 1));
+  ASSERT_TRUE(certifySchedule(G, S));
+  CompiledScheduleStats St = describeSchedule(S);
+  EXPECT_EQ(St.VectorRuns, 0u);
+  EXPECT_DOUBLE_EQ(St.vectorCoverage(), 0.0);
+}
+
+TEST(VectorRuns, RunsPartitionEveryChunk) {
+  DependenceGraph G = randomDAG(300, 2, 99);
+  CompiledSchedule S = buildSchedule(G, config(ScheduleKind::Vector, 4));
+  ASSERT_TRUE(S.HasRuns);
+  ASSERT_EQ(S.Runs.size(), S.Waves.Waves.size());
+  for (size_t W = 0; W < S.Waves.Waves.size(); ++W) {
+    ASSERT_EQ(S.Runs[W].size(), S.Waves.Waves[W].size());
+    for (size_t T = 0; T < S.Waves.Waves[W].size(); ++T) {
+      const auto &Chunk = S.Waves.Waves[W][T];
+      size_t Covered = 0;
+      int NextPos = 0;
+      for (const VectorRun &R : S.Runs[W][T]) {
+        EXPECT_EQ(R.Pos, NextPos) << "runs leave a gap";
+        EXPECT_GE(R.Len, 1);
+        // Consecutive ids within the run.
+        for (int I = 1; I < R.Len; ++I)
+          EXPECT_EQ(Chunk[static_cast<size_t>(R.Pos + I)],
+                    Chunk[static_cast<size_t>(R.Pos + I - 1)] + 1);
+        NextPos = R.Pos + R.Len;
+        Covered += static_cast<size_t>(R.Len);
+      }
+      EXPECT_EQ(Covered, Chunk.size()) << "wave " << W << " chunk " << T;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// P2P lowering
+//===----------------------------------------------------------------------===//
+
+TEST(P2PLowering, SeedsExactInDegreesAndSuccessors) {
+  DependenceGraph G = randomDAG(200, 3, 7);
+  CompiledSchedule S = buildSchedule(G, config(ScheduleKind::P2P, 4));
+  ASSERT_TRUE(S.UsesP2P);
+  ASSERT_EQ(S.numNodes(), G.numNodes());
+  std::vector<int> Expect(static_cast<size_t>(G.numNodes()), 0);
+  for (int U = 0; U < G.numNodes(); ++U)
+    for (int V : G.successors(U))
+      ++Expect[static_cast<size_t>(V)];
+  EXPECT_EQ(S.InDegree, Expect);
+  ASSERT_EQ(S.SuccPtr.size(), static_cast<size_t>(G.numNodes()) + 1);
+  for (int U = 0; U < G.numNodes(); ++U) {
+    auto Succ = G.successors(U);
+    ASSERT_EQ(S.SuccPtr[static_cast<size_t>(U) + 1] -
+                  S.SuccPtr[static_cast<size_t>(U)],
+              Succ.size());
+    EXPECT_TRUE(std::equal(Succ.begin(), Succ.end(),
+                           S.SuccDst.begin() +
+                               static_cast<long>(
+                                   S.SuccPtr[static_cast<size_t>(U)])));
+  }
+}
+
+TEST(Certify, DetectsCorruptedSchedules) {
+  DependenceGraph G = randomDAG(100, 3, 21);
+  // Corrupt the P2P seed: certification must notice.
+  CompiledSchedule P = buildSchedule(G, config(ScheduleKind::P2P, 4));
+  ASSERT_TRUE(certifySchedule(G, P));
+  ++P.InDegree[0];
+  EXPECT_FALSE(certifySchedule(G, P));
+
+  // Corrupt a vector run so it spans a dependence edge.
+  DependenceGraph Chain(8);
+  Chain.addEdge(2, 3);
+  Chain.finalize();
+  CompiledSchedule V = buildSchedule(Chain, config(ScheduleKind::Vector, 1));
+  ASSERT_TRUE(certifySchedule(Chain, V));
+  ASSERT_FALSE(V.Runs.empty());
+  V.Runs[0][0] = {{0, static_cast<int>(V.Waves.Waves[0][0].size())}};
+  EXPECT_FALSE(certifySchedule(Chain, V));
+
+  // Reverse the waves: dependences now point backwards.
+  CompiledSchedule W = buildSchedule(G, config(ScheduleKind::Coalesced, 2));
+  ASSERT_TRUE(certifySchedule(G, W));
+  if (W.Waves.Waves.size() > 1) {
+    std::reverse(W.Waves.Waves.begin(), W.Waves.Waves.end());
+    EXPECT_FALSE(certifySchedule(G, W));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Compiled-schedule executors vs serial kernels
+//===----------------------------------------------------------------------===//
+
+class ScheduledExec : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduledExec, AllKindsMatchSerial) {
+  uint64_t Seed = static_cast<uint64_t>(GetParam());
+  CSRMatrix L = makeLower(350, 8, 28, Seed);
+  CSCMatrix LC = toCSC(L);
+  CSRMatrix A = generateSPDLike({300, 7, 24, Seed + 1});
+  std::vector<double> B = randomVector(L.N, Seed + 2);
+  std::vector<double> BG = randomVector(A.N, Seed + 3);
+
+  std::vector<double> XSer, GSer(static_cast<size_t>(A.N), 0.0);
+  forwardSolveCSRSerial(L, B, XSer);
+  gaussSeidelCSRSerial(A, BG, GSer);
+  CSCMatrix CholSer = toCSC(L), IC0Ser = toCSC(L);
+  leftCholeskyCSCSerial(CholSer);
+  incompleteCholeskyCSCSerial(IC0Ser);
+
+  DependenceGraph GF = exactForwardSolveGraph(LC);
+  DependenceGraph GG = gaussSeidelGraph(A);
+  DependenceGraph GC = exactCholeskyGraph(LC);
+
+  for (ScheduleKind Kind : kAllKinds)
+    for (int Threads : {1, 2, 4, 8}) {
+      std::string Label = std::string(scheduleKindName(Kind)) +
+                          " threads=" + std::to_string(Threads) +
+                          " seed=" + std::to_string(Seed);
+      CompiledSchedule SF = buildSchedule(GF, config(Kind, Threads));
+      CompiledSchedule SG = buildSchedule(GG, config(Kind, Threads));
+      CompiledSchedule SC = buildSchedule(GC, config(Kind, Threads));
+      ASSERT_TRUE(certifySchedule(GF, SF)) << Label;
+      ASSERT_TRUE(certifySchedule(GG, SG)) << Label;
+      ASSERT_TRUE(certifySchedule(GC, SC)) << Label;
+
+      // Pull-based kernels: each value is produced by exactly one node in
+      // the serial accumulation order — bitwise identical under any
+      // schedule shape and thread count.
+      std::vector<double> X;
+      forwardSolveCSRScheduled(L, B, X, SF);
+      expectBitIdentical(XSer, X, "fs_csr " + Label);
+
+      std::vector<double> XG(static_cast<size_t>(A.N), 0.0);
+      gaussSeidelCSRScheduled(A, BG, XG, SG);
+      expectBitIdentical(GSer, XG, "gs_csr " + Label);
+
+      CSCMatrix Chol = toCSC(L);
+      leftCholeskyCSCScheduled(Chol, SC);
+      expectBitIdentical(CholSer.Val, Chol.Val, "lchol_csc " + Label);
+
+      // Push-based kernels use commutative atomic updates: order-sensitive
+      // in the last ulp, so tolerance-checked.
+      std::vector<double> XC;
+      forwardSolveCSCScheduled(LC, B, XC, SF);
+      EXPECT_LT(maxAbsDiff(XSer, XC), 1e-9) << "fs_csc " << Label;
+
+      CSCMatrix IC0 = toCSC(L);
+      incompleteCholeskyCSCScheduled(IC0, SC);
+      EXPECT_LT(maxAbsDiff(IC0Ser.Val, IC0.Val), 1e-9) << "ic0_csc " << Label;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduledExec, ::testing::Range(200, 203));

@@ -98,6 +98,32 @@ TEST(DependenceGraph, RefinalizeMergesLateEdges) {
   EXPECT_EQ(G.numEdges(), 3u);
 }
 
+TEST(DependenceGraph, ReserveEdgesPresizesCSRStorage) {
+  // reserveEdges must pre-size the CSR destination array, not just the
+  // staging buffer: finalize() under a covering reservation must not
+  // reallocate.
+  DependenceGraph G(8);
+  G.reserveEdges(16);
+  size_t Cap = G.edgeCapacity();
+  EXPECT_GE(Cap, 16u);
+  for (int I = 0; I < 7; ++I)
+    G.addEdge(I, I + 1);
+  G.finalize();
+  EXPECT_EQ(G.edgeCapacity(), Cap) << "finalize grew EdgeDst";
+  EXPECT_EQ(G.numEdges(), 7u);
+
+  // Re-finalize after staging more edges: the reservation must cover the
+  // existing CSR content (finalize re-stages it) plus the new edges.
+  G.reserveEdges(8);
+  Cap = G.edgeCapacity();
+  for (int I = 0; I < 6; ++I)
+    G.addEdge(I, I + 2);
+  G.finalize();
+  EXPECT_EQ(G.edgeCapacity(), Cap) << "re-finalize grew EdgeDst";
+  EXPECT_EQ(G.numEdges(), 13u);
+  EXPECT_EQ(succ(G, 0), (std::vector<int>{1, 2}));
+}
+
 TEST(LevelSets, CSRGraphMatchesReferenceLongestPath) {
   // Level sets computed from the CSR layout must equal the textbook
   // longest-path-from-source levels computed on an independent adjacency
