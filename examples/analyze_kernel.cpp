@@ -20,6 +20,8 @@
 //   analyze_kernel --load-artifact=fs.ck.json fs_csc   # ...run many: skip
 //                                           #   the Presburger pipeline and
 //                                           #   print warm-vs-cold timing
+//   analyze_kernel --explain=all fs_csr     # print the unsat core behind
+//                                           #   each dependence's fate
 //
 // With --trace or --stats the tool also runs the full inspector-executor
 // flow on a generated SPD-like matrix (inspectors -> dependence graph ->
@@ -189,10 +191,56 @@ struct ArtifactFlags {
   std::string LoadPath;
 };
 
+/// --explain=<dep>: print the unsat core justifying each matching
+/// dependence's fate. <dep> matches as a substring of the dependence
+/// label; "all" matches every dependence. Works on fresh analyses and on
+/// loaded artifacts alike (cores ride inside the artifact), so the same
+/// proof can be audited on the machine that compiled it and on the
+/// machine that runs it.
+int explainDeps(const artifact::CompiledKernel &CK, const std::string &Pat) {
+  unsigned Matched = 0;
+  for (const deps::AnalyzedDependence &D : CK.Deps) {
+    if (Pat != "all" && D.Dep.label().find(Pat) == std::string::npos)
+      continue;
+    ++Matched;
+    std::printf("--- explain %s ---\n", D.Dep.label().c_str());
+    std::printf("status:     %s\n", deps::depStatusName(D.Status).c_str());
+    std::printf("provenance: %s\n", D.Prov.str().c_str());
+    if (!D.HasCore) {
+      std::printf("core:       (none recorded — pre-core artifact; the "
+                  "guard falls back to full property validation)\n");
+      continue;
+    }
+    if (D.Core.Assertions.empty()) {
+      std::printf("core:       empty — this verdict depends on no "
+                  "index-array assertion%s\n",
+                  D.Status == deps::DepStatus::Runtime
+                      ? " (the inspector enumerates the original relation)"
+                      : "");
+      continue;
+    }
+    std::printf("core:       %zu assertion(s)%s%s\n",
+                D.Core.Assertions.size(),
+                D.Core.FromFarkas ? ", from Farkas certificate" : ", coarse",
+                D.Core.Minimized ? ", minimized" : "");
+    for (const std::string &A : D.Core.Assertions)
+      std::printf("  * %s\n", A.c_str());
+  }
+  if (!Matched) {
+    std::fprintf(stderr, "--explain: no dependence matches '%s'; have:\n",
+                 Pat.c_str());
+    for (const deps::AnalyzedDependence &D : CK.Deps)
+      std::fprintf(stderr, "  %s\n", D.Dep.label().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
                int N, int Threads, double BudgetMs,
                std::optional<rt::ScheduleKind> ScheduleKind,
-               const GuardFlags &GF, const ArtifactFlags &AF) {
+               const GuardFlags &GF, const ArtifactFlags &AF,
+               const std::string &Explain) {
   std::printf("=== %s ===\n%s\n", K.Name.c_str(), K.str().c_str());
   artifact::CompiledKernel CK;
   std::optional<engine::Engine> Eng;
@@ -260,6 +308,9 @@ int analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
     std::printf("--- inspector for %s ---\n%s\n", D.Dep.label().c_str(),
                 D.Plan.emitC("inspect").c_str());
   }
+  if (!Explain.empty())
+    if (int RC = explainDeps(CK, Explain))
+      return RC;
   // The schedule spec rides inside the artifact: --schedule wins, a
   // loaded artifact's recorded spec is next, the default config last.
   rt::ScheduleConfig SC = CK.Schedule;
@@ -293,6 +344,7 @@ int main(int argc, char **argv) {
   std::optional<rt::ScheduleKind> ScheduleKind;
   GuardFlags GF;
   ArtifactFlags AF;
+  std::string Explain;
   std::vector<std::string> Positional;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -319,6 +371,14 @@ int main(int argc, char **argv) {
       AF.EmitPath = Arg.substr(16);
     } else if (Arg.rfind("--load-artifact=", 0) == 0) {
       AF.LoadPath = Arg.substr(16);
+    } else if (Arg.rfind("--explain=", 0) == 0) {
+      Explain = Arg.substr(10);
+      if (Explain.empty()) {
+        std::fprintf(stderr,
+                     "--explain expects a dependence-label substring or "
+                     "'all'\n");
+        return 1;
+      }
     } else if (Arg.rfind("--schedule=", 0) == 0) {
       ScheduleKind = rt::parseScheduleKind(Arg.substr(11));
       if (!ScheduleKind) {
@@ -357,7 +417,11 @@ int main(int argc, char **argv) {
         "[--schedule=levels|lbc|coalesced|p2p|vector] "
         "[--validate] [--guard=off|warn|fallback] [--budget-ms MS] "
         "[--emit-artifact=PATH] [--load-artifact=PATH] "
+        "[--explain=<dep>|all] "
         "<kernel|all> [properties.json]\n"
+        "--explain prints the unsat core justifying each matching "
+        "dependence's fate\n(substring match on the dependence label; "
+        "'all' prints every core).\n"
         "--metrics writes the metrics-registry snapshot (counters, gauges, "
         "latency histograms,\nper-stage seconds, flight recorder) as JSON; "
         "a PATH ending in .prom selects Prometheus\ntext exposition, '-' "
@@ -389,7 +453,7 @@ int main(int argc, char **argv) {
     }
     for (auto &[Key, K] : Kernels)
       if (int RC = analyzeOne(Key, K, Traced, N, Threads, BudgetMs,
-                              ScheduleKind, GF, {}))
+                              ScheduleKind, GF, {}, Explain))
         return RC;
   } else {
     auto It = Kernels.find(Which);
@@ -427,7 +491,7 @@ int main(int argc, char **argv) {
     }
 
     if (int RC = analyzeOne(Which, K, Traced, N, Threads, BudgetMs,
-                            ScheduleKind, GF, AF))
+                            ScheduleKind, GF, AF, Explain))
       return RC;
   }
 

@@ -55,6 +55,19 @@ struct AnalyzedDependence {
   /// property instances, the discovered equalities, or the covering
   /// dependence (see obs/Provenance.h).
   obs::Provenance Prov;
+  /// The property assertions this dependence's verdict (or simplified
+  /// relation) depends on. Populated for every analyzed dependence:
+  ///  * AffineUnsat / PropertyUnsat — the unsat proof's core;
+  ///  * Runtime with discovered equalities — the instances the rewrite
+  ///    applied (coarse but sound);
+  ///  * Runtime without rewrites, Subsumed of an unrewritten relation —
+  ///    empty (nothing property-dependent: the inspector enumerates the
+  ///    original relation and subsumption keys on the keeper's original).
+  /// A guard needs to validate only the union of these per-dependence
+  /// cores; `HasCore == false` (e.g. a pre-core artifact) means unknown
+  /// provenance and forces full validation.
+  ir::UnsatCore Core;
+  bool HasCore = false;
 };
 
 /// Pipeline switches (used by the ablation benches).

@@ -72,6 +72,17 @@ struct GuardedResult {
   bool Trusted = false;    ///< every check passed (or Mode == Off)
   bool UsedFallback = false;
 
+  /// Validation was core-directed: every dependence carried an unsat core
+  /// (see deps::AnalyzedDependence::HasCore), so only the union of cited
+  /// assertion bases was checked instead of every declared property.
+  bool SelectiveValidation = false;
+  unsigned PropsValidated = 0; ///< property checks actually run
+  unsigned PropsSkipped = 0;   ///< declarations skipped as uncited
+  /// Dependences individually reverted to their baseline plan because a
+  /// property their core cites failed validation (Fallback mode with
+  /// cores). 0 under whole-world fallback or full trust.
+  unsigned DepsRevoked = 0;
+
   driver::InspectionResult Inspection;
 
   bool Verified = false;     ///< the cross-check ran
@@ -94,6 +105,23 @@ struct GuardedResult {
 /// against. Works identically on fresh and artifact-loaded dependences.
 std::vector<deps::AnalyzedDependence>
 baselineDeps(const std::vector<deps::AnalyzedDependence> &Deps);
+
+/// Revoke a single dependence's simplifications (the per-element body of
+/// baselineDeps): regenerate its inspector plan from the original
+/// relation. Affine-unsat refutations are returned unchanged. The result
+/// carries an empty core with HasCore set — a baseline plan depends on no
+/// property assumptions.
+deps::AnalyzedDependence baselineOne(const deps::AnalyzedDependence &D);
+
+/// The union of assertion-label bases cited by the per-dependence unsat
+/// cores — the minimal trust base core-directed validation checks.
+/// Unconditionally-true functional-consistency citations are excluded.
+/// `AllHaveCores` (when non-null) receives whether every dependence
+/// carries a usable core; when false the union is incomplete and a guard
+/// must validate every declared property instead.
+std::set<std::string>
+citedAssertionBases(const std::vector<deps::AnalyzedDependence> &Deps,
+                    bool *AllHaveCores = nullptr);
 
 /// PipelineResult convenience wrapper around baselineDeps.
 deps::PipelineResult baselineAnalysis(const deps::PipelineResult &Analysis);

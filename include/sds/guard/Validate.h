@@ -33,6 +33,7 @@
 #include "sds/ir/Properties.h"
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,11 @@ enum class CheckSeverity {
 struct PropertyCheck {
   std::string Property; ///< e.g. "periodic_monotonic(col; seg=rowptr)"
   std::string Array;    ///< the primary array the property describes
+  /// The assertion-label base this check confirms or refutes — identical
+  /// to the `UniversalAssertion::Label` prefix the analysis cites in its
+  /// unsat cores (see ir::UnsatCore), so guards can match failed checks
+  /// to the dependences whose simplifications relied on them.
+  std::string Base;
   CheckOutcome Outcome = CheckOutcome::Skipped;
   CheckSeverity Severity = CheckSeverity::Warning;
   int64_t Index = -1;     ///< first violating position (-1 when none)
@@ -99,6 +105,23 @@ struct ValidationReport {
 /// well-formed inputs, bounded by the work cap otherwise.
 ValidationReport validateProperties(const ir::PropertySet &PS,
                                     const codegen::UFEnvironment &Env);
+
+/// Core-directed validation: check only the declarations whose assertion-
+/// label base appears in `CitedBases` (the union of per-dependence unsat
+/// cores). Sound whenever every dependence carries a core: an uncited
+/// property influenced no verdict or rewrite, so its failure cannot
+/// invalidate anything the analysis produced. Records the validated and
+/// skipped counts in the `guard.props_validated` / `guard.props_skipped`
+/// obs counters.
+ValidationReport
+validateProperties(const ir::PropertySet &PS,
+                   const codegen::UFEnvironment &Env,
+                   const std::set<std::string> &CitedBases);
+
+/// The assertion-label base of a declaration (what PropertySet::
+/// assertions() uses as Label, minus application-mode suffixes).
+std::string propertyLabelBase(const ir::IndexArrayProperty &P);
+std::string propertyLabelBase(const ir::DomainRangeDecl &D);
 
 } // namespace guard
 } // namespace sds

@@ -35,6 +35,12 @@ struct Flattened {
   std::vector<Atom> Cols;         ///< Atom represented by each column.
   std::vector<std::string> Names; ///< Printable name per column.
   std::map<std::string, unsigned> ColIndex; ///< atom.str() -> column.
+  /// Row provenance: for each equality (resp. inequality) row of `Set`, the
+  /// index into the source Conjunction's constraints() it was lowered from.
+  /// Together with presburger::EmptinessCore this maps an integer-level
+  /// unsat core back onto UF-level constraints.
+  std::vector<unsigned> EqRowConstraint;
+  std::vector<unsigned> IneqRowConstraint;
 
   Flattened() : Set(0) {}
 

@@ -28,6 +28,8 @@
 #include "sds/ir/Relation.h"
 #include "sds/presburger/BasicSet.h"
 
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,51 @@ struct SimplifyOptions {
   bool SemanticPhase1 = true;      ///< Prove antecedents with the integer-
                                    ///< set layer, not just syntactically.
   unsigned SemanticProbeCap = 600; ///< Emptiness probes for the above.
+  unsigned CoreMinimizeBudget = 8; ///< Greedy drop-and-recheck passes spent
+                                   ///< shrinking an unsat core (0 = keep
+                                   ///< the raw Farkas/coarse core as-is).
+                                   ///< Each unit is one full re-proof.
+};
+
+/// Which property assertions an unsat proof actually depends on.
+///
+/// `Assertions` holds sorted, deduplicated assertion labels (the
+/// UniversalAssertion::Label of each instance the proof cites, possibly
+/// with application-mode suffixes such as " [contrapositive]" or
+/// " [disjunctive]"; "functional_consistency(f)" entries are Ackermann
+/// guards that hold unconditionally and need no runtime validation).
+///
+/// The contract is one-directional: if every *property* assertion listed
+/// here holds at runtime, the relation is empty. Labels not listed are
+/// guaranteed uninvolved — a guard may skip validating them for this
+/// dependence.
+struct UnsatCore {
+  std::vector<std::string> Assertions;
+  bool Minimized = false;  ///< Greedy minimizer examined every candidate.
+  bool FromFarkas = false; ///< Row-level Farkas attribution succeeded;
+                           ///< false means the coarse applied-instance
+                           ///< trail (still sound, usually larger).
+};
+
+/// Optional constraint-provenance ledger for instantiatePhase1. Maps each
+/// constraint the instantiation added (keyed by its canonical form) to the
+/// assertion labels that justify it, so an integer-level emptiness core
+/// can be translated into an UnsatCore. Constraints of the original
+/// relation carry no labels (`BaseKeys`); a constraint whose support could
+/// not be attributed is tagged with `Unattributed`, which forces the
+/// caller back to the coarse UsedLabels core.
+struct OriginMap {
+  std::map<std::string, std::vector<std::string>> ConstraintOrigins;
+  std::set<std::string> BaseKeys;
+
+  /// Canonical key of a constraint (mirrors Conjunction's dedup key).
+  static std::string keyOf(const Constraint &C) {
+    return (C.isEq() ? "=" : ">") + C.E.str();
+  }
+
+  /// Sentinel label marking a constraint whose justification could not be
+  /// traced (e.g. a semantic probe whose emptiness core was unavailable).
+  static const char *unattributed() { return "\x01unattributed"; }
 };
 
 /// One ground instance of a universal assertion.
@@ -83,28 +130,39 @@ Conjunction
 instantiatePhase1(const Conjunction &C,
                   const std::vector<UniversalAssertion> &Assertions,
                   const SimplifyOptions &Opts, InstantiationStats *Stats,
-                  std::vector<AssertionInstance> *Phase2);
+                  std::vector<AssertionInstance> *Phase2,
+                  OriginMap *Origins = nullptr);
 
 /// Decide unsatisfiability of a dependence relation under the declared
 /// index-array properties (§4.2 Definition 2 + §6.2). Returns true only
 /// when the relation is *proven* to have no solutions; false means "not
 /// proven", which the pipeline must treat as satisfiable.
+/// When `Core` is non-null and the proof succeeds, it receives the set of
+/// assertion labels the proof depends on (see UnsatCore); on failure it is
+/// cleared.
 bool provenUnsat(const SparseRelation &R, const PropertySet &PS,
                  const SimplifyOptions &Opts = {},
-                 InstantiationStats *Stats = nullptr);
+                 InstantiationStats *Stats = nullptr,
+                 UnsatCore *Core = nullptr);
 
 /// Like provenUnsat but without any property knowledge: detects relations
 /// whose purely affine part is infeasible (the paper's "Affine
 /// Consistency" baseline in Figure 7).
 bool provenUnsatAffineOnly(const SparseRelation &R,
                            const SimplifyOptions &Opts = {},
-                           InstantiationStats *Stats = nullptr);
+                           InstantiationStats *Stats = nullptr,
+                           UnsatCore *Core = nullptr);
 
 /// Result of equality discovery on one relation.
 struct EqualityDiscoveryResult {
   unsigned NewEqualities = 0;         ///< Equalities added to the relation.
   unsigned ExistentialsEliminated = 0;///< Existentials substituted away.
   std::vector<std::string> EqualityStrings; ///< Human-readable forms.
+  /// Assertion labels of every instance applied while instantiating for
+  /// this discovery (deduplicated, sorted). A sound — if coarse — core for
+  /// any equality the discovery added: if the listed assertions hold, the
+  /// added equalities are consequences of the relation.
+  std::vector<std::string> UsedLabels;
 };
 
 /// §4: instantiate assertions (phase 1), expose implicit equalities with

@@ -36,6 +36,21 @@ enum class Ternary { False, True, Unknown };
 
 struct ProjectResult; // defined after BasicSet
 
+/// An unsat core for a proven-empty BasicSet: the rows whose conjunction
+/// is already integer-infeasible. Row ids index the set's constraints in
+/// storage order, equalities first (0 .. numEq-1) then inequalities
+/// (numEq .. numEq+numIneq-1).
+///
+/// `Valid` is true when every citing row of the underlying proof could be
+/// attributed back to an input row; when false the caller must fall back
+/// to treating all rows as potentially responsible. A core is never
+/// minimal by construction — it is whatever subset the Farkas certificate
+/// (plus branch-and-bound case analysis) actually touched.
+struct EmptinessCore {
+  std::vector<uint32_t> Rows; ///< sorted, unique row ids
+  bool Valid = false;
+};
+
 /// A conjunction of affine constraints over `NumVars` integer variables.
 ///
 /// Every constraint row has `NumVars + 1` entries; the last entry is the
@@ -66,6 +81,11 @@ public:
   /// branch-and-bound. `True` means proven empty; `False` means an integer
   /// point was found; `Unknown` on budget exhaustion or overflow.
   Ternary isEmpty(unsigned NodeBudget = 64) const;
+
+  /// Like `isEmpty`, but on a `True` verdict additionally reports which
+  /// input rows the emptiness proof cited (see EmptinessCore). `Core` may
+  /// be null; it is cleared on any non-True verdict.
+  Ternary isEmpty(unsigned NodeBudget, EmptinessCore *Core) const;
 
   /// Convenience: true only when emptiness was proven.
   bool isProvenEmpty(unsigned NodeBudget = 64) const {
@@ -200,6 +220,13 @@ struct QueryCacheStats {
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   uint64_t Entries = 0;
+  /// Emptiness queries answered by the second-level core index: the query
+  /// missed on its exact canonical key, but its row set is a superset of
+  /// a previously proven unsat core, so it is empty a fortiori. Counted
+  /// inside `Hits` as well (a subsumption hit is still a hit).
+  uint64_t CoreSubsumptionHits = 0;
+  /// Distinct unsat cores currently held by the subsumption index.
+  uint64_t CoreEntries = 0;
 
   double hitRate() const {
     uint64_t Total = Hits + Misses;

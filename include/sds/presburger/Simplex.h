@@ -64,6 +64,14 @@ public:
   /// The sample point found by the last successful solve (size NumVars).
   const std::vector<Fraction> &samplePoint() const { return Sample; }
 
+  /// After `checkFeasible()` returned `Infeasible`: the indices (in add
+  /// order, counting both equalities and inequalities) of the rows that
+  /// carry a nonzero Farkas multiplier in the phase-1 infeasibility
+  /// certificate. The indexed subsystem is itself rationally infeasible —
+  /// an unsat core, though not necessarily a minimal one. Empty after any
+  /// other status.
+  const std::vector<unsigned> &infeasibleCore() const { return Core; }
+
 private:
   /// Constraint rows use inline storage: dependence relations rarely
   /// exceed a dozen columns, so the emptiness test's thousands of
@@ -79,6 +87,7 @@ private:
   unsigned NumVars;
   std::vector<RowRec> Rows;
   std::vector<Fraction> Sample;
+  std::vector<unsigned> Core;
 };
 
 } // namespace presburger

@@ -17,7 +17,11 @@
 //      artifact format added
 //   3  obs v2: metrics_snapshot and flight_recorder documents added;
 //      statsJSON gains "gauges"; bench_summary / bench_baseline formats
-//      (bench_report, tools/bench_gate) stamp the same version
+//      (bench_report, tools/bench_gate) stamp the same version.
+//      Still-v3 additive extension: each artifact dependence may carry a
+//      "core" object ({"assertions", "minimized", "farkas"}) — the unsat
+//      core justifying its verdict. Blobs without it load fine (the guard
+//      then falls back to full property validation).
 //
 //===----------------------------------------------------------------------===//
 

@@ -219,6 +219,18 @@ Value analyzedDepJSON(const deps::AnalyzedDependence &D) {
     O.emplace("approximated", Value(true));
   if (!D.Prov.Stage.empty() || !D.Prov.Evidence.empty())
     O.emplace("prov", provenanceJSON(D.Prov));
+  if (D.HasCore) {
+    // Additive (schema-compatible) field: the unsat core justifying this
+    // dependence's verdict. Loaders that predate it ignore the key;
+    // artifacts that predate it decode with HasCore == false, which makes
+    // the guard fall back to full property validation.
+    Object Core;
+    if (!D.Core.Assertions.empty())
+      Core.emplace("assertions", stringsJSON(D.Core.Assertions));
+    Core.emplace("minimized", Value(D.Core.Minimized));
+    Core.emplace("farkas", Value(D.Core.FromFarkas));
+    O.emplace("core", Value(std::move(Core)));
+  }
   return Value(std::move(O));
 }
 
@@ -688,6 +700,19 @@ Status decodeAnalyzedDep(const Value &V, deps::AnalyzedDependence &Out) {
       return S.withContext("prov");
     if (Status S = reqNum(PO, "seconds", D.Prov.Seconds); !S.ok())
       return S.withContext("prov");
+  }
+  if (const Value *Core = find(O, "core")) {
+    if (!Core->isObject())
+      return fieldError("core", "object");
+    const Object &CO = Core->asObject();
+    if (Status S = decodeStrings(CO, "assertions", D.Core.Assertions);
+        !S.ok())
+      return S.withContext("core");
+    if (Status S = reqBool(CO, "minimized", D.Core.Minimized); !S.ok())
+      return S.withContext("core");
+    if (Status S = reqBool(CO, "farkas", D.Core.FromFarkas); !S.ok())
+      return S.withContext("core");
+    D.HasCore = true;
   }
   Out = std::move(D);
   return {};

@@ -110,8 +110,9 @@ void analyzeOneDependence(AnalyzedDependence &AD, const kernels::Kernel &K,
     StageScope Sc(Seconds, "affine_unsat");
     Sc.span().tag("dep", AD.Dep.label());
     ir::InstantiationStats St;
-    if (ir::provenUnsatAffineOnly(AD.Dep.Rel, Opts.Simp, &St)) {
+    if (ir::provenUnsatAffineOnly(AD.Dep.Rel, Opts.Simp, &St, &AD.Core)) {
       AD.Status = DepStatus::AffineUnsat;
+      AD.HasCore = true; // no property assertions were even available
       AD.Prov.Stage = "affine-unsat";
       AD.Prov.Evidence = dedupeLabels(St.UsedLabels);
       if (AD.Prov.Evidence.empty())
@@ -130,10 +131,15 @@ void analyzeOneDependence(AnalyzedDependence &AD, const kernels::Kernel &K,
     ir::SimplifyOptions UnsatOpts = Opts.Simp;
     UnsatOpts.SemanticPhase1 = false;
     ir::InstantiationStats St;
-    if (ir::provenUnsat(AD.Dep.Rel, K.Properties, UnsatOpts, &St)) {
+    if (ir::provenUnsat(AD.Dep.Rel, K.Properties, UnsatOpts, &St, &AD.Core)) {
       AD.Status = DepStatus::PropertyUnsat;
+      AD.HasCore = true;
       AD.Prov.Stage = "property-unsat";
       AD.Prov.Evidence = dedupeLabels(St.UsedLabels);
+      AD.Prov.addEvidence(
+          "core: " + std::to_string(AD.Core.Assertions.size()) +
+          " assertion(s), " + (AD.Core.FromFarkas ? "farkas" : "coarse") +
+          (AD.Core.Minimized ? ", minimized" : ""));
       AD.Prov.Seconds = Sc.seconds();
       return;
     }
@@ -156,8 +162,15 @@ void analyzeOneDependence(AnalyzedDependence &AD, const kernels::Kernel &K,
       if (R.NewEqualities > 0) {
         AD.Prov.Stage = "equality-discovery";
         AD.Prov.Evidence = R.EqualityStrings;
+        // The simplified relation is only equivalent to the original when
+        // the applied instances hold — they are this dependence's core.
+        AD.Core.Assertions = R.UsedLabels;
+        AD.Core.FromFarkas = false;
       }
     }
+    // Runtime dependences always carry a (possibly empty) core: an empty
+    // one records positively that nothing here is property-dependent.
+    AD.HasCore = true;
     AD.CostAfter = codegen::buildInspectorPlan(AD.Simplified).Cost;
     AD.Status = DepStatus::Runtime;
     if (AD.Prov.Stage.empty())

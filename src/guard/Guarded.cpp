@@ -37,22 +37,99 @@ std::optional<GuardMode> parseGuardMode(std::string_view S) {
   return std::nullopt;
 }
 
+namespace {
+
+/// An unsat-core label minus its application-mode suffix
+/// (" [contrapositive]", " [contra]", ...): the base the runtime checker
+/// reports in PropertyCheck::Base.
+std::string labelBase(const std::string &L) {
+  size_t P = L.find(" [");
+  return P == std::string::npos ? L : L.substr(0, P);
+}
+
+/// functional_consistency(f) assertions hold unconditionally (f(x)==f(x)
+/// regardless of array contents), so they never need runtime validation.
+bool needsValidation(const std::string &Base) {
+  return Base.rfind("functional_consistency(", 0) != 0;
+}
+
+/// The union of assertion bases cited by the per-dependence unsat cores.
+/// `AllHaveCores` is the soundness gate for core-directed validation: a
+/// single dependence without a core (pre-core artifact) means unknown
+/// provenance and forces full validation.
+struct CoreUnion {
+  bool AllHaveCores = true;
+  std::set<std::string> Bases;
+};
+
+CoreUnion collectCitedBases(const std::vector<deps::AnalyzedDependence> &Deps) {
+  CoreUnion U;
+  for (const deps::AnalyzedDependence &D : Deps) {
+    if (!D.HasCore) {
+      U.AllHaveCores = false;
+      continue;
+    }
+    for (const std::string &L : D.Core.Assertions) {
+      if (!L.empty() && L[0] == '\x01') {
+        // Unattributed sentinel leaked into a core — treat the dependence
+        // as core-less rather than trust an incomplete citation list.
+        U.AllHaveCores = false;
+        continue;
+      }
+      std::string B = labelBase(L);
+      if (needsValidation(B))
+        U.Bases.insert(std::move(B));
+    }
+  }
+  return U;
+}
+
+/// Does this dependence's core cite any base in `Bad`?
+bool coreCites(const deps::AnalyzedDependence &D,
+               const std::set<std::string> &Bad) {
+  for (const std::string &L : D.Core.Assertions)
+    if (Bad.count(labelBase(L)))
+      return true;
+  return false;
+}
+
+} // namespace
+
+std::set<std::string>
+citedAssertionBases(const std::vector<deps::AnalyzedDependence> &Deps,
+                    bool *AllHaveCores) {
+  CoreUnion U = collectCitedBases(Deps);
+  if (AllHaveCores)
+    *AllHaveCores = U.AllHaveCores;
+  return std::move(U.Bases);
+}
+
+deps::AnalyzedDependence baselineOne(const deps::AnalyzedDependence &In) {
+  deps::AnalyzedDependence D = In;
+  if (D.Status == deps::DepStatus::AffineUnsat)
+    return D; // refuted with no index-array knowledge — stays sound
+  D.Status = deps::DepStatus::Runtime;
+  D.Simplified = D.Dep.Rel;
+  D.NewEqualities = 0;
+  D.SubsumedBy.clear();
+  D.Plan = codegen::buildInspectorPlan(D.Dep.Rel);
+  D.Approximated = false;
+  D.Prov.Stage = "guard-baseline";
+  D.Prov.Evidence = {"simplifications revoked: property assumptions are "
+                     "not trusted on this input"};
+  // The baseline plan enumerates the original relation: nothing about it
+  // depends on any property, so its core is positively empty.
+  D.Core = {};
+  D.HasCore = true;
+  return D;
+}
+
 std::vector<deps::AnalyzedDependence>
 baselineDeps(const std::vector<deps::AnalyzedDependence> &Deps) {
-  std::vector<deps::AnalyzedDependence> Base = Deps;
-  for (deps::AnalyzedDependence &D : Base) {
-    if (D.Status == deps::DepStatus::AffineUnsat)
-      continue; // refuted with no index-array knowledge — stays sound
-    D.Status = deps::DepStatus::Runtime;
-    D.Simplified = D.Dep.Rel;
-    D.NewEqualities = 0;
-    D.SubsumedBy.clear();
-    D.Plan = codegen::buildInspectorPlan(D.Dep.Rel);
-    D.Approximated = false;
-    D.Prov.Stage = "guard-baseline";
-    D.Prov.Evidence = {"simplifications revoked: property assumptions are "
-                       "not trusted on this input"};
-  }
+  std::vector<deps::AnalyzedDependence> Base;
+  Base.reserve(Deps.size());
+  for (const deps::AnalyzedDependence &D : Deps)
+    Base.push_back(baselineOne(D));
   return Base;
 }
 
@@ -68,7 +145,15 @@ std::string GuardedResult::summary() const {
     Out += "validation off";
   else
     Out += Report.summary();
-  Out += UsedFallback ? " -> baseline fallback" : " -> simplified inspectors";
+  if (SelectiveValidation)
+    Out += " [core-directed: " + std::to_string(PropsValidated) +
+           " checked, " + std::to_string(PropsSkipped) + " uncited]";
+  if (!UsedFallback)
+    Out += " -> simplified inspectors";
+  else if (DepsRevoked > 0)
+    Out += " -> revoked " + std::to_string(DepsRevoked) + " dependence(s)";
+  else
+    Out += " -> baseline fallback";
   if (Verified)
     Out += VerifyPassed ? " (verify: pass)"
                         : " (verify: FAIL — " + VerifyDetail + ")";
@@ -85,6 +170,7 @@ GuardedResult runGuarded(const std::string &KernelName,
   static obs::Counter &Fallbacks = obs::counter("guard.fallbacks");
   static obs::Counter &Warned = obs::counter("guard.warned_untrusted");
   static obs::Counter &VerifyFails = obs::counter("guard.verify_failures");
+  static obs::Counter &Revoked = obs::counter("guard.deps_revoked");
   static obs::Histogram &RunNs = obs::histogram("guard.run_ns");
   Runs.add();
   obs::ScopedLatency RunLat(RunNs);
@@ -95,9 +181,23 @@ GuardedResult runGuarded(const std::string &KernelName,
 
   GuardedResult R(N);
 
+  unsigned DeclCount = static_cast<unsigned>(PS.properties().size() +
+                                             PS.domainRanges().size());
+  CoreUnion Cited;
   if (Opts.Mode != GuardMode::Off) {
+    Cited = collectCitedBases(Deps);
     R.Validated = true;
-    R.Report = validateProperties(PS, Env);
+    if (Cited.AllHaveCores) {
+      // Every dependence carries a proof core: a property cited by none of
+      // them influenced no verdict or rewrite, so only the union of cited
+      // bases needs checking (ISSUE: the minimal trust base).
+      R.SelectiveValidation = true;
+      R.Report = validateProperties(PS, Env, Cited.Bases);
+    } else {
+      R.Report = validateProperties(PS, Env);
+    }
+    R.PropsValidated = static_cast<unsigned>(R.Report.Checks.size());
+    R.PropsSkipped = DeclCount - R.PropsValidated;
     R.Trusted = R.Report.trusted();
     if (R.Trusted)
       TrustedRuns.add();
@@ -115,14 +215,41 @@ GuardedResult runGuarded(const std::string &KernelName,
 
   // Anything short of a full pass revokes trust: a Failed check is a
   // concrete counterexample, a Skipped/Exhausted one means the property
-  // was never confirmed.
-  R.UsedFallback = Opts.Mode == GuardMode::Fallback && !R.Trusted;
+  // was never confirmed. With per-dependence cores the revocation is
+  // surgical — only the dependences citing an unconfirmed base lose their
+  // simplifications; without cores the whole world reverts.
+  bool Untrusted = Opts.Mode == GuardMode::Fallback && !R.Trusted;
+  bool FullFallback = Untrusted && !R.SelectiveValidation;
+
+  std::vector<deps::AnalyzedDependence> Working;
+  const std::vector<deps::AnalyzedDependence> *Run = &Deps;
+  if (Untrusted && R.SelectiveValidation) {
+    std::set<std::string> Bad;
+    for (const PropertyCheck &C : R.Report.Checks)
+      if (C.Outcome != CheckOutcome::Pass)
+        Bad.insert(C.Base);
+    Working = Deps;
+    for (deps::AnalyzedDependence &D : Working) {
+      if (D.Status == deps::DepStatus::AffineUnsat || !coreCites(D, Bad))
+        continue;
+      D = baselineOne(D);
+      ++R.DepsRevoked;
+    }
+    Revoked.add(R.DepsRevoked);
+    Run = &Working;
+    obs::flightRecord(obs::FlightSeverity::Warn, "guard",
+                      "core-directed revocation of simplified inspectors",
+                      {{"kernel", KernelName},
+                       {"revoked", std::to_string(R.DepsRevoked)},
+                       {"of", std::to_string(Deps.size())}});
+  }
+  R.UsedFallback = FullFallback || R.DepsRevoked > 0;
 
   std::optional<std::vector<deps::AnalyzedDependence>> Base;
-  if (R.UsedFallback || Opts.Verify)
+  if (FullFallback || Opts.Verify)
     Base.emplace(baselineDeps(Deps));
 
-  if (R.UsedFallback) {
+  if (FullFallback) {
     Fallbacks.add();
     obs::flightRecord(obs::FlightSeverity::Warn, "guard",
                       "falling back to baseline inspectors",
@@ -130,7 +257,7 @@ GuardedResult runGuarded(const std::string &KernelName,
     R.Inspection = driver::runInspectors(KernelName, *Base, Env, N,
                                          Opts.Inspect);
   } else {
-    R.Inspection = driver::runInspectors(KernelName, Deps, Env, N,
+    R.Inspection = driver::runInspectors(KernelName, *Run, Env, N,
                                          Opts.Inspect);
   }
 
@@ -138,11 +265,13 @@ GuardedResult runGuarded(const std::string &KernelName,
     R.Verified = true;
     // Ground truth: the baseline graph over the same bound arrays. The
     // schedule the executor would follow — built from the graph actually
-    // in use — must respect every baseline dependence.
+    // in use — must respect every baseline dependence. A partially
+    // revoked run is NOT the baseline, so it is cross-checked like the
+    // simplified one.
     driver::InspectionResult BaseRun =
-        R.UsedFallback ? R.Inspection
-                       : driver::runInspectors(KernelName, *Base, Env, N,
-                                               Opts.Inspect);
+        FullFallback ? R.Inspection
+                     : driver::runInspectors(KernelName, *Base, Env, N,
+                                             Opts.Inspect);
     rt::WavefrontSchedule Sched = rt::scheduleLevelSets(
         R.Inspection.Graph, std::max(1, Opts.VerifyThreads));
     R.VerifyPassed = Sched.respects(BaseRun.Graph);
@@ -153,7 +282,9 @@ GuardedResult runGuarded(const std::string &KernelName,
                         "dependence graph",
                         {{"kernel", KernelName}});
       R.VerifyDetail = "schedule from the " +
-                       std::string(R.UsedFallback ? "baseline" : "simplified") +
+                       std::string(FullFallback ? "baseline"
+                                   : R.DepsRevoked > 0 ? "partially revoked"
+                                                       : "simplified") +
                        " graph (" + std::to_string(R.Inspection.Graph.numEdges()) +
                        " edges) violates the baseline graph (" +
                        std::to_string(BaseRun.Graph.numEdges()) + " edges)";
@@ -165,6 +296,8 @@ GuardedResult runGuarded(const std::string &KernelName,
           .count();
   Sp.tag("trusted", static_cast<int64_t>(R.Trusted));
   Sp.tag("fallback", static_cast<int64_t>(R.UsedFallback));
+  Sp.tag("selective", static_cast<int64_t>(R.SelectiveValidation));
+  Sp.tag("revoked", static_cast<int64_t>(R.DepsRevoked));
   return R;
 }
 

@@ -117,10 +117,12 @@ std::optional<int64_t> evalParamExpr(const Expr &E,
 /// accounting, and first-violation capture.
 class Checker {
 public:
-  Checker(std::string Property, std::string Array, uint64_t WorkCap)
+  Checker(std::string Property, std::string Array, std::string Base,
+          uint64_t WorkCap)
       : WorkCap(WorkCap) {
     C.Property = std::move(Property);
     C.Array = std::move(Array);
+    C.Base = std::move(Base);
     C.Outcome = CheckOutcome::Pass;
     C.Severity = CheckSeverity::Info;
   }
@@ -420,7 +422,7 @@ PropertyCheck checkOne(const ir::IndexArrayProperty &P,
       8 * static_cast<uint64_t>(std::max<int64_t>(0, F.Size) +
                                 std::max<int64_t>(0, O.Size)) +
       1024;
-  Checker Ck(Label, P.Fn, Cap);
+  Checker Ck(Label, P.Fn, propertyLabelBase(P), Cap);
 
   if (!F.bound()) {
     Ck.skip("array '" + P.Fn + "' is not bound as a span");
@@ -505,7 +507,7 @@ PropertyCheck checkDomainRange(const ir::DomainRangeDecl &D,
   ArrayRef F = lookup(Env, D.Fn);
   uint64_t Cap = 8 * static_cast<uint64_t>(std::max<int64_t>(0, F.Size)) +
                  1024;
-  Checker Ck(Label, D.Fn, Cap);
+  Checker Ck(Label, D.Fn, propertyLabelBase(D), Cap);
   if (!F.bound()) {
     Ck.skip("array '" + D.Fn + "' is not bound as a span");
     return Ck.take();
@@ -547,24 +549,58 @@ PropertyCheck checkDomainRange(const ir::DomainRangeDecl &D,
 
 } // namespace
 
-ValidationReport validateProperties(const ir::PropertySet &PS,
-                                    const codegen::UFEnvironment &Env) {
+std::string propertyLabelBase(const ir::IndexArrayProperty &P) {
+  // Must match the base UniversalAssertion::Label that PropertySet::
+  // assertions() emits (Properties.cpp) — note the ", " separator, unlike
+  // the "; " used in the human-facing PropertyCheck::Property label.
+  return ir::propertyKindName(P.K) + "(" + P.Fn +
+         (P.Other.empty() ? "" : ", " + P.Other) + ")";
+}
+
+std::string propertyLabelBase(const ir::DomainRangeDecl &D) {
+  return "domain_range(" + D.Fn + ")";
+}
+
+namespace {
+
+/// Shared body of both validateProperties overloads. A null `CitedBases`
+/// validates everything; otherwise declarations whose assertion-label
+/// base is uncited are skipped (they influenced no verdict).
+ValidationReport runValidation(const ir::PropertySet &PS,
+                               const codegen::UFEnvironment &Env,
+                               const std::set<std::string> *CitedBases) {
   static obs::Counter &Validations = obs::counter("guard.validations");
   static obs::Counter &Violations = obs::counter("guard.violations");
+  static obs::Counter &PropsValidated =
+      obs::counter("guard.props_validated");
+  static obs::Counter &PropsSkipped = obs::counter("guard.props_skipped");
   static obs::Histogram &ValidateNs = obs::histogram("guard.validate_ns");
   Validations.add();
   obs::ScopedLatency Lat(ValidateNs);
   obs::Span Sp("guard.validate", "guard");
   auto T0 = std::chrono::steady_clock::now();
 
+  uint64_t Uncited = 0;
   ValidationReport R;
-  for (const ir::IndexArrayProperty &P : PS.properties())
+  for (const ir::IndexArrayProperty &P : PS.properties()) {
+    if (CitedBases && !CitedBases->count(propertyLabelBase(P))) {
+      ++Uncited;
+      continue;
+    }
     R.Checks.push_back(checkOne(P, Env));
-  for (const ir::DomainRangeDecl &D : PS.domainRanges())
+  }
+  for (const ir::DomainRangeDecl &D : PS.domainRanges()) {
+    if (CitedBases && !CitedBases->count(propertyLabelBase(D))) {
+      ++Uncited;
+      continue;
+    }
     R.Checks.push_back(checkDomainRange(D, Env));
+  }
   R.Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
           .count();
+  PropsValidated.add(R.Checks.size());
+  PropsSkipped.add(Uncited);
   Violations.add(R.failures());
   for (const PropertyCheck &C : R.Checks)
     if (C.Outcome == CheckOutcome::Fail)
@@ -573,7 +609,22 @@ ValidationReport validateProperties(const ir::PropertySet &PS,
                         {{"property", C.Property}, {"detail", C.Detail}});
   Sp.tag("checks", static_cast<int64_t>(R.Checks.size()));
   Sp.tag("failures", static_cast<int64_t>(R.failures()));
+  Sp.tag("skipped_uncited", static_cast<int64_t>(Uncited));
   return R;
+}
+
+} // namespace
+
+ValidationReport validateProperties(const ir::PropertySet &PS,
+                                    const codegen::UFEnvironment &Env) {
+  return runValidation(PS, Env, nullptr);
+}
+
+ValidationReport
+validateProperties(const ir::PropertySet &PS,
+                   const codegen::UFEnvironment &Env,
+                   const std::set<std::string> &CitedBases) {
+  return runValidation(PS, Env, &CitedBases);
 }
 
 } // namespace guard

@@ -130,8 +130,16 @@ EqualityDiscoveryResult discoverEqualities(SparseRelation &R,
                                            const SimplifyOptions &Opts) {
   EqualityDiscoveryResult Result;
 
+  InstantiationStats Stats;
   Conjunction Aug =
-      instantiatePhase1(R.Conj, PS.assertions(), Opts, nullptr, nullptr);
+      instantiatePhase1(R.Conj, PS.assertions(), Opts, &Stats, nullptr);
+  // Every equality found below is a consequence of the applied instances,
+  // so their labels form a (coarse but sound) core for the rewrite.
+  Result.UsedLabels = std::move(Stats.UsedLabels);
+  std::sort(Result.UsedLabels.begin(), Result.UsedLabels.end());
+  Result.UsedLabels.erase(
+      std::unique(Result.UsedLabels.begin(), Result.UsedLabels.end()),
+      Result.UsedLabels.end());
 
   SparseRelation Tmp = R;
   Tmp.Conj = Aug;

@@ -50,7 +50,9 @@ Flattened flatten(const Conjunction &C,
   unsigned Width = static_cast<unsigned>(F.Cols.size());
   presburger::BasicSet Set(Width);
 
-  for (const Constraint &Cons : C.constraints()) {
+  const std::vector<Constraint> &Cs = C.constraints();
+  for (unsigned CI = 0; CI < Cs.size(); ++CI) {
+    const Constraint &Cons = Cs[CI];
     std::vector<int64_t> Row(Width + 1, 0);
     Row[Width] = Cons.E.constant();
     for (const Expr::Term &T : Cons.E.terms()) {
@@ -58,10 +60,13 @@ Flattened flatten(const Conjunction &C,
       assert(It != F.ColIndex.end() && "atom without a column");
       Row[It->second] += T.Coeff;
     }
-    if (Cons.isEq())
+    if (Cons.isEq()) {
       Set.addEquality(std::move(Row));
-    else
+      F.EqRowConstraint.push_back(CI);
+    } else {
       Set.addInequality(std::move(Row));
+      F.IneqRowConstraint.push_back(CI);
+    }
   }
 
   F.Set = std::move(Set);

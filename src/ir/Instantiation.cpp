@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <set>
 
 namespace sds {
@@ -38,6 +39,116 @@ bool constantFalse(const Constraint &C) {
 Constraint negateGeq(const Constraint &C) {
   assert(!C.isEq() && "cannot negate an equality into one constraint");
   return Constraint::geq(-C.E - Expr(1));
+}
+
+/// Does constraint `A` alone imply constraint `B`? Syntactic and sound:
+/// the linear parts must coincide (up to sign when `A` is an equality)
+/// with a compatible constant.
+bool constraintImplies(const Constraint &A, const Constraint &B) {
+  if (B.isEq()) {
+    if (!A.isEq())
+      return false;
+    Expr D = B.E - A.E;
+    if (D.isConstant() && D.constant() == 0)
+      return true;
+    Expr S = B.E + A.E;
+    return S.isConstant() && S.constant() == 0;
+  }
+  Expr D = B.E - A.E;
+  if (D.isConstant() && D.constant() >= 0)
+    return true;
+  if (A.isEq()) {
+    Expr S = B.E + A.E;
+    if (S.isConstant() && S.constant() >= 0)
+      return true;
+  }
+  return false;
+}
+
+/// Append the labels justifying constraint `C` to `Out`. Base-relation
+/// constraints contribute nothing; a constraint the ledger has never seen
+/// contributes the unattributed sentinel (forcing the coarse fallback).
+void appendOrigin(const OriginMap &O, const Constraint &C,
+                  std::vector<std::string> &Out) {
+  std::string Key = OriginMap::keyOf(C);
+  if (O.BaseKeys.count(Key))
+    return;
+  auto It = O.ConstraintOrigins.find(Key);
+  if (It == O.ConstraintOrigins.end()) {
+    Out.push_back(OriginMap::unattributed());
+    return;
+  }
+  Out.insert(Out.end(), It->second.begin(), It->second.end());
+}
+
+/// Labels supporting an antecedent constraint `P` that `Aug` entails
+/// syntactically. `P` itself may be absent: impliesSyntactically also
+/// accepts a strictly stronger bound or a forcing equality, so fall back
+/// to scanning for a single implying constraint and charge its origin.
+void appendSyntacticSupport(const OriginMap &O, const Conjunction &Aug,
+                            const Constraint &P,
+                            std::vector<std::string> &Out) {
+  if (P.E.isConstant())
+    return; // constant-true: no support needed
+  std::string Key = OriginMap::keyOf(P);
+  if (O.BaseKeys.count(Key))
+    return;
+  auto It = O.ConstraintOrigins.find(Key);
+  if (It != O.ConstraintOrigins.end()) {
+    Out.insert(Out.end(), It->second.begin(), It->second.end());
+    return;
+  }
+  const std::vector<std::string> *Best = nullptr;
+  for (const Constraint &C2 : Aug.constraints()) {
+    if (!constraintImplies(C2, P))
+      continue;
+    std::string K2 = OriginMap::keyOf(C2);
+    if (O.BaseKeys.count(K2))
+      return; // implied outright by the base relation
+    auto It2 = O.ConstraintOrigins.find(K2);
+    if (It2 != O.ConstraintOrigins.end() &&
+        (!Best || It2->second.size() < Best->size()))
+      Best = &It2->second;
+  }
+  if (Best) {
+    Out.insert(Out.end(), Best->begin(), Best->end());
+    return;
+  }
+  Out.push_back(OriginMap::unattributed());
+}
+
+/// One semantic-probe verdict plus the labels its proof cited.
+struct ProbeResult {
+  bool Implied = false;
+  std::vector<std::string> Support;
+};
+
+/// Citation accumulator threaded through the piece-emptiness checks.
+struct CoreCollector {
+  const OriginMap *Origins = nullptr;
+  std::vector<std::string> Labels; ///< labels cited so far (with repeats)
+  bool Fine = true;                ///< row-level attribution intact
+};
+
+/// Record the citations of one proven-empty piece: map the integer-level
+/// core rows back through the flattener's row provenance onto the piece's
+/// constraints, then onto assertion labels.
+void notePieceEmpty(CoreCollector *CC, const Flattened &F,
+                    const Conjunction &Piece,
+                    const presburger::EmptinessCore &EC) {
+  if (!CC)
+    return;
+  if (!EC.Valid) {
+    CC->Fine = false;
+    return;
+  }
+  const std::vector<Constraint> &Cs = Piece.constraints();
+  size_t NEq = F.EqRowConstraint.size();
+  for (uint32_t RI : EC.Rows) {
+    unsigned CI = RI < NEq ? F.EqRowConstraint[RI]
+                           : F.IneqRowConstraint[RI - NEq];
+    appendOrigin(*CC->Origins, Cs[CI], CC->Labels);
+  }
 }
 
 /// Enumerate all assertion instances over E^n, pruning vacuous ones.
@@ -144,11 +255,17 @@ Conjunction
 instantiatePhase1(const Conjunction &C,
                   const std::vector<UniversalAssertion> &Assertions,
                   const SimplifyOptions &Opts, InstantiationStats *Stats,
-                  std::vector<AssertionInstance> *Phase2) {
+                  std::vector<AssertionInstance> *Phase2,
+                  OriginMap *Origins) {
   InstantiationStats Local;
   InstantiationStats &S = Stats ? *Stats : Local;
 
   Conjunction Aug = C;
+  if (Origins) {
+    Origins->BaseKeys.clear();
+    for (const Constraint &C0 : Aug.constraints())
+      Origins->BaseKeys.insert(OriginMap::keyOf(C0));
+  }
   std::set<std::string> SeenInstances;
   std::vector<AssertionInstance> Instances;
   std::vector<bool> Consumed;
@@ -183,15 +300,38 @@ instantiatePhase1(const Conjunction &C,
   // run with a small node budget (rational infeasibility decides almost
   // every probe). Positive results are cached forever (Aug only grows);
   // negative results are cached per pass.
-  std::map<std::string, bool> ProbeCache;
+  std::map<std::string, ProbeResult> ProbeCache;
+  // Map a probe's integer-level emptiness core back onto Aug's constraints
+  // (the probe set is AugFlat.Set plus one trailing inequality — the
+  // negated goal, which is the proof's reductio and needs no label).
+  auto ProbeSupport = [&](const presburger::EmptinessCore &EC,
+                          std::vector<std::string> &Out) {
+    if (!EC.Valid) {
+      Out.push_back(OriginMap::unattributed());
+      return;
+    }
+    size_t NEq = AugFlat.EqRowConstraint.size();
+    const std::vector<Constraint> &Cs = Aug.constraints();
+    for (uint32_t RI : EC.Rows) {
+      if (RI < NEq) {
+        appendOrigin(*Origins, Cs[AugFlat.EqRowConstraint[RI]], Out);
+        continue;
+      }
+      size_t II = RI - NEq;
+      if (II >= AugFlat.IneqRowConstraint.size())
+        continue; // the appended negated goal
+      appendOrigin(*Origins, Cs[AugFlat.IneqRowConstraint[II]], Out);
+    }
+  };
   auto ImpliedSemantically = [&](const Constraint &P) {
     if (ProbesLeft == 0 || !CallsPresent(P))
       return false;
     std::string Key = P.str();
     auto Cached = ProbeCache.find(Key);
     if (Cached != ProbeCache.end())
-      return Cached->second;
+      return Cached->second.Implied;
     unsigned Budget = std::min(Opts.EmptinessBudget, 8u);
+    ProbeResult PR;
     auto EmptyWith = [&](const Constraint &Neg) {
       // Lower !P onto Aug's column space; atoms are present (checked).
       unsigned Width = AugFlat.Set.numVars();
@@ -205,18 +345,26 @@ instantiatePhase1(const Conjunction &C,
       }
       presburger::BasicSet Probe = AugFlat.Set;
       Probe.addInequality(std::move(Row));
-      return Probe.isEmpty(Budget) == presburger::Ternary::True;
+      if (!Origins)
+        return Probe.isEmpty(Budget) == presburger::Ternary::True;
+      presburger::EmptinessCore EC;
+      if (Probe.isEmpty(Budget, &EC) != presburger::Ternary::True)
+        return false;
+      ProbeSupport(EC, PR.Support);
+      return true;
     };
-    bool Result = false;
     if (!P.isEq()) {
       --ProbesLeft;
-      Result = EmptyWith(negateGeq(P));
+      PR.Implied = EmptyWith(negateGeq(P));
     } else if (ProbesLeft >= 2) {
       ProbesLeft -= 2;
-      Result = EmptyWith(Constraint::geq(P.E - Expr(1))) &&
-               EmptyWith(Constraint::geq(-P.E - Expr(1)));
+      PR.Implied = EmptyWith(Constraint::geq(P.E - Expr(1))) &&
+                   EmptyWith(Constraint::geq(-P.E - Expr(1)));
     }
-    ProbeCache.emplace(std::move(Key), Result);
+    if (!PR.Implied)
+      PR.Support.clear();
+    bool Result = PR.Implied;
+    ProbeCache.emplace(std::move(Key), std::move(PR));
     return Result;
   };
 
@@ -250,7 +398,7 @@ instantiatePhase1(const Conjunction &C,
     bool Changed = false;
     // Aug grew last pass: negative probe answers may have flipped.
     for (auto It = ProbeCache.begin(); It != ProbeCache.end();) {
-      if (!It->second)
+      if (!It->second.Implied)
         It = ProbeCache.erase(It);
       else
         ++It;
@@ -281,6 +429,33 @@ instantiatePhase1(const Conjunction &C,
           break;
         }
       if (AnteImplied) {
+        if (Origins) {
+          // Origin of each consequent constraint: this instance plus the
+          // (transitively flattened) supports of its antecedent.
+          std::vector<std::string> Labels{Inst.Label};
+          for (const Constraint &P : Inst.Antecedent.constraints()) {
+            if (P.E.isConstant())
+              continue;
+            if (Aug.impliesSyntactically(P)) {
+              appendSyntacticSupport(*Origins, Aug, P, Labels);
+            } else {
+              auto It = ProbeCache.find(P.str());
+              if (It != ProbeCache.end() && It->second.Implied)
+                Labels.insert(Labels.end(), It->second.Support.begin(),
+                              It->second.Support.end());
+              else
+                Labels.push_back(OriginMap::unattributed());
+            }
+          }
+          std::sort(Labels.begin(), Labels.end());
+          Labels.erase(std::unique(Labels.begin(), Labels.end()),
+                       Labels.end());
+          for (const Constraint &Q : Inst.Consequent.constraints()) {
+            std::string Key = OriginMap::keyOf(Q);
+            if (!Origins->BaseKeys.count(Key))
+              Origins->ConstraintOrigins.emplace(std::move(Key), Labels);
+          }
+        }
         Aug.append(Inst.Consequent);
         RefreshCalls();
         Consumed[I] = true;
@@ -298,6 +473,17 @@ instantiatePhase1(const Conjunction &C,
         const Constraint &P = Inst.Antecedent.constraints()[0];
         if (!Q.isEq() && !P.isEq() &&
             Aug.impliesSyntactically(negateGeq(Q))) {
+          if (Origins) {
+            std::vector<std::string> Labels{Inst.Label + " [contrapositive]"};
+            appendSyntacticSupport(*Origins, Aug, negateGeq(Q), Labels);
+            std::sort(Labels.begin(), Labels.end());
+            Labels.erase(std::unique(Labels.begin(), Labels.end()),
+                         Labels.end());
+            std::string Key = OriginMap::keyOf(negateGeq(P));
+            if (!Origins->BaseKeys.count(Key))
+              Origins->ConstraintOrigins.emplace(std::move(Key),
+                                                 std::move(Labels));
+          }
           Aug.add(negateGeq(P));
           Consumed[I] = true;
           ++S.Phase1Added;
@@ -323,16 +509,21 @@ instantiatePhase1(const Conjunction &C,
 namespace {
 
 /// Drop pieces that are already provably empty (cheap budget), keeping the
-/// DNF small during phase 2.
+/// DNF small during phase 2. Pruned pieces are part of the final proof, so
+/// their citations are recorded in `CC` like any other piece's.
 void prunePieces(std::vector<Conjunction> &Pieces, const SparseRelation &R,
-                 unsigned Budget) {
+                 unsigned Budget, CoreCollector *CC) {
   std::vector<Conjunction> Kept;
   for (Conjunction &Piece : Pieces) {
     SparseRelation Tmp = R;
     Tmp.Conj = Piece;
     Flattened F = flatten(Tmp);
-    if (F.Set.isEmpty(Budget) == presburger::Ternary::True)
+    presburger::EmptinessCore EC;
+    if (F.Set.isEmpty(Budget, CC ? &EC : nullptr) ==
+        presburger::Ternary::True) {
+      notePieceEmpty(CC, F, Piece, EC);
       continue;
+    }
     Kept.push_back(std::move(Piece));
   }
   Pieces = std::move(Kept);
@@ -344,7 +535,8 @@ void prunePieces(std::vector<Conjunction> &Pieces, const SparseRelation &R,
 void applyDisjunctiveInstance(std::vector<Conjunction> &Pieces,
                               const AssertionInstance &Inst,
                               const SparseRelation &R,
-                              const SimplifyOptions &Opts, bool &Overflowed) {
+                              const SimplifyOptions &Opts, bool &Overflowed,
+                              CoreCollector *CC) {
   std::vector<Conjunction> Next;
   for (const Conjunction &Piece : Pieces) {
     // Branch 1: the consequent holds.
@@ -370,7 +562,7 @@ void applyDisjunctiveInstance(std::vector<Conjunction> &Pieces,
     }
   }
   if (Next.size() > Opts.MaxPieces)
-    prunePieces(Next, R, /*Budget=*/8);
+    prunePieces(Next, R, /*Budget=*/8, CC);
   if (Next.size() > Opts.MaxPieces) {
     Overflowed = true;
     return; // caller keeps the previous piece list
@@ -380,13 +572,16 @@ void applyDisjunctiveInstance(std::vector<Conjunction> &Pieces,
 
 bool allPiecesProvenEmpty(const std::vector<Conjunction> &Pieces,
                           const SparseRelation &R,
-                          const SimplifyOptions &Opts) {
+                          const SimplifyOptions &Opts, CoreCollector *CC) {
   for (const Conjunction &Piece : Pieces) {
     SparseRelation Tmp = R;
     Tmp.Conj = Piece;
     Flattened F = flatten(Tmp);
-    if (F.Set.isEmpty(Opts.EmptinessBudget) != presburger::Ternary::True)
+    presburger::EmptinessCore EC;
+    if (F.Set.isEmpty(Opts.EmptinessBudget, CC ? &EC : nullptr) !=
+        presburger::Ternary::True)
       return false;
+    notePieceEmpty(CC, F, Piece, EC);
   }
   return true;
 }
@@ -395,51 +590,176 @@ bool allPiecesProvenEmpty(const std::vector<Conjunction> &Pieces,
 
 static bool provenUnsatWithAssertions(
     const SparseRelation &R, const std::vector<UniversalAssertion> &Assertions,
-    const SimplifyOptions &Opts, InstantiationStats *Stats) {
+    const SimplifyOptions &Opts, InstantiationStats *Stats, UnsatCore *Core) {
+  InstantiationStats Local;
+  InstantiationStats &S = Stats ? *Stats : Local;
+  size_t LabelsBefore = S.UsedLabels.size();
+
+  OriginMap OriginsStorage;
+  OriginMap *Origins = Core ? &OriginsStorage : nullptr;
+  CoreCollector CCStorage;
+  CCStorage.Origins = Origins;
+  CoreCollector *CC = Core ? &CCStorage : nullptr;
+
   std::vector<AssertionInstance> Phase2;
-  Conjunction Aug = instantiatePhase1(R.Conj, Assertions, Opts, Stats, &Phase2);
+  Conjunction Aug = instantiatePhase1(R.Conj, Assertions, Opts, &S, &Phase2,
+                                      Origins);
+
+  // Assemble the final core: the fine row-level citations when every piece
+  // attributed cleanly, otherwise the coarse applied-instance trail (which
+  // is always a sound superset — every derived row traces back to some
+  // applied instance).
+  auto Finish = [&](bool Proven) {
+    if (!Core)
+      return Proven;
+    *Core = UnsatCore{};
+    if (!Proven)
+      return Proven;
+    bool Fine = CC->Fine;
+    for (const std::string &L : CC->Labels)
+      if (L == OriginMap::unattributed())
+        Fine = false;
+    std::vector<std::string> Labels;
+    if (Fine) {
+      Labels = std::move(CC->Labels);
+      Core->FromFarkas = true;
+    } else {
+      Labels.assign(S.UsedLabels.begin() + LabelsBefore, S.UsedLabels.end());
+      Core->FromFarkas = false;
+    }
+    std::sort(Labels.begin(), Labels.end());
+    Labels.erase(std::unique(Labels.begin(), Labels.end()), Labels.end());
+    Core->Assertions = std::move(Labels);
+    return Proven;
+  };
 
   std::vector<Conjunction> Pieces{Aug};
-  if (allPiecesProvenEmpty(Pieces, R, Opts))
-    return true;
+  if (allPiecesProvenEmpty(Pieces, R, Opts, CC))
+    return Finish(true);
 
   // Phase 2: add disjunction-introducing instances under the caps.
   unsigned Used = 0;
   for (const AssertionInstance &Inst : Phase2) {
     if (Used >= Opts.MaxPhase2Instances)
       break;
+    if (Origins) {
+      // Branch literals are case assumptions: the split's own label pays
+      // for their exhaustiveness, nothing else is needed.
+      std::vector<std::string> L{Inst.Label + " [disjunctive]"};
+      auto RegisterBranch = [&](const Constraint &BC) {
+        std::string Key = OriginMap::keyOf(BC);
+        if (!Origins->BaseKeys.count(Key))
+          Origins->ConstraintOrigins.emplace(std::move(Key), L);
+      };
+      for (const Constraint &Q : Inst.Consequent.constraints())
+        RegisterBranch(Q);
+      for (const Constraint &A : Inst.Antecedent.constraints()) {
+        if (A.isEq()) {
+          RegisterBranch(Constraint::geq(A.E - Expr(1)));
+          RegisterBranch(Constraint::geq(-A.E - Expr(1)));
+        } else {
+          RegisterBranch(negateGeq(A));
+        }
+      }
+    }
     bool Overflowed = false;
-    applyDisjunctiveInstance(Pieces, Inst, R, Opts, Overflowed);
+    applyDisjunctiveInstance(Pieces, Inst, R, Opts, Overflowed, CC);
     if (Overflowed) {
-      if (Stats)
-        ++Stats->Dropped;
+      ++S.Dropped;
       continue;
     }
     ++Used;
-    if (Stats) {
-      ++Stats->Phase2Used;
-      Stats->UsedLabels.push_back(Inst.Label + " [disjunctive]");
-    }
+    ++S.Phase2Used;
+    S.UsedLabels.push_back(Inst.Label + " [disjunctive]");
+    // Every applied split must be cited: the pieces only cover the whole
+    // space because the split's instance (!A || C) holds.
+    if (CC)
+      CC->Labels.push_back(Inst.Label + " [disjunctive]");
     if (Pieces.empty())
-      return true; // every disjunct pruned as empty
+      return Finish(true); // every disjunct pruned as empty
   }
 
   if (Used == 0)
-    return false; // nothing new to try
-  return allPiecesProvenEmpty(Pieces, R, Opts);
+    return Finish(false); // nothing new to try
+  return Finish(allPiecesProvenEmpty(Pieces, R, Opts, CC));
 }
 
+namespace {
+
+/// A label's property base: everything before the application-mode suffix
+/// (" [contrapositive]" etc.) — the granularity at which the minimizer
+/// drops assertions and at which guards validate them.
+std::string labelBase(const std::string &L) {
+  size_t P = L.find(" [");
+  return P == std::string::npos ? L : L.substr(0, P);
+}
+
+/// Greedy drop-and-recheck core minimization at property-base granularity:
+/// re-prove without one base at a time (restricted to the bases still
+/// believed necessary) and keep any smaller proof found. Each recheck
+/// costs a full proof, so the loop is budget-capped.
+void minimizeCore(const SparseRelation &R,
+                  const std::vector<UniversalAssertion> &All,
+                  const SimplifyOptions &Opts, UnsatCore &Core) {
+  SimplifyOptions Sub = Opts;
+  Sub.CoreMinimizeBudget = 0;
+  std::set<std::string> AssertLabels;
+  for (const UniversalAssertion &A : All)
+    AssertLabels.insert(A.Label);
+  std::set<std::string> Live;
+  for (const std::string &L : Core.Assertions) {
+    std::string B = labelBase(L);
+    if (AssertLabels.count(B))
+      Live.insert(B);
+  }
+  std::vector<std::string> Candidates(Live.begin(), Live.end());
+  unsigned Budget = Opts.CoreMinimizeBudget;
+  bool Complete = true;
+  for (const std::string &B : Candidates) {
+    if (!Live.count(B))
+      continue; // already shed by an earlier successful recheck
+    if (Budget == 0) {
+      Complete = false;
+      break;
+    }
+    --Budget;
+    std::vector<UniversalAssertion> Subset;
+    for (const UniversalAssertion &A : All)
+      if (A.Label != B && Live.count(A.Label))
+        Subset.push_back(A);
+    UnsatCore Trial;
+    if (!provenUnsatWithAssertions(R, Subset, Sub, nullptr, &Trial))
+      continue;
+    Core = std::move(Trial);
+    Live.clear();
+    for (const std::string &L : Core.Assertions) {
+      std::string NB = labelBase(L);
+      if (AssertLabels.count(NB))
+        Live.insert(NB);
+    }
+  }
+  Core.Minimized = Complete;
+}
+
+} // namespace
+
 bool provenUnsat(const SparseRelation &R, const PropertySet &PS,
-                 const SimplifyOptions &Opts, InstantiationStats *Stats) {
-  return provenUnsatWithAssertions(R, PS.assertions(), Opts, Stats);
+                 const SimplifyOptions &Opts, InstantiationStats *Stats,
+                 UnsatCore *Core) {
+  bool Proven = provenUnsatWithAssertions(R, PS.assertions(), Opts, Stats,
+                                          Core);
+  if (Proven && Core && Opts.CoreMinimizeBudget > 0)
+    minimizeCore(R, PS.assertions(), Opts, *Core);
+  return Proven;
 }
 
 bool provenUnsatAffineOnly(const SparseRelation &R,
                            const SimplifyOptions &Opts,
-                           InstantiationStats *Stats) {
+                           InstantiationStats *Stats, UnsatCore *Core) {
   // No property assertions: functional-consistency guards only (these are
-  // always sound, independent of any domain knowledge).
-  return provenUnsatWithAssertions(R, {}, Opts, Stats);
+  // always sound, independent of any domain knowledge), so any core here
+  // needs no runtime validation at all.
+  return provenUnsatWithAssertions(R, {}, Opts, Stats, Core);
 }
 
 } // namespace ir

@@ -93,7 +93,126 @@ bool BasicSet::normalize() {
   return true;
 }
 
+/// Friend of BasicSet (declared in the header): grants the emptiness
+/// machinery in this file direct access to the constraint storage so row
+/// tags can be kept parallel to the rows through normalization.
+class EmptinessChecker {
+public:
+  static std::vector<std::vector<int64_t>> &eqs(BasicSet &S) { return S.Eqs; }
+  static std::vector<std::vector<int64_t>> &ineqs(BasicSet &S) {
+    return S.Ineqs;
+  }
+};
+
 namespace {
+
+/// Tag of a row introduced by branch-and-bound case splits rather than by
+/// the caller. Such rows never enter a reported core: the left/right
+/// split (x <= f) v (x >= f+1) covers all integers, so a case analysis
+/// citing them refutes the original rows alone.
+constexpr uint32_t kBranchTag = ~0u;
+
+/// A BasicSet with one tag per row, tags riding along through
+/// normalization, deduplication, and branching so a Farkas certificate
+/// over the solved rows maps back to the caller's original row ids.
+struct TaggedSet {
+  BasicSet S;
+  std::vector<uint32_t> EqTags, IneqTags;
+
+  explicit TaggedSet(BasicSet Set) : S(std::move(Set)) {
+    uint32_t Next = 0;
+    EqTags.resize(S.equalities().size());
+    for (auto &T : EqTags)
+      T = Next++;
+    IneqTags.resize(S.inequalities().size());
+    for (auto &T : IneqTags)
+      T = Next++;
+  }
+};
+
+/// BasicSet::normalize with tag bookkeeping: GCD-reduce, drop trivially
+/// true rows, sign-canonicalize equalities, deduplicate keeping the first
+/// occurrence (and its tag). Returns false when a row alone is
+/// unsatisfiable, reporting that row's tag in `BadTag`.
+bool normalizeTagged(TaggedSet &T, uint32_t &BadTag) {
+  unsigned NumVars = T.S.numVars();
+  std::vector<std::vector<int64_t>> NewEqs, NewIneqs;
+  std::vector<uint32_t> NewEqTags, NewIneqTags;
+  std::set<std::vector<int64_t>> SeenEq, SeenIneq;
+
+  auto &Eqs = EmptinessChecker::eqs(T.S);
+  for (size_t I = 0; I < Eqs.size(); ++I) {
+    auto &Row = Eqs[I];
+    int64_t G = variableGcd(Row, NumVars);
+    if (G == 0) {
+      if (Row[NumVars] != 0) {
+        BadTag = T.EqTags[I];
+        return false; // 0 == c, c != 0
+      }
+      continue;
+    }
+    if (Row[NumVars] % G != 0) {
+      BadTag = T.EqTags[I];
+      return false; // no integer solution for this equality
+    }
+    std::vector<int64_t> R = Row;
+    for (auto &C : R)
+      C /= G;
+    for (unsigned J = 0; J < NumVars; ++J) {
+      if (R[J] == 0)
+        continue;
+      if (R[J] < 0)
+        for (auto &C : R)
+          C = -C;
+      break;
+    }
+    if (SeenEq.insert(R).second) {
+      NewEqs.push_back(std::move(R));
+      NewEqTags.push_back(T.EqTags[I]);
+    }
+  }
+
+  auto &Ineqs = EmptinessChecker::ineqs(T.S);
+  for (size_t I = 0; I < Ineqs.size(); ++I) {
+    auto &Row = Ineqs[I];
+    int64_t G = variableGcd(Row, NumVars);
+    if (G == 0) {
+      if (Row[NumVars] < 0) {
+        BadTag = T.IneqTags[I];
+        return false; // 0 >= -c with c > 0
+      }
+      continue;
+    }
+    std::vector<int64_t> R = Row;
+    for (unsigned J = 0; J < NumVars; ++J)
+      R[J] /= G;
+    R[NumVars] = floorDiv64(R[NumVars], G);
+    if (SeenIneq.insert(R).second) {
+      NewIneqs.push_back(std::move(R));
+      NewIneqTags.push_back(T.IneqTags[I]);
+    }
+  }
+
+  EmptinessChecker::eqs(T.S) = std::move(NewEqs);
+  EmptinessChecker::ineqs(T.S) = std::move(NewIneqs);
+  T.EqTags = std::move(NewEqTags);
+  T.IneqTags = std::move(NewIneqTags);
+  return true;
+}
+
+/// Merge a child node's core tags into the parent's accumulator, skipping
+/// branch rows.
+void mergeCoreTags(std::vector<uint32_t> &Into,
+                   const std::vector<uint32_t> &From) {
+  for (uint32_t Tag : From)
+    if (Tag != kBranchTag)
+      Into.push_back(Tag);
+}
+
+void sortUniqueTags(std::vector<uint32_t> &Tags) {
+  std::sort(Tags.begin(), Tags.end());
+  Tags.erase(std::unique(Tags.begin(), Tags.end()), Tags.end());
+}
 
 /// Shared implementation of the integer emptiness test (rational simplex +
 /// branch-and-bound), also used for integer sampling.
@@ -102,8 +221,13 @@ public:
   explicit EmptinessCheckerImpl(unsigned NodeBudget) : Budget(NodeBudget) {}
 
   /// Returns the emptiness verdict; on False (non-empty), `Point` holds an
-  /// integer point.
-  Ternary run(BasicSet S, std::vector<int64_t> &Point) {
+  /// integer point. On True with `CoreTags` non-null, `CoreTags` receives
+  /// the tags of the rows the proof cited (branch rows stripped) and
+  /// `CoreValid` stays true iff every node produced an attributable
+  /// certificate; when a node could not attribute (overflow inside the
+  /// Farkas read-out), the node conservatively cites all of its rows.
+  Ternary run(TaggedSet T, std::vector<int64_t> &Point,
+              std::vector<uint32_t> *CoreTags) {
     static obs::Counter &Nodes = obs::counter("basicset.bnb_nodes");
     Nodes.add();
     // Wall-clock deadline (Budget.h): one clock read per node. Unknown is
@@ -112,8 +236,13 @@ public:
       noteDeadlineExhaustion();
       return Ternary::Unknown;
     }
-    if (!S.normalize())
+    uint32_t BadTag = kBranchTag;
+    if (!normalizeTagged(T, BadTag)) {
+      if (CoreTags && BadTag != kBranchTag)
+        CoreTags->push_back(BadTag);
       return Ternary::True;
+    }
+    BasicSet &S = T.S;
 
     Simplex Sx(S.numVars());
     for (const auto &R : S.equalities())
@@ -121,8 +250,25 @@ public:
     for (const auto &R : S.inequalities())
       Sx.addInequality(R);
     LPStatus St = Sx.checkFeasible();
-    if (St == LPStatus::Infeasible)
+    if (St == LPStatus::Infeasible) {
+      if (CoreTags) {
+        size_t NumEq = S.equalities().size();
+        const std::vector<unsigned> &C = Sx.infeasibleCore();
+        if (C.empty()) {
+          // Unattributable certificate (overflow): cite everything.
+          mergeCoreTags(*CoreTags, T.EqTags);
+          mergeCoreTags(*CoreTags, T.IneqTags);
+        } else {
+          for (unsigned RI : C) {
+            uint32_t Tag = RI < NumEq ? T.EqTags[RI]
+                                      : T.IneqTags[RI - NumEq];
+            if (Tag != kBranchTag)
+              CoreTags->push_back(Tag);
+          }
+        }
+      }
       return Ternary::True;
+    }
     if (St == LPStatus::Error)
       return Ternary::Unknown;
 
@@ -156,26 +302,32 @@ public:
       return Ternary::Unknown;
     int64_t F = static_cast<int64_t>(Floor);
 
-    BasicSet Left = S; // x <= floor(v)
+    TaggedSet Left = T; // x <= floor(v)
     {
       std::vector<int64_t> Row(S.numVars() + 1, 0);
       Row[FracVar] = -1;
       Row[S.numVars()] = F;
-      Left.addInequality(std::move(Row));
+      Left.S.addInequality(std::move(Row));
+      Left.IneqTags.push_back(kBranchTag);
     }
-    // Right branch (x >= floor(v) + 1) reuses S itself: the left branch
+    // Right branch (x >= floor(v) + 1) reuses T itself: the left branch
     // already holds its own copy, so the node needs one clone, not two.
     {
       std::vector<int64_t> Row(S.numVars() + 1, 0);
       Row[FracVar] = 1;
       Row[S.numVars()] = -(F + 1);
-      S.addInequality(std::move(Row));
+      T.S.addInequality(std::move(Row));
+      T.IneqTags.push_back(kBranchTag);
     }
 
-    Ternary A = run(std::move(Left), Point);
+    // The split covers all integers, so when both branches refute, the
+    // union of the original rows they cite is itself an unsat core: any
+    // point of that union satisfies one branch literal and would land in
+    // the corresponding (refuted) subtree.
+    Ternary A = run(std::move(Left), Point, CoreTags);
     if (A == Ternary::False)
       return Ternary::False;
-    Ternary B = run(std::move(S), Point);
+    Ternary B = run(std::move(T), Point, CoreTags);
     if (B == Ternary::False)
       return Ternary::False;
     if (A == Ternary::True && B == Ternary::True)
@@ -190,6 +342,36 @@ private:
 //===----------------------------------------------------------------------===//
 // Query memoization
 //===----------------------------------------------------------------------===//
+
+/// The row content of a proven unsat core, stored in the normalized form
+/// the cache keys on (so it can be matched back against any query whose
+/// canonical rows contain it). Shared immutably between the exact-key
+/// cache and the subsumption index.
+struct CachedCore {
+  /// (IsEq, normalized row) pairs, sorted.
+  std::vector<std::pair<bool, std::vector<int64_t>>> Rows;
+};
+
+/// What the exact-key cache stores: the verdict plus, for True emptiness
+/// verdicts, the proof's core rows (null for subset entries and for
+/// verdicts whose proof predates core support).
+struct CacheValue {
+  Ternary V = Ternary::Unknown;
+  std::shared_ptr<const CachedCore> Core;
+};
+
+/// Canonical bytes of one (IsEq, row) pair — the currency of the
+/// subsumption index.
+std::string rowKeyBytes(bool IsEq, const std::vector<int64_t> &Row) {
+  std::string Out;
+  Out.reserve((Row.size() + 1) * 8);
+  Out.push_back(IsEq ? 1 : 2);
+  for (int64_t V : Row)
+    for (int B = 0; B < 8; ++B)
+      Out.push_back(
+          static_cast<char>((static_cast<uint64_t>(V) >> (8 * B)) & 0xff));
+  return Out;
+}
 
 /// Process-wide canonical-system -> verdict cache. Definitive verdicts are
 /// mathematical facts about the (budget, constraint-system) pair, so there
@@ -206,48 +388,136 @@ struct QueryCache {
 
   struct alignas(64) Shard {
     std::mutex M;
-    std::unordered_map<std::string, Ternary> Map;
+    std::unordered_map<std::string, CacheValue> Map;
   };
   std::array<Shard, NumShards> Shards;
-  std::atomic<uint64_t> Hits{0}, Misses{0};
+  std::atomic<uint64_t> Hits{0}, Misses{0}, SubsumptionHits{0};
 
   Shard &shardFor(const std::string &Key) {
     return Shards[std::hash<std::string>{}(Key) & (NumShards - 1)];
   }
 
-  std::optional<Ternary> lookup(const std::string &Key) {
-    static obs::Counter &HitCtr = obs::counter("basicset.cache_hits");
-    static obs::Counter &MissCtr = obs::counter("basicset.cache_misses");
+  /// Raw map probe; counts nothing. Callers decide whether a miss is
+  /// final (countMiss) or rescued by the subsumption index (countHit +
+  /// countSubsumption).
+  std::optional<CacheValue> lookupRaw(const std::string &Key) {
     Shard &S = shardFor(Key);
-    std::optional<Ternary> Out;
-    {
-      std::lock_guard<std::mutex> Lock(S.M);
-      auto It = S.Map.find(Key);
-      if (It != S.Map.end())
-        Out = It->second;
-    }
-    if (Out) {
-      Hits.fetch_add(1, std::memory_order_relaxed);
-      HitCtr.add();
-    } else {
-      Misses.fetch_add(1, std::memory_order_relaxed);
-      MissCtr.add();
-    }
-    return Out;
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Map.find(Key);
+    if (It != S.Map.end())
+      return It->second;
+    return std::nullopt;
   }
 
-  void store(const std::string &Key, Ternary V) {
+  void countHit() {
+    static obs::Counter &HitCtr = obs::counter("basicset.cache_hits");
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    HitCtr.add();
+  }
+
+  void countMiss() {
+    static obs::Counter &MissCtr = obs::counter("basicset.cache_misses");
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    MissCtr.add();
+  }
+
+  void countSubsumption() {
+    static obs::Counter &SubCtr = obs::counter("basicset.cache_core_subsume");
+    SubsumptionHits.fetch_add(1, std::memory_order_relaxed);
+    SubCtr.add();
+  }
+
+  void store(const std::string &Key, Ternary V,
+             std::shared_ptr<const CachedCore> Core = nullptr) {
     if (V == Ternary::Unknown)
       return; // budget-dependent; another query may still resolve it
     Shard &S = shardFor(Key);
     std::lock_guard<std::mutex> Lock(S.M);
     if (S.Map.size() < MaxEntriesPerShard)
-      S.Map.emplace(Key, V);
+      S.Map.emplace(Key, CacheValue{V, std::move(Core)});
   }
 };
 
 QueryCache &queryCache() {
   static QueryCache C;
+  return C;
+}
+
+/// Second-level core-keyed index over proven emptiness cores. A query
+/// whose canonical row set is a *superset* of any stored core is empty a
+/// fortiori — more constraints can only shrink the point set — so it can
+/// be answered True without touching the solver, independent of node
+/// budget. Cores are anchored by their lexicographically smallest row:
+/// since core rows are a subset of any subsuming query's rows, scanning
+/// the query's own rows as anchors finds every candidate.
+struct CoreIndex {
+  static constexpr size_t MaxEntries = size_t(1) << 16;
+
+  std::mutex M;
+  std::unordered_map<std::string,
+                     std::vector<std::shared_ptr<const CachedCore>>>
+      ByAnchor;
+  size_t Entries = 0;
+
+  void insert(const std::shared_ptr<const CachedCore> &Core) {
+    if (!Core || Core->Rows.empty())
+      return;
+    std::string Anchor =
+        rowKeyBytes(Core->Rows.front().first, Core->Rows.front().second);
+    std::lock_guard<std::mutex> Lock(M);
+    if (Entries >= MaxEntries)
+      return;
+    auto &Bucket = ByAnchor[Anchor];
+    for (const auto &Existing : Bucket)
+      if (Existing->Rows == Core->Rows)
+        return;
+    Bucket.push_back(Core);
+    ++Entries;
+  }
+
+  /// All integer points of `N` (normalized) satisfy every row of some
+  /// stored core? Then N is empty; return that core.
+  std::shared_ptr<const CachedCore> subsuming(const BasicSet &N) {
+    std::set<std::pair<bool, std::vector<int64_t>>> QueryRows;
+    for (const auto &R : N.equalities())
+      QueryRows.emplace(true, R);
+    for (const auto &R : N.inequalities())
+      QueryRows.emplace(false, R);
+    std::lock_guard<std::mutex> Lock(M);
+    if (Entries == 0)
+      return nullptr;
+    for (const auto &Row : QueryRows) {
+      auto It = ByAnchor.find(rowKeyBytes(Row.first, Row.second));
+      if (It == ByAnchor.end())
+        continue;
+      for (const auto &Core : It->second) {
+        bool AllPresent = true;
+        for (const auto &CR : Core->Rows)
+          if (!QueryRows.count(CR)) {
+            AllPresent = false;
+            break;
+          }
+        if (AllPresent)
+          return Core;
+      }
+    }
+    return nullptr;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> Lock(M);
+    ByAnchor.clear();
+    Entries = 0;
+  }
+
+  size_t size() {
+    std::lock_guard<std::mutex> Lock(M);
+    return Entries;
+  }
+};
+
+CoreIndex &coreIndex() {
+  static CoreIndex C;
   return C;
 }
 
@@ -267,6 +537,10 @@ QueryCache &queryCache() {
       [] { return static_cast<double>(queryCacheStats().Entries); });
   Reg("presburger.query_cache.hit_rate",
       [] { return queryCacheStats().hitRate(); });
+  Reg("presburger.query_cache.core_subsumption_hits",
+      [] { return static_cast<double>(queryCacheStats().CoreSubsumptionHits); });
+  Reg("presburger.query_cache.core_entries",
+      [] { return static_cast<double>(queryCacheStats().CoreEntries); });
   Reg("presburger.prefilter.rejects",
       [] { return static_cast<double>(prefilterStats().rejects()); });
   Reg("presburger.prefilter.syntactic_subset",
@@ -331,26 +605,31 @@ void countPrefilterMiss() {
 /// are contradictory. normalize() GCD-reduces rows and canonicalizes the
 /// sign of each equality's leading coefficient, so identical variable
 /// parts compare bitwise-equal here.
-bool hasConflictingEqualities(const BasicSet &N) {
+bool hasConflictingEqualities(const BasicSet &N,
+                              std::pair<size_t, size_t> *Pair = nullptr) {
   const auto &Eqs = N.equalities();
   if (Eqs.size() < 2)
     return false;
   unsigned NumVars = N.numVars();
-  std::vector<const std::vector<int64_t> *> Sorted;
+  std::vector<size_t> Sorted;
   Sorted.reserve(Eqs.size());
-  for (const auto &R : Eqs)
-    Sorted.push_back(&R);
-  auto VarPartLess = [NumVars](const std::vector<int64_t> *A,
-                               const std::vector<int64_t> *B) {
-    return std::lexicographical_compare(A->begin(), A->begin() + NumVars,
-                                        B->begin(), B->begin() + NumVars);
+  for (size_t I = 0; I < Eqs.size(); ++I)
+    Sorted.push_back(I);
+  auto VarPartLess = [&](size_t A, size_t B) {
+    return std::lexicographical_compare(Eqs[A].begin(),
+                                        Eqs[A].begin() + NumVars,
+                                        Eqs[B].begin(),
+                                        Eqs[B].begin() + NumVars);
   };
   std::sort(Sorted.begin(), Sorted.end(), VarPartLess);
   for (size_t I = 1; I < Sorted.size(); ++I) {
-    const auto &A = *Sorted[I - 1], &B = *Sorted[I];
+    const auto &A = Eqs[Sorted[I - 1]], &B = Eqs[Sorted[I]];
     if (std::equal(A.begin(), A.begin() + NumVars, B.begin()) &&
-        A[NumVars] != B[NumVars])
+        A[NumVars] != B[NumVars]) {
+      if (Pair)
+        *Pair = {Sorted[I - 1], Sorted[I]};
       return true;
+    }
   }
   return false;
 }
@@ -469,16 +748,29 @@ bool intervalConflict(const BasicSet &N) {
   return false;
 }
 
+/// Which rows a prefilter reject cited, in N's (normalized) row-index
+/// space. Interval propagation derives bounds through arbitrarily many
+/// rows, so it cannot attribute and cites everything.
+struct PrefilterCore {
+  std::vector<size_t> EqRows; ///< conflicting equality indices
+  bool AllRows = false;       ///< unattributable: cite the whole system
+};
+
 /// The emptiness prefilter ladder over an already-normalized set. Counts
 /// each rung's hits; does NOT count misses (callers decide whether a miss
 /// proceeds to the full solver).
-Ternary prefilterNormalized(const BasicSet &N) {
-  if (hasConflictingEqualities(N)) {
+Ternary prefilterNormalized(const BasicSet &N, PrefilterCore *Core = nullptr) {
+  std::pair<size_t, size_t> Conflict;
+  if (hasConflictingEqualities(N, &Conflict)) {
     countEqConflictReject();
+    if (Core)
+      Core->EqRows = {Conflict.first, Conflict.second};
     return Ternary::True;
   }
   if (intervalConflict(N)) {
     countIntervalReject();
+    if (Core)
+      Core->AllRows = true;
     return Ternary::True;
   }
   return Ternary::Unknown;
@@ -520,7 +812,9 @@ QueryCacheStats queryCacheStats() {
     Entries += S.Map.size();
   }
   return {C.Hits.load(std::memory_order_relaxed),
-          C.Misses.load(std::memory_order_relaxed), Entries};
+          C.Misses.load(std::memory_order_relaxed), Entries,
+          C.SubsumptionHits.load(std::memory_order_relaxed),
+          coreIndex().size()};
 }
 
 void clearQueryCache() {
@@ -531,6 +825,8 @@ void clearQueryCache() {
   }
   C.Hits.store(0, std::memory_order_relaxed);
   C.Misses.store(0, std::memory_order_relaxed);
+  C.SubsumptionHits.store(0, std::memory_order_relaxed);
+  coreIndex().clear();
   prefilterCounters().reset();
   resetBudgetCounters();
 }
@@ -556,25 +852,157 @@ Ternary prefilterEmptiness(const BasicSet &S) {
 }
 
 Ternary BasicSet::isEmpty(unsigned NodeBudget) const {
+  return isEmpty(NodeBudget, /*Core=*/nullptr);
+}
+
+namespace {
+
+/// Build the shareable row-content core from cited tags, reading row
+/// content out of the normalized tagged set.
+std::shared_ptr<const CachedCore>
+contentCoreFromTags(const TaggedSet &T, const std::vector<uint32_t> &Tags) {
+  auto Core = std::make_shared<CachedCore>();
+  Core->Rows.reserve(Tags.size());
+  for (uint32_t Tag : Tags) {
+    bool Found = false;
+    for (size_t I = 0; I < T.EqTags.size() && !Found; ++I)
+      if (T.EqTags[I] == Tag) {
+        Core->Rows.emplace_back(true, T.S.equalities()[I]);
+        Found = true;
+      }
+    for (size_t I = 0; I < T.IneqTags.size() && !Found; ++I)
+      if (T.IneqTags[I] == Tag) {
+        Core->Rows.emplace_back(false, T.S.inequalities()[I]);
+        Found = true;
+      }
+    if (!Found)
+      return nullptr; // cited row vanished in normalization (cannot happen)
+  }
+  std::sort(Core->Rows.begin(), Core->Rows.end());
+  Core->Rows.erase(std::unique(Core->Rows.begin(), Core->Rows.end()),
+                   Core->Rows.end());
+  return Core;
+}
+
+/// Map a content core back onto a query's rows: every core row must match
+/// one of the query's normalized rows by content; return its tag. False
+/// when a row is missing (a cache entry written by a different canonical
+/// form — impossible for exact-key hits, possible never in practice).
+bool tagsFromContentCore(const TaggedSet &T, const CachedCore &Core,
+                         std::vector<uint32_t> &Tags) {
+  std::map<std::pair<bool, const std::vector<int64_t> *>, uint32_t,
+           bool (*)(const std::pair<bool, const std::vector<int64_t> *> &,
+                    const std::pair<bool, const std::vector<int64_t> *> &)>
+      RowTag([](const std::pair<bool, const std::vector<int64_t> *> &A,
+                const std::pair<bool, const std::vector<int64_t> *> &B) {
+        if (A.first != B.first)
+          return A.first < B.first;
+        return *A.second < *B.second;
+      });
+  for (size_t I = 0; I < T.EqTags.size(); ++I)
+    RowTag.emplace(std::make_pair(true, &T.S.equalities()[I]), T.EqTags[I]);
+  for (size_t I = 0; I < T.IneqTags.size(); ++I)
+    RowTag.emplace(std::make_pair(false, &T.S.inequalities()[I]),
+                   T.IneqTags[I]);
+  for (const auto &[IsEq, Row] : Core.Rows) {
+    auto It = RowTag.find(std::make_pair(IsEq, &Row));
+    if (It == RowTag.end())
+      return false;
+    Tags.push_back(It->second);
+  }
+  return true;
+}
+
+void recordCoreSize(size_t N) {
+  static obs::Histogram &H = obs::histogram("presburger.core_size");
+  H.record(static_cast<uint64_t>(N));
+}
+
+} // namespace
+
+Ternary BasicSet::isEmpty(unsigned NodeBudget, EmptinessCore *Core) const {
   static obs::Counter &Checks = obs::counter("basicset.emptiness_checks");
   Checks.add();
-  // Normalize once; the prefilter ladder, the cache key, and the solver
-  // all reuse the result.
-  BasicSet N = *this;
-  if (!N.normalize()) {
+  if (Core) {
+    Core->Rows.clear();
+    Core->Valid = false;
+  }
+  // Normalize once, carrying a tag per row; the prefilter ladder, the
+  // cache key, the solver, and core attribution all reuse the result.
+  TaggedSet T(*this);
+  uint32_t BadTag = kBranchTag;
+  if (!normalizeTagged(T, BadTag)) {
     countGcdReject();
+    if (Core && BadTag != kBranchTag) {
+      Core->Rows = {BadTag};
+      Core->Valid = true;
+      recordCoreSize(1);
+    }
     return Ternary::True;
   }
-  if (prefilterNormalized(N) == Ternary::True)
+  const BasicSet &N = T.S;
+  PrefilterCore PC;
+  if (prefilterNormalized(N, &PC) == Ternary::True) {
+    if (PC.EqRows.size() == 2) {
+      // Two conflicting equalities: a two-row core worth indexing.
+      auto CC = std::make_shared<CachedCore>();
+      CC->Rows.emplace_back(true, N.equalities()[PC.EqRows[0]]);
+      CC->Rows.emplace_back(true, N.equalities()[PC.EqRows[1]]);
+      std::sort(CC->Rows.begin(), CC->Rows.end());
+      coreIndex().insert(CC);
+    }
+    if (Core) {
+      if (PC.AllRows) {
+        Core->Rows.insert(Core->Rows.end(), T.EqTags.begin(), T.EqTags.end());
+        Core->Rows.insert(Core->Rows.end(), T.IneqTags.begin(),
+                          T.IneqTags.end());
+      } else {
+        for (size_t I : PC.EqRows)
+          Core->Rows.push_back(T.EqTags[I]);
+      }
+      sortUniqueTags(Core->Rows);
+      Core->Valid = true;
+      recordCoreSize(Core->Rows.size());
+    }
     return Ternary::True;
+  }
   countPrefilterMiss();
   std::string Key;
   Key.reserve(32 + (N.numConstraints() + 2) * (NumVars + 2) * 8);
   Key.push_back('E');
   appendInt(Key, NodeBudget);
   appendCanonicalNormalized(Key, N);
-  if (std::optional<Ternary> Hit = queryCache().lookup(Key))
-    return *Hit;
+  QueryCache &QC = queryCache();
+  if (std::optional<CacheValue> Hit = QC.lookupRaw(Key)) {
+    QC.countHit();
+    if (Core && Hit->V == Ternary::True && Hit->Core) {
+      std::vector<uint32_t> Tags;
+      if (tagsFromContentCore(T, *Hit->Core, Tags)) {
+        sortUniqueTags(Tags);
+        Core->Rows = std::move(Tags);
+        Core->Valid = true;
+      }
+    }
+    return Hit->V;
+  }
+  // Exact-key miss: a previously proven core whose rows all appear in
+  // this query refutes it outright (more constraints, fewer points) —
+  // budget-independent, so it rescues queries across budget settings too.
+  if (std::shared_ptr<const CachedCore> Sub = coreIndex().subsuming(N)) {
+    QC.countHit();
+    QC.countSubsumption();
+    QC.store(Key, Ternary::True, Sub);
+    if (Core) {
+      std::vector<uint32_t> Tags;
+      if (tagsFromContentCore(T, *Sub, Tags)) {
+        sortUniqueTags(Tags);
+        Core->Rows = std::move(Tags);
+        Core->Valid = true;
+      }
+    }
+    return Ternary::True;
+  }
+  QC.countMiss();
   // Past the analysis deadline, skip the solver outright (the cache may
   // still serve proven facts above — they stay valid forever).
   if (deadlineExpired()) {
@@ -582,8 +1010,21 @@ Ternary BasicSet::isEmpty(unsigned NodeBudget) const {
     return Ternary::Unknown;
   }
   std::vector<int64_t> Ignored;
-  Ternary R = EmptinessCheckerImpl(NodeBudget).run(std::move(N), Ignored);
-  queryCache().store(Key, R);
+  std::vector<uint32_t> CoreTags;
+  Ternary R = EmptinessCheckerImpl(NodeBudget).run(T, Ignored, &CoreTags);
+  if (R == Ternary::True) {
+    sortUniqueTags(CoreTags);
+    std::shared_ptr<const CachedCore> CC = contentCoreFromTags(T, CoreTags);
+    QC.store(Key, R, CC);
+    coreIndex().insert(CC);
+    recordCoreSize(CoreTags.size());
+    if (Core) {
+      Core->Rows = std::move(CoreTags);
+      Core->Valid = CC != nullptr;
+    }
+  } else {
+    QC.store(Key, R);
+  }
   return R;
 }
 
@@ -592,7 +1033,9 @@ BasicSet::sampleIntegerPoint(unsigned NodeBudget) const {
   static obs::Counter &Samples = obs::counter("basicset.samples");
   Samples.add();
   std::vector<int64_t> Point;
-  if (EmptinessCheckerImpl(NodeBudget).run(*this, Point) == Ternary::False)
+  if (EmptinessCheckerImpl(NodeBudget).run(TaggedSet(*this), Point,
+                                           /*CoreTags=*/nullptr) ==
+      Ternary::False)
     return Point;
   return std::nullopt;
 }
@@ -743,8 +1186,11 @@ Ternary BasicSet::isSubsetOf(const BasicSet &Other,
   appendInt(Key, NodeBudget);
   appendCanonicalNormalized(Key, NThis);
   appendCanonicalNormalized(Key, NOther);
-  if (std::optional<Ternary> Hit = queryCache().lookup(Key))
-    return *Hit;
+  if (std::optional<CacheValue> Hit = queryCache().lookupRaw(Key)) {
+    queryCache().countHit();
+    return Hit->V;
+  }
+  queryCache().countMiss();
   Ternary Verdict = [&] {
   // this ⊆ {row >= 0}  iff  this ∧ (row <= -1) is empty. One probe set
   // is reused across all halfspaces: push the negated row, query, pop.
@@ -1103,7 +1549,14 @@ std::string BasicSet::str(const std::vector<std::string> &Names) const {
   for (unsigned J = 0; J < NumVars; ++J) {
     if (J)
       Out += ", ";
-    Out += J < Names.size() ? Names[J] : ("x" + std::to_string(J));
+    if (J < Names.size()) {
+      Out += Names[J];
+    } else {
+      // Built via append, not operator+: the latter trips a GCC 12
+      // -Wrestrict false positive (PR105329) under -Werror.
+      Out += 'x';
+      Out += std::to_string(J);
+    }
   }
   Out += "] : ";
   bool First = true;

@@ -207,10 +207,14 @@ private:
 LPStatus Simplex::solve(const std::vector<int64_t> *Obj, Fraction &ObjValue) {
   static obs::Counter &Solves = obs::counter("simplex.solves");
   Solves.add();
+  Core.clear();
   // Quick scan: constraints with no variable part decide themselves.
-  std::vector<const RowRec *> Active;
+  // Active holds add-order indices so an infeasibility certificate over
+  // the tableau rows can be mapped back to the rows the caller added.
+  std::vector<unsigned> Active;
   Active.reserve(Rows.size());
-  for (const RowRec &R : Rows) {
+  for (unsigned RI = 0; RI < Rows.size(); ++RI) {
+    const RowRec &R = Rows[RI];
     bool AllZero = true;
     for (unsigned J = 0; J < NumVars; ++J)
       if (R.Coeffs[J] != 0) {
@@ -219,16 +223,18 @@ LPStatus Simplex::solve(const std::vector<int64_t> *Obj, Fraction &ObjValue) {
       }
     if (AllZero) {
       int64_t C = R.Coeffs[NumVars];
-      if (R.IsEq ? (C != 0) : (C < 0))
+      if (R.IsEq ? (C != 0) : (C < 0)) {
+        Core.push_back(RI); // the row alone is contradictory
         return LPStatus::Infeasible;
+      }
       continue; // trivially satisfied
     }
-    Active.push_back(&R);
+    Active.push_back(RI);
   }
 
   unsigned NumIneq = 0;
-  for (const RowRec *R : Active)
-    if (!R->IsEq)
+  for (unsigned RI : Active)
+    if (!Rows[RI].IsEq)
       ++NumIneq;
 
   unsigned M = static_cast<unsigned>(Active.size());
@@ -253,7 +259,7 @@ LPStatus Simplex::solve(const std::vector<int64_t> *Obj, Fraction &ObjValue) {
   Tableau T(M, NumCols);
   unsigned SlackIdx = 0;
   for (unsigned I = 0; I < M; ++I) {
-    const RowRec &R = *Active[I];
+    const RowRec &R = Rows[Active[I]];
     // a.x + c (>=|==) 0  becomes  a.(p-q) [- s] = -c ; flip so RHS >= 0.
     int64_t Rhs64 = -R.Coeffs[NumVars];
     int Sign = Rhs64 < 0 ? -1 : 1;
@@ -288,8 +294,19 @@ LPStatus Simplex::solve(const std::vector<int64_t> *Obj, Fraction &ObjValue) {
     return S;
   assert(S != LPStatus::Unbounded && "phase-1 objective is bounded below");
   // Feasible iff the phase-1 optimum is zero, i.e. -objVal == 0.
-  if (!T.objVal().isZero())
+  if (!T.objVal().isZero()) {
+    // Farkas certificate: at the phase-1 optimum the dual weight of row I
+    // is y_I = 1 - obj(ABase+I) (reduced cost of its artificial column).
+    // Rows with y_I == 0 contribute nothing to the certificate, so the
+    // nonzero-weight subsystem is itself infeasible — an unsat core.
+    if (!T.overflowed()) {
+      Fraction One(1);
+      for (unsigned I = 0; I < M; ++I)
+        if (T.obj(ABase + I) != One)
+          Core.push_back(Active[I]);
+    }
     return LPStatus::Infeasible;
+  }
 
   // Drive any remaining basic artificials out (or detect redundant rows).
   for (unsigned I = 0; I < M; ++I) {

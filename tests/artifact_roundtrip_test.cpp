@@ -215,6 +215,77 @@ TEST(ArtifactRoundTrip, GuardedRunFromArtifactMatchesFresh) {
                     "guarded " + C.Key);
 }
 
+// Per-dependence unsat cores are part of the artifact: they round-trip
+// bit-identically, so a warm process inherits the compile-time trust base
+// without re-proving anything.
+TEST(ArtifactCore, CoresSurviveRoundTripBitIdentical) {
+  artifact::CompiledKernel CK =
+      artifact::compile(kernels::forwardSolveCSR(), {});
+  bool AnyCited = false;
+  for (const deps::AnalyzedDependence &D : CK.Deps) {
+    EXPECT_TRUE(D.HasCore) << D.Dep.label();
+    AnyCited = AnyCited || !D.Core.Assertions.empty();
+  }
+  EXPECT_TRUE(AnyCited);
+
+  artifact::CompiledKernel Loaded;
+  support::Status S = artifact::deserialize(artifact::serialize(CK), Loaded);
+  ASSERT_TRUE(S.ok()) << S.str();
+  ASSERT_EQ(Loaded.Deps.size(), CK.Deps.size());
+  for (size_t I = 0; I < CK.Deps.size(); ++I) {
+    EXPECT_EQ(Loaded.Deps[I].HasCore, CK.Deps[I].HasCore);
+    EXPECT_EQ(Loaded.Deps[I].Core.Assertions, CK.Deps[I].Core.Assertions);
+    EXPECT_EQ(Loaded.Deps[I].Core.Minimized, CK.Deps[I].Core.Minimized);
+    EXPECT_EQ(Loaded.Deps[I].Core.FromFarkas, CK.Deps[I].Core.FromFarkas);
+  }
+}
+
+// Schema skew: a blob produced before the "core" field existed (simulated
+// by stripping the cores before serializing — the encoder then emits no
+// "core" keys, exactly like the old writer) still loads, with HasCore
+// false everywhere. The guard detects that and falls back to validating
+// every declared property instead of a core-directed subset.
+TEST(ArtifactCore, PreCoreBlobFallsBackToFullValidation) {
+  artifact::CompiledKernel CK =
+      artifact::compile(kernels::forwardSolveCSR(), {});
+
+  artifact::CompiledKernel PreCore = CK;
+  for (deps::AnalyzedDependence &D : PreCore.Deps) {
+    D.Core = {};
+    D.HasCore = false;
+  }
+  std::string OldBlob = artifact::serialize(PreCore);
+  EXPECT_EQ(OldBlob.find("\"core\""), std::string::npos);
+  EXPECT_NE(artifact::serialize(CK).find("\"core\""), std::string::npos);
+
+  artifact::CompiledKernel Loaded;
+  support::Status S = artifact::deserialize(OldBlob, Loaded);
+  ASSERT_TRUE(S.ok()) << S.str();
+  for (const deps::AnalyzedDependence &D : Loaded.Deps)
+    EXPECT_FALSE(D.HasCore);
+
+  int N = 0;
+  codegen::UFEnvironment Env = wire("fs_csr", 99, 150, N);
+  guard::GuardedResult FromOld = guard::runGuarded(Loaded, Env, N);
+  EXPECT_TRUE(FromOld.Validated);
+  EXPECT_FALSE(FromOld.SelectiveValidation);
+  EXPECT_EQ(FromOld.PropsSkipped, 0u);
+  EXPECT_TRUE(FromOld.Trusted) << FromOld.Report.str();
+
+  // The same blob with cores runs the core-directed subset — same verdict,
+  // fewer checks.
+  artifact::CompiledKernel WithCores;
+  ASSERT_TRUE(
+      artifact::deserialize(artifact::serialize(CK), WithCores).ok());
+  guard::GuardedResult FromNew = guard::runGuarded(WithCores, Env, N);
+  EXPECT_TRUE(FromNew.SelectiveValidation);
+  EXPECT_GT(FromNew.PropsSkipped, 0u);
+  EXPECT_TRUE(FromNew.Trusted) << FromNew.Report.str();
+  EXPECT_LT(FromNew.Report.Checks.size(), FromOld.Report.Checks.size());
+  expectGraphsEqual(FromOld.Inspection.Graph, FromNew.Inspection.Graph,
+                    "pre-core vs core-bearing artifact");
+}
+
 TEST(ArtifactRoundTrip, SaveLoadFile) {
   SuiteCase C = suite()[0];
   artifact::CompiledKernel CK = artifact::compile(C.K, C.Opts);

@@ -52,8 +52,24 @@ bool sameGraph(const rt::DependenceGraph &A, const rt::DependenceGraph &B,
   return true;
 }
 
-/// A corrupted copy of the fixture environment (adjacent swap in col).
+/// A corrupted copy of the fixture environment that breaks the property
+/// the analysis actually *cited*: forward solve CSR's only property-unsat
+/// core is {triangular_entries_le(col, rowptr)}, and an out-of-range col
+/// entry violates it for whatever row holds that entry.
 codegen::UFEnvironment corruptedEnv() {
+  codegen::UFEnvironment Bad;
+  std::string Desc;
+  FaultSpec S{"col", FaultKind::OutOfRange, 7};
+  bool Injected = injectFault(fx().Env, S, Bad, Desc);
+  EXPECT_TRUE(Injected) << Desc;
+  return Bad;
+}
+
+/// A corruption of an *uncited* aspect: swapping two adjacent col entries
+/// within a row breaks periodic_monotonic(col, rowptr) — declared but
+/// cited by no unsat core — while preserving the per-row entry multiset
+/// that triangular_entries_le constrains.
+codegen::UFEnvironment uncitedCorruptedEnv() {
   codegen::UFEnvironment Bad;
   std::string Desc;
   FaultSpec S{"col", FaultKind::SwapAdjacent, 7};
@@ -118,12 +134,18 @@ TEST(RunGuarded, CorruptedInputFallsBackToBaselineGraph) {
   GuardedResult G = runGuarded(F.Analysis, F.K.Properties, Bad, F.Lower.N,
                                Opts);
   EXPECT_TRUE(G.Validated);
+  // Every dependence carries a core, so validation is core-directed and
+  // the violated triangular_entries_le base is among the checked ones.
+  EXPECT_TRUE(G.SelectiveValidation);
   EXPECT_FALSE(G.Trusted);
   EXPECT_TRUE(G.UsedFallback);
+  EXPECT_GE(G.DepsRevoked, 1u);
   EXPECT_TRUE(G.Report.violated()) << G.Report.str();
 
-  // The graph in use must be exactly what the baseline inspectors produce
-  // on the same corrupted arrays.
+  // Revocation is per-dependence, but for forward solve CSR the only
+  // simplification cites the violated base and the surviving runtime
+  // check was never rewritten — so the graph in use must be exactly what
+  // the baseline inspectors produce on the same corrupted arrays.
   driver::InspectionResult Base =
       driver::runInspectors(baselineAnalysis(F.Analysis), Bad, F.Lower.N);
   EXPECT_TRUE(sameGraph(G.Inspection.Graph, Base.Graph, F.Lower.N));
@@ -132,7 +154,36 @@ TEST(RunGuarded, CorruptedInputFallsBackToBaselineGraph) {
   EXPECT_TRUE(G.Verified);
   EXPECT_TRUE(G.VerifyPassed) << G.VerifyDetail;
 
-  EXPECT_NE(G.summary().find("fallback"), std::string::npos);
+  EXPECT_NE(G.summary().find("revoked"), std::string::npos) << G.summary();
+}
+
+TEST(RunGuarded, UncitedCorruptionIsToleratedByCoreDirectedValidation) {
+  const Fixture &F = fx();
+  codegen::UFEnvironment Bad = uncitedCorruptedEnv();
+
+  GuardedOptions Opts;
+  Opts.Verify = true;
+  GuardedResult G = runGuarded(F.Analysis, F.K.Properties, Bad, F.Lower.N,
+                               Opts);
+  EXPECT_TRUE(G.Validated);
+  EXPECT_TRUE(G.SelectiveValidation);
+  // periodic_monotonic(col, rowptr) is broken but uncited: no verdict
+  // depended on it, so the guard keeps trusting the simplified
+  // inspectors — and skips its check entirely.
+  EXPECT_TRUE(G.Trusted) << G.Report.str();
+  EXPECT_FALSE(G.UsedFallback);
+  EXPECT_EQ(G.DepsRevoked, 0u);
+  EXPECT_GT(G.PropsSkipped, 0u);
+
+  // The tolerance is sound, not lucky: the schedule still respects the
+  // baseline graph over the same corrupted arrays.
+  EXPECT_TRUE(G.Verified);
+  EXPECT_TRUE(G.VerifyPassed) << G.VerifyDetail;
+
+  // Full validation *would* have revoked trust — this is precisely the
+  // false-revocation the core-directed guard eliminates.
+  ValidationReport Full = validateProperties(F.K.Properties, Bad);
+  EXPECT_FALSE(Full.trusted());
 }
 
 TEST(RunGuarded, WarnModeDetectsWithoutFallingBack) {
