@@ -16,10 +16,18 @@
 // reject the mutant or decode it bit-identically. Any "silent accept"
 // fails the run.
 //
+// Finally the *persistent* store gets the same treatment: each kernel's
+// artifact is published into a scratch sds::store::Store and attacked with
+// torn writes, at-rest bit flips, stale schema envelopes, blocked
+// quarantines, and kill-mid-write debris; every trial must either serve
+// the pristine bytes or fall back to a clean miss. Any "silent wrong
+// serve" fails the run.
+//
 //   fault_injection                 # full campaign, table + verdict
 //   fault_injection --n 150        # matrix dimension (default 120)
 //   fault_injection --seeds 2      # corruption seeds per (array, kind)
 //   fault_injection --blob-seeds 32   # blob mutants per corruption class
+//   fault_injection --store-seeds 8   # store trials per StoreFaultKind
 //   fault_injection --kernel ic0   # only kernels whose key contains "ic0"
 //   fault_injection -v             # print every trial
 //   SDS_HEAVY=0 fault_injection    # skip the minutes-long IC0/ILU0 analyses
@@ -32,6 +40,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 using namespace sds;
 using namespace sds::rt;
@@ -82,6 +91,7 @@ int main(int argc, char **argv) {
   int N = 120;
   unsigned Seeds = 1;
   unsigned BlobSeeds = 8;
+  unsigned StoreSeeds = 4;
   bool Verbose = false;
   std::string KernelFilter;
   for (int I = 1; I < argc; ++I) {
@@ -91,13 +101,17 @@ int main(int argc, char **argv) {
       Seeds = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "--blob-seeds") && I + 1 < argc)
       BlobSeeds = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--store-seeds") && I + 1 < argc)
+      StoreSeeds = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "--kernel") && I + 1 < argc)
       KernelFilter = argv[++I];
     else if (!std::strcmp(argv[I], "-v"))
       Verbose = true;
   }
-  if (N < 8 || Seeds < 1 || BlobSeeds < 1) {
-    std::fprintf(stderr, "--n must be >= 8, --seeds and --blob-seeds >= 1\n");
+  if (N < 8 || Seeds < 1 || BlobSeeds < 1 || StoreSeeds < 1) {
+    std::fprintf(stderr,
+                 "--n must be >= 8; --seeds, --blob-seeds and --store-seeds "
+                 ">= 1\n");
     return 1;
   }
   int Threads = bench::parseThreads(argc, argv);
@@ -111,7 +125,9 @@ int main(int argc, char **argv) {
   bench::BenchReport Report("fault_injection");
   unsigned TotalTrials = 0, TotalSilent = 0;
   unsigned BlobTrials = 0, BlobSilent = 0;
-  std::string BlobTable;
+  unsigned StoreTrials = 0, StoreSilent = 0;
+  std::string BlobTable, StoreTable;
+  const std::string StoreRoot = "fault_store_trials";
   for (FaultTarget &T : faultTargets(N, Heavy)) {
     if (!KernelFilter.empty() && T.Key.find(KernelFilter) == std::string::npos)
       continue;
@@ -151,6 +167,28 @@ int main(int argc, char **argv) {
                static_cast<uint64_t>(B.silentAccepts()));
     BlobTrials += static_cast<unsigned>(B.Trials.size());
     BlobSilent += B.silentAccepts();
+
+    // And the persistent tier: publish the artifact into a scratch store,
+    // corrupt the disk underneath it, and demand pristine-or-fallback.
+    guard::StoreCampaignResult S = guard::runStoreCampaign(
+        artifact::fromAnalysis(Analysis), StoreRoot + "/" + T.Key, StoreSeeds);
+    if (Verbose)
+      for (const guard::StoreTrial &Trial : S.Trials)
+        std::printf("  [store] %s\n", Trial.str().c_str());
+    char SLine[128];
+    std::snprintf(SLine, sizeof(SLine), "%-10s %8zu %9u %9u %10u %12u\n",
+                  T.Key.c_str(), S.Trials.size(), S.injected(),
+                  S.servedPristine(), S.fellBack(), S.silentWrongs());
+    StoreTable += SLine;
+    Report.set(T.Key + "_store_trials", static_cast<uint64_t>(S.Trials.size()));
+    Report.set(T.Key + "_store_silent_wrong",
+               static_cast<uint64_t>(S.silentWrongs()));
+    StoreTrials += static_cast<unsigned>(S.Trials.size());
+    StoreSilent += S.silentWrongs();
+  }
+  if (!StoreSilent) { // failed trial dirs stay behind for post-mortem
+    std::error_code CleanupEC;
+    std::filesystem::remove_all(StoreRoot, CleanupEC);
   }
 
   std::printf("\nSerialized-artifact corruption (%u mutants per class)\n\n",
@@ -159,20 +197,29 @@ int main(int argc, char **argv) {
               "mutated", "rejected", "tolerated", "silent-accept",
               BlobTable.c_str());
 
+  std::printf("\nPersistent-store corruption (%u trials per fault class)\n\n",
+              StoreSeeds);
+  std::printf("%-10s %8s %9s %9s %10s %12s\n%s", "Kernel", "trials",
+              "injected", "pristine", "fell-back", "silent-wrong",
+              StoreTable.c_str());
+
   Report.set("total_trials", static_cast<uint64_t>(TotalTrials));
   Report.set("total_silent_wrong", static_cast<uint64_t>(TotalSilent));
   Report.set("total_blob_trials", static_cast<uint64_t>(BlobTrials));
   Report.set("total_blob_silent_accept", static_cast<uint64_t>(BlobSilent));
+  Report.set("total_store_trials", static_cast<uint64_t>(StoreTrials));
+  Report.set("total_store_silent_wrong", static_cast<uint64_t>(StoreSilent));
   Report.write();
 
-  if (TotalSilent || BlobSilent) {
-    std::printf("\nFAIL: %u silent wrong-schedule and %u silent-accept "
-                "outcome(s) — the guard contract is broken\n",
-                TotalSilent, BlobSilent);
+  if (TotalSilent || BlobSilent || StoreSilent) {
+    std::printf("\nFAIL: %u silent wrong-schedule, %u silent-accept and "
+                "%u silent wrong-serve outcome(s) — the guard contract is "
+                "broken\n",
+                TotalSilent, BlobSilent, StoreSilent);
     return 1;
   }
   std::printf("\nOK: every injected fault was detected or tolerated "
-              "(%u array trials, %u blob trials)\n",
-              TotalTrials, BlobTrials);
+              "(%u array trials, %u blob trials, %u store trials)\n",
+              TotalTrials, BlobTrials, StoreTrials);
   return 0;
 }

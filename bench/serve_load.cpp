@@ -1,0 +1,311 @@
+//===- serve_load.cpp - Open-loop load generator for sds::serve -----------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Two halves (DESIGN.md §16):
+//
+//  1. Deterministic robustness probes — machine-independent numbers the
+//     bench gate pins exactly: admission control sheds exactly the
+//     requests past the queue bound (fixed_shed), nothing is ever lost
+//     (fixed_lost, sweep_lost), a cold compile under an already-expired
+//     budget degrades to the baseline plan with explicit status
+//     (fixed_degraded), a store round trip reproduces the artifact
+//     bit-for-bit (roundtrip_identical), and a warm restart from the
+//     store issues zero Presburger queries while reproducing the
+//     bit-identical graph and schedule (restart_warm_queries,
+//     restart_bit_identical).
+//
+//  2. An open-loop rate sweep — offered load at 0.5x/1x/2x/4x the
+//     measured warm-path capacity, submitting on a fixed schedule
+//     regardless of completions (so queueing delay is visible, unlike a
+//     closed loop), reporting p50/p99 latency, completed throughput, and
+//     shed counts per rate plus the saturation throughput. These numbers
+//     are machine-dependent and reported, not gated.
+//
+// Writes BENCH_serve.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "sds/serve/Serve.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <span>
+#include <thread>
+
+using namespace sds;
+using namespace bench;
+
+namespace {
+
+bool sameGraph(const rt::DependenceGraph &A, const rt::DependenceGraph &B,
+               int N) {
+  if (A.numEdges() != B.numEdges())
+    return false;
+  for (int V = 0; V < N; ++V) {
+    std::span<const int> SA = A.successors(V), SB = B.successors(V);
+    if (SA.size() != SB.size() ||
+        !std::equal(SA.begin(), SA.end(), SB.begin()))
+      return false;
+  }
+  return true;
+}
+
+bool sameScheduleShape(const rt::CompiledSchedule &A,
+                       const rt::CompiledSchedule &B) {
+  rt::CompiledScheduleStats SA = rt::describeSchedule(A);
+  rt::CompiledScheduleStats SB = rt::describeSchedule(B);
+  return SA.Base.NumWaves == SB.Base.NumWaves &&
+         SA.NumChunks == SB.NumChunks &&
+         SA.Base.TotalNodes == SB.Base.TotalNodes &&
+         SA.Base.CriticalWork == SB.Base.CriticalWork;
+}
+
+double pct(std::vector<double> &V, double P) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  size_t I = static_cast<size_t>(P * (V.size() - 1));
+  return V[I];
+}
+
+struct RateResult {
+  double OfferedRps = 0;
+  double P50Ms = 0, P99Ms = 0;
+  double CompletedRps = 0;
+  uint64_t Shed = 0, Degraded = 0, Lost = 0;
+};
+
+/// Submit `Count` copies of `Req` at a fixed inter-arrival time (open
+/// loop), then harvest every future.
+RateResult runAtRate(serve::Server &S, const serve::ServeRequest &Req,
+                     double Rps, int Count) {
+  RateResult R;
+  R.OfferedRps = Rps;
+  serve::ServerStats Before = S.stats();
+  std::vector<std::future<serve::ServeResponse>> Futs;
+  Futs.reserve(static_cast<size_t>(Count));
+  auto Interval = std::chrono::duration<double>(1.0 / Rps);
+  auto Start = std::chrono::steady_clock::now();
+  for (int I = 0; I < Count; ++I) {
+    std::this_thread::sleep_until(Start + Interval * I);
+    Futs.push_back(S.submit(Req));
+  }
+  std::vector<double> LatMs;
+  for (auto &Fut : Futs) {
+    if (!Fut.valid()) {
+      ++R.Lost;
+      continue;
+    }
+    serve::ServeResponse Resp = Fut.get();
+    // Server-side latency (queue wait + service), stamped at completion —
+    // harvest order cannot inflate it.
+    if (Resp.Plan)
+      LatMs.push_back(Resp.QueueMs + Resp.ServiceMs);
+  }
+  S.drain();
+  double Wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+  serve::ServerStats After = S.stats();
+  R.Shed = (After.ShedQueue + After.ShedDeadline) -
+           (Before.ShedQueue + Before.ShedDeadline);
+  R.Degraded = After.Degraded - Before.Degraded;
+  R.CompletedRps = Wall > 0 ? static_cast<double>(LatMs.size()) / Wall : 0;
+  R.P50Ms = pct(LatMs, 0.50);
+  R.P99Ms = pct(LatMs, 0.99);
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ObsSession Obs;
+  int Threads = parseThreads(argc, argv);
+  std::filesystem::path StoreRoot =
+      std::filesystem::temp_directory_path() / "sds_serve_load_store";
+  std::error_code EC;
+  std::filesystem::remove_all(StoreRoot, EC);
+
+  BenchReport Report("serve");
+  Report.set("threads", Threads);
+
+  // The workload: forward solve CSC on one Table-4 profile.
+  rt::CSRMatrix Full = rt::generateFromProfile(rt::table4Profiles()[0], 0.01);
+  auto L = std::make_shared<rt::CSCMatrix>(rt::toCSC(rt::lowerTriangle(Full)));
+  serve::ServeRequest Req;
+  Req.Kernel = kernels::forwardSolveCSC();
+  Req.Env = driver::bindCSC(*L);
+  Req.N = L->N;
+
+  std::printf("%-28s n=%d nnz=%d threads=%d\n", "serve_load:", L->N,
+              L->nnz(), Threads);
+
+  // -- Probe 1: admission control sheds exactly past the bound. ------------
+  uint64_t FixedShed = 0, FixedLost = 0;
+  {
+    serve::ServerOptions SO;
+    SO.MaxQueueDepth = 8;
+    SO.NumWorkers = 2;
+    SO.StartPaused = true; // workers idle: the queue fills deterministically
+    serve::Server S(SO);
+    std::vector<std::future<serve::ServeResponse>> Futs;
+    for (int I = 0; I < 12; ++I)
+      Futs.push_back(S.submit(Req));
+    S.resume();
+    for (auto &F : Futs) {
+      if (!F.valid()) {
+        ++FixedLost;
+        continue;
+      }
+      serve::ServeResponse R = F.get();
+      FixedShed += R.O == serve::Outcome::ShedQueue ? 1 : 0;
+    }
+    S.drain();
+  }
+  Report.set("fixed_shed", FixedShed);   // gate: exactly 12 - 8 = 4
+  Report.set("fixed_lost", FixedLost);   // gate: exactly 0
+  std::printf("admission probe: %llu shed, %llu lost\n",
+              static_cast<unsigned long long>(FixedShed),
+              static_cast<unsigned long long>(FixedLost));
+
+  // -- Probe 2: an expired analysis budget degrades, explicitly. -----------
+  uint64_t FixedDegraded = 0;
+  {
+    serve::Server S{serve::ServerOptions{}};
+    serve::ServeRequest Budgeted = Req;
+    // Sub-microsecond budget: already expired at the pipeline's first
+    // deadline check, so the cold compile degrades deterministically.
+    Budgeted.AnalysisBudgetMs = 0.0005;
+    serve::ServeResponse R = S.handle(Budgeted);
+    FixedDegraded += R.O == serve::Outcome::Degraded && R.Degraded &&
+                             R.Plan != nullptr
+                         ? 1
+                         : 0;
+  }
+  Report.set("fixed_degraded", FixedDegraded); // gate: exactly 1
+  std::printf("degrade probe: %llu\n",
+              static_cast<unsigned long long>(FixedDegraded));
+
+  // -- Probe 3: store round trip is bit-identical. -------------------------
+  uint64_t RoundtripIdentical = 0;
+  {
+    store::StoreOptions StO;
+    StO.Root = (StoreRoot / "roundtrip").string();
+    store::Store St(StO);
+    artifact::CompiledKernel CK = artifact::compile(Req.Kernel);
+    artifact::CompiledKernel Back;
+    bool Found = false;
+    if (St.put(CK).ok() &&
+        St.get(store::Store::keyFor(CK), Back, Found).ok() && Found &&
+        artifact::serialize(Back) == artifact::serialize(CK))
+      RoundtripIdentical = 1;
+  }
+  Report.set("roundtrip_identical", RoundtripIdentical); // gate: exactly 1
+  std::printf("store roundtrip identical: %llu\n",
+              static_cast<unsigned long long>(RoundtripIdentical));
+
+  // -- Probe 4: warm restart from the store = zero Presburger queries and
+  // -- the bit-identical plan (the PR 5 contract, across processes). -------
+  uint64_t RestartQueries = 0, RestartIdentical = 0;
+  {
+    std::string Root = (StoreRoot / "restart").string();
+    std::shared_ptr<const engine::MatrixPlan> ColdPlan;
+    {
+      serve::ServerOptions SO;
+      SO.StoreRoot = Root;
+      serve::Server S(SO);
+      ColdPlan = S.handle(Req).Plan; // compiles + publishes to the store
+    }
+    presburger::clearQueryCache();
+    serve::ServerOptions SO;
+    SO.StoreRoot = Root;
+    serve::Server S(SO); // the "restarted process"
+    serve::ServeResponse R = S.handle(Req);
+    presburger::QueryCacheStats QC = presburger::queryCacheStats();
+    RestartQueries = QC.Hits + QC.Misses;
+    if (R.O == serve::Outcome::StoreWarm && R.Plan && ColdPlan &&
+        sameGraph(R.Plan->Inspection.Graph, ColdPlan->Inspection.Graph,
+                  Req.N) &&
+        sameScheduleShape(R.Plan->Schedule, ColdPlan->Schedule))
+      RestartIdentical = 1;
+  }
+  Report.set("restart_warm_queries", RestartQueries);   // gate: exactly 0
+  Report.set("restart_bit_identical", RestartIdentical); // gate: exactly 1
+  std::printf("warm restart: %llu presburger queries, identical=%llu\n",
+              static_cast<unsigned long long>(RestartQueries),
+              static_cast<unsigned long long>(RestartIdentical));
+
+  // -- Open-loop rate sweep. -----------------------------------------------
+  serve::ServerOptions SO;
+  SO.NumWorkers = std::max(2, Threads / 2);
+  SO.MaxQueueDepth = 32;
+  SO.Engine.Schedule.NumThreads = Threads;
+  serve::Server S(SO);
+  (void)S.handle(Req); // warm the plan tier; the sweep measures serving
+
+  // Capacity estimate: warm hits served back-to-back on one thread.
+  int Calib = 500;
+  double CalibT = timeOf([&] {
+    for (int I = 0; I < Calib; ++I)
+      (void)S.handle(Req);
+  });
+  double Capacity =
+      std::min(CalibT > 0 ? Calib / CalibT * SO.NumWorkers : 1e4, 2e4);
+  Report.set("capacity_rps", Capacity);
+  std::printf("estimated capacity: %.0f rps (%d workers)\n", Capacity,
+              SO.NumWorkers);
+
+  const struct {
+    const char *Label;
+    double Mult;
+  } Sweep[] = {{"half", 0.5}, {"sat", 1.0}, {"over2", 2.0}, {"over4", 4.0}};
+  double SaturationRps = 0;
+  uint64_t SweepLost = 0;
+  for (const auto &[Label, Mult] : Sweep) {
+    double Rps = Capacity * Mult;
+    // ~0.5s per rate point, bounded so overload points stay quick.
+    int Count = static_cast<int>(std::min(Rps * 0.5, 4000.0));
+    Count = std::max(Count, 50);
+    RateResult R = runAtRate(S, Req, Rps, Count);
+    SaturationRps = std::max(SaturationRps, R.CompletedRps);
+    SweepLost += R.Lost;
+    std::string P = std::string(Label) + "_";
+    Report.set(P + "offered_rps", R.OfferedRps);
+    Report.set(P + "p50_ms", R.P50Ms);
+    Report.set(P + "p99_ms", R.P99Ms);
+    Report.set(P + "completed_rps", R.CompletedRps);
+    Report.set(P + "shed", R.Shed);
+    Report.set(P + "degraded", R.Degraded);
+    std::printf("%-6s offered %8.0f rps: p50 %7.3f ms  p99 %7.3f ms  "
+                "completed %8.0f rps  shed %llu\n",
+                Label, R.OfferedRps, R.P50Ms, R.P99Ms, R.CompletedRps,
+                static_cast<unsigned long long>(R.Shed));
+  }
+  Report.set("saturation_rps", SaturationRps);
+  Report.set("sweep_lost", SweepLost); // gate: exactly 0
+
+  serve::ServerStats St = S.stats();
+  Report.set("sweep_submitted", St.Submitted);
+  Report.set("sweep_completed", St.Completed);
+  Report.set("sweep_shed_queue", St.ShedQueue);
+  Report.set("sweep_shed_deadline", St.ShedDeadline);
+  Report.set("sweep_errors", St.Errors);
+  std::printf("saturation throughput: %.0f rps; sweep lost=%llu "
+              "errors=%llu\n",
+              SaturationRps, static_cast<unsigned long long>(SweepLost),
+              static_cast<unsigned long long>(St.Errors));
+
+  std::filesystem::remove_all(StoreRoot, EC);
+  bool Ok = Report.write();
+  bool ProbesHeld = FixedShed == 4 && FixedLost == 0 && FixedDegraded == 1 &&
+                    RoundtripIdentical == 1 && RestartQueries == 0 &&
+                    RestartIdentical == 1 && SweepLost == 0 &&
+                    St.Errors == 0;
+  if (!ProbesHeld)
+    std::fprintf(stderr, "serve_load: deterministic probes FAILED\n");
+  return Ok && ProbesHeld ? 0 : 1;
+}

@@ -1,0 +1,215 @@
+//===- serve_kernels.cpp - Analysis-as-a-service demo ---------------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// The long-running-service shape the paper's amortization argument assumes
+// (DESIGN.md §16): N worker threads serving plan requests for the §8
+// kernels over a mix of matrices, with an optional on-disk artifact store
+// so a restarted process answers warm without re-running the Presburger
+// pipeline. Every response's schedule is executed and checked against the
+// serial kernel, so a wrong plan cannot hide.
+//
+//   serve_kernels                        # 4 workers, 64 requests, no store
+//   serve_kernels --store-dir=/tmp/sds   # warm restarts from disk
+//   serve_kernels --deadline-ms 50       # per-request deadlines (shedding)
+//
+// Flags:
+//   --workers N        worker threads (default 4)
+//   --requests N       total requests to submit (default 64)
+//   --queue-depth N    admission-control bound (default 64)
+//   --deadline-ms D    per-request deadline; 0 = none (default 0)
+//   --store-dir=PATH   persistent artifact store root
+//   --metrics[=PATH]   metrics snapshot at exit (and on SIGINT/SIGTERM)
+//
+// Exit status: nonzero on any lost request, wrong result, or error
+// outcome. Shed and degraded outcomes are reported but are not failures —
+// they are the server refusing or degrading explicitly, which is the
+// contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/obs/Metrics.h"
+#include "sds/obs/SignalDump.h"
+#include "sds/runtime/Kernels.h"
+#include "sds/serve/Serve.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace sds;
+
+namespace {
+
+/// One serveable workload: a request plus the serial/scheduled executors
+/// that check the returned plan end-to-end.
+struct Workload {
+  std::string Label;
+  serve::ServeRequest Req;
+  /// Execute the plan's schedule and return the max deviation from the
+  /// serial kernel.
+  std::function<double(const engine::MatrixPlan &)> RunAndDiff;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int Workers = 4, Requests = 64;
+  size_t QueueDepth = 64;
+  double DeadlineMs = 0;
+  bool Metrics = false;
+  std::string StoreDir, MetricsPath;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--workers" && I + 1 < argc) {
+      Workers = std::atoi(argv[++I]);
+    } else if (Arg == "--requests" && I + 1 < argc) {
+      Requests = std::atoi(argv[++I]);
+    } else if (Arg == "--queue-depth" && I + 1 < argc) {
+      QueueDepth = static_cast<size_t>(std::atoi(argv[++I]));
+    } else if (Arg == "--deadline-ms" && I + 1 < argc) {
+      DeadlineMs = std::atof(argv[++I]);
+    } else if (Arg.rfind("--store-dir=", 0) == 0) {
+      StoreDir = Arg.substr(12);
+    } else if (Arg == "--metrics") {
+      Metrics = true;
+      MetricsPath = std::string("-");
+    } else if (Arg.rfind("--metrics=", 0) == 0) {
+      Metrics = true;
+      MetricsPath = Arg.substr(10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--workers N] [--requests N] [--queue-depth N] "
+                   "[--deadline-ms D] [--store-dir=PATH] [--metrics[=PATH]]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (Metrics)
+    obs::setMetricsEnabled(true);
+  // A served process dies to SIGTERM, not to main() returning: flush the
+  // metrics snapshot and flight-recorder ring on the way out.
+  obs::dumpOnFatalSignal(Metrics ? MetricsPath : std::string());
+
+  serve::ServerOptions SO;
+  SO.NumWorkers = Workers;
+  SO.MaxQueueDepth = QueueDepth;
+  SO.StoreRoot = StoreDir;
+  serve::Server Server(SO);
+  if (!StoreDir.empty() && !Server.persistentStore()) {
+    std::fprintf(stderr, "store at '%s' unusable; serving without it\n",
+                 StoreDir.c_str());
+  }
+
+  // The request mix: forward solve (CSC) over the Table-4 matrix profiles.
+  // Each workload checks its response's schedule against the serial solve.
+  std::vector<Workload> Mix;
+  {
+    std::vector<rt::MatrixProfile> Profiles = rt::table4Profiles();
+    for (size_t P = 0; P < Profiles.size(); ++P) {
+      auto L = std::make_shared<rt::CSCMatrix>(rt::toCSC(
+          rt::lowerTriangle(rt::generateFromProfile(Profiles[P], 0.01))));
+      Workload W;
+      W.Label = "FS CSC / " + Profiles[P].Name.substr(
+                                  0, Profiles[P].Name.find(' '));
+      W.Req.Kernel = kernels::forwardSolveCSC();
+      W.Req.Env = driver::bindCSC(*L);
+      W.Req.N = L->N;
+      W.Req.DeadlineMs = DeadlineMs;
+      W.RunAndDiff = [L](const engine::MatrixPlan &Plan) {
+        std::vector<double> B(static_cast<size_t>(L->N), 1.0), XS, XP;
+        rt::forwardSolveCSCSerial(*L, B, XS);
+        rt::forwardSolveCSCScheduled(*L, B, XP, Plan.Schedule);
+        double Diff = 0;
+        for (size_t I = 0; I < XS.size(); ++I)
+          Diff = std::max(Diff, std::abs(XS[I] - XP[I]));
+        return Diff;
+      };
+      Mix.push_back(std::move(W));
+    }
+  }
+
+  std::printf("serving %d requests across %zu workloads "
+              "(%d workers, queue %zu%s%s)\n",
+              Requests, Mix.size(), Workers, QueueDepth,
+              DeadlineMs > 0 ? ", deadlines on" : "",
+              StoreDir.empty() ? "" : ", persistent store on");
+
+  std::vector<std::pair<size_t, std::future<serve::ServeResponse>>> Pending;
+  for (int R = 0; R < Requests; ++R) {
+    size_t W = static_cast<size_t>(R) % Mix.size();
+    Pending.emplace_back(W, Server.submit(Mix[W].Req));
+  }
+
+  int Lost = 0, Wrong = 0, Errors = 0;
+  uint64_t ByOutcome[8] = {};
+  double MaxDiff = 0;
+  for (auto &[W, Fut] : Pending) {
+    if (!Fut.valid()) {
+      ++Lost;
+      continue;
+    }
+    serve::ServeResponse Resp = Fut.get();
+    ++ByOutcome[static_cast<int>(Resp.O)];
+    if (Resp.O == serve::Outcome::Error) {
+      std::fprintf(stderr, "[%s] error: %s\n", Mix[W].Label.c_str(),
+                   Resp.St.message().c_str());
+      ++Errors;
+      continue;
+    }
+    if (!Resp.Plan)
+      continue; // shed explicitly — not lost, not wrong
+    double Diff = Mix[W].RunAndDiff(*Resp.Plan);
+    MaxDiff = std::max(MaxDiff, Diff);
+    if (Diff > 1e-9) {
+      std::fprintf(stderr, "[%s] WRONG RESULT (|diff| %.2e, outcome %s)\n",
+                   Mix[W].Label.c_str(), Diff,
+                   serve::outcomeName(Resp.O));
+      ++Wrong;
+    }
+  }
+  Server.drain();
+
+  serve::ServerStats St = Server.stats();
+  std::printf("outcomes:");
+  for (int O = 0; O < 8; ++O)
+    if (ByOutcome[O])
+      std::printf(" %s=%llu",
+                  serve::outcomeName(static_cast<serve::Outcome>(O)),
+                  static_cast<unsigned long long>(ByOutcome[O]));
+  std::printf("\nserver: submitted=%llu completed=%llu shed=%llu "
+              "degraded=%llu coalesced=%llu errors=%llu\n",
+              static_cast<unsigned long long>(St.Submitted),
+              static_cast<unsigned long long>(St.Completed),
+              static_cast<unsigned long long>(St.ShedQueue + St.ShedDeadline),
+              static_cast<unsigned long long>(St.Degraded),
+              static_cast<unsigned long long>(St.Coalesced),
+              static_cast<unsigned long long>(St.Errors));
+  if (Server.persistentStore()) {
+    store::StoreStats SS = Server.persistentStore()->stats();
+    std::printf("store: hits=%llu misses=%llu puts=%llu quarantined=%llu\n",
+                static_cast<unsigned long long>(SS.Hits),
+                static_cast<unsigned long long>(SS.Misses),
+                static_cast<unsigned long long>(SS.Puts),
+                static_cast<unsigned long long>(SS.Quarantined));
+  }
+  std::printf("checked results: max |diff| %.2e\n", MaxDiff);
+
+  if (Metrics) {
+    if (!obs::writeMetrics(MetricsPath)) {
+      std::fprintf(stderr, "cannot write metrics to '%s'\n",
+                   MetricsPath.c_str());
+      return 1;
+    }
+    if (MetricsPath != "-")
+      std::printf("metrics written to %s\n", MetricsPath.c_str());
+  }
+  if (Lost || Wrong || Errors) {
+    std::fprintf(stderr, "FAILED: %d lost, %d wrong, %d errors\n", Lost,
+                 Wrong, Errors);
+    return 1;
+  }
+  return 0;
+}

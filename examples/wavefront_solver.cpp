@@ -32,6 +32,7 @@
 #include "sds/driver/Driver.h"
 #include "sds/guard/Guarded.h"
 #include "sds/obs/Metrics.h"
+#include "sds/obs/SignalDump.h"
 
 #include <chrono>
 #include <cstdio>
@@ -109,6 +110,9 @@ int main(int argc, char **argv) {
   }
   if (Metrics)
     obs::setMetricsEnabled(true);
+  // Ctrl-C / SIGTERM mid-solve still flushes --metrics output and the
+  // flight-recorder ring, so an interrupted run leaves a post-mortem.
+  obs::dumpOnFatalSignal(Metrics ? MetricsPath : std::string());
 
   // -- Input matrix. -------------------------------------------------------
   CSRMatrix Full;

@@ -57,8 +57,10 @@ struct EngineOptions {
   /// 4-thread schedule is useless to a P2P 8-thread executor). Defaults
   /// to the pre-framework engine behavior: plain level sets, 4 threads.
   rt::ScheduleConfig Schedule = {rt::ScheduleKind::Levels, /*NumThreads=*/4};
-  /// Matrix-tier capacity; the oldest entry is evicted past this. The
-  /// kernel tier is unbounded (7 kernels x a handful of option sets).
+  /// Matrix-tier capacity; the least-recently-used entry is evicted past
+  /// this (every plan() hit refreshes recency, so a hot plan survives a
+  /// scan over cold keys). The kernel tier is unbounded (7 kernels x a
+  /// handful of option sets).
   size_t MaxMatrixPlans = 64;
 };
 
@@ -102,11 +104,22 @@ public:
   std::shared_ptr<const artifact::CompiledKernel>
   compiled(const kernels::Kernel &K);
 
+  /// Kernel-tier probe: the cached artifact for `K` under this engine's
+  /// analysis options, or nullptr — never compiles, never touches stats.
+  std::shared_ptr<const artifact::CompiledKernel>
+  lookupCompiled(const kernels::Kernel &K) const;
+
   /// Warm-start the kernel tier from a serialized blob. Rejected blobs
   /// (corrupt/version/ABI) leave the cache untouched and return the
   /// decoder's Status. A loaded artifact replaces any cached entry for
   /// the same (kernel, options) key.
   [[nodiscard]] support::Status loadArtifact(const std::string &Path);
+
+  /// Install an already-decoded artifact into the kernel tier (what
+  /// loadArtifact does after decoding; the persistent-store warm path
+  /// enters here). Keyed by the artifact's own (name, options) identity;
+  /// replaces any cached entry and counts as KernelLoaded.
+  [[nodiscard]] support::Status installArtifact(artifact::CompiledKernel CK);
 
   /// Serialize the cached artifact for `K` (compiling it first if
   /// needed) to `Path`.
@@ -119,6 +132,13 @@ public:
   /// level-set scheduler.
   std::shared_ptr<const MatrixPlan>
   plan(const kernels::Kernel &K, const codegen::UFEnvironment &Env, int N);
+
+  /// Matrix-tier probe: the cached plan, or nullptr without filling. A
+  /// hit counts MatrixWarm and refreshes LRU recency exactly like plan();
+  /// a miss counts nothing (the caller decides whether to fill).
+  std::shared_ptr<const MatrixPlan> planIfCached(const kernels::Kernel &K,
+                                                 const codegen::UFEnvironment &Env,
+                                                 int N);
 
   EngineStats stats() const;
   /// Drop both tiers (stats survive).

@@ -173,6 +173,78 @@ struct BlobCampaignResult {
 BlobCampaignResult runBlobCampaign(const artifact::CompiledKernel &CK,
                                    unsigned SeedsPerKind = 8);
 
+//===----------------------------------------------------------------------===//
+// Persistent-store corruption (the sds::store analogue of the blob
+// campaign above, run against a live on-disk store rather than an
+// in-memory string). Each trial publishes a pristine artifact, applies a
+// storage-level fault — torn write, bit rot, schema skew, a blocked
+// quarantine path, the debris of a writer killed mid-save — and then
+// drives the normal read path. The contract is detect-or-tolerate: every
+// trial must end with either a bit-identical artifact served or a clean
+// miss (quarantine / recovery + transparent fallback to recompilation).
+// Serving an artifact that differs from the pristine one is the silent
+// wrong-plan failure this layer exists to rule out; so is any crash.
+//===----------------------------------------------------------------------===//
+
+/// The storage-level corruption classes applied to a live store.
+enum class StoreFaultKind {
+  TornWrite,         ///< published blob truncated mid-file (disk rot / torn IO)
+  BitFlipAtRest,     ///< one bit of the published blob flipped
+  StaleSchema,       ///< blob rewritten with a skewed schema/ABI envelope
+  QuarantineBlocked, ///< blob corrupted AND the quarantine move made impossible
+  KillMidWrite,      ///< orphaned *.tmp debris of a writer killed mid-save
+};
+
+const char *storeFaultKindName(StoreFaultKind K);
+std::vector<StoreFaultKind> allStoreFaultKinds();
+
+/// Outcome of one store-corruption trial.
+struct StoreTrial {
+  StoreFaultKind Kind = StoreFaultKind::TornWrite;
+  uint64_t Seed = 0;
+  std::string Description;    ///< what was done to the store
+  bool Injected = false;      ///< the fault actually altered on-disk state
+  bool ServedPristine = false;///< get() Found a bit-identical artifact
+  bool FellBack = false;      ///< get() reported a clean miss (recompile path)
+  bool Quarantined = false;   ///< the store moved the bad blob aside
+  bool RecoveredTmp = false;  ///< the startup scan removed orphaned tmp files
+  bool WrongServe = false;    ///< get() Found an artifact differing from pristine
+  std::string Error;          ///< non-OK Status text, when the read errored
+
+  /// The contract violation: the read path handed back a plan that is not
+  /// the one that was written.
+  bool silentWrong() const { return WrongServe; }
+  /// Detect-or-tolerate: the trial ended in one of the two allowed states.
+  bool contractHeld() const {
+    return !WrongServe && (ServedPristine || FellBack);
+  }
+
+  std::string str() const;
+};
+
+/// Aggregate of a store campaign.
+struct StoreCampaignResult {
+  std::vector<StoreTrial> Trials;
+
+  unsigned injected() const;
+  unsigned servedPristine() const;
+  unsigned fellBack() const;
+  unsigned quarantined() const;
+  unsigned silentWrongs() const;
+  /// contractHeld() on every injected trial.
+  bool allHeld() const;
+
+  std::string summary() const;
+};
+
+/// Run `SeedsPerKind` trials of every StoreFaultKind against stores rooted
+/// under `RootDir` (one fresh subdirectory per trial, left behind for
+/// post-mortem only when the trial fails). `CK` is the pristine artifact
+/// each trial publishes and then attacks.
+StoreCampaignResult runStoreCampaign(const artifact::CompiledKernel &CK,
+                                     const std::string &RootDir,
+                                     unsigned SeedsPerKind = 4);
+
 } // namespace guard
 } // namespace sds
 

@@ -1,0 +1,38 @@
+//===- SignalDump.h - Post-mortem state on fatal signals --------*- C++ -*-===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// A long-running serving process that dies to Ctrl-C or a supervisor's
+// SIGTERM should not take its observability with it: the metrics snapshot
+// and the flight-recorder ring are exactly the state a post-mortem needs.
+// dumpOnFatalSignal() installs SIGINT/SIGTERM handlers that flush both and
+// then re-raise the signal under its default disposition, so exit codes
+// and core-dump behavior are unchanged.
+//
+// The flush calls allocating code, which is not strictly async-signal-safe;
+// this is the standard crash-handler trade-off (the alternative is losing
+// the data every time), and the handler runs once — a second signal during
+// the flush takes the default action immediately.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SDS_OBS_SIGNAL_DUMP_H
+#define SDS_OBS_SIGNAL_DUMP_H
+
+#include <string>
+
+namespace sds {
+namespace obs {
+
+/// Install SIGINT/SIGTERM handlers that write the metrics snapshot to
+/// `MetricsPath` (writeMetrics path rules; empty skips the write, "-" is
+/// stdout) and dump the flight-recorder ring to stderr, then re-raise the
+/// signal with default disposition. Later calls just update the path.
+void dumpOnFatalSignal(std::string MetricsPath);
+
+} // namespace obs
+} // namespace sds
+
+#endif // SDS_OBS_SIGNAL_DUMP_H

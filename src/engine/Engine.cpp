@@ -10,7 +10,7 @@
 #include "sds/obs/Metrics.h"
 #include "sds/obs/Trace.h"
 
-#include <deque>
+#include <list>
 #include <map>
 #include <tuple>
 
@@ -61,14 +61,22 @@ uint64_t fingerprintEnvironment(const codegen::UFEnvironment &Env) {
 struct Engine::Impl {
   using MatrixKey = std::tuple<std::string, uint64_t, int64_t>;
 
+  /// Matrix-tier entry: the plan, its position in the LRU list, and when
+  /// it was inserted (for the eviction event's age tag).
+  struct PlanEntry {
+    std::shared_ptr<const MatrixPlan> Plan;
+    std::list<MatrixKey>::iterator LruIt;
+    uint64_t InsertNs = 0;
+  };
+
   EngineOptions Opts;
   std::string OptionsKey; ///< AnalysisOptions::key() of Opts.Analysis
 
   mutable std::mutex Mu;
   std::map<std::string, std::shared_ptr<const artifact::CompiledKernel>>
       Kernels;
-  std::map<MatrixKey, std::shared_ptr<const MatrixPlan>> Plans;
-  std::deque<MatrixKey> PlanOrder; ///< insertion order, for eviction
+  std::map<MatrixKey, PlanEntry> Plans;
+  std::list<MatrixKey> Lru; ///< front = most recently used
   EngineStats Stats;
   std::vector<uint64_t> GaugeHandles; ///< live EngineStats gauge sources
 
@@ -79,6 +87,32 @@ struct Engine::Impl {
   uint64_t statField(uint64_t EngineStats::*F) const {
     std::lock_guard<std::mutex> Lock(Mu);
     return Stats.*F;
+  }
+
+  /// Move a hit entry to the LRU front. Caller holds Mu.
+  void touch(PlanEntry &E) { Lru.splice(Lru.begin(), Lru, E.LruIt); }
+
+  /// Evict least-recently-used plans down to capacity. Caller holds Mu.
+  void evictToCapacity() {
+    static obs::Counter &EvictedC = obs::counter("engine.plan_evicted");
+    while (Plans.size() > Opts.MaxMatrixPlans && !Lru.empty()) {
+      const MatrixKey &Victim = Lru.back();
+      auto It = Plans.find(Victim);
+      double AgeMs =
+          It == Plans.end()
+              ? 0
+              : (obs::nowNs() - It->second.InsertNs) * 1e-6;
+      obs::flightRecord(obs::FlightSeverity::Info, "engine",
+                        "matrix plan evicted (LRU capacity)",
+                        {{"kernel", std::get<0>(Victim)},
+                         {"age_ms", std::to_string(AgeMs)},
+                         {"capacity", std::to_string(Opts.MaxMatrixPlans)}});
+      if (It != Plans.end())
+        Plans.erase(It);
+      Lru.pop_back();
+      ++Stats.MatrixEvicted;
+      EvictedC.add();
+    }
   }
 };
 
@@ -143,13 +177,27 @@ Engine::compiled(const kernels::Kernel &K) {
   return CK;
 }
 
+std::shared_ptr<const artifact::CompiledKernel>
+Engine::lookupCompiled(const kernels::Kernel &K) const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  auto It = I->Kernels.find(I->kernelKey(K.Name));
+  return It == I->Kernels.end() ? nullptr : It->second;
+}
+
 support::Status Engine::loadArtifact(const std::string &Path) {
-  static obs::Counter &Loaded = obs::counter("engine.kernel_loaded");
   artifact::CompiledKernel CK;
   // A rejected artifact flight-records inside artifact::load; the kernel
   // cache is left untouched.
   if (support::Status S = artifact::load(Path, CK); !S.ok())
     return S;
+  return installArtifact(std::move(CK));
+}
+
+support::Status Engine::installArtifact(artifact::CompiledKernel CK) {
+  static obs::Counter &Loaded = obs::counter("engine.kernel_loaded");
+  if (CK.KernelName.empty())
+    return support::invalidArgument("artifact has no kernel name")
+        .withContext("engine installArtifact");
   std::string Key = CK.KernelName + "|" + CK.Options.key();
   auto Shared =
       std::make_shared<const artifact::CompiledKernel>(std::move(CK));
@@ -186,9 +234,10 @@ Engine::plan(const kernels::Kernel &K, const codegen::UFEnvironment &Env,
     if (It != I->Plans.end()) {
       ++I->Stats.MatrixWarm;
       Warm.add();
+      I->touch(It->second);
       if (T0)
         HitNs.record(obs::nowNs() - T0);
-      return It->second;
+      return It->second.Plan;
     }
   }
   obs::ScopedLatency Fill(FillNs);
@@ -201,23 +250,32 @@ Engine::plan(const kernels::Kernel &K, const codegen::UFEnvironment &Env,
   MP->Schedule = rt::buildSchedule(MP->Inspection.Graph, SC);
   std::shared_ptr<const MatrixPlan> Shared = std::move(MP);
   std::lock_guard<std::mutex> Lock(I->Mu);
-  auto [It, Inserted] = I->Plans.emplace(Key, Shared);
-  if (!Inserted)
-    return It->second;
+  auto It = I->Plans.find(Key);
+  if (It != I->Plans.end())
+    return It->second.Plan; // a racing fill beat us; use the shared entry
+  I->Lru.push_front(Key);
+  I->Plans.emplace(Key,
+                   Impl::PlanEntry{Shared, I->Lru.begin(), obs::nowNs()});
   ++I->Stats.MatrixCold;
   Cold.add();
-  I->PlanOrder.push_back(Key);
-  while (I->Plans.size() > I->Opts.MaxMatrixPlans && !I->PlanOrder.empty()) {
-    const Impl::MatrixKey &Victim = I->PlanOrder.front();
-    obs::flightRecord(obs::FlightSeverity::Info, "engine",
-                      "matrix plan evicted (FIFO capacity)",
-                      {{"kernel", std::get<0>(Victim)},
-                       {"capacity", std::to_string(I->Opts.MaxMatrixPlans)}});
-    I->Plans.erase(Victim);
-    I->PlanOrder.pop_front();
-    ++I->Stats.MatrixEvicted;
-  }
+  I->evictToCapacity();
   return Shared;
+}
+
+std::shared_ptr<const MatrixPlan>
+Engine::planIfCached(const kernels::Kernel &K,
+                     const codegen::UFEnvironment &Env, int N) {
+  static obs::Counter &Warm = obs::counter("engine.matrix_warm");
+  Impl::MatrixKey Key{I->kernelKey(K.Name) + "|" + I->Opts.Schedule.key(),
+                      fingerprintEnvironment(Env), static_cast<int64_t>(N)};
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  auto It = I->Plans.find(Key);
+  if (It == I->Plans.end())
+    return nullptr;
+  ++I->Stats.MatrixWarm;
+  Warm.add();
+  I->touch(It->second);
+  return It->second.Plan;
 }
 
 EngineStats Engine::stats() const {
@@ -229,7 +287,7 @@ void Engine::clear() {
   std::lock_guard<std::mutex> Lock(I->Mu);
   I->Kernels.clear();
   I->Plans.clear();
-  I->PlanOrder.clear();
+  I->Lru.clear();
 }
 
 } // namespace engine

@@ -1,0 +1,319 @@
+//===- StoreFaults.cpp - Persistent-store corruption campaign -------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/guard/FaultInjection.h"
+
+#include "sds/obs/Metrics.h"
+#include "sds/obs/Trace.h"
+#include "sds/store/Store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace sds {
+namespace guard {
+
+namespace {
+
+/// Same splitmix-style position scrambler the other campaigns use, so
+/// seeds are decorrelated from their index.
+uint64_t scramble(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+std::string readFile(const fs::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+bool writeFile(const fs::path &P, const std::string &Bytes) {
+  std::ofstream Out(P, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  return Out.good();
+}
+
+/// Drive the normal read path and classify what came back against the
+/// pristine serialization. Also proves the recompile fallback is viable
+/// after a miss: re-put + re-get must serve pristine again.
+void probeReadPath(store::Store &S, const std::string &Key,
+                   const std::string &PristineBytes,
+                   const artifact::CompiledKernel &CK, StoreTrial &T) {
+  artifact::CompiledKernel Out;
+  bool Found = false;
+  if (support::Status St = S.get(Key, Out, Found); !St.ok()) {
+    T.Error = St.message();
+    return;
+  }
+  if (Found) {
+    if (artifact::serialize(Out) + "\n" == PristineBytes)
+      T.ServedPristine = true;
+    else
+      T.WrongServe = true;
+    return;
+  }
+  T.FellBack = true;
+  // The transparent-fallback half of the contract: after the miss the
+  // caller recompiles and republishes; the store must accept that and
+  // serve it verbatim.
+  if (support::Status St = S.put(CK); !St.ok()) {
+    T.Error = "fallback republish failed: " + St.message();
+    return;
+  }
+  Found = false;
+  if (support::Status St = S.get(Key, Out, Found); !St.ok() || !Found ||
+                                                   artifact::serialize(Out) +
+                                                           "\n" !=
+                                                       PristineBytes)
+    T.Error = "fallback reload did not serve the republished artifact";
+}
+
+StoreTrial runStoreTrial(const artifact::CompiledKernel &CK,
+                         const fs::path &Dir, StoreFaultKind Kind,
+                         uint64_t Seed) {
+  StoreTrial T;
+  T.Kind = Kind;
+  T.Seed = Seed;
+
+  store::StoreOptions SO;
+  SO.Root = Dir.string();
+  store::Store Writer(SO);
+  if (!Writer.status().ok() || !Writer.put(CK).ok()) {
+    T.Error = "trial setup failed: " + Writer.status().message();
+    return T;
+  }
+  const std::string Key = store::Store::keyFor(CK);
+  const fs::path Blob = Writer.blobPath(Key);
+  const std::string Pristine = readFile(Blob);
+  if (Pristine.size() < 4) {
+    T.Error = "trial setup failed: published blob unreadable";
+    return T;
+  }
+
+  std::error_code EC;
+  switch (Kind) {
+  case StoreFaultKind::TornWrite: {
+    size_t Cut = 1 + scramble(Seed) % (Pristine.size() - 1);
+    fs::resize_file(Blob, Cut, EC);
+    T.Injected = !EC;
+    T.Description = "truncated blob " + std::to_string(Pristine.size()) +
+                    " -> " + std::to_string(Cut) + " bytes";
+    break;
+  }
+  case StoreFaultKind::BitFlipAtRest: {
+    std::string Bytes = Pristine;
+    size_t Pos = scramble(Seed) % Bytes.size();
+    unsigned Bit = scramble(Seed ^ 0xabcd) % 8;
+    Bytes[Pos] = static_cast<char>(Bytes[Pos] ^ (1u << Bit));
+    T.Injected = writeFile(Blob, Bytes);
+    T.Description = "flipped bit " + std::to_string(Bit) + " of byte " +
+                    std::to_string(Pos);
+    break;
+  }
+  case StoreFaultKind::StaleSchema: {
+    // Rewrite the envelope as a future/incompatible build would have:
+    // skew the schema version digits. The decoder must refuse rather
+    // than guess at field meanings.
+    std::string Bytes = Pristine;
+    size_t At = Bytes.find("\"schema_version\"");
+    if (At != std::string::npos) {
+      At = Bytes.find_first_of("0123456789", At);
+      size_t End = Bytes.find_first_not_of("0123456789", At);
+      Bytes.replace(At, End - At,
+                    std::to_string(9000 + scramble(Seed) % 1000));
+      T.Injected = writeFile(Blob, Bytes);
+      T.Description = "rewrote schema_version to a future value";
+    } else {
+      T.Description = "schema_version field not found";
+    }
+    break;
+  }
+  case StoreFaultKind::QuarantineBlocked: {
+    // Corrupt the blob AND make the quarantine move impossible by
+    // squatting a regular file on the quarantine path. The store must
+    // still degrade the read to a miss (blob left in place, failure
+    // flight-recorded) — a blocked quarantine is not license to serve
+    // garbage or crash.
+    size_t Cut = 1 + scramble(Seed) % (Pristine.size() - 1);
+    fs::resize_file(Blob, Cut, EC);
+    fs::remove_all(Dir / "quarantine", EC);
+    bool Blocked = writeFile(Dir / "quarantine", "not a directory\n");
+    T.Injected = Blocked;
+    T.Description = "truncated blob to " + std::to_string(Cut) +
+                    " bytes with quarantine path blocked";
+    break;
+  }
+  case StoreFaultKind::KillMidWrite: {
+    // The on-disk aftermath of a writer killed mid-save: orphaned tmp
+    // files (one torn, one complete-but-unpublished). Even seeds also
+    // lose the published blob (killed before the first publish); odd
+    // seeds keep it (killed during an overwrite). Recovery must sweep
+    // the debris and the read path must miss or serve pristine.
+    size_t Cut = 1 + scramble(Seed) % (Pristine.size() - 1);
+    writeFile(Blob.string() + ".tmp9991", Pristine.substr(0, Cut));
+    writeFile(Blob.string() + ".tmp9992", Pristine);
+    bool DropPublished = Seed % 2 == 0;
+    if (DropPublished)
+      fs::remove(Blob, EC);
+    T.Injected = true;
+    T.Description = std::string("orphaned torn+complete tmp files") +
+                    (DropPublished ? ", published blob lost"
+                                   : ", published blob intact");
+    break;
+  }
+  }
+  if (!T.Injected)
+    return T;
+
+  // A fresh Store on the same root is the restart: recovery scan first,
+  // then the normal verified read path.
+  store::Store Reader(SO);
+  if (!Reader.status().ok()) {
+    T.Error = "reader store failed to open: " + Reader.status().message();
+    return T;
+  }
+  probeReadPath(Reader, Key, Pristine, CK, T);
+  store::StoreStats RS = Reader.stats();
+  T.Quarantined = RS.Quarantined > 0;
+  T.RecoveredTmp = RS.RecoveredTmp > 0;
+  if (Kind == StoreFaultKind::QuarantineBlocked && T.FellBack &&
+      RS.QuarantineFailed == 0 && !T.Quarantined)
+    T.Error = "quarantine failure was not accounted";
+  if (Kind == StoreFaultKind::KillMidWrite && !T.RecoveredTmp)
+    T.Error = "recovery scan did not remove orphaned tmp files";
+  return T;
+}
+
+} // namespace
+
+const char *storeFaultKindName(StoreFaultKind K) {
+  switch (K) {
+  case StoreFaultKind::TornWrite:
+    return "torn_write";
+  case StoreFaultKind::BitFlipAtRest:
+    return "bit_flip_at_rest";
+  case StoreFaultKind::StaleSchema:
+    return "stale_schema";
+  case StoreFaultKind::QuarantineBlocked:
+    return "quarantine_blocked";
+  case StoreFaultKind::KillMidWrite:
+    return "kill_mid_write";
+  }
+  return "?";
+}
+
+std::vector<StoreFaultKind> allStoreFaultKinds() {
+  return {StoreFaultKind::TornWrite, StoreFaultKind::BitFlipAtRest,
+          StoreFaultKind::StaleSchema, StoreFaultKind::QuarantineBlocked,
+          StoreFaultKind::KillMidWrite};
+}
+
+std::string StoreTrial::str() const {
+  std::string Out = std::string(storeFaultKindName(Kind)) +
+                    "(seed=" + std::to_string(Seed) + "): " + Description +
+                    " — ";
+  if (!Injected)
+    return Out + "no-op" + (Error.empty() ? "" : " (" + Error + ")");
+  if (WrongServe)
+    return Out + "SILENT WRONG SERVE";
+  std::string Verdict = ServedPristine ? "served pristine"
+                        : FellBack     ? "fell back to recompile"
+                                       : "no verdict";
+  if (Quarantined)
+    Verdict += ", quarantined";
+  if (RecoveredTmp)
+    Verdict += ", tmp recovered";
+  if (!Error.empty())
+    Verdict += " (" + Error + ")";
+  return Out + Verdict;
+}
+
+unsigned StoreCampaignResult::injected() const {
+  unsigned N = 0;
+  for (const StoreTrial &T : Trials)
+    N += T.Injected ? 1 : 0;
+  return N;
+}
+
+unsigned StoreCampaignResult::servedPristine() const {
+  unsigned N = 0;
+  for (const StoreTrial &T : Trials)
+    N += T.Injected && T.ServedPristine ? 1 : 0;
+  return N;
+}
+
+unsigned StoreCampaignResult::fellBack() const {
+  unsigned N = 0;
+  for (const StoreTrial &T : Trials)
+    N += T.Injected && T.FellBack ? 1 : 0;
+  return N;
+}
+
+unsigned StoreCampaignResult::quarantined() const {
+  unsigned N = 0;
+  for (const StoreTrial &T : Trials)
+    N += T.Injected && T.Quarantined ? 1 : 0;
+  return N;
+}
+
+unsigned StoreCampaignResult::silentWrongs() const {
+  unsigned N = 0;
+  for (const StoreTrial &T : Trials)
+    N += T.silentWrong() ? 1 : 0;
+  return N;
+}
+
+bool StoreCampaignResult::allHeld() const {
+  for (const StoreTrial &T : Trials)
+    if (T.Injected && (!T.contractHeld() || !T.Error.empty()))
+      return false;
+  return true;
+}
+
+std::string StoreCampaignResult::summary() const {
+  return std::to_string(Trials.size()) + " trials: " +
+         std::to_string(injected()) + " injected, " +
+         std::to_string(servedPristine()) + " served-pristine, " +
+         std::to_string(fellBack()) + " fell-back, " +
+         std::to_string(quarantined()) + " quarantined, " +
+         std::to_string(silentWrongs()) + " silent-wrong";
+}
+
+StoreCampaignResult runStoreCampaign(const artifact::CompiledKernel &CK,
+                                     const std::string &RootDir,
+                                     unsigned SeedsPerKind) {
+  static obs::Counter &Trials = obs::counter("guard.store_trials");
+  static obs::Counter &Silent = obs::counter("guard.store_silent_wrong");
+  StoreCampaignResult R;
+  std::error_code EC;
+  for (StoreFaultKind K : allStoreFaultKinds())
+    for (uint64_t Seed = 0; Seed < SeedsPerKind; ++Seed) {
+      fs::path Dir = fs::path(RootDir) /
+                     (std::string(storeFaultKindName(K)) + "-" +
+                      std::to_string(Seed));
+      fs::remove_all(Dir, EC);
+      StoreTrial T = runStoreTrial(CK, Dir, K, Seed);
+      Trials.add();
+      if (T.silentWrong())
+        Silent.add();
+      // Keep the trial directory only when something went wrong, for
+      // post-mortem inspection.
+      if (T.contractHeld() && T.Error.empty())
+        fs::remove_all(Dir, EC);
+      R.Trials.push_back(std::move(T));
+    }
+  return R;
+}
+
+} // namespace guard
+} // namespace sds

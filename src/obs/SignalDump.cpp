@@ -1,0 +1,65 @@
+//===- SignalDump.cpp - Post-mortem state on fatal signals ----------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/obs/SignalDump.h"
+
+#include "sds/obs/FlightRecorder.h"
+#include "sds/obs/Metrics.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+
+namespace sds {
+namespace obs {
+
+namespace {
+
+std::mutex PathMu;
+std::string DumpPath; ///< guarded by PathMu; read once by the handler
+
+std::atomic<bool> Installed{false};
+std::atomic_flag Dumping = ATOMIC_FLAG_INIT;
+
+extern "C" void onFatalSignal(int Sig) {
+  // Restore default disposition first: a second signal (impatient Ctrl-C,
+  // supervisor escalation) kills the process immediately instead of
+  // re-entering the flush.
+  std::signal(Sig, SIG_DFL);
+  if (!Dumping.test_and_set()) {
+    std::string Path;
+    {
+      std::lock_guard<std::mutex> Lock(PathMu);
+      Path = DumpPath;
+    }
+    std::fprintf(stderr, "\n[sds] caught signal %d; dumping post-mortem "
+                         "state\n",
+                 Sig);
+    if (!Path.empty() && !writeMetrics(Path))
+      std::fprintf(stderr, "[sds] cannot write metrics to '%s'\n",
+                   Path.c_str());
+    dumpFlight(stderr);
+    std::fflush(nullptr);
+  }
+  std::raise(Sig);
+}
+
+} // namespace
+
+void dumpOnFatalSignal(std::string MetricsPath) {
+  {
+    std::lock_guard<std::mutex> Lock(PathMu);
+    DumpPath = std::move(MetricsPath);
+  }
+  if (!Installed.exchange(true)) {
+    std::signal(SIGINT, onFatalSignal);
+    std::signal(SIGTERM, onFatalSignal);
+  }
+}
+
+} // namespace obs
+} // namespace sds

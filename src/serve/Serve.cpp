@@ -1,0 +1,471 @@
+//===- Serve.cpp - Admission-controlled concurrent serving ----------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/serve/Serve.h"
+
+#include "sds/guard/Guarded.h"
+#include "sds/obs/FlightRecorder.h"
+#include "sds/obs/Metrics.h"
+#include "sds/obs/Trace.h"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sds {
+namespace serve {
+
+const char *outcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::Warm:
+    return "warm";
+  case Outcome::Cold:
+    return "cold";
+  case Outcome::StoreWarm:
+    return "store-warm";
+  case Outcome::Degraded:
+    return "degraded";
+  case Outcome::Coalesced:
+    return "coalesced";
+  case Outcome::ShedQueue:
+    return "shed-queue";
+  case Outcome::ShedDeadline:
+    return "shed-deadline";
+  case Outcome::Error:
+    return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Singleflight rendezvous: the leader computes, followers block on Done.
+struct Inflight {
+  std::mutex Mu;
+  std::condition_variable CV;
+  bool Done = false;
+  ServeResponse R;
+};
+
+struct QueueItem {
+  ServeRequest Req;
+  std::promise<ServeResponse> Promise;
+  uint64_t EnqueueNs = 0;
+  uint64_t AbsDeadlineNs = 0; ///< 0 = none
+};
+
+} // namespace
+
+struct Server::Impl {
+  ServerOptions Opts;
+  engine::Engine Engine;
+  std::unique_ptr<store::Store> Store; ///< null when disabled/dead
+
+  std::mutex Mu;
+  std::condition_variable WorkCV;  ///< queue has work / stopping
+  std::condition_variable DrainCV; ///< queue empty + idle workers
+  std::deque<QueueItem> Queue;
+  std::map<std::string, std::shared_ptr<Inflight>> InflightMap;
+  bool Paused = false;
+  bool Stopping = false;
+  size_t InService = 0;
+  ServerStats Stats;
+  std::vector<std::thread> Workers;
+  std::vector<uint64_t> GaugeHandles;
+
+  explicit Impl(ServerOptions O) : Opts(std::move(O)), Engine(Opts.Engine) {}
+
+  void bump(uint64_t ServerStats::*F) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++(Stats.*F);
+  }
+
+  /// The matrix-plan identity a request resolves to — also the
+  /// singleflight key, so identical cold work coalesces.
+  std::string planKey(const ServeRequest &R) const {
+    return R.Kernel.Name + "|" +
+           artifact::AnalysisOptions::of(Opts.Engine.Analysis).key() + "|" +
+           Opts.Engine.Schedule.key() + "|" +
+           std::to_string(engine::fingerprintEnvironment(R.Env)) + "|" +
+           std::to_string(R.N);
+  }
+
+  static ServeResponse shed(Outcome O, std::string Why) {
+    ServeResponse Resp;
+    Resp.O = O;
+    Resp.St = support::resourceExhausted(std::move(Why));
+    return Resp;
+  }
+};
+
+Server::Server(ServerOptions Opts) : I(std::make_unique<Impl>(std::move(Opts))) {
+  I->Paused = I->Opts.StartPaused;
+  if (!I->Opts.StoreRoot.empty()) {
+    store::StoreOptions SO;
+    SO.Root = I->Opts.StoreRoot;
+    SO.MaxBytes = I->Opts.StoreMaxBytes;
+    auto S = std::make_unique<store::Store>(SO);
+    if (S->status().ok()) {
+      I->Store = std::move(S);
+    } else {
+      // A dead store degrades the server to in-memory-only; the Store
+      // constructor already flight-recorded why.
+      obs::flightRecord(obs::FlightSeverity::Warn, "serve",
+                        "persistent store disabled",
+                        {{"root", I->Opts.StoreRoot},
+                         {"status", S->status().message()}});
+    }
+  }
+  Impl *Raw = I.get();
+  I->GaugeHandles.push_back(
+      obs::registerGaugeSource("serve.queue_depth", [Raw] {
+        std::lock_guard<std::mutex> Lock(Raw->Mu);
+        return static_cast<double>(Raw->Queue.size());
+      }));
+  I->GaugeHandles.push_back(
+      obs::registerGaugeSource("serve.in_service", [Raw] {
+        std::lock_guard<std::mutex> Lock(Raw->Mu);
+        return static_cast<double>(Raw->InService);
+      }));
+  int W = std::max(1, I->Opts.NumWorkers);
+  I->Workers.reserve(static_cast<size_t>(W));
+  for (int J = 0; J < W; ++J)
+    I->Workers.emplace_back([this] {
+      for (;;) {
+        QueueItem Item;
+        {
+          std::unique_lock<std::mutex> Lock(I->Mu);
+          I->WorkCV.wait(Lock, [this] {
+            return I->Stopping || (!I->Paused && !I->Queue.empty());
+          });
+          if (I->Stopping)
+            return; // queued items are failed explicitly by ~Server
+          Item = std::move(I->Queue.front());
+          I->Queue.pop_front();
+          ++I->InService;
+        }
+        ServeResponse Resp;
+        uint64_t Pickup = obs::nowNs();
+        double QueueMs = (Pickup - Item.EnqueueNs) * 1e-6;
+        if (Item.AbsDeadlineNs && Pickup >= Item.AbsDeadlineNs) {
+          // Deadline-based load shedding: nobody is waiting for this
+          // answer anymore; spend the worker on a request that can still
+          // make its deadline.
+          static obs::Counter &ShedDl = obs::counter("serve.shed_deadline");
+          ShedDl.add();
+          I->bump(&ServerStats::ShedDeadline);
+          obs::flightRecord(obs::FlightSeverity::Warn, "serve",
+                            "request shed: deadline expired in queue",
+                            {{"kernel", Item.Req.Kernel.Name},
+                             {"queue_ms", std::to_string(QueueMs)}});
+          Resp = Impl::shed(Outcome::ShedDeadline,
+                            "deadline expired while queued (" +
+                                std::to_string(QueueMs) + " ms)");
+        } else {
+          Resp = handle(Item.Req, Item.AbsDeadlineNs);
+        }
+        Resp.QueueMs = QueueMs;
+        static obs::Histogram &QueueNs = obs::histogram("serve.queue_ns");
+        QueueNs.record(Pickup - Item.EnqueueNs);
+        Item.Promise.set_value(std::move(Resp));
+        {
+          std::lock_guard<std::mutex> Lock(I->Mu);
+          --I->InService;
+        }
+        I->DrainCV.notify_all();
+      }
+    });
+}
+
+Server::~Server() {
+  std::deque<QueueItem> Orphans;
+  {
+    std::lock_guard<std::mutex> Lock(I->Mu);
+    I->Stopping = true;
+    Orphans.swap(I->Queue);
+  }
+  I->WorkCV.notify_all();
+  for (std::thread &T : I->Workers)
+    T.join();
+  // Zero lost requests: everything still queued fails loudly, never by a
+  // broken promise.
+  for (QueueItem &Item : Orphans) {
+    I->bump(&ServerStats::ShedQueue);
+    Item.Promise.set_value(
+        Impl::shed(Outcome::ShedQueue, "server shutting down"));
+  }
+  for (uint64_t H : I->GaugeHandles)
+    obs::unregisterGaugeSource(H);
+}
+
+std::future<ServeResponse> Server::submit(ServeRequest R) {
+  static obs::Counter &Submitted = obs::counter("serve.submitted");
+  static obs::Counter &Shed = obs::counter("serve.shed_queue");
+  Submitted.add();
+  I->bump(&ServerStats::Submitted);
+  QueueItem Item;
+  Item.EnqueueNs = obs::nowNs();
+  if (R.DeadlineMs > 0)
+    Item.AbsDeadlineNs =
+        Item.EnqueueNs + static_cast<uint64_t>(R.DeadlineMs * 1e6);
+  Item.Req = std::move(R);
+  std::future<ServeResponse> Fut = Item.Promise.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(I->Mu);
+    if (I->Stopping || I->Queue.size() >= I->Opts.MaxQueueDepth) {
+      ++I->Stats.ShedQueue;
+      Shed.add();
+      obs::flightRecord(obs::FlightSeverity::Warn, "serve",
+                        I->Stopping ? "request shed: server stopping"
+                                    : "request shed: queue at capacity",
+                        {{"kernel", Item.Req.Kernel.Name},
+                         {"depth", std::to_string(I->Queue.size())}});
+      Item.Promise.set_value(Impl::shed(
+          Outcome::ShedQueue,
+          I->Stopping ? "server shutting down"
+                      : "queue at capacity (" +
+                            std::to_string(I->Opts.MaxQueueDepth) + ")"));
+      return Fut;
+    }
+    I->Queue.push_back(std::move(Item));
+  }
+  I->WorkCV.notify_one();
+  return Fut;
+}
+
+ServeResponse Server::handle(const ServeRequest &R, uint64_t AbsDeadlineNs) {
+  static obs::Counter &WarmC = obs::counter("serve.warm");
+  static obs::Counter &ColdC = obs::counter("serve.cold");
+  static obs::Counter &StoreC = obs::counter("serve.store_warm");
+  static obs::Counter &DegradedC = obs::counter("serve.degraded");
+  static obs::Counter &CoalescedC = obs::counter("serve.coalesced");
+  static obs::Histogram &ServiceNs = obs::histogram("serve.service_ns");
+  uint64_t T0 = obs::nowNs();
+  auto Finish = [&](ServeResponse Resp) {
+    Resp.ServiceMs = (obs::nowNs() - T0) * 1e-6;
+    ServiceNs.record(static_cast<uint64_t>(Resp.ServiceMs * 1e6));
+    if (Resp.Plan)
+      I->bump(&ServerStats::Completed);
+    else if (Resp.O == Outcome::Error)
+      I->bump(&ServerStats::Errors);
+    return Resp;
+  };
+
+  // Plan tier: the common case for steady traffic is a pure memory hit.
+  if (std::shared_ptr<const engine::MatrixPlan> P =
+          I->Engine.planIfCached(R.Kernel, R.Env, R.N)) {
+    WarmC.add();
+    I->bump(&ServerStats::Warm);
+    ServeResponse Resp;
+    Resp.O = Outcome::Warm;
+    Resp.Plan = std::move(P);
+    return Finish(std::move(Resp));
+  }
+
+  // Singleflight: one leader per plan key; followers wait (bounded by
+  // their own deadline) and share the leader's result.
+  std::string Key = I->planKey(R);
+  std::shared_ptr<Inflight> Entry;
+  bool Leader = false;
+  {
+    std::lock_guard<std::mutex> Lock(I->Mu);
+    auto It = I->InflightMap.find(Key);
+    if (It == I->InflightMap.end()) {
+      Entry = std::make_shared<Inflight>();
+      I->InflightMap.emplace(Key, Entry);
+      Leader = true;
+    } else {
+      Entry = It->second;
+    }
+  }
+  if (!Leader) {
+    std::unique_lock<std::mutex> Lock(Entry->Mu);
+    bool Ready;
+    if (AbsDeadlineNs) {
+      uint64_t Now = obs::nowNs();
+      auto Budget = std::chrono::nanoseconds(
+          AbsDeadlineNs > Now ? AbsDeadlineNs - Now : 0);
+      Ready = Entry->CV.wait_for(Lock, Budget, [&] { return Entry->Done; });
+    } else {
+      Entry->CV.wait(Lock, [&] { return Entry->Done; });
+      Ready = true;
+    }
+    if (!Ready) {
+      I->bump(&ServerStats::ShedDeadline);
+      obs::counter("serve.shed_deadline").add();
+      return Finish(Impl::shed(
+          Outcome::ShedDeadline,
+          "deadline expired waiting on an identical in-flight request"));
+    }
+    CoalescedC.add();
+    I->bump(&ServerStats::Coalesced);
+    ServeResponse Resp = Entry->R;
+    Resp.O = Outcome::Coalesced;
+    return Finish(std::move(Resp));
+  }
+
+  ServeResponse Resp = serveCold(R, AbsDeadlineNs);
+  switch (Resp.O) {
+  case Outcome::Cold:
+    ColdC.add();
+    I->bump(&ServerStats::Cold);
+    break;
+  case Outcome::StoreWarm:
+    StoreC.add();
+    I->bump(&ServerStats::StoreWarm);
+    break;
+  case Outcome::Degraded:
+    DegradedC.add();
+    I->bump(&ServerStats::Degraded);
+    break;
+  default:
+    break;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(I->Mu);
+    I->InflightMap.erase(Key);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Entry->Mu);
+    Entry->R = Resp;
+    Entry->Done = true;
+  }
+  Entry->CV.notify_all();
+  return Finish(std::move(Resp));
+}
+
+ServeResponse Server::serveCold(const ServeRequest &R,
+                                uint64_t AbsDeadlineNs) {
+  // Kernel tier: memory -> persistent store -> budgeted cold compile.
+  std::shared_ptr<const artifact::CompiledKernel> CK =
+      I->Engine.lookupCompiled(R.Kernel);
+  bool FromStore = false;
+  if (!CK && I->Store) {
+    std::string SKey = store::Store::keyFor(
+        R.Kernel.Name, artifact::AnalysisOptions::of(I->Opts.Engine.Analysis),
+        I->Opts.Engine.Schedule);
+    artifact::CompiledKernel Loaded;
+    bool Found = false;
+    // Store failures (corrupt blob, dead store) degrade to a miss; the
+    // store quarantines + flight-records, we recompile below.
+    if (I->Store->get(SKey, Loaded, Found).ok() && Found) {
+      if (I->Engine.installArtifact(std::move(Loaded)).ok()) {
+        CK = I->Engine.lookupCompiled(R.Kernel);
+        FromStore = CK != nullptr;
+      }
+    }
+  }
+  if (!CK) {
+    // Cold compile under the request's analysis budget (explicit, or the
+    // remaining deadline).
+    deps::PipelineOptions PO = I->Opts.Engine.Analysis;
+    if (R.AnalysisBudgetMs > 0) {
+      PO.AnalysisBudgetMs = R.AnalysisBudgetMs;
+    } else if (AbsDeadlineNs) {
+      uint64_t Now = obs::nowNs();
+      PO.AnalysisBudgetMs =
+          AbsDeadlineNs > Now ? (AbsDeadlineNs - Now) * 1e-6 : 0.001;
+    }
+    artifact::CompiledKernel Fresh = artifact::compile(R.Kernel, PO);
+    Fresh.Schedule = I->Opts.Engine.Schedule;
+    bool Exhausted = false;
+    for (const deps::AnalyzedDependence &D : Fresh.Deps)
+      Exhausted |= D.Prov.Stage == "budget-exhausted";
+    if (Exhausted) {
+      // Graceful degradation: the partially simplified analysis is
+      // timing-dependent, so it must never reach a cache; serve this
+      // request the correct-by-construction baseline plan instead.
+      obs::flightRecord(obs::FlightSeverity::Warn, "serve",
+                        "analysis budget exhausted; serving degraded "
+                        "baseline plan (not cached)",
+                        {{"kernel", R.Kernel.Name},
+                         {"budget_ms", std::to_string(PO.AnalysisBudgetMs)}});
+      std::vector<deps::AnalyzedDependence> Base =
+          guard::baselineDeps(Fresh.Deps);
+      for (deps::AnalyzedDependence &D : Base)
+        if (D.Status == deps::DepStatus::Runtime) {
+          D.Prov.Stage = "degraded-baseline";
+          D.Prov.Evidence = {"analysis deadline expired; simplifications "
+                             "revoked for this request"};
+        }
+      auto MP = std::make_shared<engine::MatrixPlan>(R.N);
+      MP->Inspection = driver::runInspectors(R.Kernel.Name, Base, R.Env, R.N,
+                                             I->Opts.Engine.Inspect);
+      rt::ScheduleConfig SC = I->Opts.Engine.Schedule;
+      SC.NumThreads = std::max(1, SC.NumThreads);
+      MP->Schedule = rt::buildSchedule(MP->Inspection.Graph, SC);
+      ServeResponse Resp;
+      Resp.O = Outcome::Degraded;
+      Resp.Degraded = true;
+      Resp.Plan = std::move(MP);
+      return Resp;
+    }
+    // A compile that finished within budget is bit-identical to an
+    // unbudgeted one (budgets only weaken results when exhausted), so it
+    // is safe to publish to both cache tiers.
+    if (support::Status S = I->Engine.installArtifact(Fresh); !S.ok()) {
+      ServeResponse Resp;
+      Resp.O = Outcome::Error;
+      Resp.St = std::move(S).withContext("serve cold fill");
+      return Resp;
+    }
+    if (I->Store)
+      if (support::Status S = I->Store->put(Fresh); !S.ok())
+        obs::flightRecord(obs::FlightSeverity::Warn, "serve",
+                          "persistent store put failed (serving continues)",
+                          {{"kernel", R.Kernel.Name},
+                           {"status", S.message()}});
+    CK = I->Engine.lookupCompiled(R.Kernel);
+    if (!CK) {
+      ServeResponse Resp;
+      Resp.O = Outcome::Error;
+      Resp.St = support::internalError(
+          "freshly installed artifact missing from the kernel tier");
+      return Resp;
+    }
+  }
+
+  // Plan tier cold fill (inspectors + schedule) through the engine, so
+  // the plan is cached for the steady-state warm path.
+  ServeResponse Resp;
+  Resp.Plan = I->Engine.plan(R.Kernel, R.Env, R.N);
+  Resp.O = FromStore ? Outcome::StoreWarm : Outcome::Cold;
+  return Resp;
+}
+
+void Server::pause() {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  I->Paused = true;
+}
+
+void Server::resume() {
+  {
+    std::lock_guard<std::mutex> Lock(I->Mu);
+    I->Paused = false;
+  }
+  I->WorkCV.notify_all();
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> Lock(I->Mu);
+  I->DrainCV.wait(Lock,
+                  [this] { return I->Queue.empty() && I->InService == 0; });
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  return I->Stats;
+}
+
+engine::Engine &Server::engine() { return I->Engine; }
+
+store::Store *Server::persistentStore() { return I->Store.get(); }
+
+} // namespace serve
+} // namespace sds

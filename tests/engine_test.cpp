@@ -84,6 +84,28 @@ TEST(EngineMatrixTier, EvictionPastCapacity) {
   EXPECT_GE(S.MatrixEvicted, 1u);
 }
 
+TEST(EngineMatrixTier, LruKeepsHotPlanThroughColdScan) {
+  // Regression: the matrix tier evicts least-recently-USED, not
+  // first-inserted. A hot plan touched between one-shot cold fills must
+  // survive a scan longer than the cache capacity.
+  engine::EngineOptions Opts;
+  Opts.MaxMatrixPlans = 2;
+  engine::Engine E(Opts);
+  kernels::Kernel K = kernels::forwardSolveCSC();
+  codegen::UFEnvironment Hot = lowerCSC(100, 10);
+  int HotN = static_cast<int>(Hot.Params.at("n"));
+  auto P = E.plan(K, Hot, HotN);
+  for (uint64_t Seed = 20; Seed < 24; ++Seed) {
+    codegen::UFEnvironment Cold = lowerCSC(100, Seed);
+    (void)E.plan(K, Cold, static_cast<int>(Cold.Params.at("n")));
+    EXPECT_EQ(E.plan(K, Hot, HotN).get(), P.get()); // still the same object
+  }
+  engine::EngineStats S = E.stats();
+  EXPECT_EQ(S.MatrixCold, 5u);    // hot + 4 scan keys
+  EXPECT_EQ(S.MatrixWarm, 4u);    // every re-touch of the hot plan
+  EXPECT_EQ(S.MatrixEvicted, 3u); // only the scan's own entries
+}
+
 TEST(EngineFingerprint, DistinguishesContentsNotIdentity) {
   // Two binds of the same matrix data fingerprint identically...
   CSCMatrix L = toCSC(lowerTriangle(randomSPD(80, 5, 12, 3)));

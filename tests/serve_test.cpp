@@ -1,0 +1,238 @@
+//===- serve_test.cpp - Admission-controlled serving over the engine -------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// The server's robustness contract (DESIGN.md §16): explicit shedding at
+// the queue bound and at expired deadlines, singleflight deduplication of
+// identical cold work, graceful degradation (not caching) on analysis
+// budget exhaustion, zero lost promises across shutdown, and the
+// store-backed warm restart that issues zero Presburger queries while
+// reproducing the bit-identical plan.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/presburger/BasicSet.h"
+#include "sds/serve/Serve.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <span>
+#include <thread>
+
+using namespace sds;
+using namespace sds::rt;
+
+namespace {
+
+serve::ServeRequest fsCscRequest(int N, uint64_t Seed) {
+  GeneratorConfig C;
+  C.N = N;
+  C.AvgNnzPerRow = 5;
+  C.Bandwidth = 12;
+  C.Seed = Seed;
+  CSCMatrix L = toCSC(lowerTriangle(generateSPDLike(C)));
+  serve::ServeRequest R;
+  R.Kernel = kernels::forwardSolveCSC();
+  R.Env = driver::bindCSC(L);
+  R.N = L.N;
+  return R;
+}
+
+bool sameGraph(const DependenceGraph &A, const DependenceGraph &B, int N) {
+  if (A.numEdges() != B.numEdges())
+    return false;
+  for (int V = 0; V < N; ++V) {
+    std::span<const int> SA = A.successors(V), SB = B.successors(V);
+    if (SA.size() != SB.size() ||
+        !std::equal(SA.begin(), SA.end(), SB.begin()))
+      return false;
+  }
+  return true;
+}
+
+std::string freshRoot(const char *Name) {
+  std::filesystem::path P = std::filesystem::path(::testing::TempDir()) / Name;
+  std::filesystem::remove_all(P);
+  return P.string();
+}
+
+} // namespace
+
+TEST(ServePolicy, ColdThenWarmSharesThePlan) {
+  serve::Server S{serve::ServerOptions{}};
+  serve::ServeRequest R = fsCscRequest(120, 7);
+
+  serve::ServeResponse First = S.handle(R);
+  ASSERT_TRUE(First.St.ok()) << First.St.str();
+  EXPECT_EQ(First.O, serve::Outcome::Cold);
+  ASSERT_NE(First.Plan, nullptr);
+  EXPECT_TRUE(certifySchedule(First.Plan->Inspection.Graph,
+                              First.Plan->Schedule));
+
+  serve::ServeResponse Second = S.handle(R);
+  EXPECT_EQ(Second.O, serve::Outcome::Warm);
+  EXPECT_EQ(Second.Plan.get(), First.Plan.get());
+
+  serve::ServerStats St = S.stats();
+  EXPECT_EQ(St.Cold, 1u);
+  EXPECT_EQ(St.Warm, 1u);
+  EXPECT_EQ(St.Errors, 0u);
+}
+
+TEST(ServeAdmission, ShedsPastQueueBoundNothingLost) {
+  serve::ServerOptions SO;
+  SO.MaxQueueDepth = 2;
+  SO.NumWorkers = 2;
+  SO.StartPaused = true; // queue fills deterministically
+  serve::Server S(SO);
+  serve::ServeRequest R = fsCscRequest(100, 3);
+
+  std::vector<std::future<serve::ServeResponse>> Futs;
+  for (int I = 0; I < 5; ++I)
+    Futs.push_back(S.submit(R));
+  S.resume();
+
+  unsigned Served = 0, Shed = 0;
+  for (auto &F : Futs) {
+    ASSERT_TRUE(F.valid());
+    serve::ServeResponse Resp = F.get();
+    if (Resp.O == serve::Outcome::ShedQueue) {
+      ++Shed;
+      EXPECT_FALSE(Resp.St.ok()); // refusal is explicit, not a null plan
+      EXPECT_EQ(Resp.Plan, nullptr);
+    } else {
+      ++Served;
+      EXPECT_NE(Resp.Plan, nullptr);
+    }
+  }
+  S.drain();
+  EXPECT_EQ(Served, 2u);
+  EXPECT_EQ(Shed, 3u);
+  serve::ServerStats St = S.stats();
+  EXPECT_EQ(St.Submitted, 5u);
+  EXPECT_EQ(St.Completed + St.ShedQueue + St.ShedDeadline, St.Submitted);
+}
+
+TEST(ServeAdmission, ExpiredDeadlineIsShedAtDequeue) {
+  serve::ServerOptions SO;
+  SO.NumWorkers = 1;
+  SO.StartPaused = true;
+  serve::Server S(SO);
+  serve::ServeRequest R = fsCscRequest(100, 3);
+  R.DeadlineMs = 1; // will be long gone by the time a worker looks
+
+  std::future<serve::ServeResponse> Fut = S.submit(R);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  S.resume();
+  serve::ServeResponse Resp = Fut.get();
+  EXPECT_EQ(Resp.O, serve::Outcome::ShedDeadline);
+  EXPECT_FALSE(Resp.St.ok());
+  EXPECT_EQ(S.stats().ShedDeadline, 1u);
+}
+
+TEST(ServeSingleflight, ThunderingHerdCostsOneCompile) {
+  serve::ServerOptions SO;
+  SO.NumWorkers = 4;
+  SO.MaxQueueDepth = 16;
+  SO.StartPaused = true;
+  serve::Server S(SO);
+  serve::ServeRequest R = fsCscRequest(140, 11);
+
+  std::vector<std::future<serve::ServeResponse>> Futs;
+  for (int I = 0; I < 6; ++I)
+    Futs.push_back(S.submit(R));
+  S.resume();
+  for (auto &F : Futs) {
+    serve::ServeResponse Resp = F.get();
+    ASSERT_TRUE(Resp.St.ok()) << Resp.St.str();
+    ASSERT_NE(Resp.Plan, nullptr);
+  }
+  S.drain();
+
+  // Exactly one cold fill; everyone else rode it (Coalesced while it was
+  // in flight, Warm if they dequeued after it landed).
+  serve::ServerStats St = S.stats();
+  EXPECT_EQ(St.Cold, 1u);
+  EXPECT_EQ(St.Warm + St.Coalesced, 5u);
+  EXPECT_EQ(St.Completed, 6u);
+}
+
+TEST(ServeDegrade, ExpiredBudgetServesBaselineAndCachesNothing) {
+  serve::Server S{serve::ServerOptions{}};
+  serve::ServeRequest R = fsCscRequest(120, 7);
+  serve::ServeRequest Budgeted = R;
+  Budgeted.AnalysisBudgetMs = 0.0005; // expired at the first deadline check
+
+  serve::ServeResponse D = S.handle(Budgeted);
+  ASSERT_TRUE(D.St.ok()) << D.St.str();
+  EXPECT_EQ(D.O, serve::Outcome::Degraded);
+  EXPECT_TRUE(D.Degraded);
+  ASSERT_NE(D.Plan, nullptr);
+  EXPECT_TRUE(certifySchedule(D.Plan->Inspection.Graph, D.Plan->Schedule));
+
+  // The timing-dependent partial analysis was not cached: the next
+  // unbudgeted request recompiles cold rather than inheriting it.
+  serve::ServeResponse C = S.handle(R);
+  EXPECT_EQ(C.O, serve::Outcome::Cold);
+  EXPECT_FALSE(C.Degraded);
+  serve::ServerStats St = S.stats();
+  EXPECT_EQ(St.Degraded, 1u);
+  EXPECT_EQ(St.Cold, 1u);
+}
+
+TEST(ServeShutdown, QueuedRequestsFailExplicitlyNotSilently) {
+  serve::ServeRequest R = fsCscRequest(100, 3);
+  std::vector<std::future<serve::ServeResponse>> Futs;
+  {
+    serve::ServerOptions SO;
+    SO.StartPaused = true; // nothing dequeues before the destructor runs
+    serve::Server S(SO);
+    for (int I = 0; I < 3; ++I)
+      Futs.push_back(S.submit(R));
+  } // destructor: stop admissions, fail the queue, join workers
+  for (auto &F : Futs) {
+    ASSERT_TRUE(F.valid()); // the promise was kept, not dropped
+    serve::ServeResponse Resp = F.get();
+    EXPECT_EQ(Resp.O, serve::Outcome::ShedQueue);
+    EXPECT_FALSE(Resp.St.ok());
+    EXPECT_EQ(Resp.Plan, nullptr);
+  }
+}
+
+TEST(ServeStore, WarmRestartZeroQueriesBitIdenticalPlan) {
+  std::string Root = freshRoot("sds_serve_restart");
+  serve::ServeRequest R = fsCscRequest(120, 7);
+
+  std::shared_ptr<const engine::MatrixPlan> ColdPlan;
+  {
+    serve::ServerOptions SO;
+    SO.StoreRoot = Root;
+    serve::Server S(SO);
+    serve::ServeResponse Resp = S.handle(R);
+    ASSERT_TRUE(Resp.St.ok()) << Resp.St.str();
+    EXPECT_EQ(Resp.O, serve::Outcome::Cold);
+    ColdPlan = Resp.Plan;
+    ASSERT_NE(S.persistentStore(), nullptr);
+    EXPECT_GE(S.persistentStore()->stats().Puts, 1u);
+  }
+
+  presburger::clearQueryCache();
+  serve::ServerOptions SO;
+  SO.StoreRoot = Root;
+  serve::Server S(SO); // the "restarted process"
+  serve::ServeResponse Warm = S.handle(R);
+  ASSERT_TRUE(Warm.St.ok()) << Warm.St.str();
+  EXPECT_EQ(Warm.O, serve::Outcome::StoreWarm);
+
+  // The PR 5 contract across processes: decode, never re-derive.
+  presburger::QueryCacheStats QC = presburger::queryCacheStats();
+  EXPECT_EQ(QC.Hits + QC.Misses, 0u);
+  ASSERT_NE(Warm.Plan, nullptr);
+  EXPECT_TRUE(sameGraph(Warm.Plan->Inspection.Graph,
+                        ColdPlan->Inspection.Graph, R.N));
+  EXPECT_EQ(Warm.Plan->Schedule.Waves.Waves, ColdPlan->Schedule.Waves.Waves);
+  std::filesystem::remove_all(Root);
+}

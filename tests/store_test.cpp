@@ -1,0 +1,202 @@
+//===- store_test.cpp - Crash-safe persistent artifact store ---------------===//
+//
+// Part of the sparse-dep-simplify project (PLDI 2019 reproduction).
+//
+// The store's robustness contract (DESIGN.md §16): atomic publication,
+// verified reads with quarantine-never-delete on corruption, startup
+// recovery of torn-write debris, the decoded-identity check against the
+// requested key, and the byte-budgeted LRU sweep. The adversarial half —
+// every StoreFaultKind, several seeds each — runs through the guard
+// campaign and must come back with zero silent wrong serves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sds/guard/FaultInjection.h"
+#include "sds/kernels/Kernels.h"
+#include "sds/store/Store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace fs = std::filesystem;
+using namespace sds;
+
+namespace {
+
+/// One analysis for the whole binary — the artifact under test is the same
+/// pristine value everywhere, the per-test stores differ.
+const artifact::CompiledKernel &fsCscArtifact() {
+  static artifact::CompiledKernel CK =
+      artifact::compile(kernels::forwardSolveCSC());
+  return CK;
+}
+
+std::string freshRoot(const char *Name) {
+  fs::path P = fs::path(::testing::TempDir()) / Name;
+  fs::remove_all(P);
+  return P.string();
+}
+
+uint64_t fileSize(const std::string &Path) {
+  std::error_code EC;
+  uint64_t Sz = fs::file_size(Path, EC);
+  return EC ? 0 : Sz;
+}
+
+} // namespace
+
+TEST(StoreRoundtrip, PutGetBitIdentical) {
+  store::Store S({freshRoot("sds_store_roundtrip"), 0, false});
+  ASSERT_TRUE(S.status().ok()) << S.status().str();
+  const artifact::CompiledKernel &CK = fsCscArtifact();
+  ASSERT_TRUE(S.put(CK).ok());
+  ASSERT_TRUE(S.put(CK).ok()); // identical bytes: skipped, not rewritten
+
+  artifact::CompiledKernel Out;
+  bool Found = false;
+  ASSERT_TRUE(S.get(store::Store::keyFor(CK), Out, Found).ok());
+  ASSERT_TRUE(Found);
+  EXPECT_EQ(artifact::serialize(Out), artifact::serialize(CK));
+
+  store::StoreStats St = S.stats();
+  EXPECT_EQ(St.Puts, 1u);
+  EXPECT_EQ(St.PutIdentical, 1u);
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Misses, 0u);
+  EXPECT_EQ(St.Quarantined, 0u);
+}
+
+TEST(StoreRoundtrip, MissIsExplicitNotAnError) {
+  store::Store S({freshRoot("sds_store_miss"), 0, false});
+  ASSERT_TRUE(S.status().ok());
+  artifact::CompiledKernel Out;
+  bool Found = true;
+  ASSERT_TRUE(S.get("no-such-key", Out, Found).ok());
+  EXPECT_FALSE(Found);
+  EXPECT_EQ(S.stats().Misses, 1u);
+}
+
+TEST(StoreVerify, CorruptBlobQuarantinedNeverDeleted) {
+  store::Store S({freshRoot("sds_store_corrupt"), 0, false});
+  ASSERT_TRUE(S.status().ok());
+  const artifact::CompiledKernel &CK = fsCscArtifact();
+  ASSERT_TRUE(S.put(CK).ok());
+  std::string Key = store::Store::keyFor(CK);
+  std::string Blob = S.blobPath(Key);
+  uint64_t Pristine = fileSize(Blob);
+  ASSERT_GT(Pristine, 64u);
+
+  // Truncate the published blob to break the payload checksum.
+  fs::resize_file(Blob, Pristine / 2);
+
+  artifact::CompiledKernel Out;
+  bool Found = true;
+  ASSERT_TRUE(S.get(Key, Out, Found).ok());
+  EXPECT_FALSE(Found); // degraded to a miss — caller recompiles
+  EXPECT_EQ(S.stats().Quarantined, 1u);
+  EXPECT_FALSE(fs::exists(Blob)); // moved aside, not served again
+
+  // Never deleted: the corrupt bytes sit in quarantine/ for post-mortem.
+  std::vector<std::string> Q = S.listQuarantined();
+  ASSERT_EQ(Q.size(), 1u);
+  EXPECT_GT(fileSize((fs::path(S.root()) / "quarantine" / Q[0]).string()),
+            0u);
+
+  // The key is re-publishable and serves pristine afterwards.
+  ASSERT_TRUE(S.put(CK).ok());
+  ASSERT_TRUE(S.get(Key, Out, Found).ok());
+  ASSERT_TRUE(Found);
+  EXPECT_EQ(artifact::serialize(Out), artifact::serialize(CK));
+}
+
+TEST(StoreVerify, DecodedIdentityMustMatchRequestedKey) {
+  // A blob squatting at another key's path decodes cleanly but is not the
+  // artifact that key addresses — the identity check quarantines it
+  // rather than serving a wrong (if well-formed) answer.
+  store::Store S({freshRoot("sds_store_alias"), 0, false});
+  ASSERT_TRUE(S.status().ok());
+  const artifact::CompiledKernel &CK = fsCscArtifact();
+  ASSERT_TRUE(S.put(CK).ok());
+  fs::copy_file(S.blobPath(store::Store::keyFor(CK)),
+                S.blobPath("impostor-key"));
+
+  artifact::CompiledKernel Out;
+  bool Found = true;
+  ASSERT_TRUE(S.get("impostor-key", Out, Found).ok());
+  EXPECT_FALSE(Found);
+  EXPECT_EQ(S.stats().Quarantined, 1u);
+  EXPECT_EQ(S.listQuarantined().size(), 1u);
+
+  // The legitimate key is untouched by the impostor's quarantine.
+  ASSERT_TRUE(S.get(store::Store::keyFor(CK), Out, Found).ok());
+  EXPECT_TRUE(Found);
+}
+
+TEST(StoreRecovery, StartupRemovesTornWriteDebris) {
+  std::string Root = freshRoot("sds_store_recover");
+  const artifact::CompiledKernel &CK = fsCscArtifact();
+  {
+    store::Store S({Root, 0, false});
+    ASSERT_TRUE(S.status().ok());
+    ASSERT_TRUE(S.put(CK).ok());
+  }
+  // A writer killed mid-save leaves only *.tmp files behind; fake two.
+  std::ofstream(Root + "/deadbeef.json.tmp101") << "{\"torn\":";
+  std::ofstream(Root + "/deadbeef.json.tmp102") << "{}";
+
+  store::Store S({Root, 0, false});
+  ASSERT_TRUE(S.status().ok());
+  EXPECT_EQ(S.stats().RecoveredTmp, 2u);
+  EXPECT_FALSE(fs::exists(Root + "/deadbeef.json.tmp101"));
+  EXPECT_FALSE(fs::exists(Root + "/deadbeef.json.tmp102"));
+
+  // The committed blob survived recovery and still serves pristine.
+  artifact::CompiledKernel Out;
+  bool Found = false;
+  ASSERT_TRUE(S.get(store::Store::keyFor(CK), Out, Found).ok());
+  ASSERT_TRUE(Found);
+  EXPECT_EQ(artifact::serialize(Out), artifact::serialize(CK));
+}
+
+TEST(StoreSweep, ByteBudgetEvictsAllButNewest) {
+  // A 1-byte budget forces the sweep after every put; the newest blob is
+  // never evicted, so exactly the previously published blobs go.
+  store::Store S({freshRoot("sds_store_sweep"), 1, false});
+  ASSERT_TRUE(S.status().ok());
+  artifact::CompiledKernel A = fsCscArtifact();
+  artifact::CompiledKernel B = artifact::compile(kernels::forwardSolveCSR());
+  artifact::CompiledKernel C = artifact::compile(kernels::spmvCSR());
+  ASSERT_TRUE(S.put(A).ok());
+  ASSERT_TRUE(S.put(B).ok());
+  ASSERT_TRUE(S.put(C).ok());
+
+  store::StoreStats St = S.stats();
+  EXPECT_EQ(St.SweepEvicted, 2u);
+  unsigned Alive = 0;
+  for (const artifact::CompiledKernel *CK : {&A, &B, &C})
+    Alive += S.contains(store::Store::keyFor(*CK)) ? 1 : 0;
+  EXPECT_EQ(Alive, 1u);
+  EXPECT_EQ(S.listQuarantined().size(), 0u); // eviction is not quarantine
+}
+
+TEST(StoreLifecycle, UnusableRootIsDeadNotUndefined) {
+  // Rooting the store under a regular file makes creation impossible; the
+  // store must report that through status(), not crash or half-work.
+  std::string Base = freshRoot("sds_store_dead");
+  fs::create_directories(Base);
+  std::ofstream(Base + "/occupied") << "x";
+  store::Store S({Base + "/occupied/sub", 0, false});
+  EXPECT_FALSE(S.status().ok());
+  EXPECT_FALSE(S.put(fsCscArtifact()).ok());
+}
+
+TEST(StoreCampaign, EveryFaultClassDetectedOrTolerated) {
+  guard::StoreCampaignResult R =
+      guard::runStoreCampaign(fsCscArtifact(),
+                              freshRoot("sds_store_campaign"), 2);
+  EXPECT_GT(R.injected(), 0u);
+  EXPECT_EQ(R.silentWrongs(), 0u);
+  EXPECT_TRUE(R.allHeld()) << R.summary();
+}
