@@ -49,7 +49,7 @@ namespace {
 const char *kFastTier[] = {
     "table2_suite", "fig7_unsat",    "pipeline_analysis",
     "engine_warm",  "fig9_speedup",  "fig10_breakeven",
-    "guard_core",   "serve_load",
+    "guard_core",   "serve_load",    "infer_speculate",
 };
 
 /// Parse one JSON file; returns false (with a message) on I/O or syntax

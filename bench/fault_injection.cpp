@@ -28,6 +28,16 @@
 //   fault_injection --seeds 2      # corruption seeds per (array, kind)
 //   fault_injection --blob-seeds 32   # blob mutants per corruption class
 //   fault_injection --store-seeds 8   # store trials per StoreFaultKind
+//   fault_injection --infer-seeds 4   # misspeculation trials per (array,
+//                                     # kind); 0 skips the campaign
+//
+// The misspeculation campaign re-analyzes each kernel with its declared
+// properties stripped and only profiler-inferred (speculative) properties
+// in play, then corrupts the arrays *after* inference: every confirmed
+// property is now a potential lie, and the remedy machinery — inferred
+// citations validated in every guard mode, failed remedies revoking
+// exactly the citing dependences — must keep the served schedule correct.
+// Any "silent wrong schedule" outcome fails the run.
 //   fault_injection --kernel ic0   # only kernels whose key contains "ic0"
 //   fault_injection -v             # print every trial
 //   SDS_HEAVY=0 fault_injection    # skip the minutes-long IC0/ILU0 analyses
@@ -92,6 +102,7 @@ int main(int argc, char **argv) {
   unsigned Seeds = 1;
   unsigned BlobSeeds = 8;
   unsigned StoreSeeds = 4;
+  unsigned InferSeeds = 1;
   bool Verbose = false;
   std::string KernelFilter;
   for (int I = 1; I < argc; ++I) {
@@ -103,6 +114,8 @@ int main(int argc, char **argv) {
       BlobSeeds = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "--store-seeds") && I + 1 < argc)
       StoreSeeds = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--infer-seeds") && I + 1 < argc)
+      InferSeeds = static_cast<unsigned>(std::atoi(argv[++I]));
     else if (!std::strcmp(argv[I], "--kernel") && I + 1 < argc)
       KernelFilter = argv[++I];
     else if (!std::strcmp(argv[I], "-v"))
@@ -126,7 +139,8 @@ int main(int argc, char **argv) {
   unsigned TotalTrials = 0, TotalSilent = 0;
   unsigned BlobTrials = 0, BlobSilent = 0;
   unsigned StoreTrials = 0, StoreSilent = 0;
-  std::string BlobTable, StoreTable;
+  unsigned InferTrials = 0, InferSilent = 0, InferRevoked = 0;
+  std::string BlobTable, StoreTable, InferTable;
   const std::string StoreRoot = "fault_store_trials";
   for (FaultTarget &T : faultTargets(N, Heavy)) {
     if (!KernelFilter.empty() && T.Key.find(KernelFilter) == std::string::npos)
@@ -185,6 +199,37 @@ int main(int argc, char **argv) {
                static_cast<uint64_t>(S.silentWrongs()));
     StoreTrials += static_cast<unsigned>(S.Trials.size());
     StoreSilent += S.silentWrongs();
+
+    // Misspeculation: strip declarations, speculate from the profiler's
+    // confirmed set, corrupt post-inference, and demand remedy-or-correct.
+    if (InferSeeds) {
+      std::fprintf(stderr, "[fault] misspeculation campaign for %s...\n",
+                   T.Key.c_str());
+      guard::InferCampaignResult IC = guard::runInferCampaign(
+          T.Kernel, T.Env, T.N, InferSeeds, Threads);
+      for (const guard::InferTrial &Trial : IC.Trials)
+        if (Trial.silentWrong())
+          std::printf("  [infer SILENT-WRONG] %s\n", Trial.str().c_str());
+        else if (Verbose)
+          std::printf("  [infer] %s\n", Trial.str().c_str());
+      char ILine[160];
+      std::snprintf(ILine, sizeof(ILine),
+                    "%-10s %8zu %9u %9u %9u %10u %12u\n", T.Key.c_str(),
+                    IC.Trials.size(), IC.injected(), IC.remedyTripped(),
+                    IC.revokedDeps(), IC.tolerated(), IC.silentWrong());
+      InferTable += ILine;
+      Report.set(T.Key + "_infer_trials",
+                 static_cast<uint64_t>(IC.Trials.size()));
+      Report.set(T.Key + "_infer_remedy_tripped",
+                 static_cast<uint64_t>(IC.remedyTripped()));
+      Report.set(T.Key + "_infer_deps_revoked",
+                 static_cast<uint64_t>(IC.revokedDeps()));
+      Report.set(T.Key + "_infer_silent_wrong",
+                 static_cast<uint64_t>(IC.silentWrong()));
+      InferTrials += static_cast<unsigned>(IC.Trials.size());
+      InferSilent += IC.silentWrong();
+      InferRevoked += IC.revokedDeps();
+    }
   }
   if (!StoreSilent) { // failed trial dirs stay behind for post-mortem
     std::error_code CleanupEC;
@@ -203,23 +248,36 @@ int main(int argc, char **argv) {
               "injected", "pristine", "fell-back", "silent-wrong",
               StoreTable.c_str());
 
+  if (InferSeeds) {
+    std::printf("\nMisspeculation campaign (declarations stripped, %u "
+                "trial(s) per (array, kind))\n\n",
+                InferSeeds);
+    std::printf("%-10s %8s %9s %9s %9s %10s %12s\n%s", "Kernel", "trials",
+                "injected", "remedied", "revoked", "tolerated",
+                "silent-wrong", InferTable.c_str());
+  }
+
   Report.set("total_trials", static_cast<uint64_t>(TotalTrials));
   Report.set("total_silent_wrong", static_cast<uint64_t>(TotalSilent));
   Report.set("total_blob_trials", static_cast<uint64_t>(BlobTrials));
   Report.set("total_blob_silent_accept", static_cast<uint64_t>(BlobSilent));
   Report.set("total_store_trials", static_cast<uint64_t>(StoreTrials));
   Report.set("total_store_silent_wrong", static_cast<uint64_t>(StoreSilent));
+  Report.set("total_infer_trials", static_cast<uint64_t>(InferTrials));
+  Report.set("total_infer_deps_revoked", static_cast<uint64_t>(InferRevoked));
+  Report.set("total_infer_silent_wrong", static_cast<uint64_t>(InferSilent));
   Report.write();
 
-  if (TotalSilent || BlobSilent || StoreSilent) {
-    std::printf("\nFAIL: %u silent wrong-schedule, %u silent-accept and "
-                "%u silent wrong-serve outcome(s) — the guard contract is "
-                "broken\n",
-                TotalSilent, BlobSilent, StoreSilent);
+  if (TotalSilent || BlobSilent || StoreSilent || InferSilent) {
+    std::printf("\nFAIL: %u silent wrong-schedule, %u silent-accept, "
+                "%u silent wrong-serve and %u misspeculation silent-wrong "
+                "outcome(s) — the guard contract is broken\n",
+                TotalSilent, BlobSilent, StoreSilent, InferSilent);
     return 1;
   }
   std::printf("\nOK: every injected fault was detected or tolerated "
-              "(%u array trials, %u blob trials, %u store trials)\n",
-              TotalTrials, BlobTrials, StoreTrials);
+              "(%u array trials, %u blob trials, %u store trials, "
+              "%u misspeculation trials)\n",
+              TotalTrials, BlobTrials, StoreTrials, InferTrials);
   return 0;
 }

@@ -35,6 +35,7 @@
 #include "sds/driver/Driver.h"
 #include "sds/engine/Engine.h"
 #include "sds/guard/Guarded.h"
+#include "sds/infer/Infer.h"
 #include "sds/obs/Export.h"
 #include "sds/obs/Metrics.h"
 #include "sds/obs/Trace.h"
@@ -191,6 +192,30 @@ struct ArtifactFlags {
   std::string LoadPath;
 };
 
+/// --infer: bind the kernel's matrix shape so the profiler has concrete
+/// index arrays to speculate from (same generator/shape as the traced
+/// run, so the analysis and the execution see the same environment).
+std::optional<codegen::UFEnvironment> bindForInfer(const std::string &Key,
+                                                   int N) {
+  rt::CSRMatrix A = rt::generateSPDLike({N, 6, 12, 21});
+  if (Key == "gs_csr" || Key == "ilu0_csr")
+    return driver::bindCSR(A, A.diagonalPositions());
+  if (Key == "spmv_csr")
+    return driver::bindCSR(A);
+  if (Key == "fs_csr")
+    return driver::bindCSR(rt::lowerTriangle(A));
+  if (Key == "fs_csc" || Key == "ic0_csc")
+    return driver::bindCSC(rt::toCSC(rt::lowerTriangle(A)));
+  if (Key == "lchol_csc") {
+    // Prune arrays live in PruneSets, whose storage must outlive the
+    // environment; bindCSC copies spans, so a local is fine.
+    rt::CSCMatrix L = rt::toCSC(rt::lowerTriangle(A));
+    rt::PruneSets Prune = rt::buildPruneSets(L);
+    return driver::bindCSC(L, &Prune);
+  }
+  return std::nullopt;
+}
+
 /// --explain=<dep>: print the unsat core justifying each matching
 /// dependence's fate. <dep> matches as a substring of the dependence
 /// label; "all" matches every dependence. Works on fresh analyses and on
@@ -223,8 +248,22 @@ int explainDeps(const artifact::CompiledKernel &CK, const std::string &Pat) {
                 D.Core.Assertions.size(),
                 D.Core.FromFarkas ? ", from Farkas certificate" : ", coarse",
                 D.Core.Minimized ? ", minimized" : "");
-    for (const std::string &A : D.Core.Assertions)
-      std::printf("  * %s\n", A.c_str());
+    for (const std::string &A : D.Core.Assertions) {
+      // Trust tier next to each cited assertion: Declared came from the
+      // kernel's annotations, Inferred from the profiler (a remedy the
+      // guard validates on every run).
+      std::string Base = A.substr(0, A.find(" ["));
+      std::string Tag;
+      if (std::optional<ir::PropertyTier> T =
+              CK.Properties.tierForLabelBase(Base))
+        Tag = " [" + ir::propertyTierName(*T) + "]";
+      std::printf("  * %s%s\n", A.c_str(), Tag.c_str());
+    }
+    if (D.Remediable)
+      std::printf("remedy:     cites %zu inferred assertion(s); each is "
+                  "validated at bind time and a failure revokes exactly "
+                  "this dependence\n",
+                  D.InferredCited.size());
   }
   if (!Matched) {
     std::fprintf(stderr, "--explain: no dependence matches '%s'; have:\n",
@@ -240,8 +279,28 @@ int analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
                int N, int Threads, double BudgetMs,
                std::optional<rt::ScheduleKind> ScheduleKind,
                const GuardFlags &GF, const ArtifactFlags &AF,
-               const std::string &Explain) {
+               const std::string &Explain, bool Infer) {
   std::printf("=== %s ===\n%s\n", K.Name.c_str(), K.str().c_str());
+  ir::PropertySet InferredProps;
+  if (Infer) {
+    if (!AF.LoadPath.empty()) {
+      std::fprintf(stderr, "--infer analyzes fresh; it cannot be combined "
+                           "with --load-artifact\n");
+      return 1;
+    }
+    std::optional<codegen::UFEnvironment> Env = bindForInfer(Key, N);
+    if (!Env) {
+      std::fprintf(stderr, "--infer: no matrix binding for kernel '%s'\n",
+                   Key.c_str());
+      return 1;
+    }
+    infer::InferenceResult Inf = infer::inferProperties(*Env);
+    std::printf("inference: %s\n", Inf.summary().c_str());
+    // The unannotated-matrix scenario: drop every declaration and let the
+    // analysis lean only on what the profiler confirmed from the data.
+    K.Properties = ir::PropertySet{};
+    InferredProps = std::move(Inf.Confirmed);
+  }
   artifact::CompiledKernel CK;
   std::optional<engine::Engine> Eng;
   if (!AF.LoadPath.empty()) {
@@ -274,6 +333,8 @@ int analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
     engine::EngineOptions EOpts;
     EOpts.Analysis.NumThreads = Threads;
     EOpts.Analysis.AnalysisBudgetMs = BudgetMs;
+    EOpts.Analysis.Speculate = Infer;
+    EOpts.Analysis.InferredProps = InferredProps;
     EOpts.Inspect.NumThreads = Threads;
     if (ScheduleKind)
       EOpts.Schedule.Kind = *ScheduleKind;
@@ -293,6 +354,8 @@ int analyzeOne(const std::string &Key, kernels::Kernel K, bool Traced,
     deps::PipelineOptions POpts;
     POpts.NumThreads = Threads; // same flag drives analysis and inspectors
     POpts.AnalysisBudgetMs = BudgetMs;
+    POpts.Speculate = Infer;
+    POpts.InferredProps = InferredProps;
     auto T0 = std::chrono::steady_clock::now();
     deps::PipelineResult R = deps::analyzeKernel(K, POpts);
     double ColdS = std::chrono::duration<double>(
@@ -345,6 +408,7 @@ int main(int argc, char **argv) {
   GuardFlags GF;
   ArtifactFlags AF;
   std::string Explain;
+  bool Infer = false;
   std::vector<std::string> Positional;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -360,6 +424,8 @@ int main(int argc, char **argv) {
       MetricsPath = Arg.substr(10);
     } else if (Arg == "--validate") {
       GF.Validate = true;
+    } else if (Arg == "--infer") {
+      Infer = true;
     } else if (Arg.rfind("--guard=", 0) == 0) {
       auto M = guard::parseGuardMode(Arg.substr(8));
       if (!M) {
@@ -417,11 +483,16 @@ int main(int argc, char **argv) {
         "[--schedule=levels|lbc|coalesced|p2p|vector] "
         "[--validate] [--guard=off|warn|fallback] [--budget-ms MS] "
         "[--emit-artifact=PATH] [--load-artifact=PATH] "
-        "[--explain=<dep>|all] "
+        "[--explain=<dep>|all] [--infer] "
         "<kernel|all> [properties.json]\n"
         "--explain prints the unsat core justifying each matching "
         "dependence's fate\n(substring match on the dependence label; "
-        "'all' prints every core).\n"
+        "'all' prints every core, each cited assertion\ntagged with its "
+        "trust tier).\n"
+        "--infer drops every declared property and speculates from the "
+        "bound index arrays\ninstead: the profiler proposes properties "
+        "(tier Inferred), the analysis cites them\nin its cores, and the "
+        "guard validates each cited remedy at bind time.\n"
         "--metrics writes the metrics-registry snapshot (counters, gauges, "
         "latency histograms,\nper-stage seconds, flight recorder) as JSON; "
         "a PATH ending in .prom selects Prometheus\ntext exposition, '-' "
@@ -453,7 +524,7 @@ int main(int argc, char **argv) {
     }
     for (auto &[Key, K] : Kernels)
       if (int RC = analyzeOne(Key, K, Traced, N, Threads, BudgetMs,
-                              ScheduleKind, GF, {}, Explain))
+                              ScheduleKind, GF, {}, Explain, Infer))
         return RC;
   } else {
     auto It = Kernels.find(Which);
@@ -491,7 +562,7 @@ int main(int argc, char **argv) {
     }
 
     if (int RC = analyzeOne(Which, K, Traced, N, Threads, BudgetMs,
-                            ScheduleKind, GF, AF, Explain))
+                            ScheduleKind, GF, AF, Explain, Infer))
       return RC;
   }
 

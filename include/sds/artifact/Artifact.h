@@ -62,17 +62,24 @@ struct AnalysisOptions {
   bool UseEqualities = true;
   bool UseSubsets = true;
   bool ApproximateExpensive = false;
+  /// Speculative property inference (sds::infer): the analysis ran against
+  /// declared ∪ inferred properties. A speculated artifact additionally
+  /// depends on the environment profile it speculated from — see
+  /// CompiledKernel::InferredFingerprint.
+  bool Speculate = false;
 
   static AnalysisOptions of(const deps::PipelineOptions &Opts) {
     return {Opts.UseProperties, Opts.UseEqualities, Opts.UseSubsets,
-            Opts.ApproximateExpensive};
+            Opts.ApproximateExpensive, Opts.Speculate};
   }
-  /// Compact cache-key form, e.g. "PES-" (capital = on, dash = off).
+  /// Compact cache-key form, e.g. "PES-I" (capital = on, dash = off; the
+  /// trailing char is the speculation dimension).
   std::string key() const;
   bool operator==(const AnalysisOptions &O) const {
     return UseProperties == O.UseProperties &&
            UseEqualities == O.UseEqualities && UseSubsets == O.UseSubsets &&
-           ApproximateExpensive == O.ApproximateExpensive;
+           ApproximateExpensive == O.ApproximateExpensive &&
+           Speculate == O.Speculate;
   }
 };
 
@@ -99,6 +106,13 @@ struct CompiledKernel {
   /// decode leaves the in-memory default. Older blobs without the field
   /// decode to the default config.
   rt::ScheduleConfig Schedule;
+  /// Fingerprint of the inferred-property set a speculative analysis ran
+  /// against (infer::InferenceResult::fingerprint()); 0 for non-speculated
+  /// artifacts. Additive schema field: pre-speculation blobs decode to 0
+  /// with Declared-only properties. A speculated artifact is only valid
+  /// for environments whose inference profile matches — the engine keys
+  /// its caches on this.
+  uint64_t InferredFingerprint = 0;
 
   unsigned count(deps::DepStatus S) const {
     unsigned N = 0;

@@ -68,6 +68,16 @@ struct AnalyzedDependence {
   /// provenance and forces full validation.
   ir::UnsatCore Core;
   bool HasCore = false;
+  /// Speculation accounting (populated only by speculative analyses): the
+  /// assertion-label bases of *Inferred*-tier properties this dependence's
+  /// core cites. Non-empty means the verdict (or rewrite) leans on
+  /// speculation: the guard must treat each cited base as a remedy —
+  /// validate it on the actual run-time arrays and revoke exactly this
+  /// dependence (via its baseline path) when the check fails.
+  std::vector<std::string> InferredCited;
+  /// True when `InferredCited` is non-empty — the elimination/rewrite is
+  /// justified (at least partly) by speculation and carries a remedy.
+  bool Remediable = false;
 };
 
 /// Pipeline switches (used by the ablation benches).
@@ -98,6 +108,15 @@ struct PipelineOptions {
   /// order, and the shared Presburger verdict cache only memoizes
   /// deterministic facts. <=1 means serial.
   int NumThreads = 1;
+  /// Speculation mode: union `InferredProps` (tier Inferred, from
+  /// sds::infer) with the kernel's declared properties before the
+  /// simplification ladder runs, then record per dependence which
+  /// inferred assertions its unsat core cites (`InferredCited` /
+  /// `Remediable`). The result's Kernel carries the *union* set, so the
+  /// guard and artifact layers see the speculated trust base with its
+  /// tiers intact.
+  bool Speculate = false;
+  ir::PropertySet InferredProps;
 };
 
 /// Full analysis of one kernel.

@@ -70,6 +70,10 @@ struct EngineStats {
   uint64_t KernelWarm = 0;   ///< compiled() served from cache
   uint64_t KernelCold = 0;   ///< compiled() ran the analysis pipeline
   uint64_t KernelLoaded = 0; ///< artifacts installed via loadArtifact()
+  /// Speculative cold compiles: the analysis ran against declared ∪
+  /// inferred properties for one environment profile (subset of
+  /// KernelCold).
+  uint64_t KernelSpeculated = 0;
   uint64_t MatrixWarm = 0;   ///< plan() served from cache
   uint64_t MatrixCold = 0;   ///< plan() ran inspectors + scheduler
   uint64_t MatrixEvicted = 0;
@@ -100,9 +104,28 @@ public:
   Engine &operator=(const Engine &) = delete;
 
   /// The kernel tier: return the memoized artifact for `K` under this
-  /// engine's analysis options, compiling it (cold) on first use.
+  /// engine's analysis options, compiling it (cold) on first use. With
+  /// Analysis.Speculate set this overload compiles with an *empty*
+  /// inferred set (no environment to profile) — use the Env overload to
+  /// actually speculate.
   std::shared_ptr<const artifact::CompiledKernel>
   compiled(const kernels::Kernel &K);
+
+  /// Environment-aware kernel tier. Without Analysis.Speculate, identical
+  /// to compiled(K); with it, forwards to speculatedCompiled.
+  std::shared_ptr<const artifact::CompiledKernel>
+  compiled(const kernels::Kernel &K, const codegen::UFEnvironment &Env);
+
+  /// Speculative kernel tier (used regardless of Analysis.Speculate —
+  /// per-request opt-in enters here): runs the sds::infer profiler over
+  /// `Env` and compiles against declared ∪ inferred properties. The cache
+  /// key gains the speculation options char and the inference fingerprint,
+  /// so two environments with the same confirmed profile share one
+  /// speculated artifact, a differing profile can never alias a stale
+  /// one, and speculated entries never collide with declared-only ones.
+  std::shared_ptr<const artifact::CompiledKernel>
+  speculatedCompiled(const kernels::Kernel &K,
+                     const codegen::UFEnvironment &Env);
 
   /// Kernel-tier probe: the cached artifact for `K` under this engine's
   /// analysis options, or nullptr — never compiles, never touches stats.
@@ -129,16 +152,20 @@ public:
   /// The matrix tier: dependence graph + wavefront schedule for `K`
   /// bound to `Env` over `N` iterations. Warm hits return the cached
   /// plan; cold fills run the (artifact-driven) inspectors and the
-  /// level-set scheduler.
+  /// level-set scheduler. `Speculate` opts this call into speculative
+  /// inference (ORed with Analysis.Speculate); speculated plans key
+  /// separately from declared-only ones, so the two never alias.
   std::shared_ptr<const MatrixPlan>
-  plan(const kernels::Kernel &K, const codegen::UFEnvironment &Env, int N);
+  plan(const kernels::Kernel &K, const codegen::UFEnvironment &Env, int N,
+       bool Speculate = false);
 
   /// Matrix-tier probe: the cached plan, or nullptr without filling. A
   /// hit counts MatrixWarm and refreshes LRU recency exactly like plan();
   /// a miss counts nothing (the caller decides whether to fill).
-  std::shared_ptr<const MatrixPlan> planIfCached(const kernels::Kernel &K,
-                                                 const codegen::UFEnvironment &Env,
-                                                 int N);
+  /// `Speculate` selects the speculated plan key, as for plan().
+  std::shared_ptr<const MatrixPlan>
+  planIfCached(const kernels::Kernel &K, const codegen::UFEnvironment &Env,
+               int N, bool Speculate = false);
 
   EngineStats stats() const;
   /// Drop both tiers (stats survive).

@@ -110,6 +110,68 @@ CampaignResult runCampaign(const deps::PipelineResult &Analysis,
                            int Threads = 1);
 
 //===----------------------------------------------------------------------===//
+// Misspeculation campaign (the speculative-inference analogue of the
+// declared-property campaign above). Property inference runs on the
+// *pristine* environment; the arrays are corrupted afterwards, so every
+// profiler-confirmed property is a potential lie at bind time. The
+// contract under test is the remedy path: every elimination citing an
+// inferred assertion must either see its remedy validated on the
+// corrupted arrays or be individually revoked (per-dependence, never
+// whole-analysis fallback while cores are complete) — and the schedule
+// ultimately served must always respect the baseline dependence graph of
+// the corrupted input. A wrong schedule is the misspeculation disaster
+// this layer exists to rule out.
+//===----------------------------------------------------------------------===//
+
+/// Outcome of one misspeculation trial.
+struct InferTrial {
+  FaultSpec Spec;
+  std::string Description; ///< what was corrupted
+  bool Injected = false;   ///< the fault actually altered data
+  bool RemedyTripped = false; ///< >= 1 inferred-tier remedy failed validation
+  unsigned DepsRevoked = 0;   ///< dependences individually reverted
+  bool UsedFallback = false;  ///< any revocation (or whole-analysis fallback)
+  bool StillCorrect = false;  ///< served schedule respects corrupted baseline
+  double Seconds = 0;
+
+  /// The contract violation: data changed and the schedule served from the
+  /// speculated analysis breaks real dependences of the corrupted input.
+  bool silentWrong() const { return Injected && !StillCorrect; }
+
+  std::string str() const;
+};
+
+/// Aggregate of a misspeculation campaign.
+struct InferCampaignResult {
+  std::vector<InferTrial> Trials;
+
+  unsigned PropsConfirmed = 0;  ///< profiler-confirmed candidates
+  unsigned SpeculativeDeps = 0; ///< dependences whose core cites speculation
+  /// Of those, the ones refuted before runtime (PropertyUnsat) — the
+  /// eliminations that exist only because of speculation.
+  unsigned EliminatedSpeculatively = 0;
+
+  unsigned injected() const;
+  unsigned remedyTripped() const; ///< trials where a remedy failed
+  unsigned revokedDeps() const;   ///< per-dependence revocations, summed
+  unsigned tolerated() const; ///< injected, no remedy tripped, still correct
+  unsigned silentWrong() const;
+
+  std::string summary() const;
+};
+
+/// Run the misspeculation campaign for one kernel: strip the declared
+/// properties, profile the pristine `Env` (sds::infer), analyze
+/// speculatively against the confirmed set, then replay every
+/// (array, kind, seed) corruption with the guard in Mode Off — inferred
+/// remedies are validated even there — and cross-check the resulting
+/// schedule against the corrupted input's baseline graph.
+InferCampaignResult runInferCampaign(const kernels::Kernel &K,
+                                     const codegen::UFEnvironment &Env, int N,
+                                     unsigned SeedsPerPair = 1,
+                                     int Threads = 1);
+
+//===----------------------------------------------------------------------===//
 // Serialized-artifact corruption (the storage analogue of the index-array
 // campaign above). A compiled kernel that sits on disk between compile and
 // serve time can rot: bit flips, short reads, concatenated writes, stray

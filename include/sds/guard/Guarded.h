@@ -83,6 +83,16 @@ struct GuardedResult {
   /// cores). 0 under whole-world fallback or full trust.
   unsigned DepsRevoked = 0;
 
+  /// Remedy accounting (speculative analyses only). A *remedy* is a cited
+  /// assertion whose property carries ir::PropertyTier::Inferred: it was
+  /// proposed by the profiler, not declared, so it is validated in every
+  /// guard mode — including Off — and a failed remedy revokes exactly the
+  /// dependences whose cores cite it (misspeculation is per-dependence,
+  /// never whole-analysis fallback).
+  unsigned DepsRemediable = 0;  ///< dependences marked Remediable upstream
+  unsigned RemediesChecked = 0; ///< inferred-tier bases validated
+  unsigned RemediesFailed = 0;  ///< inferred-tier bases that did not Pass
+
   driver::InspectionResult Inspection;
 
   bool Verified = false;     ///< the cross-check ran

@@ -75,6 +75,23 @@ enum class PropertyKind {
 std::optional<PropertyKind> parsePropertyKind(std::string_view Keyword);
 std::string propertyKindName(PropertyKind K);
 
+/// Where a property assertion came from — its trust tier. Declared
+/// properties are hand-written per kernel and may be trusted by guard
+/// policy; Inferred properties were proposed by the sds::infer profiler
+/// from one observed environment and must ALWAYS be validated before the
+/// speculated plan runs; Refuted marks a candidate the profiler
+/// disconfirmed (kept only for provenance/diagnostics — never expanded
+/// into solver assertions).
+enum class PropertyTier {
+  Declared,
+  Inferred,
+  Refuted,
+};
+
+/// Parse/print a tier keyword: "declared" | "inferred" | "refuted".
+std::optional<PropertyTier> parsePropertyTier(std::string_view Keyword);
+std::string propertyTierName(PropertyTier T);
+
 /// One declared property of a specific index array.
 struct IndexArrayProperty {
   PropertyKind K;
@@ -84,6 +101,9 @@ struct IndexArrayProperty {
   /// quantified variable (e.g. SegmentStartIdentity holds for x in
   /// [GuardLo, GuardHi) only — outside it, Ptr(x+...) leaves the array).
   std::optional<Expr> GuardLo, GuardHi;
+  /// Provenance: defaulted so every existing aggregate init stays a
+  /// declared property.
+  PropertyTier Tier = PropertyTier::Declared;
 };
 
 /// Declared domain/range bounds of an index array (Table 1 "Domain &
@@ -93,6 +113,7 @@ struct IndexArrayProperty {
 struct DomainRangeDecl {
   std::string Fn;
   std::optional<Expr> DomLo, DomHi, RanLo, RanHi;
+  PropertyTier Tier = PropertyTier::Declared;
 };
 
 /// The user-supplied environment of index-array knowledge for one kernel.
@@ -116,7 +137,21 @@ public:
   /// that measures each property class in isolation).
   PropertySet filtered(const std::vector<PropertyKind> &Kinds) const;
 
+  /// Union of this set with `Other`, skipping entries of `Other` whose
+  /// assertion-label base is already present here (declared knowledge wins
+  /// over inferred duplicates — call on the declared set). Refuted entries
+  /// of `Other` are carried through for provenance but never expand into
+  /// assertions.
+  PropertySet unioned(const PropertySet &Other) const;
+
+  /// The trust tier of the property/declaration whose assertion-label base
+  /// is `Base` (e.g. "monotonic_increasing(rowptr)" or
+  /// "domain_range(col)"). std::nullopt when no entry produces that base.
+  std::optional<PropertyTier> tierForLabelBase(const std::string &Base) const;
+
   /// Expand every declaration into universally quantified assertions.
+  /// Refuted-tier entries are skipped: a disconfirmed candidate must never
+  /// reach the solver.
   std::vector<UniversalAssertion> assertions() const;
 
   /// Load from the JSON shape consumed by the paper's pipeline:

@@ -54,7 +54,9 @@
 
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace sds {
 namespace serve {
@@ -100,6 +102,20 @@ struct ServeRequest {
   /// Explicit analysis budget for a cold compile; 0 derives it from the
   /// remaining deadline (or leaves it unbudgeted when DeadlineMs == 0).
   double AnalysisBudgetMs = 0;
+  /// Per-request opt-in to speculative property inference: the plan is
+  /// built against declared ∪ inferred properties through the engine's
+  /// speculated tiers, keyed separately from declared-only plans (the
+  /// two can never alias). Speculated artifacts are environment-
+  /// dependent, so the persistent store and budget degradation do not
+  /// apply on this path.
+  bool Speculate = false;
+};
+
+/// One environment of a batch submission: shares the batch's kernel,
+/// deadline, and speculation flag.
+struct BatchItem {
+  codegen::UFEnvironment Env;
+  int N = 0;
 };
 
 /// What the caller gets back. On success `Plan` is non-null and its
@@ -126,6 +142,13 @@ struct ServerStats {
   uint64_t ShedQueue = 0;
   uint64_t ShedDeadline = 0;
   uint64_t Errors = 0;
+  /// Cold requests that waited on another request's in-flight kernel-tier
+  /// fill (kernel-level singleflight) instead of compiling themselves —
+  /// how a batch over N environments pays one compile, not N.
+  uint64_t KernelCoalesced = 0;
+  uint64_t Speculated = 0; ///< completed requests served speculatively
+  uint64_t Batches = 0;    ///< submitBatch() calls
+  uint64_t BatchItems = 0; ///< items across all batches
 };
 
 class Server {
@@ -139,6 +162,16 @@ public:
   /// with an explicit shed/error Status. Sheds synchronously when the
   /// queue is full.
   std::future<ServeResponse> submit(ServeRequest R);
+
+  /// Batch submission: one kernel bound to many environments. Every item
+  /// becomes a normal queued request (same shedding rules, per-item
+  /// outcomes in the returned futures, same order as `Items`), but the
+  /// kernel tier is resolved once: concurrent cold items of one kernel
+  /// coalesce on a kernel-level singleflight (ServerStats::
+  /// KernelCoalesced) instead of compiling N times.
+  std::vector<std::future<ServeResponse>>
+  submitBatch(const kernels::Kernel &K, std::vector<BatchItem> Items,
+              double DeadlineMs = 0, bool Speculate = false);
 
   /// Synchronous serving path (what the workers run). Public so tests
   /// and single-threaded callers can use the policy without the queue.
@@ -162,8 +195,18 @@ public:
 private:
   /// Kernel-tier resolution + plan build for a singleflight leader:
   /// engine cache -> persistent store -> budgeted cold compile (degrading
-  /// to the baseline plan on budget exhaustion).
+  /// to the baseline plan on budget exhaustion). Speculated requests
+  /// route through the engine's speculated tiers instead.
   ServeResponse serveCold(const ServeRequest &R, uint64_t AbsDeadlineNs);
+
+  /// The store-lookup + budgeted-compile miss path (the body a kernel-
+  /// level singleflight leader runs). On success `CK`/`FromStore` are
+  /// set and nullopt returns; a degraded or failed resolution returns
+  /// the response to serve instead.
+  std::optional<ServeResponse>
+  resolveKernelCold(const ServeRequest &R, uint64_t AbsDeadlineNs,
+                    std::shared_ptr<const artifact::CompiledKernel> &CK,
+                    bool &FromStore);
 
   struct Impl;
   std::unique_ptr<Impl> I;

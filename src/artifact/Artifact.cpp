@@ -231,6 +231,13 @@ Value analyzedDepJSON(const deps::AnalyzedDependence &D) {
     Core.emplace("farkas", Value(D.Core.FromFarkas));
     O.emplace("core", Value(std::move(Core)));
   }
+  if (D.Remediable) {
+    // Additive speculation fields: which Inferred-tier assertion bases this
+    // dependence's verdict leans on. Loaders that predate them ignore the
+    // keys; older blobs decode with Remediable == false.
+    O.emplace("remediable", Value(true));
+    O.emplace("inferred_cited", stringsJSON(D.InferredCited));
+  }
   return Value(std::move(O));
 }
 
@@ -247,6 +254,10 @@ Value propertySetJSON(const ir::PropertySet &PS) {
       PO.emplace("glo", exprJSON(*P.GuardLo));
     if (P.GuardHi)
       PO.emplace("ghi", exprJSON(*P.GuardHi));
+    // Additive trust-tier field, omitted for Declared so pre-speculation
+    // artifacts stay byte-identical; blobs without it decode as Declared.
+    if (P.Tier != ir::PropertyTier::Declared)
+      PO.emplace("tier", Value(ir::propertyTierName(P.Tier)));
     Props.push_back(Value(std::move(PO)));
   }
   O.emplace("props", Value(std::move(Props)));
@@ -262,6 +273,8 @@ Value propertySetJSON(const ir::PropertySet &PS) {
       RO.emplace("rlo", exprJSON(*D.RanLo));
     if (D.RanHi)
       RO.emplace("rhi", exprJSON(*D.RanHi));
+    if (D.Tier != ir::PropertyTier::Declared)
+      RO.emplace("tier", Value(ir::propertyTierName(D.Tier)));
     Ranges.push_back(Value(std::move(RO)));
   }
   O.emplace("ranges", Value(std::move(Ranges)));
@@ -282,6 +295,10 @@ Value payloadJSON(const CompiledKernel &CK) {
   Opts.emplace("equalities", Value(CK.Options.UseEqualities));
   Opts.emplace("subsets", Value(CK.Options.UseSubsets));
   Opts.emplace("approximate", Value(CK.Options.ApproximateExpensive));
+  // Additive: emitted only when on so non-speculated artifacts keep their
+  // pre-speculation byte layout; absent decodes to false.
+  if (CK.Options.Speculate)
+    Opts.emplace("infer", Value(true));
   Root.emplace("options", Value(std::move(Opts)));
   Root.emplace("properties", propertySetJSON(CK.Properties));
   Array Deps;
@@ -306,6 +323,15 @@ Value payloadJSON(const CompiledKernel &CK) {
   Sched.emplace("min_vector_run",
                 Value(static_cast<int64_t>(CK.Schedule.MinVectorRun)));
   Root.emplace("schedule", Value(std::move(Sched)));
+  // Additive: the inference fingerprint a speculated analysis ran against,
+  // as 16 hex digits (uint64 range exceeds JSON's signed-int lane). Absent
+  // decodes to 0 — pre-speculation blobs load as Declared-only.
+  if (CK.InferredFingerprint) {
+    char Buf[17];
+    std::snprintf(Buf, sizeof(Buf), "%016llx",
+                  static_cast<unsigned long long>(CK.InferredFingerprint));
+    Root.emplace("inferred_fingerprint", Value(std::string(Buf)));
+  }
   return Value(std::move(Root));
 }
 
@@ -714,6 +740,10 @@ Status decodeAnalyzedDep(const Value &V, deps::AnalyzedDependence &Out) {
       return S.withContext("core");
     D.HasCore = true;
   }
+  if (Status S = optBool(O, "remediable", D.Remediable); !S.ok())
+    return S;
+  if (Status S = decodeStrings(O, "inferred_cited", D.InferredCited); !S.ok())
+    return S;
   Out = std::move(D);
   return {};
 }
@@ -762,6 +792,16 @@ Status decodePropertySet(const Value &V, ir::PropertySet &Out) {
       return S.withContext(Ctx);
     if (Status S = optExprField(PO, "ghi", P.GuardHi); !S.ok())
       return S.withContext(Ctx);
+    std::string TierName;
+    if (Status S = optStr(PO, "tier", TierName); !S.ok())
+      return S.withContext(Ctx);
+    if (!TierName.empty()) {
+      std::optional<ir::PropertyTier> T = ir::parsePropertyTier(TierName);
+      if (!T)
+        return support::parseError(Ctx + ": unknown property tier '" +
+                                   TierName + "'");
+      P.Tier = *T;
+    }
     PS.add(std::move(P));
   }
   const Array *Ranges = nullptr;
@@ -784,6 +824,16 @@ Status decodePropertySet(const Value &V, ir::PropertySet &Out) {
       return S.withContext(Ctx);
     if (Status S = optExprField(RO, "rhi", D.RanHi); !S.ok())
       return S.withContext(Ctx);
+    std::string TierName;
+    if (Status S = optStr(RO, "tier", TierName); !S.ok())
+      return S.withContext(Ctx);
+    if (!TierName.empty()) {
+      std::optional<ir::PropertyTier> T = ir::parsePropertyTier(TierName);
+      if (!T)
+        return support::parseError(Ctx + ": unknown property tier '" +
+                                   TierName + "'");
+      D.Tier = *T;
+    }
     PS.addDomainRange(std::move(D));
   }
   Out = std::move(PS);
@@ -820,6 +870,8 @@ Status decodePayload(const Value &V, CompiledKernel &Out) {
   if (Status S =
           reqBool(*Opts, "approximate", CK.Options.ApproximateExpensive);
       !S.ok())
+    return S.withContext("options");
+  if (Status S = optBool(*Opts, "infer", CK.Options.Speculate); !S.ok())
     return S.withContext("options");
   const Value *Props = find(O, "properties");
   if (!Props)
@@ -874,6 +926,20 @@ Status decodePayload(const Value &V, CompiledKernel &Out) {
       return support::parseError("schedule.min_vector_run: expected >= 1");
     CK.Schedule.MinVectorRun = static_cast<int>(MinRun);
   }
+  std::string FpHex;
+  if (Status S = optStr(O, "inferred_fingerprint", FpHex); !S.ok())
+    return S;
+  if (!FpHex.empty()) {
+    if (FpHex.size() != 16 ||
+        FpHex.find_first_not_of("0123456789abcdef") != std::string::npos)
+      return support::parseError(
+          "inferred_fingerprint: expected 16 lowercase hex digits");
+    uint64_t Fp = 0;
+    for (char C : FpHex)
+      Fp = (Fp << 4) | static_cast<uint64_t>(C <= '9' ? C - '0'
+                                                      : C - 'a' + 10);
+    CK.InferredFingerprint = Fp;
+  }
   Out = std::move(CK);
   return {};
 }
@@ -886,6 +952,7 @@ std::string AnalysisOptions::key() const {
   K += UseEqualities ? 'E' : '-';
   K += UseSubsets ? 'S' : '-';
   K += ApproximateExpensive ? 'A' : '-';
+  K += Speculate ? 'I' : '-';
   return K;
 }
 

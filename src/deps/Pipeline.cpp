@@ -278,6 +278,13 @@ std::string PipelineResult::toJSON() const {
     }
     if (!D.Prov.Stage.empty())
       DepObj.emplace("provenance", D.Prov.toJSON());
+    if (D.Remediable) {
+      DepObj.emplace("remediable", Value(true));
+      Array Cited;
+      for (const std::string &B : D.InferredCited)
+        Cited.push_back(Value(B));
+      DepObj.emplace("inferred_cited", Value(std::move(Cited)));
+    }
     DepList.push_back(Value(std::move(DepObj)));
   }
   Root.emplace("dependences", Value(std::move(DepList)));
@@ -299,8 +306,15 @@ PipelineResult analyzeKernel(const kernels::Kernel &K,
                              const PipelineOptions &Opts) {
   PipelineResult Res;
   Res.Kernel = K;
+  // Speculation: run the whole ladder against declared ∪ inferred. The
+  // union lives in the result's Kernel so everything downstream — guard
+  // validation, artifact serialization, provenance — sees the speculated
+  // trust base with its tiers intact.
+  if (Opts.Speculate)
+    Res.Kernel.Properties = K.Properties.unioned(Opts.InferredProps);
   obs::Span Total("pipeline.analyze", "deps");
   Total.tag("kernel", K.Name);
+  Total.tag("speculate", static_cast<int64_t>(Opts.Speculate ? 1 : 0));
 
   // Kernel cost: the most expensive statement's iteration domain.
   Res.KernelCost = codegen::Complexity::one();
@@ -340,14 +354,16 @@ PipelineResult analyzeKernel(const kernels::Kernel &K,
           : 0;
   if (NT <= 1) {
     for (AnalyzedDependence &AD : Res.Deps)
-      analyzeOneDependence(AD, K, Opts, Res.StageSeconds, DeadlineNs);
+      analyzeOneDependence(AD, Res.Kernel, Opts, Res.StageSeconds,
+                           DeadlineNs);
   } else {
     std::vector<std::map<std::string, double>> DepSeconds(Res.Deps.size());
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic) num_threads(NT)
 #endif
     for (size_t I = 0; I < Res.Deps.size(); ++I)
-      analyzeOneDependence(Res.Deps[I], K, Opts, DepSeconds[I], DeadlineNs);
+      analyzeOneDependence(Res.Deps[I], Res.Kernel, Opts, DepSeconds[I],
+                           DeadlineNs);
     for (const auto &M : DepSeconds)
       for (const auto &[Stage, Seconds] : M)
         Res.StageSeconds[Stage] += Seconds;
@@ -456,6 +472,50 @@ PipelineResult analyzeKernel(const kernels::Kernel &K,
                                      : codegen::Complexity{127, 127};
       }
     }
+  }
+
+  // Speculation post-pass: mark, per dependence, which *inferred*
+  // assertions its core cites. Those citations are the remedies the guard
+  // must validate; a dependence citing none is justified by declared
+  // knowledge alone and survives any misspeculation untouched.
+  if (Opts.Speculate) {
+    static obs::Counter &Remediable =
+        obs::counter("pipeline.deps_remediable");
+    static obs::Counter &CitedInferred =
+        obs::counter("pipeline.inferred_citations");
+    unsigned RemediableHere = 0;
+    for (AnalyzedDependence &AD : Res.Deps) {
+      if (!AD.HasCore)
+        continue;
+      std::set<std::string> Bases;
+      for (const std::string &L : AD.Core.Assertions) {
+        // Label -> base: strip the application-mode suffix (" [contra]",
+        // " [weak]", ...) the way the guard's labelBase does.
+        size_t Cut = L.find(" [");
+        std::string Base = Cut == std::string::npos ? L : L.substr(0, Cut);
+        auto Tier = Res.Kernel.Properties.tierForLabelBase(Base);
+        if (Tier && *Tier == ir::PropertyTier::Inferred)
+          Bases.insert(std::move(Base));
+      }
+      AD.InferredCited.assign(Bases.begin(), Bases.end());
+      AD.Remediable = !AD.InferredCited.empty();
+      if (AD.Remediable) {
+        ++RemediableHere;
+        CitedInferred.add(AD.InferredCited.size());
+        AD.Prov.addEvidence(
+            "remediable: cites " +
+            std::to_string(AD.InferredCited.size()) +
+            " inferred assertion(s)");
+      }
+    }
+    Remediable.add(RemediableHere);
+    Total.tag("remediable", static_cast<int64_t>(RemediableHere));
+    if (RemediableHere)
+      obs::flightRecord(
+          obs::FlightSeverity::Info, "pipeline",
+          "speculative analysis produced remediable dependences",
+          {{"kernel", K.Name},
+           {"remediable", std::to_string(RemediableHere)}});
   }
 
   return Res;

@@ -6,10 +6,12 @@
 
 #include "sds/engine/Engine.h"
 
+#include "sds/infer/Infer.h"
 #include "sds/obs/FlightRecorder.h"
 #include "sds/obs/Metrics.h"
 #include "sds/obs/Trace.h"
 
+#include <cstdio>
 #include <list>
 #include <map>
 #include <tuple>
@@ -33,6 +35,13 @@ inline void fnvStr(uint64_t &H, const std::string &S) {
 }
 
 inline void fnvInt(uint64_t &H, int64_t V) { fnvBytes(H, &V, sizeof(V)); }
+
+std::string fpHex(uint64_t Fp) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(Fp));
+  return Buf;
+}
 
 } // namespace
 
@@ -71,6 +80,9 @@ struct Engine::Impl {
 
   EngineOptions Opts;
   std::string OptionsKey; ///< AnalysisOptions::key() of Opts.Analysis
+  /// OptionsKey with the speculation dimension forced on — what every
+  /// speculated entry keys under, engine-level or per-request.
+  std::string SpecOptionsKey;
 
   mutable std::mutex Mu;
   std::map<std::string, std::shared_ptr<const artifact::CompiledKernel>>
@@ -80,8 +92,22 @@ struct Engine::Impl {
   EngineStats Stats;
   std::vector<uint64_t> GaugeHandles; ///< live EngineStats gauge sources
 
-  std::string kernelKey(const std::string &Name) const {
+  /// Kernel-tier key. A speculated artifact is env-dependent, so its key
+  /// carries the speculated options char and the inference fingerprint —
+  /// two environments with the same confirmed profile share one entry, a
+  /// differing profile misses, and declared-only entries never collide.
+  std::string kernelKey(const std::string &Name, uint64_t InferFp = 0) const {
+    if (InferFp)
+      return Name + "|" + SpecOptionsKey + "|" + fpHex(InferFp);
     return Name + "|" + OptionsKey;
+  }
+
+  /// Matrix-tier key prefix: the environment fingerprint in the full key
+  /// pins the inference profile (a pure function of the environment), so
+  /// speculated plans only need the options-char distinction here.
+  std::string matrixPrefix(const std::string &Name, bool Spec) const {
+    return Name + "|" + (Spec ? SpecOptionsKey : OptionsKey) + "|" +
+           Opts.Schedule.key();
   }
 
   uint64_t statField(uint64_t EngineStats::*F) const {
@@ -119,12 +145,16 @@ struct Engine::Impl {
 Engine::Engine(EngineOptions Opts) : I(std::make_unique<Impl>()) {
   I->Opts = std::move(Opts);
   I->OptionsKey = artifact::AnalysisOptions::of(I->Opts.Analysis).key();
+  deps::PipelineOptions SpecPO = I->Opts.Analysis;
+  SpecPO.Speculate = true;
+  I->SpecOptionsKey = artifact::AnalysisOptions::of(SpecPO).key();
   // Surface this engine's always-on EngineStats as live gauges; same-name
   // sources from multiple engines sum in the snapshot.
   const std::pair<const char *, uint64_t EngineStats::*> Fields[] = {
       {"engine.kernel_warm", &EngineStats::KernelWarm},
       {"engine.kernel_cold", &EngineStats::KernelCold},
       {"engine.kernel_loaded", &EngineStats::KernelLoaded},
+      {"engine.kernel_speculated", &EngineStats::KernelSpeculated},
       {"engine.matrix_warm", &EngineStats::MatrixWarm},
       {"engine.matrix_cold", &EngineStats::MatrixCold},
       {"engine.matrix_evicted", &EngineStats::MatrixEvicted},
@@ -178,6 +208,59 @@ Engine::compiled(const kernels::Kernel &K) {
 }
 
 std::shared_ptr<const artifact::CompiledKernel>
+Engine::compiled(const kernels::Kernel &K,
+                 const codegen::UFEnvironment &Env) {
+  if (!I->Opts.Analysis.Speculate)
+    return compiled(K);
+  return speculatedCompiled(K, Env);
+}
+
+std::shared_ptr<const artifact::CompiledKernel>
+Engine::speculatedCompiled(const kernels::Kernel &K,
+                           const codegen::UFEnvironment &Env) {
+  static obs::Counter &Warm = obs::counter("engine.kernel_warm");
+  static obs::Counter &Cold = obs::counter("engine.kernel_cold");
+  static obs::Counter &Spec = obs::counter("engine.kernel_speculated");
+  static obs::Histogram &FillNs =
+      obs::histogram("engine.kernel.speculate_fill_ns");
+  // The profiler is O(n + nnz) — the same order as the environment
+  // fingerprint the matrix tier already pays per plan() — and its
+  // fingerprint is the cache key, so it runs on warm hits too.
+  infer::InferenceResult Inf = infer::inferProperties(Env);
+  uint64_t Fp = Inf.fingerprint();
+  std::string Key = I->kernelKey(K.Name, Fp);
+  {
+    std::lock_guard<std::mutex> Lock(I->Mu);
+    auto It = I->Kernels.find(Key);
+    if (It != I->Kernels.end()) {
+      ++I->Stats.KernelWarm;
+      Warm.add();
+      return It->second;
+    }
+  }
+  obs::ScopedLatency Fill(FillNs);
+  obs::Span Sp("engine.compile_kernel_speculated", "engine");
+  Sp.tag("kernel", K.Name);
+  Sp.tag("inferred_fp", fpHex(Fp));
+  deps::PipelineOptions PO = I->Opts.Analysis;
+  PO.Speculate = true;
+  PO.InferredProps = std::move(Inf.Confirmed);
+  artifact::CompiledKernel Compiled = artifact::compile(K, PO);
+  Compiled.InferredFingerprint = Fp;
+  auto CK =
+      std::make_shared<const artifact::CompiledKernel>(std::move(Compiled));
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  auto [It, Inserted] = I->Kernels.emplace(Key, CK);
+  if (!Inserted)
+    return It->second; // a racing fill beat us; use the shared entry
+  ++I->Stats.KernelCold;
+  ++I->Stats.KernelSpeculated;
+  Cold.add();
+  Spec.add();
+  return CK;
+}
+
+std::shared_ptr<const artifact::CompiledKernel>
 Engine::lookupCompiled(const kernels::Kernel &K) const {
   std::lock_guard<std::mutex> Lock(I->Mu);
   auto It = I->Kernels.find(I->kernelKey(K.Name));
@@ -198,7 +281,11 @@ support::Status Engine::installArtifact(artifact::CompiledKernel CK) {
   if (CK.KernelName.empty())
     return support::invalidArgument("artifact has no kernel name")
         .withContext("engine installArtifact");
+  // A speculated artifact installs under its inference fingerprint so it
+  // can only ever serve environments with a matching confirmed profile.
   std::string Key = CK.KernelName + "|" + CK.Options.key();
+  if (CK.InferredFingerprint)
+    Key += "|" + fpHex(CK.InferredFingerprint);
   auto Shared =
       std::make_shared<const artifact::CompiledKernel>(std::move(CK));
   std::lock_guard<std::mutex> Lock(I->Mu);
@@ -215,17 +302,23 @@ support::Status Engine::saveArtifact(const kernels::Kernel &K,
 
 std::shared_ptr<const MatrixPlan>
 Engine::plan(const kernels::Kernel &K, const codegen::UFEnvironment &Env,
-             int N) {
+             int N, bool Speculate) {
   static obs::Counter &Warm = obs::counter("engine.matrix_warm");
   static obs::Counter &Cold = obs::counter("engine.matrix_cold");
   static obs::Histogram &HitNs = obs::histogram("engine.plan.hit_ns");
   static obs::Histogram &FillNs = obs::histogram("engine.plan.cold_fill_ns");
-  std::shared_ptr<const artifact::CompiledKernel> CK = compiled(K);
+  // Under speculation this profiles Env and compiles (or reuses) the
+  // speculated artifact; the matrix key needs no extra dimension for it —
+  // the inference profile is a pure function of the environment, which
+  // the fingerprint below already pins.
+  bool Spec = Speculate || I->Opts.Analysis.Speculate;
+  std::shared_ptr<const artifact::CompiledKernel> CK =
+      Spec ? speculatedCompiled(K, Env) : compiled(K);
   // N is folded into the key through the fingerprint's parameter hash
   // only when bound; hash it explicitly so truncated runs never alias.
   // The schedule config key makes schedules a plan dimension: the same
   // matrix under a different kind/knob set is a different plan.
-  Impl::MatrixKey Key{I->kernelKey(K.Name) + "|" + I->Opts.Schedule.key(),
+  Impl::MatrixKey Key{I->matrixPrefix(K.Name, Spec),
                       fingerprintEnvironment(Env), static_cast<int64_t>(N)};
   {
     uint64_t T0 = obs::metricsEnabled() ? obs::nowNs() : 0;
@@ -264,9 +357,11 @@ Engine::plan(const kernels::Kernel &K, const codegen::UFEnvironment &Env,
 
 std::shared_ptr<const MatrixPlan>
 Engine::planIfCached(const kernels::Kernel &K,
-                     const codegen::UFEnvironment &Env, int N) {
+                     const codegen::UFEnvironment &Env, int N,
+                     bool Speculate) {
   static obs::Counter &Warm = obs::counter("engine.matrix_warm");
-  Impl::MatrixKey Key{I->kernelKey(K.Name) + "|" + I->Opts.Schedule.key(),
+  bool Spec = Speculate || I->Opts.Analysis.Speculate;
+  Impl::MatrixKey Key{I->matrixPrefix(K.Name, Spec),
                       fingerprintEnvironment(Env), static_cast<int64_t>(N)};
   std::lock_guard<std::mutex> Lock(I->Mu);
   auto It = I->Plans.find(Key);

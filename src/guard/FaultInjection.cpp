@@ -6,6 +6,7 @@
 
 #include "sds/guard/FaultInjection.h"
 
+#include "sds/infer/Infer.h"
 #include "sds/obs/Trace.h"
 
 #include <algorithm>
@@ -247,6 +248,131 @@ std::string CampaignResult::summary() const {
          std::to_string(detected()) + " detected, " +
          std::to_string(tolerated()) + " tolerated, " +
          std::to_string(silentWrong()) + " silent-wrong";
+}
+
+std::string InferTrial::str() const {
+  std::string Out = std::string(faultKindName(Spec.Kind)) + "(" + Spec.Array +
+                    ", seed=" + std::to_string(Spec.Seed) + "): ";
+  if (!Injected)
+    return Out + "no-op";
+  Out += Description + " — ";
+  if (RemedyTripped)
+    Out += "remedy tripped, revoked " + std::to_string(DepsRevoked) +
+           " dependence(s)";
+  else
+    Out += "no remedy tripped";
+  return Out + (StillCorrect ? ", schedule correct"
+                             : ", SILENT WRONG SCHEDULE");
+}
+
+unsigned InferCampaignResult::injected() const {
+  unsigned N = 0;
+  for (const InferTrial &T : Trials)
+    N += T.Injected ? 1 : 0;
+  return N;
+}
+
+unsigned InferCampaignResult::remedyTripped() const {
+  unsigned N = 0;
+  for (const InferTrial &T : Trials)
+    N += T.Injected && T.RemedyTripped ? 1 : 0;
+  return N;
+}
+
+unsigned InferCampaignResult::revokedDeps() const {
+  unsigned N = 0;
+  for (const InferTrial &T : Trials)
+    N += T.DepsRevoked;
+  return N;
+}
+
+unsigned InferCampaignResult::tolerated() const {
+  unsigned N = 0;
+  for (const InferTrial &T : Trials)
+    N += T.Injected && !T.RemedyTripped && T.StillCorrect ? 1 : 0;
+  return N;
+}
+
+unsigned InferCampaignResult::silentWrong() const {
+  unsigned N = 0;
+  for (const InferTrial &T : Trials)
+    N += T.silentWrong() ? 1 : 0;
+  return N;
+}
+
+std::string InferCampaignResult::summary() const {
+  return std::to_string(Trials.size()) + " trials: " +
+         std::to_string(injected()) + " injected, " +
+         std::to_string(remedyTripped()) + " remedy-tripped (" +
+         std::to_string(revokedDeps()) + " deps revoked), " +
+         std::to_string(tolerated()) + " tolerated, " +
+         std::to_string(silentWrong()) + " silent-wrong";
+}
+
+InferCampaignResult runInferCampaign(const kernels::Kernel &K,
+                                     const codegen::UFEnvironment &Env, int N,
+                                     unsigned SeedsPerPair, int Threads) {
+  static obs::Counter &Trials = obs::counter("guard.infer_trials");
+  static obs::Counter &Silent = obs::counter("guard.infer_silent_wrong");
+  static obs::Counter &Revocations = obs::counter("guard.infer_revoked");
+
+  InferCampaignResult R;
+
+  // Speculate from a clean slate: no declarations, only what the profiler
+  // confirms on the pristine arrays. Every downstream elimination then
+  // carries a remedy, which is exactly the machinery under attack.
+  kernels::Kernel Stripped = K;
+  Stripped.Properties = ir::PropertySet{};
+  infer::InferenceResult Inf = infer::inferProperties(Env);
+  R.PropsConfirmed = Inf.ConfirmedCount;
+
+  deps::PipelineOptions PO;
+  PO.NumThreads = Threads;
+  PO.Speculate = true;
+  PO.InferredProps = Inf.Confirmed;
+  deps::PipelineResult Analysis = deps::analyzeKernel(Stripped, PO);
+  for (const deps::AnalyzedDependence &D : Analysis.Deps) {
+    if (!D.Remediable)
+      continue;
+    ++R.SpeculativeDeps;
+    R.EliminatedSpeculatively +=
+        D.Status == deps::DepStatus::PropertyUnsat ? 1 : 0;
+  }
+
+  // Mode Off on purpose: inferred remedies are validated even with
+  // guarding off, so any detection here is attributable to the remedy
+  // path alone, not the declared-property validation ladder.
+  GuardedOptions GO;
+  GO.Mode = GuardMode::Off;
+  GO.Verify = true;
+  GO.VerifyMaxN = INT32_MAX;
+  GO.VerifyThreads = std::max(2, Threads);
+  GO.Inspect.NumThreads = Threads;
+
+  for (const FaultSpec &S : faultCampaign(Env, SeedsPerPair)) {
+    Trials.add();
+    auto T0 = std::chrono::steady_clock::now();
+    InferTrial T;
+    T.Spec = S;
+    codegen::UFEnvironment Bad;
+    T.Injected = injectFault(Env, S, Bad, T.Description);
+    if (T.Injected) {
+      GuardedResult G =
+          runGuarded(Analysis, Analysis.Kernel.Properties, Bad, N, GO);
+      T.RemedyTripped = G.RemediesFailed > 0;
+      T.DepsRevoked = G.DepsRevoked;
+      T.UsedFallback = G.UsedFallback;
+      T.StillCorrect = G.Verified && G.VerifyPassed;
+      Revocations.add(T.DepsRevoked);
+      if (T.silentWrong())
+        Silent.add();
+    }
+    T.Seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+    R.Trials.push_back(std::move(T));
+  }
+  return R;
 }
 
 CampaignResult runCampaign(const deps::PipelineResult &Analysis,

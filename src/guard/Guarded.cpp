@@ -93,6 +93,35 @@ bool coreCites(const deps::AnalyzedDependence &D,
   return false;
 }
 
+/// The function names behind failed `domain_range(fn)` bases. Domain/range
+/// facts are baked into every UF instantiation rather than asserted per
+/// proof, so a core legitimately under-cites them — attribution has to be
+/// structural instead.
+std::set<std::string> badDomainFns(const std::set<std::string> &Bad) {
+  std::set<std::string> Fns;
+  static constexpr std::string_view Prefix = "domain_range(";
+  for (const std::string &B : Bad)
+    if (B.size() > Prefix.size() + 1 && B.compare(0, Prefix.size(), Prefix) == 0 &&
+        B.back() == ')')
+      Fns.insert(B.substr(Prefix.size(), B.size() - Prefix.size() - 1));
+  return Fns;
+}
+
+/// Does the dependence's original or simplified relation apply any function
+/// in `Fns`? Its generated inspector evaluates those calls assuming the
+/// declared domain/range contract, so a broken contract poisons the plan
+/// even when no cited assertion names the function.
+bool appliesFunction(const deps::AnalyzedDependence &D,
+                     const std::set<std::string> &Fns) {
+  if (Fns.empty())
+    return false;
+  for (const ir::SparseRelation *Rel : {&D.Dep.Rel, &D.Simplified})
+    for (const ir::Atom &A : Rel->Conj.collectCalls())
+      if (Fns.count(A.Name))
+        return true;
+  return false;
+}
+
 } // namespace
 
 std::set<std::string>
@@ -148,6 +177,9 @@ std::string GuardedResult::summary() const {
   if (SelectiveValidation)
     Out += " [core-directed: " + std::to_string(PropsValidated) +
            " checked, " + std::to_string(PropsSkipped) + " uncited]";
+  if (RemediesChecked)
+    Out += " [remedies: " + std::to_string(RemediesChecked) + " checked, " +
+           std::to_string(RemediesFailed) + " failed]";
   if (!UsedFallback)
     Out += " -> simplified inspectors";
   else if (DepsRevoked > 0)
@@ -183,16 +215,47 @@ GuardedResult runGuarded(const std::string &KernelName,
 
   unsigned DeclCount = static_cast<unsigned>(PS.properties().size() +
                                              PS.domainRanges().size());
-  CoreUnion Cited;
+  for (const deps::AnalyzedDependence &D : Deps)
+    R.DepsRemediable += D.Remediable ? 1 : 0;
+
+  CoreUnion Cited = collectCitedBases(Deps);
+
+  // The remedy set: every *Inferred*-tier base the analysis leans on.
+  // With complete cores that is the inferred slice of the cited union;
+  // without them citation is unknowable, so every inferred declaration is
+  // a remedy. Speculation is validated in every guard mode — Off included.
+  std::set<std::string> RemedyBases;
+  if (Cited.AllHaveCores) {
+    for (const std::string &B : Cited.Bases) {
+      auto T = PS.tierForLabelBase(B);
+      if (T && *T == ir::PropertyTier::Inferred)
+        RemedyBases.insert(B);
+    }
+  } else {
+    for (const ir::IndexArrayProperty &P : PS.properties())
+      if (P.Tier == ir::PropertyTier::Inferred)
+        RemedyBases.insert(propertyLabelBase(P));
+  }
+  // Inferred domain/range declarations are remedies whether or not any
+  // core cites them: instantiation bakes domain and range facts into every
+  // UF encoding, and every generated inspector evaluates UF calls assuming
+  // those bounds, so a proof can lean on an inferred bound without the
+  // Farkas core ever naming it. Declared-tier declarations stay
+  // citation-gated — they are knowledge, not speculation.
+  for (const ir::DomainRangeDecl &D : PS.domainRanges())
+    if (D.Tier == ir::PropertyTier::Inferred)
+      RemedyBases.insert(propertyLabelBase(D));
+
   if (Opts.Mode != GuardMode::Off) {
-    Cited = collectCitedBases(Deps);
     R.Validated = true;
     if (Cited.AllHaveCores) {
       // Every dependence carries a proof core: a property cited by none of
       // them influenced no verdict or rewrite, so only the union of cited
       // bases needs checking (ISSUE: the minimal trust base).
       R.SelectiveValidation = true;
-      R.Report = validateProperties(PS, Env, Cited.Bases);
+      std::set<std::string> ToCheck = Cited.Bases;
+      ToCheck.insert(RemedyBases.begin(), RemedyBases.end());
+      R.Report = validateProperties(PS, Env, ToCheck);
     } else {
       R.Report = validateProperties(PS, Env);
     }
@@ -209,9 +272,40 @@ GuardedResult runGuarded(const std::string &KernelName,
                         {{"kernel", KernelName},
                          {"mode", guardModeName(Opts.Mode)},
                          {"report", R.Report.summary()}});
+  } else if (!RemedyBases.empty()) {
+    // Mode Off still validates remedies: an inferred property is
+    // speculation, and speculation is never trusted blindly.
+    R.Validated = true;
+    R.SelectiveValidation = Cited.AllHaveCores;
+    R.Report = validateProperties(PS, Env, RemedyBases);
+    R.PropsValidated = static_cast<unsigned>(R.Report.Checks.size());
+    R.PropsSkipped = DeclCount - R.PropsValidated;
+    R.Trusted = R.Report.trusted();
+    if (!R.Trusted)
+      obs::flightRecord(obs::FlightSeverity::Warn, "guard",
+                        "remedy validation failed with guarding off",
+                        {{"kernel", KernelName},
+                         {"report", R.Report.summary()}});
   } else {
     R.Trusted = true; // blind trust by request
   }
+
+  // Remedy verdicts: which inferred-tier bases were checked, and which of
+  // those did not pass.
+  static obs::Counter &RemedyChecks = obs::counter("guard.remedies_checked");
+  static obs::Counter &RemedyFails = obs::counter("guard.remedies_failed");
+  std::set<std::string> BadRemedies;
+  for (const PropertyCheck &C : R.Report.Checks) {
+    if (!RemedyBases.count(C.Base))
+      continue;
+    ++R.RemediesChecked;
+    if (C.Outcome != CheckOutcome::Pass) {
+      ++R.RemediesFailed;
+      BadRemedies.insert(C.Base);
+    }
+  }
+  RemedyChecks.add(R.RemediesChecked);
+  RemedyFails.add(R.RemediesFailed);
 
   // Anything short of a full pass revokes trust: a Failed check is a
   // concrete counterexample, a Skipped/Exhausted one means the property
@@ -220,17 +314,42 @@ GuardedResult runGuarded(const std::string &KernelName,
   // simplifications; without cores the whole world reverts.
   bool Untrusted = Opts.Mode == GuardMode::Fallback && !R.Trusted;
   bool FullFallback = Untrusted && !R.SelectiveValidation;
+  // Misspeculation without complete cores cannot be attributed to specific
+  // dependences, so it degenerates to the whole-analysis baseline — in
+  // every mode, because a failed remedy must never run its plan.
+  if (!BadRemedies.empty() && !Cited.AllHaveCores)
+    FullFallback = true;
 
-  std::vector<deps::AnalyzedDependence> Working;
-  const std::vector<deps::AnalyzedDependence> *Run = &Deps;
+  // The per-dependence revocation set. Under Fallback with cores that is
+  // every non-Pass base (declared or inferred); in Warn/Off modes only
+  // failed *remedies* revoke — declared-tier failures stay warnings there,
+  // but speculation is never allowed to run misspeculated plans.
+  std::set<std::string> Bad;
   if (Untrusted && R.SelectiveValidation) {
-    std::set<std::string> Bad;
     for (const PropertyCheck &C : R.Report.Checks)
       if (C.Outcome != CheckOutcome::Pass)
         Bad.insert(C.Base);
+  } else if (!FullFallback && Cited.AllHaveCores) {
+    Bad = BadRemedies;
+  }
+
+  // Failed domain/range bases revoke structurally (every dependence whose
+  // relation applies the out-of-contract function), because cores
+  // legitimately under-cite them — see badDomainFns().
+  std::set<std::string> BadFns = badDomainFns(Bad);
+
+  std::vector<deps::AnalyzedDependence> Working;
+  const std::vector<deps::AnalyzedDependence> *Run = &Deps;
+  if (!Bad.empty()) {
     Working = Deps;
     for (deps::AnalyzedDependence &D : Working) {
-      if (D.Status == deps::DepStatus::AffineUnsat || !coreCites(D, Bad))
+      if (D.Status == deps::DepStatus::AffineUnsat ||
+          (!coreCites(D, Bad) && !appliesFunction(D, BadFns)))
+        continue;
+      // Nothing to revoke on a dependence the pipeline never simplified —
+      // its plan already enumerates the original relation.
+      if (D.Status == deps::DepStatus::Runtime && D.NewEqualities == 0 &&
+          D.SubsumedBy.empty() && !D.Approximated)
         continue;
       D = baselineOne(D);
       ++R.DepsRevoked;

@@ -583,6 +583,10 @@ ValidationReport runValidation(const ir::PropertySet &PS,
   uint64_t Uncited = 0;
   ValidationReport R;
   for (const ir::IndexArrayProperty &P : PS.properties()) {
+    // Refuted candidates never expand into assertions (Properties.cpp), so
+    // they cannot be cited and a Fail here would be meaningless noise.
+    if (P.Tier == ir::PropertyTier::Refuted)
+      continue;
     if (CitedBases && !CitedBases->count(propertyLabelBase(P))) {
       ++Uncited;
       continue;
@@ -590,6 +594,8 @@ ValidationReport runValidation(const ir::PropertySet &PS,
     R.Checks.push_back(checkOne(P, Env));
   }
   for (const ir::DomainRangeDecl &D : PS.domainRanges()) {
+    if (D.Tier == ir::PropertyTier::Refuted)
+      continue;
     if (CitedBases && !CitedBases->count(propertyLabelBase(D))) {
       ++Uncited;
       continue;

@@ -91,6 +91,28 @@ std::string propertyKindName(PropertyKind K) {
   return "unknown";
 }
 
+std::optional<PropertyTier> parsePropertyTier(std::string_view Keyword) {
+  if (Keyword == "declared")
+    return PropertyTier::Declared;
+  if (Keyword == "inferred")
+    return PropertyTier::Inferred;
+  if (Keyword == "refuted")
+    return PropertyTier::Refuted;
+  return std::nullopt;
+}
+
+std::string propertyTierName(PropertyTier T) {
+  switch (T) {
+  case PropertyTier::Declared:
+    return "declared";
+  case PropertyTier::Inferred:
+    return "inferred";
+  case PropertyTier::Refuted:
+    return "refuted";
+  }
+  return "unknown";
+}
+
 PropertySet
 PropertySet::filtered(const std::vector<PropertyKind> &Kinds) const {
   PropertySet Out;
@@ -102,6 +124,52 @@ PropertySet::filtered(const std::vector<PropertyKind> &Kinds) const {
   for (const DomainRangeDecl &D : Decls)
     Out.addDomainRange(D);
   return Out;
+}
+
+static std::string propertyBase(const IndexArrayProperty &P) {
+  return propertyKindName(P.K) + "(" + P.Fn +
+         (P.Other.empty() ? "" : ", " + P.Other) + ")";
+}
+
+PropertySet PropertySet::unioned(const PropertySet &Other) const {
+  PropertySet Out = *this;
+  std::vector<std::string> Seen;
+  for (const IndexArrayProperty &P : Props)
+    Seen.push_back(propertyBase(P));
+  for (const IndexArrayProperty &P : Other.Props) {
+    if (P.Tier == PropertyTier::Refuted)
+      continue; // disconfirmed candidates stay out of the working set
+    if (std::find(Seen.begin(), Seen.end(), propertyBase(P)) != Seen.end())
+      continue;
+    Out.add(P);
+  }
+  std::vector<std::string> SeenDR;
+  for (const DomainRangeDecl &D : Decls)
+    SeenDR.push_back(D.Fn);
+  for (const DomainRangeDecl &D : Other.Decls) {
+    if (std::find(SeenDR.begin(), SeenDR.end(), D.Fn) != SeenDR.end())
+      continue;
+    Out.addDomainRange(D);
+  }
+  return Out;
+}
+
+std::optional<PropertyTier>
+PropertySet::tierForLabelBase(const std::string &Base) const {
+  // Declared wins over inferred when both produce the same base (unioned()
+  // never creates that situation, but hand-built sets may).
+  std::optional<PropertyTier> Found;
+  auto Consider = [&](PropertyTier T) {
+    if (!Found || T == PropertyTier::Declared)
+      Found = T;
+  };
+  for (const IndexArrayProperty &P : Props)
+    if (propertyBase(P) == Base)
+      Consider(P.Tier);
+  for (const DomainRangeDecl &D : Decls)
+    if ("domain_range(" + D.Fn + ")" == Base)
+      Consider(D.Tier);
+  return Found;
 }
 
 namespace {
@@ -271,9 +339,14 @@ void expandProperty(const IndexArrayProperty &P,
 
 std::vector<UniversalAssertion> PropertySet::assertions() const {
   std::vector<UniversalAssertion> Out;
-  for (const IndexArrayProperty &P : Props)
+  for (const IndexArrayProperty &P : Props) {
+    if (P.Tier == PropertyTier::Refuted)
+      continue;
     expandProperty(P, Out);
+  }
   for (const DomainRangeDecl &D : Decls) {
+    if (D.Tier == PropertyTier::Refuted)
+      continue;
     Expr X0 = q(0);
     Expr F0 = fOf(D.Fn, X0);
     std::vector<Constraint> Ante, Cons;
@@ -335,6 +408,7 @@ std::optional<PropertySet> PropertySet::fromJSON(const json::Value &V,
         std::string Kw;
         std::string Other;
         std::optional<Expr> GuardLo, GuardHi;
+        PropertyTier Tier = PropertyTier::Declared;
         if (P.isString()) {
           Kw = P.asString();
         } else if (P.isObject()) {
@@ -363,6 +437,19 @@ std::optional<PropertySet> PropertySet::fromJSON(const json::Value &V,
               }
               Other = O->asString();
             }
+          if (const json::Value *T = P.get("tier")) {
+            if (!T->isString()) {
+              Error = "property 'tier' of '" + Fn + "' must be a string";
+              return std::nullopt;
+            }
+            std::optional<PropertyTier> PT = parsePropertyTier(T->asString());
+            if (!PT) {
+              Error = "unknown property tier '" + T->asString() + "' on '" +
+                      Fn + "'";
+              return std::nullopt;
+            }
+            Tier = *PT;
+          }
         } else {
           Error = "property of '" + Fn + "' must be a string or object";
           return std::nullopt;
@@ -387,7 +474,7 @@ std::optional<PropertySet> PropertySet::fromJSON(const json::Value &V,
                   "(segment/upper/ptr)";
           return std::nullopt;
         }
-        IndexArrayProperty Prop{*K, Fn, Other, GuardLo, GuardHi};
+        IndexArrayProperty Prop{*K, Fn, Other, GuardLo, GuardHi, Tier};
         Out.add(std::move(Prop));
       }
     }

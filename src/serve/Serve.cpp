@@ -60,6 +60,14 @@ struct QueueItem {
   uint64_t AbsDeadlineNs = 0; ///< 0 = none
 };
 
+/// Kernel-tier singleflight rendezvous: one leader resolves the kernel
+/// (store lookup or compile), followers wait and re-probe the cache.
+struct KernelFlight {
+  std::mutex Mu;
+  std::condition_variable CV;
+  bool Done = false;
+};
+
 } // namespace
 
 struct Server::Impl {
@@ -72,6 +80,7 @@ struct Server::Impl {
   std::condition_variable DrainCV; ///< queue empty + idle workers
   std::deque<QueueItem> Queue;
   std::map<std::string, std::shared_ptr<Inflight>> InflightMap;
+  std::map<std::string, std::shared_ptr<KernelFlight>> KernelInflightMap;
   bool Paused = false;
   bool Stopping = false;
   size_t InService = 0;
@@ -86,13 +95,22 @@ struct Server::Impl {
     ++(Stats.*F);
   }
 
+  /// Whether a request is served through the speculated tiers (its own
+  /// opt-in, or server-wide via the engine's analysis options).
+  bool speculates(const ServeRequest &R) const {
+    return R.Speculate || Opts.Engine.Analysis.Speculate;
+  }
+
   /// The matrix-plan identity a request resolves to — also the
-  /// singleflight key, so identical cold work coalesces.
+  /// singleflight key, so identical cold work coalesces. Speculation is a
+  /// key dimension: a speculated request never coalesces onto (or aliases)
+  /// a declared-only plan.
   std::string planKey(const ServeRequest &R) const {
-    return R.Kernel.Name + "|" +
-           artifact::AnalysisOptions::of(Opts.Engine.Analysis).key() + "|" +
-           Opts.Engine.Schedule.key() + "|" +
-           std::to_string(engine::fingerprintEnvironment(R.Env)) + "|" +
+    artifact::AnalysisOptions AO =
+        artifact::AnalysisOptions::of(Opts.Engine.Analysis);
+    AO.Speculate = AO.Speculate || R.Speculate;
+    return R.Kernel.Name + "|" + AO.key() + "|" + Opts.Engine.Schedule.key() +
+           "|" + std::to_string(engine::fingerprintEnvironment(R.Env)) + "|" +
            std::to_string(R.N);
   }
 
@@ -239,6 +257,40 @@ std::future<ServeResponse> Server::submit(ServeRequest R) {
   return Fut;
 }
 
+std::vector<std::future<ServeResponse>>
+Server::submitBatch(const kernels::Kernel &K, std::vector<BatchItem> Items,
+                    double DeadlineMs, bool Speculate) {
+  static obs::Counter &Batches = obs::counter("serve.batches");
+  static obs::Counter &BatchItems = obs::counter("serve.batch_items");
+  Batches.add();
+  BatchItems.add(Items.size());
+  {
+    std::lock_guard<std::mutex> Lock(I->Mu);
+    ++I->Stats.Batches;
+    I->Stats.BatchItems += Items.size();
+  }
+  obs::flightRecord(obs::FlightSeverity::Info, "serve", "batch submitted",
+                    {{"kernel", K.Name},
+                     {"items", std::to_string(Items.size())},
+                     {"speculate", Speculate ? "1" : "0"}});
+  // Each item is an ordinary request (the same shedding and coalescing
+  // rules apply per item); the amortization comes from the kernel-level
+  // singleflight in serveCold, which lets N concurrent cold items of one
+  // kernel share a single store load or compile.
+  std::vector<std::future<ServeResponse>> Futs;
+  Futs.reserve(Items.size());
+  for (BatchItem &It : Items) {
+    ServeRequest R;
+    R.Kernel = K;
+    R.Env = std::move(It.Env);
+    R.N = It.N;
+    R.DeadlineMs = DeadlineMs;
+    R.Speculate = Speculate;
+    Futs.push_back(submit(std::move(R)));
+  }
+  return Futs;
+}
+
 ServeResponse Server::handle(const ServeRequest &R, uint64_t AbsDeadlineNs) {
   static obs::Counter &WarmC = obs::counter("serve.warm");
   static obs::Counter &ColdC = obs::counter("serve.cold");
@@ -250,16 +302,22 @@ ServeResponse Server::handle(const ServeRequest &R, uint64_t AbsDeadlineNs) {
   auto Finish = [&](ServeResponse Resp) {
     Resp.ServiceMs = (obs::nowNs() - T0) * 1e-6;
     ServiceNs.record(static_cast<uint64_t>(Resp.ServiceMs * 1e6));
-    if (Resp.Plan)
+    if (Resp.Plan) {
       I->bump(&ServerStats::Completed);
-    else if (Resp.O == Outcome::Error)
+      if (I->speculates(R)) {
+        static obs::Counter &SpecC = obs::counter("serve.speculated");
+        SpecC.add();
+        I->bump(&ServerStats::Speculated);
+      }
+    } else if (Resp.O == Outcome::Error) {
       I->bump(&ServerStats::Errors);
+    }
     return Resp;
   };
 
   // Plan tier: the common case for steady traffic is a pure memory hit.
   if (std::shared_ptr<const engine::MatrixPlan> P =
-          I->Engine.planIfCached(R.Kernel, R.Env, R.N)) {
+          I->Engine.planIfCached(R.Kernel, R.Env, R.N, R.Speculate)) {
     WarmC.add();
     I->bump(&ServerStats::Warm);
     ServeResponse Resp;
@@ -342,11 +400,101 @@ ServeResponse Server::handle(const ServeRequest &R, uint64_t AbsDeadlineNs) {
 
 ServeResponse Server::serveCold(const ServeRequest &R,
                                 uint64_t AbsDeadlineNs) {
+  if (I->speculates(R)) {
+    // Speculative serving: the engine's speculated tiers own the kernel
+    // fill (profiler + compile, keyed by the inference fingerprint). The
+    // persistent store and budget degradation do not apply here — a
+    // speculated artifact is environment-dependent and is not persisted.
+    ServeResponse Resp;
+    Resp.Plan = I->Engine.plan(R.Kernel, R.Env, R.N, /*Speculate=*/true);
+    Resp.O = Outcome::Cold;
+    return Resp;
+  }
   // Kernel tier: memory -> persistent store -> budgeted cold compile.
   std::shared_ptr<const artifact::CompiledKernel> CK =
       I->Engine.lookupCompiled(R.Kernel);
   bool FromStore = false;
-  if (!CK && I->Store) {
+  if (!CK) {
+    // Kernel-level singleflight: a batch over N environments misses on N
+    // distinct plan keys, but every miss needs the same artifact — one
+    // leader resolves it (store or compile), the rest wait here and
+    // re-probe the engine cache.
+    std::string KKey =
+        R.Kernel.Name + "|" +
+        artifact::AnalysisOptions::of(I->Opts.Engine.Analysis).key();
+    std::shared_ptr<KernelFlight> KF;
+    bool KLeader = false;
+    {
+      std::lock_guard<std::mutex> Lock(I->Mu);
+      auto It = I->KernelInflightMap.find(KKey);
+      if (It == I->KernelInflightMap.end()) {
+        KF = std::make_shared<KernelFlight>();
+        I->KernelInflightMap.emplace(KKey, KF);
+        KLeader = true;
+      } else {
+        KF = It->second;
+      }
+    }
+    if (KLeader) {
+      std::optional<ServeResponse> Early =
+          resolveKernelCold(R, AbsDeadlineNs, CK, FromStore);
+      {
+        std::lock_guard<std::mutex> Lock(I->Mu);
+        I->KernelInflightMap.erase(KKey);
+      }
+      {
+        std::lock_guard<std::mutex> Lock(KF->Mu);
+        KF->Done = true;
+      }
+      KF->CV.notify_all();
+      if (Early)
+        return std::move(*Early);
+    } else {
+      {
+        std::unique_lock<std::mutex> Lock(KF->Mu);
+        if (AbsDeadlineNs) {
+          uint64_t Now = obs::nowNs();
+          auto Budget = std::chrono::nanoseconds(
+              AbsDeadlineNs > Now ? AbsDeadlineNs - Now : 0);
+          if (!KF->CV.wait_for(Lock, Budget, [&] { return KF->Done; })) {
+            I->bump(&ServerStats::ShedDeadline);
+            obs::counter("serve.shed_deadline").add();
+            return Impl::shed(
+                Outcome::ShedDeadline,
+                "deadline expired waiting on the kernel-tier fill");
+          }
+        } else {
+          KF->CV.wait(Lock, [&] { return KF->Done; });
+        }
+      }
+      static obs::Counter &KCoal = obs::counter("serve.kernel_coalesced");
+      KCoal.add();
+      I->bump(&ServerStats::KernelCoalesced);
+      CK = I->Engine.lookupCompiled(R.Kernel);
+      // A leader that degraded or failed fills no cache: resolve for
+      // ourselves below (rare; each such request degrades on its own
+      // budget rather than inheriting the leader's).
+      if (!CK) {
+        std::optional<ServeResponse> Early =
+            resolveKernelCold(R, AbsDeadlineNs, CK, FromStore);
+        if (Early)
+          return std::move(*Early);
+      }
+    }
+  }
+
+  // Plan tier cold fill (inspectors + schedule) through the engine, so
+  // the plan is cached for the steady-state warm path.
+  ServeResponse Resp;
+  Resp.Plan = I->Engine.plan(R.Kernel, R.Env, R.N);
+  Resp.O = FromStore ? Outcome::StoreWarm : Outcome::Cold;
+  return Resp;
+}
+
+std::optional<ServeResponse> Server::resolveKernelCold(
+    const ServeRequest &R, uint64_t AbsDeadlineNs,
+    std::shared_ptr<const artifact::CompiledKernel> &CK, bool &FromStore) {
+  if (I->Store) {
     std::string SKey = store::Store::keyFor(
         R.Kernel.Name, artifact::AnalysisOptions::of(I->Opts.Engine.Analysis),
         I->Opts.Engine.Schedule);
@@ -430,13 +578,7 @@ ServeResponse Server::serveCold(const ServeRequest &R,
       return Resp;
     }
   }
-
-  // Plan tier cold fill (inspectors + schedule) through the engine, so
-  // the plan is cached for the steady-state warm path.
-  ServeResponse Resp;
-  Resp.Plan = I->Engine.plan(R.Kernel, R.Env, R.N);
-  Resp.O = FromStore ? Outcome::StoreWarm : Outcome::Cold;
-  return Resp;
+  return std::nullopt;
 }
 
 void Server::pause() {

@@ -401,13 +401,17 @@ TEST(ArtifactRejection, StatusCarriesFieldContext) {
 }
 
 TEST(ArtifactOptions, KeyAndEquality) {
-  artifact::AnalysisOptions A; // defaults: P E S on, approx off
-  EXPECT_EQ(A.key(), "PES-");
+  artifact::AnalysisOptions A; // defaults: P E S on, approx/infer off
+  EXPECT_EQ(A.key(), "PES--");
   deps::PipelineOptions Reduced = reducedOptions();
   artifact::AnalysisOptions B = artifact::AnalysisOptions::of(Reduced);
-  EXPECT_EQ(B.key(), "----");
+  EXPECT_EQ(B.key(), "-----");
   EXPECT_FALSE(A == B);
   EXPECT_TRUE(A == artifact::AnalysisOptions::of(deps::PipelineOptions{}));
+  artifact::AnalysisOptions Spec = A;
+  Spec.Speculate = true;
+  EXPECT_EQ(Spec.key(), "PES-I");
+  EXPECT_FALSE(A == Spec); // speculation is a distinct plan dimension
 }
 
 TEST(ArtifactSchema, PipelineToJSONSharesSchema) {

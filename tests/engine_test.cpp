@@ -46,7 +46,7 @@ TEST(EngineKernelTier, ColdOnceThenWarm) {
   EXPECT_EQ(S.KernelCold, 1u);
   EXPECT_EQ(S.KernelWarm, 1u);
   EXPECT_EQ(A->KernelName, K.Name);
-  EXPECT_EQ(A->Options.key(), "PES-");
+  EXPECT_EQ(A->Options.key(), "PES--");
 }
 
 TEST(EngineMatrixTier, WarmHitSharesPlanColdMissDoesNot) {

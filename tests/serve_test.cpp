@@ -236,3 +236,136 @@ TEST(ServeStore, WarmRestartZeroQueriesBitIdenticalPlan) {
   EXPECT_EQ(Warm.Plan->Schedule.Waves.Waves, ColdPlan->Schedule.Waves.Waves);
   std::filesystem::remove_all(Root);
 }
+
+TEST(ServeBatch, BatchAmortizesTheKernelTier) {
+  serve::ServerOptions SO;
+  SO.NumWorkers = 4;
+  SO.MaxQueueDepth = 16;
+  SO.StartPaused = true; // all items dequeue together on resume
+  serve::Server S(SO);
+
+  // One kernel, four *distinct* matrices: four distinct plan keys, so the
+  // plan-level singleflight cannot help — only the kernel-level one can.
+  std::vector<serve::BatchItem> Items;
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    serve::ServeRequest R = fsCscRequest(100, Seed);
+    Items.push_back({std::move(R.Env), R.N});
+  }
+  std::vector<std::future<serve::ServeResponse>> Futs =
+      S.submitBatch(kernels::forwardSolveCSC(), std::move(Items));
+  ASSERT_EQ(Futs.size(), 4u);
+  S.resume();
+  for (auto &F : Futs) {
+    serve::ServeResponse Resp = F.get();
+    ASSERT_TRUE(Resp.St.ok()) << Resp.St.str();
+    EXPECT_EQ(Resp.O, serve::Outcome::Cold);
+    ASSERT_NE(Resp.Plan, nullptr);
+  }
+  S.drain();
+
+  serve::ServerStats St = S.stats();
+  EXPECT_EQ(St.Batches, 1u);
+  EXPECT_EQ(St.BatchItems, 4u);
+  EXPECT_EQ(St.Submitted, 4u);
+  EXPECT_EQ(St.Completed, 4u);
+  EXPECT_EQ(St.Cold, 4u);
+  // The whole point of the batch path: four cold items of one kernel pay
+  // for ONE analysis (installed into the engine, hence KernelLoaded).
+  // Items that raced the leader waited on the kernel flight
+  // (KernelCoalesced); items that arrived after it landed hit the
+  // engine's kernel cache. Either way, exactly one compile.
+  EXPECT_EQ(S.engine().stats().KernelLoaded, 1u);
+  EXPECT_EQ(S.engine().stats().KernelCold, 0u);
+  EXPECT_LE(St.KernelCoalesced, 3u);
+}
+
+TEST(ServeBatch, BatchItemsShedPastQueueBoundNothingLost) {
+  serve::ServerOptions SO;
+  SO.MaxQueueDepth = 2;
+  SO.NumWorkers = 1;
+  SO.StartPaused = true;
+  serve::Server S(SO);
+
+  std::vector<serve::BatchItem> Items;
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    serve::ServeRequest R = fsCscRequest(90, Seed);
+    Items.push_back({std::move(R.Env), R.N});
+  }
+  std::vector<std::future<serve::ServeResponse>> Futs =
+      S.submitBatch(kernels::forwardSolveCSC(), std::move(Items));
+  S.resume();
+
+  unsigned Served = 0, Shed = 0;
+  for (auto &F : Futs) {
+    ASSERT_TRUE(F.valid()); // per-item future even when shed
+    serve::ServeResponse Resp = F.get();
+    if (Resp.O == serve::Outcome::ShedQueue) {
+      ++Shed;
+      EXPECT_FALSE(Resp.St.ok());
+      EXPECT_EQ(Resp.Plan, nullptr);
+    } else {
+      ++Served;
+      EXPECT_NE(Resp.Plan, nullptr);
+    }
+  }
+  S.drain();
+  EXPECT_EQ(Served, 2u);
+  EXPECT_EQ(Shed, 3u);
+  serve::ServerStats St = S.stats();
+  EXPECT_EQ(St.Batches, 1u);
+  EXPECT_EQ(St.BatchItems, 5u);
+  EXPECT_EQ(St.Submitted, 5u);
+  EXPECT_EQ(St.Completed + St.ShedQueue + St.ShedDeadline, St.Submitted);
+}
+
+TEST(ServeSpeculate, SpeculatedRequestsKeyAndCountSeparately) {
+  serve::Server S{serve::ServerOptions{}};
+  serve::ServeRequest R = fsCscRequest(120, 7);
+  R.Speculate = true;
+
+  serve::ServeResponse First = S.handle(R);
+  ASSERT_TRUE(First.St.ok()) << First.St.str();
+  EXPECT_EQ(First.O, serve::Outcome::Cold);
+  ASSERT_NE(First.Plan, nullptr);
+  EXPECT_EQ(S.stats().Speculated, 1u);
+  EXPECT_EQ(S.engine().stats().KernelSpeculated, 1u);
+
+  serve::ServeResponse Second = S.handle(R);
+  EXPECT_EQ(Second.O, serve::Outcome::Warm);
+  EXPECT_EQ(Second.Plan.get(), First.Plan.get());
+  EXPECT_EQ(S.stats().Speculated, 2u);
+
+  // The same request without speculation is a different plan entirely —
+  // declared-only and speculated tiers never alias.
+  R.Speculate = false;
+  serve::ServeResponse Decl = S.handle(R);
+  ASSERT_TRUE(Decl.St.ok()) << Decl.St.str();
+  EXPECT_EQ(Decl.O, serve::Outcome::Cold);
+  EXPECT_NE(Decl.Plan.get(), First.Plan.get());
+  EXPECT_EQ(S.stats().Speculated, 2u); // unchanged
+}
+
+TEST(ServeSpeculate, SpeculatedBatchCountsEveryItem) {
+  serve::ServerOptions SO;
+  SO.NumWorkers = 2;
+  serve::Server S(SO);
+
+  std::vector<serve::BatchItem> Items;
+  for (uint64_t Seed = 1; Seed <= 2; ++Seed) {
+    serve::ServeRequest R = fsCscRequest(90, Seed);
+    Items.push_back({std::move(R.Env), R.N});
+  }
+  std::vector<std::future<serve::ServeResponse>> Futs = S.submitBatch(
+      kernels::forwardSolveCSC(), std::move(Items), /*DeadlineMs=*/0,
+      /*Speculate=*/true);
+  for (auto &F : Futs) {
+    serve::ServeResponse Resp = F.get();
+    ASSERT_TRUE(Resp.St.ok()) << Resp.St.str();
+    ASSERT_NE(Resp.Plan, nullptr);
+  }
+  S.drain();
+  serve::ServerStats St = S.stats();
+  EXPECT_EQ(St.Speculated, 2u);
+  EXPECT_EQ(St.BatchItems, 2u);
+  EXPECT_GE(S.engine().stats().KernelSpeculated, 1u);
+}

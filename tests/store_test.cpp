@@ -17,8 +17,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sys/wait.h>
+#include <unistd.h>
 
 namespace fs = std::filesystem;
 using namespace sds;
@@ -190,6 +193,184 @@ TEST(StoreLifecycle, UnusableRootIsDeadNotUndefined) {
   store::Store S({Base + "/occupied/sub", 0, false});
   EXPECT_FALSE(S.status().ok());
   EXPECT_FALSE(S.put(fsCscArtifact()).ok());
+}
+
+TEST(StoreFork, CrossProcessSharingNeverTearsAReader) {
+  // Several OS processes share one store root: a pack of writers evicts
+  // and republishes the same key in a tight loop while readers hammer
+  // get(). The publish path is durable-tmp + atomic rename, so every
+  // read must come back pristine-or-miss — a torn observation would be
+  // quarantined, and quarantine files are never deleted, so an empty
+  // quarantine at the end is the atomicity proof.
+  std::string Root = freshRoot("sds_store_fork");
+  const artifact::CompiledKernel &CK = fsCscArtifact();
+  const std::string Pristine = artifact::serialize(CK);
+  const std::string Key = store::Store::keyFor(CK);
+  {
+    store::Store Seed({Root, 0, false});
+    ASSERT_TRUE(Seed.status().ok()) << Seed.status().str();
+    ASSERT_TRUE(Seed.put(CK).ok());
+  }
+
+  // Startup recovery sweeps every *.tmp in the root, including another
+  // process's in-flight publish — so, as in a real deployment, every
+  // process opens its store at startup, before anyone publishes. The
+  // ready/go pipe pair is that barrier: children report after their
+  // store constructor ran and block until the parent releases them.
+  constexpr int kWriters = 3, kReaders = 3, kIters = 50;
+  int Ready[2], Go[2];
+  ASSERT_EQ(::pipe(Ready), 0);
+  ASSERT_EQ(::pipe(Go), 0);
+  auto childBarrier = [&](store::Store &S) {
+    ::close(Ready[0]);
+    ::close(Go[1]);
+    if (!S.status().ok())
+      ::_exit(2);
+    char B = 'r';
+    if (::write(Ready[1], &B, 1) != 1)
+      ::_exit(7);
+    ::close(Ready[1]);
+    (void)::read(Go[0], &B, 1); // EOF when the parent opens the gate
+    ::close(Go[0]);
+  };
+  std::vector<pid_t> Kids;
+  for (int W = 0; W < kWriters; ++W) {
+    pid_t P = fork();
+    ASSERT_GE(P, 0);
+    if (P == 0) {
+      // Writer child: remove the published blob between puts so every
+      // iteration exercises the tmp+rename publish path (the
+      // identical-bytes skip would otherwise make iterations 2..N
+      // no-ops). This is exactly eviction racing republication.
+      store::Store S({Root, 0, false});
+      childBarrier(S);
+      std::string Blob = S.blobPath(Key);
+      for (int I = 0; I < kIters; ++I) {
+        std::error_code EC;
+        fs::remove(Blob, EC);
+        if (!S.put(CK).ok())
+          ::_exit(3);
+      }
+      ::_exit(0);
+    }
+    Kids.push_back(P);
+  }
+  for (int R = 0; R < kReaders; ++R) {
+    pid_t P = fork();
+    ASSERT_GE(P, 0);
+    if (P == 0) {
+      store::Store S({Root, 0, false});
+      childBarrier(S);
+      // Misses dominate while the writers hold the key removed (the
+      // absent window spans a durable write); once the last writer's
+      // final put lands the key stays published, so reading until a
+      // hit quota is met always terminates. The deadline is a hang
+      // backstop, not the expected exit.
+      unsigned Hits = 0;
+      for (int I = 0; I < 60000 && Hits < 8; ++I) {
+        artifact::CompiledKernel Out;
+        bool Found = false;
+        if (!S.get(Key, Out, Found).ok())
+          ::_exit(3);
+        if (Found) {
+          if (artifact::serialize(Out) != Pristine)
+            ::_exit(4); // torn or wrong bytes served — the real failure
+          ++Hits;
+        } else {
+          ::usleep(500);
+        }
+      }
+      if (S.stats().Quarantined != 0)
+        ::_exit(5); // a read saw a non-pristine blob on disk
+      ::_exit(Hits >= 8 ? 0 : 6);
+    }
+    Kids.push_back(P);
+  }
+  ::close(Ready[1]);
+  ::close(Go[0]);
+  char B;
+  for (int I = 0; I < kWriters + kReaders; ++I)
+    ASSERT_EQ(::read(Ready[0], &B, 1), 1); // all stores constructed
+  ::close(Ready[0]);
+  ::close(Go[1]); // open the gate
+  for (pid_t P : Kids) {
+    int St = 0;
+    ASSERT_EQ(::waitpid(P, &St, 0), P);
+    ASSERT_TRUE(WIFEXITED(St));
+    EXPECT_EQ(WEXITSTATUS(St), 0);
+  }
+
+  // Parent post-mortem on a fresh store instance: the key serves
+  // pristine bytes, no reader ever quarantined anything, and the writer
+  // pack left no tmp debris behind for startup recovery to sweep.
+  store::Store S({Root, 0, false});
+  ASSERT_TRUE(S.status().ok());
+  EXPECT_EQ(S.stats().RecoveredTmp, 0u);
+  EXPECT_TRUE(S.listQuarantined().empty());
+  artifact::CompiledKernel Out;
+  bool Found = false;
+  ASSERT_TRUE(S.get(Key, Out, Found).ok());
+  ASSERT_TRUE(Found);
+  EXPECT_EQ(artifact::serialize(Out), Pristine);
+}
+
+TEST(StoreFork, KilledMidPublishNeverCorruptsCommittedState) {
+  // Real kill-mid-write, not faked debris: child processes die inside
+  // put() at both crash points (half-written tmp, complete-but-
+  // unpublished tmp). Neither crash may damage the already-committed
+  // blob, and the next store instance must recover the debris and
+  // serve a clean miss for the key the victims were publishing.
+  std::string Root = freshRoot("sds_store_fork_crash");
+  const artifact::CompiledKernel &CK = fsCscArtifact();
+  const artifact::CompiledKernel Victim =
+      artifact::compile(kernels::forwardSolveCSR());
+  {
+    store::Store Seed({Root, 0, false});
+    ASSERT_TRUE(Seed.status().ok());
+    ASSERT_TRUE(Seed.put(CK).ok());
+  }
+
+  for (const char *Point : {"mid-blob", "before-rename"}) {
+    pid_t P = fork();
+    ASSERT_GE(P, 0);
+    if (P == 0) {
+      ::setenv("SDS_STORE_CRASH_POINT", Point, 1);
+      store::Store S({Root, 0, false});
+      if (!S.status().ok())
+        ::_exit(2);
+      (void)S.put(Victim); // _exit(137)s inside the write path
+      ::_exit(9);          // crash point did not fire — test bug
+    }
+    int St = 0;
+    ASSERT_EQ(::waitpid(P, &St, 0), P);
+    ASSERT_TRUE(WIFEXITED(St));
+    ASSERT_EQ(WEXITSTATUS(St), 137) << Point;
+
+    // The victim left exactly one tmp file and published nothing.
+    // A fresh store instance (any later process) recovers the debris,
+    // the committed blob is untouched, and the victim's key is an
+    // explicit miss — never a torn artifact.
+    store::Store S({Root, 0, false});
+    ASSERT_TRUE(S.status().ok());
+    EXPECT_EQ(S.stats().RecoveredTmp, 1u) << Point;
+    artifact::CompiledKernel Out;
+    bool Found = true;
+    ASSERT_TRUE(S.get(store::Store::keyFor(Victim), Out, Found).ok());
+    EXPECT_FALSE(Found) << Point;
+    ASSERT_TRUE(S.get(store::Store::keyFor(CK), Out, Found).ok());
+    ASSERT_TRUE(Found);
+    EXPECT_EQ(artifact::serialize(Out), artifact::serialize(CK)) << Point;
+  }
+
+  // A clean republish after both crashes fills the victims' key.
+  store::Store S({Root, 0, false});
+  ASSERT_TRUE(S.status().ok());
+  artifact::CompiledKernel Out;
+  bool Found = false;
+  ASSERT_TRUE(S.put(Victim).ok());
+  ASSERT_TRUE(S.get(store::Store::keyFor(Victim), Out, Found).ok());
+  EXPECT_TRUE(Found);
+  EXPECT_EQ(artifact::serialize(Out), artifact::serialize(Victim));
 }
 
 TEST(StoreCampaign, EveryFaultClassDetectedOrTolerated) {
